@@ -1,0 +1,135 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify the main design decisions of the
+system so that a user can see what each mechanism costs or buys:
+
+* page-granularity tracking (page size sweep) -- the paper's trade-off of
+  faults versus precision;
+* the two overhead sources in isolation (memory tracking only / PT only);
+* snapshot mode versus full-trace mode of the AUX buffer;
+* sub-computation-level provenance versus process-level provenance
+  (the PASS/LPM-style baseline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import dataset_for, write_report
+from repro.baselines.process_prov import precision_comparison
+from repro.inspector.api import run_with_provenance
+from repro.inspector.config import InspectorConfig
+from repro.workloads.registry import get_workload
+
+THREADS = 8
+
+
+def run_with(workload: str, **config_overrides):
+    config = InspectorConfig(**config_overrides)
+    return run_with_provenance(
+        get_workload(workload), THREADS, dataset=dataset_for(workload, "medium"), config=config
+    )
+
+
+@pytest.mark.parametrize("page_size", (1024, 4096, 16384))
+def test_ablation_page_size(benchmark, page_size):
+    """Smaller pages mean more faults (finer provenance), larger pages fewer."""
+    result = benchmark.pedantic(
+        lambda: run_with("word_count", page_size=page_size), rounds=1, iterations=1
+    )
+    benchmark.extra_info["page_faults"] = result.stats.page_faults
+    benchmark.extra_info["page_size"] = page_size
+    assert result.stats.page_faults > 0
+
+
+def test_ablation_page_size_monotonicity(benchmark):
+    """Fault counts decrease monotonically as the page grows."""
+
+    def faults():
+        return [
+            run_with("word_count", page_size=size).stats.page_faults
+            for size in (1024, 4096, 16384)
+        ]
+
+    counts = benchmark.pedantic(faults, rounds=1, iterations=1)
+    assert counts[0] >= counts[1] >= counts[2], counts
+
+
+def test_ablation_memory_tracking_only(benchmark):
+    """Disabling PT isolates the threading-library overhead (Figure 6's split)."""
+    result = benchmark.pedantic(
+        lambda: run_with("histogram", enable_pt=False), rounds=1, iterations=1
+    )
+    assert result.stats.pt_bytes == 0
+    assert result.stats.page_faults > 0
+    benchmark.extra_info["threading_seconds"] = round(result.stats.threading_seconds * 1e3, 3)
+
+
+def test_ablation_pt_only(benchmark):
+    """Disabling memory tracking isolates the control-flow tracing overhead."""
+    result = benchmark.pedantic(
+        lambda: run_with("histogram", enable_memory_tracking=False), rounds=1, iterations=1
+    )
+    assert result.stats.page_faults == 0
+    assert result.stats.pt_bytes > 0
+    benchmark.extra_info["pt_seconds"] = round(result.stats.pt_seconds * 1e3, 3)
+
+
+def test_ablation_full_stack_costs_more_than_each_half(benchmark):
+    """The full system is at least as expensive as either mechanism alone."""
+
+    def totals():
+        full = run_with("histogram").stats.total_seconds
+        memory_only = run_with("histogram", enable_pt=False).stats.total_seconds
+        pt_only = run_with("histogram", enable_memory_tracking=False).stats.total_seconds
+        return full, memory_only, pt_only
+
+    full, memory_only, pt_only = benchmark.pedantic(totals, rounds=1, iterations=1)
+    assert full >= memory_only * 0.99
+    assert full >= pt_only * 0.99
+
+
+def test_ablation_snapshot_mode_bounds_space(benchmark):
+    """Snapshot (overwrite) AUX mode bounds the stored trace; full-trace mode may lose data."""
+
+    def run_modes():
+        small_aux = 64 * 1024
+        full = run_with("streamcluster", aux_buffer_size=small_aux, pt_snapshot_mode=False)
+        snap = run_with("streamcluster", aux_buffer_size=small_aux, pt_snapshot_mode=True)
+        return full.stats, snap.stats
+
+    full_stats, snap_stats = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    # Full-trace mode with a tiny buffer drops data; snapshot mode never
+    # reports *lost* bytes (old data is overwritten instead).
+    assert snap_stats.pt_bytes_lost == 0
+    benchmark.extra_info["full_trace_lost_bytes"] = full_stats.pt_bytes_lost
+
+
+def test_ablation_snapshot_facility_overhead_is_bounded(benchmark):
+    """Taking periodic consistent snapshots does not change the recorded provenance."""
+
+    def run_pair():
+        plain = run_with("reverse_index")
+        snapshotting = run_with("reverse_index", enable_snapshots=True, snapshot_interval=32)
+        return plain, snapshotting
+
+    plain, snapshotting = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert len(plain.cpg) == len(snapshotting.cpg)
+    assert snapshotting.backend.snapshotter.stats.snapshots_taken > 0
+
+
+def test_ablation_subcomputation_vs_process_granularity(benchmark):
+    """The CPG distinguishes far more dependencies than process-level provenance."""
+
+    def compare():
+        result = run_with("reverse_index")
+        return precision_comparison(result.cpg)
+
+    comparison = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["precision_ratio"] = round(comparison["precision_ratio"], 1)
+    assert comparison["fine_nodes"] > 4 * comparison["coarse_nodes"]
+    lines = [
+        "Ablation: sub-computation vs process-granularity provenance (reverse_index, 8 threads)",
+        *(f"{key:22s} {value:10.1f}" for key, value in comparison.items()),
+    ]
+    write_report("ablation_granularity.txt", lines)

@@ -1,0 +1,99 @@
+"""Figure 6: breakdown of the provenance overhead at 16 threads.
+
+The paper splits the total overhead into the *threading library* component
+(process creation, page faults, diffs/commits, synchronization bookkeeping)
+and the *OS support for Intel PT* component (trace generation, the perf
+consumer), and observes that the three outliers spend their time in the
+threading library while PT tracing is the dominant added cost for the
+well-behaved applications.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import HEADLINE_THREADS, inspector_run, native_run, write_report
+from repro.workloads.registry import OUTLIER_WORKLOADS, list_workloads
+
+WORKLOADS = list_workloads()
+
+
+def breakdown(workload: str) -> dict:
+    """Return the Figure 6 row for one workload."""
+    traced = inspector_run(workload, HEADLINE_THREADS).stats
+    native = native_run(workload, HEADLINE_THREADS).stats
+    base = native.total_seconds
+    return {
+        "total_overhead": traced.total_seconds / base if base else 0.0,
+        "threading_overhead": (traced.compute_seconds + traced.threading_seconds) / base
+        if base
+        else 0.0,
+        "pt_overhead": traced.pt_seconds / base if base else 0.0,
+        "threading_seconds": traced.threading_seconds,
+        "pt_seconds": traced.pt_seconds,
+    }
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fig6_breakdown_per_workload(benchmark, workload):
+    """Benchmark and decompose one workload's overhead."""
+    row = benchmark.pedantic(lambda: breakdown(workload), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {key: round(value, 3) for key, value in row.items() if key.endswith("overhead")}
+    )
+    # The two components plus the application compute account for the total.
+    assert row["threading_overhead"] + row["pt_overhead"] == pytest.approx(
+        row["total_overhead"], rel=1e-6
+    )
+
+
+def test_fig6_outliers_dominated_by_threading_library(benchmark):
+    """canneal / reverse_index / kmeans spend their overhead in the threading library."""
+
+    def rows():
+        return {name: breakdown(name) for name in OUTLIER_WORKLOADS}
+
+    result = benchmark.pedantic(rows, rounds=1, iterations=1)
+    for name, row in result.items():
+        assert row["threading_seconds"] > row["pt_seconds"], (name, row)
+
+
+def test_fig6_pt_is_significant_for_wellbehaved_workloads(benchmark):
+    """For the non-outlier applications the PT component is a large share of the
+    *added* cost, which is the paper's "hardware is still the bottleneck" point."""
+
+    def shares():
+        result = {}
+        for name in WORKLOADS:
+            if name in OUTLIER_WORKLOADS:
+                continue
+            stats = inspector_run(name, HEADLINE_THREADS).stats
+            added = stats.threading_seconds + stats.pt_seconds
+            result[name] = stats.pt_seconds / added if added else 0.0
+        return result
+
+    result = benchmark.pedantic(shares, rounds=1, iterations=1)
+    significant = [name for name, share in result.items() if share >= 0.2]
+    assert len(significant) >= 5, result
+
+
+def test_fig6_report(benchmark):
+    """Write the Figure 6 table to results/."""
+
+    def table():
+        return {name: breakdown(name) for name in WORKLOADS}
+
+    rows = benchmark.pedantic(table, rounds=1, iterations=1)
+    lines = [
+        "Figure 6: overhead breakdown at 16 threads (normalized to native = 1.0)",
+        f"{'workload':20s} {'total':>7s} {'threading':>10s} {'intel-pt':>9s}",
+    ]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:20s} {row['total_overhead']:7.2f} {row['threading_overhead']:10.2f} "
+            f"{row['pt_overhead']:9.2f}"
+        )
+    path = write_report("fig6_overhead_breakdown.txt", lines)
+    print("\n".join(lines))
+    print(f"[written to {path}]")
+    assert len(rows) == 12

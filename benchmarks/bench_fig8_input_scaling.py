@@ -1,0 +1,71 @@
+"""Figure 8: overhead scaling with the input size (16 threads).
+
+The paper runs the four applications that ship with small/medium/large
+inputs (histogram, linear_regression, string_match, word_count) and shows
+that the gap between pthreads and INSPECTOR *narrows* as the input grows:
+with more data per thread, relatively less time is spent in the
+shared-memory commit and the other fixed provenance costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import HEADLINE_THREADS, dataset_for, overhead, write_report
+from repro.workloads.base import SIZES
+from repro.workloads.registry import INPUT_SCALING_WORKLOADS
+
+
+@pytest.mark.parametrize("workload", INPUT_SCALING_WORKLOADS)
+@pytest.mark.parametrize("size", SIZES)
+def test_fig8_overhead_per_size(benchmark, workload, size):
+    """Benchmark one (workload, input size) cell of Figure 8."""
+    factor = benchmark.pedantic(
+        lambda: overhead(workload, HEADLINE_THREADS, size), rounds=1, iterations=1
+    )
+    benchmark.extra_info["overhead_vs_native"] = round(factor, 2)
+    benchmark.extra_info["input_bytes"] = dataset_for(workload, size).size_bytes
+    assert factor > 0
+
+
+@pytest.mark.parametrize("workload", INPUT_SCALING_WORKLOADS)
+def test_fig8_gap_narrows_with_larger_inputs(benchmark, workload):
+    """The INSPECTOR-vs-native gap shrinks from the small to the large input."""
+
+    def factors():
+        return [overhead(workload, HEADLINE_THREADS, size) for size in SIZES]
+
+    small, _, large = benchmark.pedantic(factors, rounds=1, iterations=1)
+    assert large < small, (workload, small, large)
+
+
+def test_fig8_report(benchmark):
+    """Write the Figure 8 table (overhead and input size per variant) to results/."""
+
+    def table():
+        rows = {}
+        for name in INPUT_SCALING_WORKLOADS:
+            rows[name] = {
+                size: {
+                    "overhead": overhead(name, HEADLINE_THREADS, size),
+                    "input_bytes": dataset_for(name, size).size_bytes,
+                }
+                for size in SIZES
+            }
+        return rows
+
+    rows = benchmark.pedantic(table, rounds=1, iterations=1)
+    lines = [
+        "Figure 8: overhead vs input size at 16 threads",
+        f"{'workload':20s} " + "".join(f"{size:>22s}" for size in SIZES),
+    ]
+    for name, row in rows.items():
+        cells = "".join(
+            f"  {row[size]['overhead']:5.2f}x ({row[size]['input_bytes'] // 1024:5d} KiB)"
+            for size in SIZES
+        )
+        lines.append(f"{name:20s} {cells}")
+    path = write_report("fig8_input_scaling.txt", lines)
+    print("\n".join(lines))
+    print(f"[written to {path}]")
+    assert len(rows) == 4

@@ -1,0 +1,91 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (§VII).  Runs are cached per (workload, threads, size, mode)
+within a pytest session so that the per-workload benchmark entries and the
+full-sweep report tests do not repeat work, and every report is also
+written to ``benchmarks/results/`` as a plain-text table.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.baselines.native import NativeRunResult
+from repro.inspector.api import run_native, run_with_provenance
+from repro.inspector.config import InspectorConfig
+from repro.inspector.session import InspectorRunResult
+from repro.workloads.registry import get_workload
+
+#: Thread counts swept by Figure 5 (the paper uses 2..16 on a 16-hyperthread box).
+FIG5_THREAD_COUNTS = (2, 4, 8, 16)
+
+#: The thread count used by Figures 6, 7, and 9.
+HEADLINE_THREADS = 16
+
+#: Directory the text reports are written into.
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+_dataset_cache: Dict[Tuple[str, str], object] = {}
+_native_cache: Dict[Tuple[str, int, str], NativeRunResult] = {}
+_inspector_cache: Dict[Tuple[str, int, str], InspectorRunResult] = {}
+
+
+def benchmark_config() -> InspectorConfig:
+    """The configuration every benchmark run uses (defaults: 4 KiB pages)."""
+    return InspectorConfig()
+
+
+def dataset_for(name: str, size: str = "medium"):
+    """Generate (and cache) the dataset of one workload."""
+    key = (name, size)
+    if key not in _dataset_cache:
+        _dataset_cache[key] = get_workload(name).generate_dataset(size)
+    return _dataset_cache[key]
+
+
+def native_run(name: str, threads: int, size: str = "medium") -> NativeRunResult:
+    """Run (and cache) the native baseline for one configuration."""
+    key = (name, threads, size)
+    if key not in _native_cache:
+        _native_cache[key] = run_native(
+            get_workload(name), threads, dataset=dataset_for(name, size), config=benchmark_config()
+        )
+    return _native_cache[key]
+
+
+def inspector_run(name: str, threads: int, size: str = "medium") -> InspectorRunResult:
+    """Run (and cache) the INSPECTOR execution for one configuration."""
+    key = (name, threads, size)
+    if key not in _inspector_cache:
+        _inspector_cache[key] = run_with_provenance(
+            get_workload(name), threads, dataset=dataset_for(name, size), config=benchmark_config()
+        )
+    return _inspector_cache[key]
+
+
+def overhead(name: str, threads: int, size: str = "medium") -> float:
+    """INSPECTOR-over-native time overhead for one configuration."""
+    return inspector_run(name, threads, size).stats.overhead_against(
+        native_run(name, threads, size).stats
+    )
+
+
+def write_report(filename: str, lines) -> str:
+    """Write a report to ``benchmarks/results/<filename>`` and return its path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """The directory benchmark reports are written into."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

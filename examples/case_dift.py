@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Case study 2 (§VIII): dynamic information-flow tracking (DIFT).
+
+Scenario: the input file contains sensitive records, and the operator wants
+to be told (or to prevent it outright) if any output of the program was
+derived from them.  INSPECTOR already records how data flows between
+sub-computations; the policy checker marks the input pages as tainted,
+propagates the taint along the recorded dataflow, and judges every write
+that went through the output shim (the stand-in for the glibc output
+wrappers the paper instruments).
+
+Run with::
+
+    python examples/case_dift.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dift import PolicyAction, PolicyChecker, make_input_policy
+from repro.errors import PolicyViolationError
+from repro.inspector.api import run_with_provenance
+from repro.workloads.registry import get_workload
+
+
+def main() -> None:
+    workload = get_workload("word_count")
+    result = run_with_provenance(workload, num_threads=4, size="small")
+
+    input_pages = result.backend.tracker.input_pages
+    print(f"sensitive input pages : {len(input_pages)}")
+    print(f"output operations     : {len(result.outputs)}")
+
+    # Audit mode: report which outputs observed tainted data.
+    audit_policy = make_input_policy(result.cpg, input_pages, action=PolicyAction.WARN)
+    report = PolicyChecker(audit_policy).check(result.cpg, result.outputs)
+    print("\n== audit report ==")
+    print(f"tainted sub-computations : {len(report.taint.tainted_nodes)}")
+    print(f"tainted pages            : {len(report.taint.tainted_pages)}")
+    for sink in report.sinks:
+        verdict = "TAINTED" if sink.tainted else "clean"
+        print(
+            f"  output by thread {sink.record.tid:3d} "
+            f"({len(sink.record.data)} bytes) -> {verdict}"
+        )
+
+    # Enforcement mode: the same policy with DENY raises at the first leak,
+    # which is how a policy checker embedded in the output wrappers would
+    # stop the write before it happens.
+    deny_policy = make_input_policy(result.cpg, input_pages, action=PolicyAction.DENY)
+    print("\n== enforcement mode ==")
+    try:
+        PolicyChecker(deny_policy).check(result.cpg, result.outputs, enforce=True)
+        print("no sensitive data reached an output sink")
+    except PolicyViolationError as violation:
+        print(f"blocked: {violation}")
+
+    # A policy over pages the program never touches stays clean.
+    unrelated = make_input_policy(result.cpg, [10**9], name="unrelated-secret")
+    clean = PolicyChecker(unrelated).check(result.cpg, result.outputs)
+    print(f"\nunrelated-secret policy clean : {clean.clean}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The offline evaluation environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; this ``setup.py`` lets ``pip install -e .`` fall
+back to the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``; this file only mirrors what the legacy path needs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of INSPECTOR: Data Provenance Using Intel Processor Trace (ICDCS 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,20 @@
+"""INSPECTOR reproduction: data provenance for multithreaded programs.
+
+This package reproduces the system described in "INSPECTOR: Data
+Provenance Using Intel Processor Trace (PT)" (Thalheim, Bhatotia, Fetzer;
+ICDCS 2016) as a pure-Python simulation: a threading library that runs
+threads as processes over a release-consistent shared memory, an Intel PT
+model for control-flow tracing, and a provenance core that assembles the
+Concurrent Provenance Graph (CPG).
+
+The most convenient entry points live in :mod:`repro.inspector.api`:
+
+* ``run_with_provenance(workload, ...)`` -- run a workload under the
+  INSPECTOR library and obtain its CPG plus runtime statistics.
+* ``run_native(workload, ...)`` -- run the same workload under the plain
+  pthreads model (the baseline the paper normalizes against).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

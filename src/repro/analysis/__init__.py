@@ -1,0 +1,47 @@
+"""The three case studies of §VIII: debugging, DIFT, and NUMA placement."""
+
+from repro.analysis.debugging import (
+    MemoryExplanation,
+    blame_threads,
+    compare_schedules,
+    explain_memory_state,
+)
+from repro.analysis.dift import (
+    DIFTReport,
+    PolicyAction,
+    PolicyChecker,
+    SinkReport,
+    TaintPolicy,
+    make_input_policy,
+)
+from repro.analysis.numa import (
+    NUMATopology,
+    PlacementReport,
+    evaluate_placement,
+    first_touch_placement,
+    optimise_placement,
+    page_access_matrix,
+    placement_improvement,
+    round_robin_thread_mapping,
+)
+
+__all__ = [
+    "MemoryExplanation",
+    "blame_threads",
+    "compare_schedules",
+    "explain_memory_state",
+    "DIFTReport",
+    "PolicyAction",
+    "PolicyChecker",
+    "SinkReport",
+    "TaintPolicy",
+    "make_input_policy",
+    "NUMATopology",
+    "PlacementReport",
+    "evaluate_placement",
+    "first_touch_placement",
+    "optimise_placement",
+    "page_access_matrix",
+    "placement_improvement",
+    "round_robin_thread_mapping",
+]

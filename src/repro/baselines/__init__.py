@@ -1,0 +1,13 @@
+"""Baselines the reproduction compares against: native pthreads and
+process-granularity provenance."""
+
+from repro.baselines.native import NativeBackend, NativeRunResult, NativeSession
+from repro.baselines.process_prov import collapse_to_process_granularity, precision_comparison
+
+__all__ = [
+    "NativeBackend",
+    "NativeRunResult",
+    "NativeSession",
+    "collapse_to_process_granularity",
+    "precision_comparison",
+]

@@ -1,0 +1,135 @@
+"""The native pthreads baseline (the 1x every figure normalizes against).
+
+The same workload code runs on the same cooperative runtime, but through
+the :class:`NativeBackend`: memory goes straight to the shared address
+space with no page protection, no copy-on-write, no commit, and no PT
+tracing.  The backend still counts events -- including stores to cache
+lines shared between threads, which is what the cost model charges the
+native execution for (false sharing) and what INSPECTOR's threads-as-
+processes design avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.inspector.config import InspectorConfig
+from repro.inspector.costmodel import CostModel, CostParameters
+from repro.inspector.session import make_scheduler
+from repro.inspector.stats import RunStats
+from repro.memory.address_space import SharedAddressSpace
+from repro.threads.backend import DirectBackend
+from repro.threads.program import ProgramAPI
+from repro.threads.runtime import SimRuntime
+from repro.workloads.base import DatasetSpec, InputDescriptor, Workload
+
+
+class NativeBackend(DirectBackend):
+    """The plain pthreads execution mode.
+
+    Identical to :class:`~repro.threads.backend.DirectBackend`; the alias
+    exists so the baseline reads as what it is in the benchmarks and so the
+    false-sharing accounting has a clearly named home.
+    """
+
+
+@dataclass
+class NativeRunResult:
+    """Everything produced by one native (pthreads) run.
+
+    Attributes:
+        workload: Name of the workload that ran.
+        result: The workload's return value.
+        stats: Runtime statistics with the cost model applied.
+        dataset: The dataset the workload consumed.
+        backend: The backend, exposed for tests.
+    """
+
+    workload: str
+    result: Any
+    stats: RunStats
+    dataset: Optional[DatasetSpec] = None
+    backend: Optional[NativeBackend] = None
+    outputs: List[bytes] = field(default_factory=list)
+
+
+class NativeSession:
+    """Runs workloads under the plain pthreads model.
+
+    Args:
+        config: Reused INSPECTOR configuration (only the page size and the
+            scheduler settings matter for a native run).
+        cost_params: Optional cost-model parameter overrides.
+    """
+
+    def __init__(
+        self,
+        config: Optional[InspectorConfig] = None,
+        cost_params: Optional[CostParameters] = None,
+    ) -> None:
+        self.config = config if config is not None else InspectorConfig()
+        self.config.validate()
+        self.cost_model = CostModel(cost_params)
+
+    def run(
+        self,
+        workload: Workload,
+        num_threads: int = 4,
+        size: str = "medium",
+        dataset: Optional[DatasetSpec] = None,
+        seed: int = 42,
+    ) -> NativeRunResult:
+        """Execute ``workload`` natively (no provenance)."""
+        if num_threads <= 0:
+            raise ValueError(f"num_threads must be positive, got {num_threads}")
+        spec = dataset if dataset is not None else workload.generate_dataset(size=size, seed=seed)
+        space = SharedAddressSpace(page_size=self.config.page_size)
+        backend = NativeBackend(space=space)
+        base = backend.load_input(spec.payload)
+        descriptor = InputDescriptor(base=base, size=len(spec.payload), meta=spec.meta)
+        runtime = SimRuntime(scheduler=make_scheduler(self.config), backend=backend)
+
+        def entry(proc):
+            api = ProgramAPI(runtime, backend, proc)
+            return workload.run(api, descriptor, num_threads)
+
+        result = runtime.run(entry, name=f"{workload.name}-main")
+        stats = self._collect_stats(workload, num_threads, spec, backend, runtime)
+        return NativeRunResult(
+            workload=workload.name,
+            result=result,
+            stats=stats,
+            dataset=spec,
+            backend=backend,
+            outputs=list(backend.outputs),
+        )
+
+    def _collect_stats(
+        self,
+        workload: Workload,
+        num_threads: int,
+        dataset: DatasetSpec,
+        backend: NativeBackend,
+        runtime: SimRuntime,
+    ) -> RunStats:
+        counters = backend.counters
+        stats = RunStats(
+            workload=workload.name,
+            mode="native",
+            threads=num_threads,
+            input_bytes=dataset.size_bytes,
+            instructions=counters.instructions,
+            loads=counters.loads,
+            stores=counters.stores,
+            branches=counters.branches,
+            indirect_branches=counters.indirect_branches,
+            compute_units=counters.compute_units,
+            per_thread_instructions=dict(counters.per_tid_instructions),
+            sync_ops=counters.sync_ops,
+            process_creations=runtime.process_creations,
+            context_switches=runtime.context_switches,
+            allocations=counters.allocations,
+            false_sharing_stores=backend.false_sharing_stores,
+        )
+        return self.cost_model.apply(stats)

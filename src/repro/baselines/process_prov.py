@@ -1,0 +1,87 @@
+"""A process-granularity provenance baseline (PASS / LPM style).
+
+Systems like PASS and the Linux Provenance Module record provenance at the
+granularity of whole processes: "process P read file A and wrote file B".
+The paper positions INSPECTOR against that class of systems by tracking
+*within* the multithreaded program at sub-computation granularity.  To make
+the comparison concrete, this baseline collapses a CPG to one vertex per
+thread (the whole "process" in the threads-as-processes design) and keeps
+only input/output-level data edges.  The examples and the ablation
+benchmark use it to quantify how much precision page-level sub-computation
+tracking buys (slice sizes, number of distinguishable dependencies).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Set
+
+from repro.core.cpg import ConcurrentProvenanceGraph, EdgeKind
+from repro.core.thunk import INPUT_TID, SubComputation
+from repro.core.vector_clock import VectorClock
+
+
+def collapse_to_process_granularity(cpg: ConcurrentProvenanceGraph) -> ConcurrentProvenanceGraph:
+    """Collapse ``cpg`` to one vertex per thread.
+
+    Every sub-computation of a thread is merged into a single vertex whose
+    read and write sets are the unions of its members'.  Data edges are
+    re-derived at that coarse granularity: thread B depends on thread A if
+    any page written by A is read by B (regardless of ordering detail --
+    the coarse graph cannot express more).  The virtual input node is kept.
+    """
+    coarse = ConcurrentProvenanceGraph()
+    merged: Dict[int, SubComputation] = {}
+    for node in cpg.subcomputations():
+        if node.tid == INPUT_TID:
+            coarse.add_subcomputation(
+                SubComputation(tid=INPUT_TID, index=0, write_set=set(node.write_set))
+            )
+            continue
+        bucket = merged.get(node.tid)
+        if bucket is None:
+            bucket = SubComputation(tid=node.tid, index=0, clock=VectorClock({node.tid: 1}))
+            merged[node.tid] = bucket
+        bucket.read_set |= node.read_set
+        bucket.write_set |= node.write_set
+        bucket.faults += node.faults
+    for bucket in merged.values():
+        coarse.add_subcomputation(bucket)
+
+    # Re-derive coarse data edges: writer thread -> reader thread.
+    writers: Dict[int, Set[int]] = defaultdict(set)
+    for node in coarse.subcomputations():
+        for page in node.write_set:
+            writers[page].add(node.tid)
+    linked = set()
+    for node in coarse.subcomputations():
+        for page in node.read_set:
+            for writer_tid in writers.get(page, ()):  # includes the input node
+                if writer_tid == node.tid:
+                    continue
+                key = (writer_tid, node.tid)
+                if key in linked:
+                    continue
+                linked.add(key)
+                pages = coarse.subcomputation((writer_tid, 0)).write_set & node.read_set
+                coarse.add_data_edge((writer_tid, 0), (node.tid, 0), pages)
+    return coarse
+
+
+def precision_comparison(cpg: ConcurrentProvenanceGraph) -> Dict[str, float]:
+    """Compare the CPG against its process-granularity collapse.
+
+    Returns a dictionary with the vertex/edge counts of both graphs and the
+    precision ratio (how many distinct dependencies the fine-grained graph
+    distinguishes per coarse dependency).
+    """
+    coarse = collapse_to_process_granularity(cpg)
+    fine_edges = cpg.edge_count(EdgeKind.DATA)
+    coarse_edges = coarse.edge_count(EdgeKind.DATA)
+    return {
+        "fine_nodes": float(len(cpg)),
+        "coarse_nodes": float(len(coarse)),
+        "fine_data_edges": float(fine_edges),
+        "coarse_data_edges": float(coarse_edges),
+        "precision_ratio": float(fine_edges) / coarse_edges if coarse_edges else float(fine_edges),
+    }

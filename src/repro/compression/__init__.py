@@ -1,0 +1,19 @@
+"""The lz4-equivalent compressor used to report provenance-log compressibility."""
+
+from repro.compression.lz import (
+    MIN_MATCH,
+    WINDOW_SIZE,
+    CompressionResult,
+    compress,
+    compression_ratio,
+    decompress,
+)
+
+__all__ = [
+    "MIN_MATCH",
+    "WINDOW_SIZE",
+    "CompressionResult",
+    "compress",
+    "compression_ratio",
+    "decompress",
+]

@@ -1,0 +1,172 @@
+"""An LZ77-style byte compressor standing in for lz4.
+
+The paper compresses the perf-written provenance log with lz4 and reports
+ratios between 6x and 37x.  The reproduction needs the same capability --
+the Figure 9 harness compresses the simulated trace to report a ratio -- so
+this module implements a small, dependency-free LZ77 compressor with a
+greedy hash-chain match finder and a token format inspired by the LZ4 block
+format (literal run + match copy).  It is not wire-compatible with lz4 but
+occupies the same point in the design space: byte-oriented, fast to decode,
+window-limited matching, no entropy coding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Minimum match length worth encoding (same as LZ4).
+MIN_MATCH = 4
+
+#: Sliding-window size for matches (64 KiB, the LZ4 maximum offset).
+WINDOW_SIZE = 64 * 1024
+
+#: Token layout: a literal-run length followed by an optional match.
+_LITERAL_CAP = 255
+
+
+@dataclass
+class CompressionResult:
+    """Outcome of compressing one buffer.
+
+    Attributes:
+        compressed_size: Size of the compressed representation in bytes
+            (extrapolated when ``sampled`` is true).
+        original_size: Length of the input.
+        sampled: Whether only a prefix of the input was compressed and the
+            ratio extrapolated (used by the benchmarks on very large logs).
+        compressed: The compressed bytes of whatever was actually
+            compressed (the full input, or the sampled prefix).
+    """
+
+    compressed_size: int
+    original_size: int
+    sampled: bool = False
+    compressed: bytes = b""
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (original / compressed); 1.0 for empty input."""
+        if self.compressed_size == 0:
+            return 1.0
+        return self.original_size / self.compressed_size
+
+
+def compress(data: bytes) -> bytes:
+    """Compress ``data`` with the LZ77 scheme described in the module docstring."""
+    if not data:
+        return b""
+    out = bytearray()
+    literals = bytearray()
+    # Hash table of 4-byte prefixes -> most recent position.
+    table: dict = {}
+    position = 0
+    length = len(data)
+    view = memoryview(data)
+
+    def flush_literals() -> None:
+        start = 0
+        while start < len(literals):
+            chunk = literals[start : start + _LITERAL_CAP]
+            out.append(len(chunk))  # literal run token (1..255)
+            out.append(0)  # no match in this token
+            out.extend(chunk)
+            start += _LITERAL_CAP
+
+    while position < length:
+        if position + MIN_MATCH <= length:
+            key = bytes(view[position : position + MIN_MATCH])
+            candidate = table.get(key)
+            table[key] = position
+        else:
+            candidate = None
+        match_length = 0
+        if candidate is not None and position - candidate <= WINDOW_SIZE:
+            limit = length - position
+            while match_length < limit and data[candidate + match_length] == data[position + match_length]:
+                match_length += 1
+                if match_length >= 254 + MIN_MATCH:
+                    break
+        if match_length >= MIN_MATCH:
+            # Emit any pending literals first.
+            if literals:
+                flush_literals()
+                literals.clear()
+            offset = position - candidate
+            out.append(0)  # zero literals in this token
+            out.append(match_length - MIN_MATCH + 1)  # match token (1..252)
+            out.extend(offset.to_bytes(2, "little"))
+            position += match_length
+        else:
+            literals.append(data[position])
+            position += 1
+            if len(literals) == _LITERAL_CAP:
+                flush_literals()
+                literals.clear()
+    if literals:
+        flush_literals()
+    return bytes(out)
+
+
+def decompress(payload: bytes) -> bytes:
+    """Invert :func:`compress`.
+
+    Raises:
+        ValueError: If the payload is malformed.
+    """
+    out = bytearray()
+    cursor = 0
+    length = len(payload)
+    while cursor < length:
+        if cursor + 2 > length:
+            raise ValueError("truncated token header")
+        literal_len = payload[cursor]
+        match_token = payload[cursor + 1]
+        cursor += 2
+        if literal_len:
+            if cursor + literal_len > length:
+                raise ValueError("truncated literal run")
+            out.extend(payload[cursor : cursor + literal_len])
+            cursor += literal_len
+        if match_token:
+            if cursor + 2 > length:
+                raise ValueError("truncated match offset")
+            offset = int.from_bytes(payload[cursor : cursor + 2], "little")
+            cursor += 2
+            match_length = match_token + MIN_MATCH - 1
+            if offset == 0 or offset > len(out):
+                raise ValueError(f"invalid match offset {offset}")
+            start = len(out) - offset
+            for index in range(match_length):
+                out.append(out[start + index])
+    return bytes(out)
+
+
+def compression_ratio(data: bytes, sample_limit: Optional[int] = None) -> CompressionResult:
+    """Compress ``data`` (or a prefix) and report the achieved ratio.
+
+    Args:
+        data: The buffer to compress.
+        sample_limit: When given and smaller than ``len(data)``, only the
+            first ``sample_limit`` bytes are compressed and the ratio is
+            extrapolated to the full buffer.  The pure-Python match finder
+            is the slow piece of this reproduction, so the Figure 9 harness
+            samples multi-megabyte logs instead of compressing them whole.
+    """
+    if sample_limit is not None and len(data) > sample_limit > 0:
+        sample = data[:sample_limit]
+        compressed = compress(sample)
+        sample_ratio = len(sample) / len(compressed) if compressed else 1.0
+        estimated = int(round(len(data) / sample_ratio)) if sample_ratio else len(data)
+        return CompressionResult(
+            compressed_size=max(estimated, 1),
+            original_size=len(data),
+            sampled=True,
+            compressed=compressed,
+        )
+    compressed = compress(data)
+    return CompressionResult(
+        compressed_size=len(compressed),
+        original_size=len(data),
+        compressed=compressed,
+    )

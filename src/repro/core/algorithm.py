@@ -1,0 +1,386 @@
+"""The parallel provenance algorithm (Algorithms 1 and 2 of the paper).
+
+The :class:`ProvenanceTracker` is the decentralized recording algorithm:
+each thread owns a vector clock and a current sub-computation; loads and
+stores update the read/write sets (at page granularity, driven by the MMU
+fault handler); branches extend the thunk list; and synchronization
+operations end the current sub-computation, propagate clocks through the
+synchronization object, and start the next one.
+
+The tracker is deliberately independent of the execution machinery -- it is
+driven entirely through ``on_*`` callbacks -- so it can be unit-tested with
+hand-written event sequences and reused by the snapshot facility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.cpg import ConcurrentProvenanceGraph
+from repro.core.events import (
+    BranchEvent,
+    EventLog,
+    MemoryAccessEvent,
+    OutputEvent,
+    SyncOperationEvent,
+    SyncSemantics,
+    ThreadEndEvent,
+    ThreadStartEvent,
+)
+from repro.core.thunk import BranchRecord, NodeId, SubComputation, make_input_node
+from repro.core.vector_clock import VectorClock
+from repro.errors import ProvenanceError
+
+
+@dataclass
+class _ThreadState:
+    """Per-thread recording state (the paper's ``alpha``, ``C_t``, ``L_t``)."""
+
+    tid: int
+    alpha: int = 0
+    clock: VectorClock = field(default_factory=VectorClock)
+    current: Optional[SubComputation] = None
+    last_node: Optional[NodeId] = None
+    pending_acquire_sources: List[Tuple[NodeId, int, str]] = field(default_factory=list)
+    pending_start_label: Optional[str] = None
+    finished: bool = False
+
+
+@dataclass
+class TrackerStats:
+    """Counters describing what the tracker recorded."""
+
+    subcomputations: int = 0
+    sync_acquires: int = 0
+    sync_releases: int = 0
+    branch_events: int = 0
+    memory_events: int = 0
+    threads: int = 0
+
+
+class ProvenanceTracker:
+    """Builds the Concurrent Provenance Graph while the program executes.
+
+    Args:
+        keep_event_log: Whether to keep the flat ordered event log (used by
+            the snapshot facility and several tests; adds memory overhead).
+    """
+
+    def __init__(self, keep_event_log: bool = False) -> None:
+        self.cpg = ConcurrentProvenanceGraph()
+        self.stats = TrackerStats()
+        self._threads: Dict[int, _ThreadState] = {}
+        #: synchronization clock C_S per synchronization object id
+        self._sync_clocks: Dict[int, VectorClock] = {}
+        #: last sub-computation that released each synchronization object
+        self._last_releaser: Dict[int, NodeId] = {}
+        self._event_log = EventLog() if keep_event_log else None
+        self._input_pages: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def event_log(self) -> Optional[EventLog]:
+        """The flat event log, when enabled."""
+        return self._event_log
+
+    def thread_clock(self, tid: int) -> VectorClock:
+        """Return a copy of thread ``tid``'s current clock."""
+        return self._state(tid).clock.copy()
+
+    def sync_clock(self, object_id: int) -> VectorClock:
+        """Return a copy of the synchronization clock of ``object_id``."""
+        return self._sync_clocks.setdefault(object_id, VectorClock()).copy()
+
+    def current_subcomputation(self, tid: int) -> Optional[SubComputation]:
+        """The open sub-computation of ``tid`` (``None`` before start/after end)."""
+        state = self._threads.get(tid)
+        return state.current if state is not None else None
+
+    def _state(self, tid: int) -> _ThreadState:
+        state = self._threads.get(tid)
+        if state is None:
+            raise ProvenanceError(f"thread {tid} was never started in the tracker")
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Input registration
+    # ------------------------------------------------------------------ #
+
+    def register_input_pages(self, pages: Set[int]) -> None:
+        """Declare ``pages`` as holding program input.
+
+        The pages become the write set of the virtual input node, so reads
+        of the input produce ordinary update-use edges in the CPG.
+        """
+        self._input_pages.update(pages)
+
+    @property
+    def input_pages(self) -> Set[int]:
+        """Pages registered as program input."""
+        return set(self._input_pages)
+
+    # ------------------------------------------------------------------ #
+    # Thread lifecycle (initThread / thread exit)
+    # ------------------------------------------------------------------ #
+
+    def on_thread_start(
+        self,
+        tid: int,
+        parent_tid: Optional[int] = None,
+        start_object_id: Optional[int] = None,
+    ) -> None:
+        """``initThread(t)``: initialise the thread state and its first sub-computation.
+
+        Args:
+            tid: The starting thread.
+            parent_tid: The creating thread, if any (main has none).
+            start_object_id: Id of the thread-start token released by the
+                parent at ``pthread_create`` time; when given, the child
+                acquires it before its first sub-computation begins so the
+                creation happens-before everything the child does.
+        """
+        if tid in self._threads:
+            raise ProvenanceError(f"thread {tid} started twice")
+        state = _ThreadState(tid=tid)
+        self._threads[tid] = state
+        self.stats.threads += 1
+        if self._event_log is not None:
+            self._event_log.append(
+                ThreadStartEvent(self._event_log.next_sequence(), tid, parent_tid=parent_tid)
+            )
+        if start_object_id is not None:
+            self.on_acquire(tid, start_object_id, operation="thread_start")
+        self._begin_subcomputation(state, started_by="thread_start")
+
+    def on_thread_end(self, tid: int) -> None:
+        """Thread exit: close and publish the final sub-computation."""
+        state = self._state(tid)
+        if state.finished:
+            return
+        self._end_subcomputation(state, ended_by="thread_exit")
+        state.finished = True
+        if self._event_log is not None:
+            self._event_log.append(
+                ThreadEndEvent(self._event_log.next_sequence(), tid, subcomputations=state.alpha + 1)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Instruction-level callbacks (onMemoryAccess / onBranchAccess)
+    # ------------------------------------------------------------------ #
+
+    def on_memory_access(self, tid: int, page: int, is_write: bool) -> None:
+        """``onMemoryAccess``: add ``page`` to the current read or write set."""
+        state = self._state(tid)
+        current = self._require_current(state)
+        if is_write:
+            current.record_write(page)
+        else:
+            current.record_read(page)
+        current.faults += 1
+        self.stats.memory_events += 1
+        if self._event_log is not None:
+            self._event_log.append(
+                MemoryAccessEvent(
+                    self._event_log.next_sequence(),
+                    tid,
+                    page=page,
+                    is_write=is_write,
+                    subcomputation=current.index,
+                )
+            )
+
+    def on_branch(self, tid: int, site: int, taken: bool, is_indirect: bool = False) -> None:
+        """``onBranchAccess``: start a new thunk at this branch."""
+        state = self._state(tid)
+        current = self._require_current(state)
+        current.record_branch(BranchRecord(site=site, taken=taken, is_indirect=is_indirect))
+        self.stats.branch_events += 1
+        if self._event_log is not None:
+            self._event_log.append(
+                BranchEvent(
+                    self._event_log.next_sequence(),
+                    tid,
+                    site=site,
+                    taken=taken,
+                    is_indirect=is_indirect,
+                    subcomputation=current.index,
+                )
+            )
+
+    def on_branch_run(self, tid: int, site: int, taken_count: int, total: int) -> None:
+        """Record a run of ``total`` conditional branches at one site.
+
+        Bulk counterpart of :meth:`on_branch` used by chunked inner loops:
+        the run is summarised as a single thunk boundary (the control path
+        within the run is recoverable from the PT trace on demand) while
+        the branch-event statistics account every branch.
+        """
+        state = self._state(tid)
+        current = self._require_current(state)
+        if total <= 0:
+            return
+        current.record_branch(
+            BranchRecord(site=site, taken=taken_count * 2 >= total, is_indirect=False)
+        )
+        current.record_instructions(total)
+        self.stats.branch_events += total
+
+    def on_instructions(self, tid: int, units: int = 1) -> None:
+        """Charge straight-line instructions to the current thunk."""
+        state = self._state(tid)
+        self._require_current(state).record_instructions(units)
+
+    def on_output(self, tid: int, size: int) -> None:
+        """Record that data left the program (used by the DIFT case study)."""
+        state = self._state(tid)
+        current = self._require_current(state)
+        if self._event_log is not None:
+            self._event_log.append(
+                OutputEvent(
+                    self._event_log.next_sequence(), tid, size=size, subcomputation=current.index
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # Synchronization callbacks (onSynchronization)
+    # ------------------------------------------------------------------ #
+
+    def on_sync_boundary(self, tid: int, operation: str) -> NodeId:
+        """End the current sub-computation of ``tid`` at a synchronization call.
+
+        This is the ``alpha <- alpha + 1`` step of Algorithm 1.  The
+        released/acquired objects are reported separately through
+        :meth:`on_release` and :meth:`on_acquire`, and the next
+        sub-computation starts when :meth:`begin_next` is called (after the
+        blocking synchronization operation completed).
+
+        Returns:
+            The node id of the sub-computation that just ended.
+        """
+        state = self._state(tid)
+        node_id = self._end_subcomputation(state, ended_by=operation)
+        state.pending_start_label = operation
+        return node_id
+
+    def on_release(self, tid: int, object_id: int, operation: str = "release") -> None:
+        """Release semantics: ``C_S <- max(C_S, C_t)``."""
+        state = self._state(tid)
+        sync_clock = self._sync_clocks.setdefault(object_id, VectorClock())
+        sync_clock.merge(state.clock)
+        if state.last_node is not None:
+            self._last_releaser[object_id] = state.last_node
+        self.stats.sync_releases += 1
+        if self._event_log is not None:
+            self._event_log.append(
+                SyncOperationEvent(
+                    self._event_log.next_sequence(),
+                    tid,
+                    object_id=object_id,
+                    semantics=SyncSemantics.RELEASE,
+                    operation=operation,
+                    subcomputation=state.alpha,
+                )
+            )
+
+    def on_acquire(self, tid: int, object_id: int, operation: str = "acquire") -> None:
+        """Acquire semantics: ``C_t <- max(C_t, C_S)`` plus a pending sync edge."""
+        state = self._state(tid)
+        sync_clock = self._sync_clocks.setdefault(object_id, VectorClock())
+        state.clock.merge(sync_clock)
+        releaser = self._last_releaser.get(object_id)
+        if releaser is not None:
+            state.pending_acquire_sources.append((releaser, object_id, operation))
+        self.stats.sync_acquires += 1
+        if self._event_log is not None:
+            self._event_log.append(
+                SyncOperationEvent(
+                    self._event_log.next_sequence(),
+                    tid,
+                    object_id=object_id,
+                    semantics=SyncSemantics.ACQUIRE,
+                    operation=operation,
+                    subcomputation=state.alpha,
+                )
+            )
+
+    def begin_next(self, tid: int) -> SubComputation:
+        """Start the next sub-computation after a synchronization operation."""
+        state = self._state(tid)
+        if state.current is not None:
+            raise ProvenanceError(
+                f"thread {tid} tried to start a sub-computation while one is still open"
+            )
+        label = state.pending_start_label
+        state.pending_start_label = None
+        return self._begin_subcomputation(state, started_by=label)
+
+    # ------------------------------------------------------------------ #
+    # Finalisation
+    # ------------------------------------------------------------------ #
+
+    def finalize(self) -> ConcurrentProvenanceGraph:
+        """Close every open sub-computation and attach the virtual input node.
+
+        Returns:
+            The completed CPG (data edges are added separately by
+            :mod:`repro.core.dependencies`).
+        """
+        for state in self._threads.values():
+            if not state.finished and state.current is not None:
+                self.on_thread_end(state.tid)
+        if self._input_pages and self.cpg.input_node is None:
+            self.cpg.add_subcomputation(make_input_node(self._input_pages))
+        return self.cpg
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _require_current(self, state: _ThreadState) -> SubComputation:
+        if state.current is None:
+            raise ProvenanceError(
+                f"thread {state.tid} has no open sub-computation (missing begin_next?)"
+            )
+        return state.current
+
+    def _begin_subcomputation(self, state: _ThreadState, started_by: Optional[str]) -> SubComputation:
+        """``startSub-computation``: assign clocks and open the new vertex.
+
+        The paper sets ``C_t[t] <- alpha``; we store ``alpha + 1`` instead so
+        that the very first sub-computation of a thread (alpha = 0) is
+        distinguishable from "no knowledge of that thread" in the sparse
+        vector-clock representation.  The shift is uniform, so it changes no
+        ordering relation of the original scheme.
+        """
+        state.clock.set(state.tid, state.alpha + 1)
+        node = SubComputation(
+            tid=state.tid,
+            index=state.alpha,
+            clock=state.clock.copy(),
+            started_by=started_by,
+        )
+        state.current = node
+        return node
+
+    def _end_subcomputation(self, state: _ThreadState, ended_by: Optional[str]) -> NodeId:
+        """Close the open sub-computation and publish it to the CPG."""
+        current = self._require_current(state)
+        current.ended_by = ended_by
+        node_id = self.cpg.add_subcomputation(current)
+        self.stats.subcomputations += 1
+        if state.last_node is not None:
+            self.cpg.add_control_edge(state.last_node, node_id)
+        # Sync edges from the releasers whose objects this thread acquired
+        # while this sub-computation was being created.
+        for source, object_id, operation in state.pending_acquire_sources:
+            if source != node_id:
+                self.cpg.add_sync_edge(source, node_id, object_id=object_id, operation=operation)
+        state.pending_acquire_sources.clear()
+        state.last_node = node_id
+        state.current = None
+        state.alpha += 1
+        return node_id

@@ -1,0 +1,124 @@
+"""Derivation of data-dependence (update-use) edges.
+
+The tracker records read and write sets per sub-computation and the
+happens-before partial order (control + synchronization edges).  Data
+dependence edges are derived from those two ingredients: a sub-computation
+``n`` depends on ``m`` for page ``p`` when ``m`` wrote ``p``, ``n`` read
+``p``, ``m`` happens-before ``n``, and no other writer of ``p`` lies
+between them in the partial order (closer writers shadow farther ones, the
+same way a later store to the same page supersedes an earlier one under
+the last-writer-wins commit).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.core.cpg import ConcurrentProvenanceGraph, EdgeKind
+from repro.core.thunk import INPUT_NODE, NodeId
+
+
+def derive_data_edges(cpg: ConcurrentProvenanceGraph) -> int:
+    """Add update-use edges to ``cpg`` and return how many were added.
+
+    The derivation walks the vertices in a linear extension of the recorded
+    partial order (control + sync edges), keeping, for every page, the list
+    of writers seen so far.  For each reader it links the *latest* writers
+    that happen-before it -- writers that are themselves ordered before
+    another eligible writer are shadowed and produce no edge.
+
+    The virtual input node (when present) is treated as the earliest writer
+    of every input page, so first readers of the input get an edge from it.
+    """
+    order = cpg.topological_order()
+    if cpg.input_node is not None and cpg.input_node in order:
+        order.remove(cpg.input_node)
+    if cpg.input_node is not None:
+        order.insert(0, cpg.input_node)
+
+    writers_by_page: Dict[int, List[NodeId]] = defaultdict(list)
+    edges_added = 0
+    # Pairs already linked (source, target) -> pages, to merge multi-page
+    # dependencies into a single labelled edge.
+    pending: Dict[Tuple[NodeId, NodeId], Set[int]] = defaultdict(set)
+
+    for node_id in order:
+        node = cpg.subcomputation(node_id)
+        # 1. resolve this node's reads against earlier writers
+        for page in sorted(node.read_set):
+            sources = _latest_writers(cpg, writers_by_page.get(page, []), node_id)
+            for source in sources:
+                pending[(source, node_id)].add(page)
+        # 2. register this node's writes
+        for page in node.write_set:
+            writers_by_page[page].append(node_id)
+
+    for (source, target), pages in pending.items():
+        if source == target:
+            continue
+        cpg.add_data_edge(source, target, pages)
+        edges_added += 1
+    return edges_added
+
+
+def _latest_writers(
+    cpg: ConcurrentProvenanceGraph, writers: List[NodeId], reader: NodeId
+) -> List[NodeId]:
+    """Return the maximal writers (by happens-before) that precede ``reader``.
+
+    ``writers`` is in insertion order, which is a linear extension of the
+    partial order, so scanning it backwards visits later writers first; a
+    writer is skipped if a previously selected writer already supersedes it
+    (i.e. the earlier writer happens-before the selected one).
+    """
+    selected: List[NodeId] = []
+    for candidate in reversed(writers):
+        if candidate == reader:
+            continue
+        if not _precedes(cpg, candidate, reader):
+            continue
+        if any(_precedes(cpg, candidate, chosen) for chosen in selected):
+            continue
+        selected.append(candidate)
+    return selected
+
+
+def _precedes(cpg: ConcurrentProvenanceGraph, first: NodeId, second: NodeId) -> bool:
+    """Happens-before test that treats the virtual input node as earliest."""
+    if first == INPUT_NODE:
+        return second != INPUT_NODE
+    if second == INPUT_NODE:
+        return False
+    return cpg.happens_before(first, second)
+
+
+def data_dependencies_of(
+    cpg: ConcurrentProvenanceGraph, node_id: NodeId
+) -> List[Tuple[NodeId, frozenset]]:
+    """Return ``(source, pages)`` for every data edge ending at ``node_id``."""
+    result = []
+    for source, target, attrs in cpg.edges(EdgeKind.DATA):
+        if target == node_id:
+            result.append((source, attrs.get("pages", frozenset())))
+    return result
+
+
+def readers_of_pages(cpg: ConcurrentProvenanceGraph, pages: Iterable[int]) -> Set[NodeId]:
+    """Return every sub-computation whose read set intersects ``pages``."""
+    wanted = set(pages)
+    return {
+        node.node_id
+        for node in cpg.subcomputations()
+        if node.read_set & wanted
+    }
+
+
+def writers_of_pages(cpg: ConcurrentProvenanceGraph, pages: Iterable[int]) -> Set[NodeId]:
+    """Return every sub-computation whose write set intersects ``pages``."""
+    wanted = set(pages)
+    return {
+        node.node_id
+        for node in cpg.subcomputations()
+        if node.write_set & wanted
+    }

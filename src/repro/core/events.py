@@ -1,0 +1,115 @@
+"""Trace event records.
+
+The provenance tracker can optionally keep a flat, ordered log of every
+event it observes (memory accesses at page granularity, branches,
+synchronization operations, thread lifecycle).  The log is what the
+snapshot facility serializes into its ring-buffer slots, and it is also a
+convenient substrate for tests that want to assert on exact event
+sequences.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class SyncSemantics(enum.Enum):
+    """Whether a synchronization operation acts as an acquire or a release."""
+
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class for every event in the trace log.
+
+    Attributes:
+        sequence: Global sequence number (assigned by the tracker).
+        tid: Thread the event belongs to.
+    """
+
+    sequence: int
+    tid: int
+
+
+@dataclass(frozen=True)
+class MemoryAccessEvent(TraceEvent):
+    """First touch of a page by a sub-computation (read or write)."""
+
+    page: int = 0
+    is_write: bool = False
+    subcomputation: int = 0
+
+
+@dataclass(frozen=True)
+class BranchEvent(TraceEvent):
+    """A conditional or indirect branch observed through Intel PT."""
+
+    site: int = 0
+    taken: bool = True
+    is_indirect: bool = False
+    subcomputation: int = 0
+
+
+@dataclass(frozen=True)
+class SyncOperationEvent(TraceEvent):
+    """An acquire or release on a synchronization object."""
+
+    object_id: int = 0
+    semantics: SyncSemantics = SyncSemantics.ACQUIRE
+    operation: str = ""
+    subcomputation: int = 0
+
+
+@dataclass(frozen=True)
+class ThreadStartEvent(TraceEvent):
+    """A thread began executing."""
+
+    parent_tid: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ThreadEndEvent(TraceEvent):
+    """A thread finished executing."""
+
+    subcomputations: int = 0
+
+
+@dataclass(frozen=True)
+class OutputEvent(TraceEvent):
+    """Data left the program through the output shim (DIFT sink)."""
+
+    size: int = 0
+    subcomputation: int = 0
+
+
+@dataclass
+class EventLog:
+    """An append-only, globally ordered list of trace events."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    _next_sequence: int = 0
+
+    def next_sequence(self) -> int:
+        """Reserve and return the next sequence number."""
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        return sequence
+
+    def append(self, event: TraceEvent) -> None:
+        """Append ``event`` (whose sequence number must already be set)."""
+        self.events.append(event)
+
+    def of_type(self, event_type: type) -> List[TraceEvent]:
+        """Return every logged event of the given type, in order."""
+        return [event for event in self.events if isinstance(event, event_type)]
+
+    def for_thread(self, tid: int) -> List[TraceEvent]:
+        """Return every logged event of thread ``tid``, in order."""
+        return [event for event in self.events if event.tid == tid]
+
+    def __len__(self) -> int:
+        return len(self.events)

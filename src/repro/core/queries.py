@@ -1,0 +1,196 @@
+"""Provenance queries over the Concurrent Provenance Graph.
+
+These are the operations the paper's case studies (§VIII) need: backward
+and forward slices ("why does this memory look like this" for debugging),
+lineage of particular pages, taint propagation for dynamic information-flow
+tracking, and simple structural statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core.cpg import ConcurrentProvenanceGraph, EdgeKind
+from repro.core.dependencies import writers_of_pages
+from repro.core.thunk import NodeId
+
+#: Edge kinds that carry provenance by default (control stays within a
+#: thread and is usually included; sync edges order but do not move data,
+#: data edges move data).
+DEFAULT_SLICE_KINDS = (EdgeKind.DATA, EdgeKind.CONTROL, EdgeKind.SYNC)
+
+
+def backward_slice(
+    cpg: ConcurrentProvenanceGraph,
+    node_id: NodeId,
+    kinds: Sequence[EdgeKind] = (EdgeKind.DATA,),
+    include_start: bool = True,
+) -> Set[NodeId]:
+    """Return every sub-computation that ``node_id`` (transitively) depends on.
+
+    Args:
+        cpg: The provenance graph (data edges must already be derived).
+        node_id: The sub-computation being explained.
+        kinds: Edge kinds to follow (data-only by default, i.e. a pure
+            dataflow slice).
+        include_start: Whether the starting node is part of the result.
+    """
+    result = cpg.ancestors(node_id, kinds=kinds)
+    if include_start:
+        result.add(node_id)
+    return result
+
+
+def forward_slice(
+    cpg: ConcurrentProvenanceGraph,
+    node_id: NodeId,
+    kinds: Sequence[EdgeKind] = (EdgeKind.DATA,),
+    include_start: bool = True,
+) -> Set[NodeId]:
+    """Return every sub-computation (transitively) influenced by ``node_id``."""
+    result = cpg.descendants(node_id, kinds=kinds)
+    if include_start:
+        result.add(node_id)
+    return result
+
+
+def lineage_of_pages(cpg: ConcurrentProvenanceGraph, pages: Iterable[int]) -> Set[NodeId]:
+    """Explain the final contents of ``pages``.
+
+    Returns the sub-computations that wrote any of the pages plus everything
+    those writers transitively depend on through data edges -- the paper's
+    "why is the memory state like that" debugging query.
+    """
+    result: Set[NodeId] = set()
+    for writer in writers_of_pages(cpg, pages):
+        result |= backward_slice(cpg, writer, kinds=(EdgeKind.DATA,))
+    return result
+
+
+@dataclass
+class TaintResult:
+    """Outcome of propagating taint through the CPG.
+
+    Attributes:
+        tainted_nodes: Sub-computations that observed tainted data.
+        tainted_pages: Pages that (transitively) carry tainted data.
+        source_pages: The original taint sources.
+    """
+
+    tainted_nodes: Set[NodeId] = field(default_factory=set)
+    tainted_pages: Set[int] = field(default_factory=set)
+    source_pages: Set[int] = field(default_factory=set)
+
+    def is_node_tainted(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` observed tainted data."""
+        return node_id in self.tainted_nodes
+
+    def is_page_tainted(self, page: int) -> bool:
+        """Whether ``page`` carries tainted data."""
+        return page in self.tainted_pages
+
+
+def propagate_taint(
+    cpg: ConcurrentProvenanceGraph,
+    source_pages: Iterable[int],
+    through_thread_state: bool = False,
+) -> TaintResult:
+    """Propagate page-granularity taint along the recorded partial order.
+
+    A sub-computation becomes tainted when it reads a tainted page; every
+    page it subsequently writes becomes tainted as well (the conservative
+    page-level policy of the DIFT case study).
+
+    Args:
+        cpg: The provenance graph.
+        source_pages: Initially tainted pages (usually the input pages).
+        through_thread_state: When true, a thread that once observed
+            tainted data keeps carrying the taint in its registers/stack,
+            so every later sub-computation of that thread is tainted as
+            well.  This is the conservative setting the DIFT policy checker
+            uses; the default keeps taint strictly page-carried.
+    """
+    result = TaintResult(source_pages=set(source_pages))
+    result.tainted_pages = set(result.source_pages)
+    tainted_threads: Set[int] = set()
+    for node_id in cpg.topological_order():
+        node = cpg.subcomputation(node_id)
+        if node.write_set and node.tid < 0:
+            # The virtual input node defines the sources; writing input
+            # pages does not by itself taint the node.
+            continue
+        tainted = bool(node.read_set & result.tainted_pages)
+        if through_thread_state and node.tid in tainted_threads:
+            tainted = True
+        if tainted:
+            result.tainted_nodes.add(node_id)
+            result.tainted_pages |= node.write_set
+            tainted_threads.add(node.tid)
+    return result
+
+
+def happens_before_pairs(cpg: ConcurrentProvenanceGraph) -> Set[tuple]:
+    """Return every ordered pair ``(a, b)`` with ``a`` happens-before ``b``.
+
+    Exponential in nothing but quadratic in the number of vertices; intended
+    for tests and small graphs.
+    """
+    nodes = [n for n in cpg.nodes() if n[0] >= 0]
+    return {
+        (a, b)
+        for a in nodes
+        for b in nodes
+        if a != b and cpg.happens_before(a, b)
+    }
+
+
+def schedule_of(cpg: ConcurrentProvenanceGraph) -> List[NodeId]:
+    """Return the recorded interleaving as a linear extension of the CPG order."""
+    return [node for node in cpg.topological_order() if node[0] >= 0]
+
+
+def graph_statistics(cpg: ConcurrentProvenanceGraph) -> Dict[str, float]:
+    """Return summary statistics used by EXPERIMENTS.md and the examples."""
+    nodes = [n for n in cpg.subcomputations() if n.tid >= 0]
+    reads = sum(len(n.read_set) for n in nodes)
+    writes = sum(len(n.write_set) for n in nodes)
+    branches = sum(n.branch_count for n in nodes)
+    summary = cpg.summary()
+    return {
+        "nodes": float(summary["nodes"]),
+        "threads": float(summary["threads"]),
+        "control_edges": float(summary["control_edges"]),
+        "sync_edges": float(summary["sync_edges"]),
+        "data_edges": float(summary["data_edges"]),
+        "pages_read": float(reads),
+        "pages_written": float(writes),
+        "branches": float(branches),
+        "mean_read_set": reads / len(nodes) if nodes else 0.0,
+        "mean_write_set": writes / len(nodes) if nodes else 0.0,
+    }
+
+
+def find_racy_pairs(cpg: ConcurrentProvenanceGraph) -> List[tuple]:
+    """Return pairs of concurrent sub-computations with conflicting page accesses.
+
+    Two sub-computations conflict when they are unordered by happens-before
+    and one writes a page the other reads or writes.  Under the POSIX data-
+    race-free assumption this list should be empty for page-disjoint
+    programs; the debugging example uses it to locate synchronization bugs.
+    """
+    nodes = [n for n in cpg.nodes() if n[0] >= 0]
+    racy = []
+    for i, a in enumerate(nodes):
+        sub_a = cpg.subcomputation(a)
+        for b in nodes[i + 1 :]:
+            if a[0] == b[0]:
+                continue
+            sub_b = cpg.subcomputation(b)
+            writes_conflict = (
+                (sub_a.write_set & (sub_b.read_set | sub_b.write_set))
+                or (sub_b.write_set & sub_a.read_set)
+            )
+            if writes_conflict and cpg.concurrent(a, b):
+                racy.append((a, b, frozenset(writes_conflict)))
+    return racy

@@ -1,0 +1,163 @@
+"""Serialization of the Concurrent Provenance Graph.
+
+The perf-style tooling and the snapshot facility both need a compact,
+self-contained representation of (parts of) the CPG: the snapshot ring
+buffer stores serialized slots, EXPERIMENTS.md reports serialized sizes,
+and users of the library export graphs for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Optional
+
+from repro.core.cpg import ConcurrentProvenanceGraph, EdgeKind
+from repro.core.thunk import BranchRecord, NodeId, SubComputation, Thunk
+from repro.core.vector_clock import VectorClock
+from repro.errors import ProvenanceError
+
+#: Format version written into every serialized graph.
+FORMAT_VERSION = 1
+
+
+def subcomputation_to_dict(node: SubComputation) -> dict:
+    """Convert one sub-computation into plain JSON-serializable data."""
+    return {
+        "tid": node.tid,
+        "index": node.index,
+        "clock": {str(tid): value for tid, value in node.clock.as_dict().items()},
+        "read_set": sorted(node.read_set),
+        "write_set": sorted(node.write_set),
+        "started_by": node.started_by,
+        "ended_by": node.ended_by,
+        "faults": node.faults,
+        "thunks": [
+            {
+                "index": thunk.index,
+                "instructions": thunk.instructions,
+                "branch": (
+                    {
+                        "site": thunk.start_branch.site,
+                        "taken": thunk.start_branch.taken,
+                        "indirect": thunk.start_branch.is_indirect,
+                    }
+                    if thunk.start_branch is not None
+                    else None
+                ),
+            }
+            for thunk in node.thunks
+        ],
+    }
+
+
+def subcomputation_from_dict(data: dict) -> SubComputation:
+    """Rebuild a sub-computation from :func:`subcomputation_to_dict` output."""
+    node = SubComputation(
+        tid=int(data["tid"]),
+        index=int(data["index"]),
+        clock=VectorClock({int(tid): value for tid, value in data.get("clock", {}).items()}),
+        started_by=data.get("started_by"),
+        ended_by=data.get("ended_by"),
+        faults=int(data.get("faults", 0)),
+    )
+    node.read_set.update(data.get("read_set", ()))
+    node.write_set.update(data.get("write_set", ()))
+    for thunk_data in data.get("thunks", ()):
+        branch = thunk_data.get("branch")
+        record = (
+            BranchRecord(
+                site=int(branch["site"]),
+                taken=bool(branch["taken"]),
+                is_indirect=bool(branch.get("indirect", False)),
+            )
+            if branch is not None
+            else None
+        )
+        node.thunks.append(
+            Thunk(
+                index=int(thunk_data["index"]),
+                start_branch=record,
+                instructions=int(thunk_data.get("instructions", 0)),
+            )
+        )
+    return node
+
+
+def cpg_to_dict(cpg: ConcurrentProvenanceGraph, nodes: Optional[Iterable[NodeId]] = None) -> dict:
+    """Serialize ``cpg`` (or the induced subgraph over ``nodes``) to a dictionary."""
+    wanted = set(nodes) if nodes is not None else None
+    node_payload = []
+    for node in cpg.subcomputations():
+        if wanted is None or node.node_id in wanted:
+            node_payload.append(subcomputation_to_dict(node))
+    edge_payload = []
+    for source, target, attrs in cpg.edges():
+        if wanted is not None and (source not in wanted or target not in wanted):
+            continue
+        entry: Dict[str, object] = {
+            "source": list(source),
+            "target": list(target),
+            "kind": attrs["kind"].value,
+        }
+        if attrs["kind"] is EdgeKind.SYNC:
+            entry["object_id"] = attrs.get("object_id")
+            entry["operation"] = attrs.get("operation", "")
+        if attrs["kind"] is EdgeKind.DATA:
+            entry["pages"] = sorted(attrs.get("pages", ()))
+        edge_payload.append(entry)
+    return {
+        "format_version": FORMAT_VERSION,
+        "nodes": node_payload,
+        "edges": edge_payload,
+    }
+
+
+def cpg_from_dict(data: dict) -> ConcurrentProvenanceGraph:
+    """Rebuild a CPG from :func:`cpg_to_dict` output."""
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ProvenanceError(
+            f"unsupported CPG format version {data.get('format_version')!r}"
+        )
+    cpg = ConcurrentProvenanceGraph()
+    for node_data in data.get("nodes", ()):
+        cpg.add_subcomputation(subcomputation_from_dict(node_data))
+    for edge in data.get("edges", ()):
+        source = tuple(edge["source"])
+        target = tuple(edge["target"])
+        kind = EdgeKind(edge["kind"])
+        if kind is EdgeKind.CONTROL:
+            cpg.add_control_edge(source, target)
+        elif kind is EdgeKind.SYNC:
+            cpg.add_sync_edge(
+                source, target, object_id=edge.get("object_id"), operation=edge.get("operation", "")
+            )
+        else:
+            cpg.add_data_edge(source, target, edge.get("pages", ()))
+    return cpg
+
+
+def cpg_to_json(cpg: ConcurrentProvenanceGraph, indent: Optional[int] = None) -> str:
+    """Serialize ``cpg`` to a JSON string."""
+    return json.dumps(cpg_to_dict(cpg), indent=indent, sort_keys=True)
+
+
+def cpg_from_json(payload: str) -> ConcurrentProvenanceGraph:
+    """Deserialize a CPG from a JSON string."""
+    return cpg_from_dict(json.loads(payload))
+
+
+def write_cpg(cpg: ConcurrentProvenanceGraph, path: str, indent: Optional[int] = 2) -> None:
+    """Write ``cpg`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(cpg_to_json(cpg, indent=indent))
+
+
+def read_cpg(path: str) -> ConcurrentProvenanceGraph:
+    """Read a CPG previously written with :func:`write_cpg`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return cpg_from_json(handle.read())
+
+
+def serialized_size(cpg: ConcurrentProvenanceGraph, nodes: Optional[Iterable[NodeId]] = None) -> int:
+    """Return the size in bytes of the compact (no indentation) serialization."""
+    return len(json.dumps(cpg_to_dict(cpg, nodes=nodes), sort_keys=True).encode("utf-8"))

@@ -1,0 +1,145 @@
+"""Sub-computations and thunks: the vertices of the CPG.
+
+A *sub-computation* (``L_t[alpha]`` in the paper) is everything a thread
+executes between two consecutive pthreads synchronization calls.  Within a
+sub-computation the control path is recorded at the granularity of
+*thunks* (``L_t[alpha].Delta[beta]``): the instruction sequences between
+successive branches, reconstructed from the Intel PT trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.vector_clock import VectorClock
+
+#: Node identifier used in the CPG: (thread id, sub-computation index).
+NodeId = Tuple[int, int]
+
+#: The pseudo thread id used for the virtual node representing program input.
+INPUT_TID = -1
+
+#: The node id of the virtual input node.
+INPUT_NODE: NodeId = (INPUT_TID, 0)
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One control-flow event inside a sub-computation.
+
+    Attributes:
+        site: Synthetic instruction pointer of the branch.
+        taken: Outcome for conditional branches; ``True`` for indirect
+            branches (they are always "taken").
+        is_indirect: Whether this was an indirect branch (TIP packet) rather
+            than a conditional one (TNT bit).
+    """
+
+    site: int
+    taken: bool
+    is_indirect: bool = False
+
+
+@dataclass
+class Thunk:
+    """A sequence of instructions between two successive branches.
+
+    Attributes:
+        index: Position of the thunk inside its sub-computation (``beta``).
+        start_branch: The branch event that opened this thunk (``None`` for
+            the first thunk of a sub-computation).
+        instructions: Number of instruction-equivalents executed inside the
+            thunk (loads, stores, compute units).
+    """
+
+    index: int
+    start_branch: Optional[BranchRecord] = None
+    instructions: int = 0
+
+
+@dataclass
+class SubComputation:
+    """One vertex of the Concurrent Provenance Graph.
+
+    Attributes:
+        tid: Executing thread id.
+        index: Sub-computation counter within the thread (``alpha``).
+        clock: Vector-clock value assigned at the start of the
+            sub-computation; defines the happens-before partial order.
+        read_set: Page ids read by the thread during the sub-computation.
+        write_set: Page ids written during the sub-computation.
+        thunks: Control path taken within the sub-computation.
+        started_by: Name of the synchronization operation that started it
+            (``None`` for the first sub-computation of a thread).
+        ended_by: Name of the synchronization operation that ended it
+            (``None`` while the sub-computation is still open and for the
+            final sub-computation, which ends with thread exit).
+        faults: Number of page faults taken while executing it.
+    """
+
+    tid: int
+    index: int
+    clock: VectorClock = field(default_factory=VectorClock)
+    read_set: Set[int] = field(default_factory=set)
+    write_set: Set[int] = field(default_factory=set)
+    thunks: List[Thunk] = field(default_factory=list)
+    started_by: Optional[str] = None
+    ended_by: Optional[str] = None
+    faults: int = 0
+
+    @property
+    def node_id(self) -> NodeId:
+        """The CPG node identifier ``(tid, index)``."""
+        return (self.tid, self.index)
+
+    @property
+    def branch_count(self) -> int:
+        """Number of branch events recorded inside this sub-computation."""
+        return sum(1 for thunk in self.thunks if thunk.start_branch is not None)
+
+    @property
+    def instruction_count(self) -> int:
+        """Instruction-equivalents executed inside this sub-computation."""
+        return sum(thunk.instructions for thunk in self.thunks)
+
+    def record_read(self, page: int) -> None:
+        """Add ``page`` to the read set."""
+        self.read_set.add(page)
+
+    def record_write(self, page: int) -> None:
+        """Add ``page`` to the write set."""
+        self.write_set.add(page)
+
+    def record_branch(self, record: BranchRecord) -> Thunk:
+        """Close the current thunk and open a new one at ``record``.
+
+        Returns:
+            The newly opened thunk.
+        """
+        thunk = Thunk(index=len(self.thunks), start_branch=record)
+        self.thunks.append(thunk)
+        return thunk
+
+    def record_instructions(self, units: int = 1) -> None:
+        """Charge ``units`` instructions to the current (last) thunk."""
+        if not self.thunks:
+            self.thunks.append(Thunk(index=0))
+        self.thunks[-1].instructions += units
+
+    def pages_touched(self) -> FrozenSet[int]:
+        """All pages read or written by this sub-computation."""
+        return frozenset(self.read_set | self.write_set)
+
+
+def make_input_node(pages: Set[int]) -> SubComputation:
+    """Create the virtual sub-computation representing the program input.
+
+    The input shim maps the input file into the tracked input region; the
+    provenance graph models the file itself as a virtual node whose write
+    set is every input page, so reads of the input produce ordinary data
+    dependence edges.
+    """
+    node = SubComputation(tid=INPUT_TID, index=0, started_by="input")
+    node.write_set.update(pages)
+    return node

@@ -1,0 +1,84 @@
+"""Exception hierarchy shared by every subsystem of the INSPECTOR reproduction.
+
+Keeping the exceptions in one module lets callers catch coarse categories
+(``InspectorError``) or precise conditions (``DeadlockError``) without
+importing the subsystem that raises them.
+"""
+
+from __future__ import annotations
+
+
+class InspectorError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class MemoryError_(InspectorError):
+    """Base class for errors raised by the memory subsystem.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class InvalidAddressError(MemoryError_):
+    """An address falls outside every mapped region of the address space."""
+
+
+class ProtectionError(MemoryError_):
+    """An access violates page protection and no fault handler is installed."""
+
+
+class AllocationError(MemoryError_):
+    """The simulated allocator cannot satisfy a request."""
+
+
+class DoubleFreeError(AllocationError):
+    """An address was freed twice or was never allocated."""
+
+
+class ThreadingError(InspectorError):
+    """Base class for errors raised by the simulated threading runtime."""
+
+
+class DeadlockError(ThreadingError):
+    """No simulated process is runnable but some are still blocked."""
+
+
+class InvalidSyncStateError(ThreadingError):
+    """A synchronization primitive was used incorrectly.
+
+    Examples: unlocking a mutex the caller does not hold, joining a thread
+    twice, or re-initialising a barrier while threads are waiting on it.
+    """
+
+
+class SchedulerError(ThreadingError):
+    """The scheduler was asked to make an impossible decision."""
+
+
+class TraceError(InspectorError):
+    """Base class for errors raised by the Intel PT model."""
+
+
+class PacketDecodeError(TraceError):
+    """The PT decoder encountered a malformed or truncated packet stream."""
+
+
+class TraceGapError(TraceError):
+    """Trace data was lost (AUX buffer overflow in full-trace mode)."""
+
+
+class PerfError(InspectorError):
+    """Errors raised by the perf-utility layer."""
+
+
+class ProvenanceError(InspectorError):
+    """Errors raised by the provenance core (CPG construction or queries)."""
+
+
+class SnapshotError(InspectorError):
+    """Errors raised by the consistent-snapshot facility."""
+
+
+class PolicyViolationError(InspectorError):
+    """A DIFT policy check failed (tainted data reached a restricted sink)."""

@@ -1,0 +1,23 @@
+"""The INSPECTOR library: configuration, sessions, statistics, cost model."""
+
+from repro.inspector.api import overhead_factor, run_native, run_with_provenance
+from repro.inspector.config import InspectorConfig, default_config
+from repro.inspector.costmodel import CostModel, CostParameters
+from repro.inspector.interpose import InspectorBackend, OutputRecord
+from repro.inspector.session import InspectorRunResult, InspectorSession
+from repro.inspector.stats import RunStats
+
+__all__ = [
+    "overhead_factor",
+    "run_native",
+    "run_with_provenance",
+    "InspectorConfig",
+    "default_config",
+    "CostModel",
+    "CostParameters",
+    "InspectorBackend",
+    "OutputRecord",
+    "InspectorRunResult",
+    "InspectorSession",
+    "RunStats",
+]

@@ -1,0 +1,78 @@
+"""Configuration of an INSPECTOR session."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory.layout import DEFAULT_PAGE_SIZE
+from repro.pt.aux_buffer import DEFAULT_AUX_SIZE
+from repro.pt.encoder import DEFAULT_PSB_PERIOD
+from repro.snapshot.ring_buffer import DEFAULT_SLOT_COUNT, DEFAULT_SLOT_SIZE
+
+
+@dataclass
+class InspectorConfig:
+    """Knobs of the INSPECTOR library and its simulated substrates.
+
+    Attributes:
+        page_size: Page size used by the simulated MMU (bytes).  The real
+            system is fixed at 4 KiB; tests and the scaled-down benchmark
+            datasets may use smaller pages so that page-granularity effects
+            remain visible.
+        scheduler: ``"round_robin"`` for deterministic runs or ``"random"``
+            for seeded exploration of interleavings.
+        scheduler_seed: Seed used when ``scheduler`` is ``"random"``.
+        aux_buffer_size: Per-process AUX (PT) buffer capacity in bytes.
+        pt_snapshot_mode: Run the AUX buffers in overwrite (snapshot) mode.
+        psb_period: Bytes between PSB+ groups in the PT stream.
+        enable_pt: Whether control-flow tracing through PT is enabled at
+            all (disabling it isolates the threading-library overhead, the
+            breakdown reported in Figure 6).
+        enable_memory_tracking: Whether page-protection tracking of reads
+            and writes is enabled (disabling it isolates the PT overhead).
+        enable_snapshots: Whether the live snapshot facility runs.
+        snapshot_interval: Synchronization boundaries between snapshots.
+        snapshot_slot_size: Ring-buffer slot size in bytes.
+        snapshot_slot_count: Number of ring-buffer slots.
+        keep_event_log: Keep the flat tracker event log (memory heavy).
+        derive_data_edges: Derive update-use edges when the run finishes.
+        keep_commit_diffs: Retain per-page diffs in commit records (tests).
+        track_input: Register input-region pages with the tracker so the
+            virtual input node appears in the CPG.
+    """
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    scheduler: str = "round_robin"
+    scheduler_seed: int = 0
+    aux_buffer_size: int = DEFAULT_AUX_SIZE
+    pt_snapshot_mode: bool = False
+    psb_period: int = DEFAULT_PSB_PERIOD
+    enable_pt: bool = True
+    enable_memory_tracking: bool = True
+    enable_snapshots: bool = False
+    snapshot_interval: int = 64
+    snapshot_slot_size: int = DEFAULT_SLOT_SIZE
+    snapshot_slot_count: int = DEFAULT_SLOT_COUNT
+    keep_event_log: bool = False
+    derive_data_edges: bool = True
+    keep_commit_diffs: bool = False
+    track_input: bool = True
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for inconsistent settings."""
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ValueError(f"page_size must be a positive power of two, got {self.page_size}")
+        if self.scheduler not in ("round_robin", "random"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.snapshot_interval <= 0:
+            raise ValueError("snapshot_interval must be positive")
+        if self.aux_buffer_size <= 0:
+            raise ValueError("aux_buffer_size must be positive")
+
+
+def default_config(**overrides) -> InspectorConfig:
+    """Return a default configuration with ``overrides`` applied."""
+    config = InspectorConfig(**overrides)
+    config.validate()
+    return config

@@ -1,0 +1,335 @@
+"""The interposition layer: the simulated ``inspector-library.so``.
+
+When the real library is ``LD_PRELOAD``-ed it intercepts the pthreads API,
+runs every thread as a process with copy-on-write memory, drives the page
+protection machinery, and wires the process into the Intel PT / perf
+tracing pipeline.  :class:`InspectorBackend` is that library for the
+simulated runtime: it implements the execution-backend interface the
+program API calls into and routes every event to the right substrate
+(MMU, committer, PT PMU, perf session, provenance tracker, snapshotter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.algorithm import ProvenanceTracker
+from repro.inspector.config import InspectorConfig
+from repro.memory.address_space import SharedAddressSpace
+from repro.memory.allocator import HeapAllocator
+from repro.memory.fault_handler import FaultDispatcher, FaultEvent, FaultKind
+from repro.memory.layout import pages_spanned
+from repro.memory.mmu import MMU
+from repro.memory.page import PROT_NONE, PROT_READ, PROT_READ_WRITE, PageTableEntry
+from repro.memory.shared_commit import SharedMemoryCommitter
+from repro.perf.record import PerfRecordSession
+from repro.pt.binary_map import ImageMap
+from repro.pt.cgroup import Cgroup
+from repro.pt.pmu import IntelPTPMU, PMUConfig
+from repro.snapshot.ring_buffer import SlotRingBuffer
+from repro.snapshot.snapshotter import Snapshotter
+from repro.threads.backend import BackendCounters, ExecutionBackend
+from repro.threads.process import SimProcess
+from repro.threads.sync import SyncObject
+
+def _is_lock(obj: Optional["SyncObject"]) -> bool:
+    """Whether a sync object delimits a critical section when acquired."""
+    from repro.threads.sync import Mutex, RWLock, SyncKind
+
+    if obj is None:
+        return False
+    return isinstance(obj, (Mutex, RWLock)) or obj.kind in (SyncKind.MUTEX, SyncKind.RWLOCK)
+
+
+#: Base address of the synthetic text segment workload branch sites live in.
+TEXT_SEGMENT_BASE = 0x4000_0000_0000
+
+#: Size registered for the synthetic text segment.
+TEXT_SEGMENT_SIZE = 1 << 32
+
+
+@dataclass(frozen=True)
+class OutputRecord:
+    """One write through the output shim (the DIFT sink).
+
+    Attributes:
+        tid: Thread that performed the output.
+        data: Bytes written.
+        source_pages: Pages the caller declared the output was derived from.
+        subcomputation: Index of the sub-computation that performed it.
+    """
+
+    tid: int
+    data: bytes
+    source_pages: Tuple[int, ...]
+    subcomputation: int
+
+
+class InspectorBackend(ExecutionBackend):
+    """The INSPECTOR execution mode: full provenance tracking.
+
+    Args:
+        config: Session configuration.
+        command: Command-line string recorded in the perf data header.
+    """
+
+    def __init__(self, config: Optional[InspectorConfig] = None, command: str = "inspector") -> None:
+        self.config = config if config is not None else InspectorConfig()
+        self.config.validate()
+
+        # Memory substrate.
+        self.space = SharedAddressSpace(page_size=self.config.page_size)
+        self.dispatcher = FaultDispatcher(handler=self._handle_fault)
+        self.mmu = MMU(self.space, self.dispatcher)
+        self.committer = SharedMemoryCommitter(self.space, keep_diffs=self.config.keep_commit_diffs)
+        self.allocator = HeapAllocator(self.space)
+
+        # Provenance core.
+        self.tracker = ProvenanceTracker(keep_event_log=self.config.keep_event_log)
+
+        # Intel PT / perf substrate.
+        self.cgroup = Cgroup("inspector")
+        self.pmu = IntelPTPMU(
+            PMUConfig(
+                aux_size=self.config.aux_buffer_size,
+                snapshot_mode=self.config.pt_snapshot_mode,
+                psb_period=self.config.psb_period,
+            ),
+            cgroup=self.cgroup,
+        )
+        self.image_map = ImageMap()
+        self.perf_session = PerfRecordSession(self.pmu, self.image_map, command=command)
+
+        # Snapshot facility.
+        self.snapshotter: Optional[Snapshotter] = None
+        if self.config.enable_snapshots:
+            ring = SlotRingBuffer(
+                slot_size=self.config.snapshot_slot_size,
+                slot_count=self.config.snapshot_slot_count,
+            )
+            self.snapshotter = Snapshotter(self.tracker, ring, interval=self.config.snapshot_interval)
+
+        # Bookkeeping.
+        self.counters = BackendCounters()
+        self.outputs: List[OutputRecord] = []
+        self.false_sharing_stores = 0  # INSPECTOR never pays false sharing
+        self._input_base: Optional[int] = None
+        #: Number of lock-type sync objects each process currently holds;
+        #: faults taken while a lock is held extend the critical path and
+        #: are accounted separately for the cost model.
+        self._held_locks: Dict[int, int] = {}
+        self.locked_faults = 0
+
+    # ------------------------------------------------------------------ #
+    # The SIGSEGV handler: record the access, relax the protection
+    # ------------------------------------------------------------------ #
+
+    def _handle_fault(self, event: FaultEvent, entry: PageTableEntry) -> None:
+        if event.kind is FaultKind.WRITE:
+            entry.prot |= PROT_READ_WRITE
+        else:
+            entry.prot |= PROT_READ
+        if self._held_locks.get(event.pid, 0) > 0:
+            self.locked_faults += 1
+        if self.config.enable_memory_tracking:
+            self.tracker.on_memory_access(event.pid, event.page, event.kind is FaultKind.WRITE)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle hooks
+    # ------------------------------------------------------------------ #
+
+    def on_process_start(self, proc: SimProcess) -> None:
+        pid = proc.pid
+        if proc.parent_pid is None:
+            self.cgroup.add(pid)
+        else:
+            self.cgroup.add_child(proc.parent_pid, pid)
+        self.mmu.register_process(pid)
+        if self.config.enable_memory_tracking:
+            self.mmu.protect_all(pid, PROT_NONE)
+        else:
+            # Tracking disabled (PT-only ablation): leave pages accessible
+            # so the run takes no protection faults at all.
+            self.mmu.protect_all(pid, PROT_READ_WRITE)
+        if self.config.enable_pt:
+            self.pmu.attach(pid)
+        self.perf_session.on_process_start(pid, proc.name)
+        self.perf_session.on_mmap(pid, "workload:text", TEXT_SEGMENT_BASE, TEXT_SEGMENT_SIZE)
+        start_token: Optional[SyncObject] = proc.start_token  # type: ignore[assignment]
+        self.tracker.on_thread_start(
+            proc.tid,
+            parent_tid=proc.parent_pid,
+            start_object_id=start_token.sync_id if start_token is not None else None,
+        )
+        self.counters.per_tid_instructions.setdefault(proc.tid, 0)
+
+    def on_process_exit(self, proc: SimProcess) -> None:
+        pid = proc.pid
+        self.committer.commit(self.mmu.view(pid))
+        self.tracker.on_thread_end(proc.tid)
+        exit_token: Optional[SyncObject] = proc.exit_token  # type: ignore[assignment]
+        if exit_token is not None:
+            self.tracker.on_release(proc.tid, exit_token.sync_id, operation="thread_exit")
+        if self.config.enable_pt and self.cgroup.contains(pid):
+            self.pmu.encoder(pid).flush()
+        self.perf_session.on_process_exit(pid)
+
+    # ------------------------------------------------------------------ #
+    # Memory and allocation
+    # ------------------------------------------------------------------ #
+
+    def load(self, proc: SimProcess, address: int, size: int) -> bytes:
+        self.counters.loads += 1
+        self.counters.charge_instruction(proc.tid)
+        self.tracker.on_instructions(proc.tid, 1)
+        return self.mmu.read(proc.pid, address, size)
+
+    def store(self, proc: SimProcess, address: int, data: bytes) -> None:
+        self.counters.stores += 1
+        self.counters.charge_instruction(proc.tid)
+        self.tracker.on_instructions(proc.tid, 1)
+        self.mmu.write(proc.pid, address, data)
+
+    def malloc(self, proc: SimProcess, size: int) -> int:
+        self.counters.allocations += 1
+        return self.allocator.malloc(size)
+
+    def free(self, proc: SimProcess, address: int) -> None:
+        self.allocator.free(address)
+
+    # ------------------------------------------------------------------ #
+    # Control flow and computation
+    # ------------------------------------------------------------------ #
+
+    def branch(self, proc: SimProcess, site: int, taken: bool) -> None:
+        self.counters.branches += 1
+        self.counters.charge_instruction(proc.tid)
+        self.tracker.on_branch(proc.tid, site, taken, is_indirect=False)
+        if self.config.enable_pt and self.cgroup.contains(proc.pid):
+            self.pmu.encoder(proc.pid).conditional_branch(taken)
+            self.image_map.record_branch_site(proc.pid, site, False)
+
+    def branch_run(self, proc: SimProcess, site: int, outcomes: Sequence[bool]) -> None:
+        if not outcomes:
+            return
+        self.counters.branches += len(outcomes)
+        self.counters.charge_instruction(proc.tid, len(outcomes))
+        taken = sum(1 for outcome in outcomes if outcome)
+        self.tracker.on_branch_run(proc.tid, site, taken, len(outcomes))
+        if self.config.enable_pt and self.cgroup.contains(proc.pid):
+            self.pmu.encoder(proc.pid).conditional_branch_run(outcomes)
+            self.image_map.record_branch_site(proc.pid, site, False)
+
+    def indirect(self, proc: SimProcess, target: int) -> None:
+        self.counters.indirect_branches += 1
+        self.counters.charge_instruction(proc.tid)
+        self.tracker.on_branch(proc.tid, target, True, is_indirect=True)
+        if self.config.enable_pt and self.cgroup.contains(proc.pid):
+            self.pmu.encoder(proc.pid).indirect_branch(target)
+            self.image_map.record_branch_site(proc.pid, target, True)
+
+    def compute(self, proc: SimProcess, units: int) -> None:
+        self.counters.compute_units += units
+        self.counters.charge_instruction(proc.tid, units)
+        self.tracker.on_instructions(proc.tid, units)
+
+    # ------------------------------------------------------------------ #
+    # Synchronization boundaries (the heart of Algorithm 1)
+    # ------------------------------------------------------------------ #
+
+    def before_sync(
+        self,
+        proc: SimProcess,
+        op: str,
+        obj: Optional[SyncObject],
+        releases: Sequence[SyncObject],
+    ) -> None:
+        self.counters.sync_ops += 1
+        # Lock-hold tracking (used to classify page faults): releasing a
+        # lock-type object ends the critical section.
+        held = self._held_locks.get(proc.pid, 0)
+        released_locks = sum(1 for obj_ in releases if _is_lock(obj_))
+        self._held_locks[proc.pid] = max(held - released_locks, 0)
+        # 1. End the current sub-computation (alpha <- alpha + 1).
+        self.tracker.on_sync_boundary(proc.tid, op)
+        # 2. Publish this thread's writes (the RC shared-memory commit).
+        if self.config.enable_memory_tracking:
+            self.committer.commit(self.mmu.view(proc.pid))
+        # 3. Release semantics: propagate the thread clock into the objects.
+        for released in releases:
+            self.tracker.on_release(proc.tid, released.sync_id, operation=op)
+        # 4. Flush the PT stream so the trace aligns with sub-computations.
+        if self.config.enable_pt and self.cgroup.contains(proc.pid):
+            self.pmu.encoder(proc.pid).flush()
+        # 5. Give the snapshot facility a chance to take a consistent cut.
+        if self.snapshotter is not None:
+            self.snapshotter.on_sync_boundary()
+
+    def after_sync(
+        self,
+        proc: SimProcess,
+        op: str,
+        obj: Optional[SyncObject],
+        acquires: Sequence[SyncObject],
+    ) -> None:
+        # Lock-hold tracking: acquiring a lock-type object opens a critical
+        # section; faults taken inside it are serialised.
+        acquired_locks = sum(1 for obj_ in acquires if _is_lock(obj_))
+        if acquired_locks:
+            self._held_locks[proc.pid] = self._held_locks.get(proc.pid, 0) + acquired_locks
+        # 1. Acquire semantics: pull the objects' clocks into the thread.
+        for acquired in acquires:
+            self.tracker.on_acquire(proc.tid, acquired.sync_id, operation=op)
+        # 2. Start the next sub-computation.
+        self.tracker.begin_next(proc.tid)
+        # 3. Re-protect the address space so first touches trap again.
+        if self.config.enable_memory_tracking:
+            self.mmu.protect_all(proc.pid, PROT_NONE)
+
+    # ------------------------------------------------------------------ #
+    # Input / output shims
+    # ------------------------------------------------------------------ #
+
+    def input_base(self) -> int:
+        return self.space.region_named("input").base
+
+    def load_input(self, data: bytes) -> int:
+        """Map the program input and register its pages with the tracker."""
+        base = self.space.load_input(data)
+        self._input_base = base
+        if self.config.track_input and data:
+            pages = pages_spanned(base, len(data), self.space.page_size)
+            self.tracker.register_input_pages(set(pages))
+        return base
+
+    def write_output(self, proc: SimProcess, data: bytes, source_addresses: Sequence[int]) -> None:
+        self.counters.output_bytes += len(data)
+        source_pages = tuple(
+            sorted(
+                {
+                    page
+                    for address in source_addresses
+                    for page in pages_spanned(address, 1, self.space.page_size)
+                }
+            )
+        )
+        current = self.tracker.current_subcomputation(proc.tid)
+        self.outputs.append(
+            OutputRecord(
+                tid=proc.tid,
+                data=bytes(data),
+                source_pages=source_pages,
+                subcomputation=current.index if current is not None else -1,
+            )
+        )
+        self.tracker.on_output(proc.tid, len(data))
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by the session
+    # ------------------------------------------------------------------ #
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Page-fault counters (total / read / write)."""
+        stats = self.dispatcher.stats
+        return {"total": stats.total, "read": stats.read_faults, "write": stats.write_faults}

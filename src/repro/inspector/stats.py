@@ -1,0 +1,146 @@
+"""Runtime statistics of a single execution (native or under INSPECTOR).
+
+Every benchmark figure of the paper is a function of these counters: page
+faults and faults/second (Figure 7), the threading-library versus PT
+breakdown (Figure 6), the provenance-log size, bandwidth, and branch rate
+(Figure 9), and -- through the cost model -- the end-to-end time and work
+overheads (Figures 5 and 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class RunStats:
+    """Counters and derived metrics for one run.
+
+    Counter fields are filled by the session from the substrates; the
+    ``*_seconds`` fields are produced by the cost model.
+    """
+
+    workload: str = ""
+    mode: str = "native"
+    threads: int = 1
+    input_bytes: int = 0
+
+    # Instruction-level counters.
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    indirect_branches: int = 0
+    compute_units: int = 0
+    per_thread_instructions: Dict[int, int] = field(default_factory=dict)
+
+    # Threading-library counters.
+    sync_ops: int = 0
+    process_creations: int = 0
+    context_switches: int = 0
+    page_faults: int = 0
+    read_faults: int = 0
+    write_faults: int = 0
+    locked_faults: int = 0
+    commits: int = 0
+    pages_committed: int = 0
+    bytes_committed: int = 0
+    allocations: int = 0
+    false_sharing_stores: int = 0
+
+    # Intel PT / perf counters.
+    pt_bytes: int = 0
+    pt_bytes_lost: int = 0
+    pt_packets: int = 0
+    psb_groups: int = 0
+    perf_log_bytes: int = 0
+
+    # Provenance graph summary.
+    cpg_nodes: int = 0
+    cpg_control_edges: int = 0
+    cpg_sync_edges: int = 0
+    cpg_data_edges: int = 0
+    snapshots_taken: int = 0
+
+    # Cost-model outputs (seconds).
+    compute_seconds: float = 0.0
+    threading_seconds: float = 0.0
+    pt_seconds: float = 0.0
+    total_seconds: float = 0.0
+    work_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def faults_per_second(self) -> float:
+        """Page faults per modelled second (the Figure 7 column)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.page_faults / self.total_seconds
+
+    @property
+    def branch_instructions(self) -> int:
+        """All branch events (conditional plus indirect)."""
+        return self.branches + self.indirect_branches
+
+    @property
+    def branches_per_second(self) -> float:
+        """Branch instructions per modelled second (the Figure 9 column)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.branch_instructions / self.total_seconds
+
+    @property
+    def log_bandwidth_bytes_per_second(self) -> float:
+        """Provenance-log bytes per modelled second (the Figure 9 column)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.perf_log_bytes / self.total_seconds
+
+    @property
+    def max_thread_instructions(self) -> int:
+        """Instructions of the busiest thread (the critical path's compute)."""
+        if not self.per_thread_instructions:
+            return self.instructions
+        return max(self.per_thread_instructions.values())
+
+    def overhead_against(self, baseline: "RunStats") -> float:
+        """Time overhead of this run relative to ``baseline`` (1.0 = equal)."""
+        if baseline.total_seconds <= 0:
+            return 0.0
+        return self.total_seconds / baseline.total_seconds
+
+    def work_overhead_against(self, baseline: "RunStats") -> float:
+        """Work (total CPU) overhead relative to ``baseline``."""
+        if baseline.work_seconds <= 0:
+            return 0.0
+        return self.work_seconds / baseline.work_seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten the statistics for reporting (benchmarks, EXPERIMENTS.md)."""
+        return {
+            "workload": self.workload,
+            "mode": self.mode,
+            "threads": self.threads,
+            "input_bytes": self.input_bytes,
+            "instructions": self.instructions,
+            "sync_ops": self.sync_ops,
+            "process_creations": self.process_creations,
+            "page_faults": self.page_faults,
+            "faults_per_second": self.faults_per_second,
+            "bytes_committed": self.bytes_committed,
+            "pt_bytes": self.pt_bytes,
+            "perf_log_bytes": self.perf_log_bytes,
+            "branch_instructions": self.branch_instructions,
+            "branches_per_second": self.branches_per_second,
+            "log_bandwidth_bytes_per_second": self.log_bandwidth_bytes_per_second,
+            "cpg_nodes": self.cpg_nodes,
+            "cpg_data_edges": self.cpg_data_edges,
+            "total_seconds": self.total_seconds,
+            "work_seconds": self.work_seconds,
+            "threading_seconds": self.threading_seconds,
+            "pt_seconds": self.pt_seconds,
+        }

@@ -1,0 +1,79 @@
+"""MMU-assisted memory-tracking substrate.
+
+This package models the memory half of INSPECTOR's threading library: a
+shared, file-backed address space; per-process copy-on-write views; page
+protection with fault delivery to a registered handler; the byte-level
+diff/commit protocol that implements release consistency; and a heap
+allocator so applications can obtain provenance-tracked memory.
+"""
+
+from repro.memory.address_space import SharedAddressSpace, WORD_SIZE
+from repro.memory.allocator import HeapAllocator
+from repro.memory.cow import ProcessView
+from repro.memory.diff import Delta, PageDiff, apply_diff, diff_page
+from repro.memory.fault_handler import (
+    FaultDispatcher,
+    FaultEvent,
+    FaultKind,
+    FaultStats,
+    permissive_handler,
+)
+from repro.memory.layout import (
+    CACHE_LINE_SIZE,
+    DEFAULT_PAGE_SIZE,
+    Region,
+    cache_line_id,
+    default_regions,
+    page_base,
+    page_id,
+    page_offset,
+    pages_spanned,
+)
+from repro.memory.mmu import MMU, AccessStats
+from repro.memory.page import (
+    PROT_NONE,
+    PROT_READ,
+    PROT_READ_WRITE,
+    PROT_WRITE,
+    PageTable,
+    PageTableEntry,
+    prot_to_str,
+)
+from repro.memory.shared_commit import CommitRecord, CommitStats, SharedMemoryCommitter
+
+__all__ = [
+    "SharedAddressSpace",
+    "WORD_SIZE",
+    "HeapAllocator",
+    "ProcessView",
+    "Delta",
+    "PageDiff",
+    "apply_diff",
+    "diff_page",
+    "FaultDispatcher",
+    "FaultEvent",
+    "FaultKind",
+    "FaultStats",
+    "permissive_handler",
+    "CACHE_LINE_SIZE",
+    "DEFAULT_PAGE_SIZE",
+    "Region",
+    "cache_line_id",
+    "default_regions",
+    "page_base",
+    "page_id",
+    "page_offset",
+    "pages_spanned",
+    "MMU",
+    "AccessStats",
+    "PROT_NONE",
+    "PROT_READ",
+    "PROT_READ_WRITE",
+    "PROT_WRITE",
+    "PageTable",
+    "PageTableEntry",
+    "prot_to_str",
+    "CommitRecord",
+    "CommitStats",
+    "SharedMemoryCommitter",
+]

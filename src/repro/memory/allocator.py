@@ -1,0 +1,154 @@
+"""A simple first-fit free-list allocator over the simulated heap region.
+
+INSPECTOR wraps ``malloc``-family calls so that heap objects live in the
+shared memory-mapped region and are therefore visible to the page-based
+provenance tracking.  This allocator provides the same service for the
+simulated address space.  Workloads obtain addresses from it and then issue
+loads and stores through the program API, so every heap byte participates
+in provenance exactly as it would under the real library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import AllocationError, DoubleFreeError
+from repro.memory.address_space import SharedAddressSpace
+
+#: Default allocation alignment in bytes (matches glibc's 16-byte alignment).
+DEFAULT_ALIGNMENT = 16
+
+
+def _align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass
+class AllocatorStats:
+    """Counters describing allocator activity.
+
+    Attributes:
+        allocations: Number of successful ``malloc`` calls.
+        frees: Number of successful ``free`` calls.
+        bytes_allocated: Total bytes handed out (after alignment).
+        bytes_freed: Total bytes returned.
+        live_bytes: Bytes currently allocated.
+        peak_bytes: High-water mark of live bytes.
+    """
+
+    allocations: int = 0
+    frees: int = 0
+    bytes_allocated: int = 0
+    bytes_freed: int = 0
+    live_bytes: int = 0
+    peak_bytes: int = 0
+
+
+class HeapAllocator:
+    """First-fit free-list allocator for a region of the shared address space.
+
+    Args:
+        space: The shared address space providing the region.
+        region_name: Which region to allocate from (default ``"heap"``).
+        alignment: Allocation alignment in bytes.
+    """
+
+    def __init__(
+        self,
+        space: SharedAddressSpace,
+        region_name: str = "heap",
+        alignment: int = DEFAULT_ALIGNMENT,
+    ) -> None:
+        region = space.region_named(region_name)
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise AllocationError(f"alignment must be a positive power of two, got {alignment}")
+        self.space = space
+        self.region = region
+        self.alignment = alignment
+        # Free list of (base, size) holes, kept sorted by base address.
+        self._free: List[Tuple[int, int]] = [(region.base, region.size)]
+        self._allocated: Dict[int, int] = {}
+        self.stats = AllocatorStats()
+
+    # ------------------------------------------------------------------ #
+    # Allocation API
+    # ------------------------------------------------------------------ #
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes and return the base address.
+
+        Raises:
+            AllocationError: If ``size`` is not positive or no hole fits.
+        """
+        if size <= 0:
+            raise AllocationError(f"cannot allocate {size} bytes")
+        needed = _align_up(size, self.alignment)
+        for index, (base, hole) in enumerate(self._free):
+            if hole >= needed:
+                remaining = hole - needed
+                if remaining > 0:
+                    self._free[index] = (base + needed, remaining)
+                else:
+                    del self._free[index]
+                self._allocated[base] = needed
+                self.stats.allocations += 1
+                self.stats.bytes_allocated += needed
+                self.stats.live_bytes += needed
+                self.stats.peak_bytes = max(self.stats.peak_bytes, self.stats.live_bytes)
+                return base
+        raise AllocationError(
+            f"out of simulated heap: requested {needed} bytes, "
+            f"largest hole is {max((h for _, h in self._free), default=0)} bytes"
+        )
+
+    def calloc(self, count: int, size: int) -> int:
+        """Allocate ``count * size`` zeroed bytes and return the base address."""
+        total = count * size
+        address = self.malloc(total)
+        self.space.write(address, bytes(total))
+        return address
+
+    def free(self, address: int) -> None:
+        """Release a previously allocated block.
+
+        Raises:
+            DoubleFreeError: If ``address`` was not returned by :meth:`malloc`
+                or was already freed.
+        """
+        size = self._allocated.pop(address, None)
+        if size is None:
+            raise DoubleFreeError(f"free of unallocated address {address:#x}")
+        self.stats.frees += 1
+        self.stats.bytes_freed += size
+        self.stats.live_bytes -= size
+        self._insert_hole(address, size)
+
+    def allocation_size(self, address: int) -> int:
+        """Return the (aligned) size of the live allocation at ``address``."""
+        size = self._allocated.get(address)
+        if size is None:
+            raise DoubleFreeError(f"address {address:#x} is not a live allocation")
+        return size
+
+    def live_allocations(self) -> Dict[int, int]:
+        """Return a copy of the live allocation map (address -> size)."""
+        return dict(self._allocated)
+
+    # ------------------------------------------------------------------ #
+    # Internal free-list maintenance
+    # ------------------------------------------------------------------ #
+
+    def _insert_hole(self, base: int, size: int) -> None:
+        """Insert a hole into the free list, coalescing with its neighbours."""
+        self._free.append((base, size))
+        self._free.sort()
+        coalesced: List[Tuple[int, int]] = []
+        for hole_base, hole_size in self._free:
+            if coalesced and coalesced[-1][0] + coalesced[-1][1] == hole_base:
+                prev_base, prev_size = coalesced[-1]
+                coalesced[-1] = (prev_base, prev_size + hole_size)
+            else:
+                coalesced.append((hole_base, hole_size))
+        self._free = coalesced

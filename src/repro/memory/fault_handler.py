@@ -1,0 +1,139 @@
+"""The simulated SIGSEGV path: fault kinds, fault events, and the dispatcher.
+
+In the real system the kernel delivers a segmentation fault to the handler
+installed by ``inspector-library.so``; the handler records the access in the
+read/write set of the running sub-computation and relaxes the protection of
+the page so execution can continue.  Here the :class:`FaultDispatcher`
+plays the role of the kernel's signal delivery, and whoever registers a
+handler (the provenance session, a test, ...) plays the role of the
+library.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.memory.page import PROT_READ, PROT_READ_WRITE, PageTableEntry
+
+
+class FaultKind(enum.Enum):
+    """Which kind of access triggered the fault."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A single page fault taken by a simulated process.
+
+    Attributes:
+        pid: Simulated process that faulted.
+        page: Page id that was touched.
+        kind: Whether the faulting access was a read or a write.
+        sequence: Global fault sequence number (for ordering in logs).
+    """
+
+    pid: int
+    page: int
+    kind: FaultKind
+    sequence: int
+
+
+#: Signature of a fault handler callback.  It receives the fault event and
+#: the page-table entry it may update, and must leave the entry in a state
+#: that permits the faulting access (otherwise the MMU raises).
+FaultHandlerFn = Callable[[FaultEvent, PageTableEntry], None]
+
+
+def permissive_handler(event: FaultEvent, entry: PageTableEntry) -> None:
+    """A handler that simply grants the faulting access without recording it.
+
+    Useful for tests of the memory substrate that do not care about
+    provenance, and as the behaviour of untracked runs.
+    """
+    if event.kind is FaultKind.WRITE:
+        entry.prot |= PROT_READ_WRITE
+    else:
+        entry.prot |= PROT_READ
+
+
+@dataclass
+class FaultStats:
+    """Aggregate fault counters kept by the dispatcher.
+
+    Attributes:
+        total: All faults taken.
+        read_faults: Faults triggered by loads.
+        write_faults: Faults triggered by stores.
+        per_pid: Fault count per simulated process.
+    """
+
+    total: int = 0
+    read_faults: int = 0
+    write_faults: int = 0
+    per_pid: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, event: FaultEvent) -> None:
+        """Account one fault event."""
+        self.total += 1
+        if event.kind is FaultKind.WRITE:
+            self.write_faults += 1
+        else:
+            self.read_faults += 1
+        self.per_pid[event.pid] = self.per_pid.get(event.pid, 0) + 1
+
+
+class FaultDispatcher:
+    """Delivers simulated page faults to the registered handler.
+
+    Args:
+        handler: The handler invoked for every fault.  Defaults to
+            :func:`permissive_handler`.
+        keep_log: Whether to retain every :class:`FaultEvent` (tests and the
+            statistics layer use the log; long benchmark runs can disable it
+            to save memory).
+    """
+
+    def __init__(
+        self,
+        handler: FaultHandlerFn = permissive_handler,
+        keep_log: bool = False,
+    ) -> None:
+        self._handler = handler
+        self._keep_log = keep_log
+        self._sequence = 0
+        self.stats = FaultStats()
+        self.log: List[FaultEvent] = []
+
+    def set_handler(self, handler: FaultHandlerFn) -> None:
+        """Install ``handler`` as the fault handler (replacing the previous one)."""
+        self._handler = handler
+
+    @property
+    def handler(self) -> Optional[FaultHandlerFn]:
+        """The currently installed handler."""
+        return self._handler
+
+    def deliver(self, pid: int, page: int, kind: FaultKind, entry: PageTableEntry) -> FaultEvent:
+        """Deliver one fault to the handler and account it.
+
+        Returns:
+            The fault event that was delivered.
+        """
+        event = FaultEvent(pid=pid, page=page, kind=kind, sequence=self._sequence)
+        self._sequence += 1
+        self.stats.record(event)
+        entry.fault_count += 1
+        if self._keep_log:
+            self.log.append(event)
+        self._handler(event, entry)
+        return event
+
+    def reset(self) -> None:
+        """Clear counters and the fault log (handler stays installed)."""
+        self._sequence = 0
+        self.stats = FaultStats()
+        self.log.clear()

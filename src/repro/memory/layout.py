@@ -1,0 +1,115 @@
+"""Address-space layout constants and helpers.
+
+The simulated address space mirrors the layout INSPECTOR cares about: the
+*globals* and *heap* regions are shared between the simulated processes and
+are the ones whose pages are tracked with page protection; the *input*
+region models ``mmap``-ed input files (the paper's input shim records the
+data flow from the input through the same protection mechanism); the
+*stack* region is private per process and never tracked, exactly as the
+real library leaves thread stacks alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default page size used by the simulated MMU (bytes).  The real system
+#: uses the hardware 4 KiB page; tests frequently shrink this to make
+#: page-granularity effects visible on tiny working sets.
+DEFAULT_PAGE_SIZE = 4096
+
+#: Default cache-line size used by the false-sharing model (bytes).
+CACHE_LINE_SIZE = 64
+
+#: Base addresses of the well-known regions.  They are spaced far apart so
+#: that a region can grow without colliding with its neighbour.
+GLOBALS_BASE = 0x1000_0000
+HEAP_BASE = 0x2000_0000
+INPUT_BASE = 0x4000_0000
+STACK_BASE = 0x7000_0000
+
+#: Default sizes (bytes) for the well-known regions.
+GLOBALS_SIZE = 16 * 1024 * 1024
+HEAP_SIZE = 256 * 1024 * 1024
+INPUT_SIZE = 256 * 1024 * 1024
+STACK_SIZE = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous range of the simulated virtual address space.
+
+    Attributes:
+        name: Human-readable region name (``"heap"``, ``"globals"`` ...).
+        base: First valid address of the region.
+        size: Region length in bytes.
+        tracked: Whether accesses to this region participate in provenance
+            tracking (page protection + read/write sets).  Stacks are not
+            tracked, matching the paper's implementation.
+        shared: Whether the region is part of the shared-memory commit
+            protocol (globals and heap are; the input region is shared but
+            read-only in practice; stacks are private).
+    """
+
+    name: str
+    base: int
+    size: int
+    tracked: bool = True
+    shared: bool = True
+
+    @property
+    def end(self) -> int:
+        """One past the last valid address of the region."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """Return ``True`` if ``address`` falls inside this region."""
+        return self.base <= address < self.end
+
+
+def default_regions() -> list[Region]:
+    """Return the default region set used by the simulated address space."""
+    return [
+        Region("globals", GLOBALS_BASE, GLOBALS_SIZE, tracked=True, shared=True),
+        Region("heap", HEAP_BASE, HEAP_SIZE, tracked=True, shared=True),
+        Region("input", INPUT_BASE, INPUT_SIZE, tracked=True, shared=True),
+        Region("stack", STACK_BASE, STACK_SIZE, tracked=False, shared=False),
+    ]
+
+
+def page_id(address: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Return the page identifier (page number) containing ``address``."""
+    return address // page_size
+
+
+def page_base(address: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Return the base address of the page containing ``address``."""
+    return (address // page_size) * page_size
+
+
+def page_offset(address: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Return the offset of ``address`` within its page."""
+    return address % page_size
+
+
+def pages_spanned(address: int, size: int, page_size: int = DEFAULT_PAGE_SIZE) -> list[int]:
+    """Return the list of page ids touched by an access of ``size`` bytes.
+
+    Args:
+        address: Start address of the access.
+        size: Length of the access in bytes; must be positive.
+        page_size: Page size in bytes.
+
+    Returns:
+        Page ids in ascending order.  A zero-length access touches no page.
+    """
+    if size <= 0:
+        return []
+    first = page_id(address, page_size)
+    last = page_id(address + size - 1, page_size)
+    return list(range(first, last + 1))
+
+
+def cache_line_id(address: int, line_size: int = CACHE_LINE_SIZE) -> int:
+    """Return the cache-line identifier containing ``address``."""
+    return address // line_size

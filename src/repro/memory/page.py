@@ -1,0 +1,112 @@
+"""Pages, protection bits, and per-process page tables.
+
+The real INSPECTOR relies on the hardware MMU: it removes all permissions
+from the shared regions at the start of every sub-computation
+(``mprotect(PROT_NONE)``) and lets the first read or write of each page
+trap into a signal handler.  This module models the same state machine in
+software: a :class:`PageTable` stores one :class:`PageTableEntry` per page
+per simulated process, and the :class:`~repro.memory.mmu.MMU` consults it
+on every access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+# Protection bits, mirroring the POSIX mprotect constants the paper uses.
+PROT_NONE = 0x0
+PROT_READ = 0x1
+PROT_WRITE = 0x2
+PROT_READ_WRITE = PROT_READ | PROT_WRITE
+
+
+def prot_to_str(prot: int) -> str:
+    """Render a protection bitmask as a compact ``"r"``/``"w"`` string."""
+    if prot == PROT_NONE:
+        return "---"
+    read = "r" if prot & PROT_READ else "-"
+    write = "w" if prot & PROT_WRITE else "-"
+    return f"{read}{write}-"
+
+
+@dataclass
+class PageTableEntry:
+    """Protection and bookkeeping state for one page in one process.
+
+    Attributes:
+        prot: Current protection bits for the owning process.
+        accessed: Whether the page was read at least once since the last
+            protection reset (start of a sub-computation).
+        dirty: Whether the page was written at least once since the last
+            protection reset.
+        fault_count: Number of faults taken on this page since creation;
+            used only for statistics.
+    """
+
+    prot: int = PROT_NONE
+    accessed: bool = False
+    dirty: bool = False
+    fault_count: int = 0
+
+    def allows(self, write: bool) -> bool:
+        """Return ``True`` if the entry permits the requested access."""
+        needed = PROT_WRITE if write else PROT_READ
+        return bool(self.prot & needed)
+
+
+@dataclass
+class PageTable:
+    """Per-process page table mapping page ids to :class:`PageTableEntry`.
+
+    Entries are created lazily with ``PROT_NONE`` (the post-``mprotect``
+    state), so a page that has never been touched in the current
+    sub-computation traps on first access exactly like the real system.
+    """
+
+    default_prot: int = PROT_NONE
+    entries: Dict[int, PageTableEntry] = field(default_factory=dict)
+
+    def entry(self, page: int) -> PageTableEntry:
+        """Return the entry for ``page``, creating it with the default protection."""
+        existing = self.entries.get(page)
+        if existing is None:
+            existing = PageTableEntry(prot=self.default_prot)
+            self.entries[page] = existing
+        return existing
+
+    def set_protection(self, page: int, prot: int) -> None:
+        """Set the protection bits of ``page`` (creating the entry if needed)."""
+        self.entry(page).prot = prot
+
+    def protect_all(self, prot: int) -> None:
+        """Apply ``prot`` to every existing entry (``mprotect`` over a range).
+
+        Also clears the accessed/dirty bits, because INSPECTOR re-protects
+        the shared regions at the start of every sub-computation and the
+        first touch afterwards must trap again.
+        """
+        for entry in self.entries.values():
+            entry.prot = prot
+            entry.accessed = False
+            entry.dirty = False
+        self.default_prot = prot
+
+    def drop(self, page: int) -> None:
+        """Forget the entry for ``page`` entirely."""
+        self.entries.pop(page, None)
+
+    def dirty_pages(self) -> Iterator[int]:
+        """Yield the ids of pages whose dirty bit is set."""
+        for page, entry in self.entries.items():
+            if entry.dirty:
+                yield page
+
+    def accessed_pages(self) -> Iterator[int]:
+        """Yield the ids of pages whose accessed bit is set."""
+        for page, entry in self.entries.items():
+            if entry.accessed:
+                yield page
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,15 @@
+"""The perf-utility layer: ``perf record`` and ``perf script`` equivalents."""
+
+from repro.perf.events import RECORD_HEADER_SIZE, PerfData, PerfRecord, RecordType
+from repro.perf.record import PerfRecordSession
+from repro.perf.script import PerfScript, ScriptOutput
+
+__all__ = [
+    "RECORD_HEADER_SIZE",
+    "PerfData",
+    "PerfRecord",
+    "RecordType",
+    "PerfRecordSession",
+    "PerfScript",
+    "ScriptOutput",
+]

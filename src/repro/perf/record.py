@@ -1,0 +1,106 @@
+"""``perf record`` -- collecting the PT trace of an INSPECTOR run.
+
+The session attaches the PT PMU to every process of the application's
+cgroup, emits the side-band records (COMM, MMAP, ITRACE_START) a real
+``perf record`` would write, periodically drains the per-process AUX
+buffers into the perf data file, and notes LOST records when the AUX
+buffers overflowed because the consumer could not keep up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import PerfError
+from repro.perf.events import PerfData, PerfRecord, RecordType
+from repro.pt.binary_map import ImageMap
+from repro.pt.pmu import IntelPTPMU
+
+
+class PerfRecordSession:
+    """Collects PT trace data from a PMU into a :class:`PerfData` container.
+
+    Args:
+        pmu: The Intel PT PMU tracing the application.
+        image_map: The loaded-image map (produces MMAP records).
+        command: Command line recorded in the file header.
+    """
+
+    def __init__(self, pmu: IntelPTPMU, image_map: Optional[ImageMap] = None, command: str = "") -> None:
+        self.pmu = pmu
+        self.image_map = image_map if image_map is not None else ImageMap()
+        self.data = PerfData(command=command)
+        self._started: Dict[int, bool] = {}
+        self._finished = False
+
+    # ------------------------------------------------------------------ #
+    # Side-band records
+    # ------------------------------------------------------------------ #
+
+    def on_process_start(self, pid: int, name: str) -> None:
+        """Record COMM + ITRACE_START for a newly traced process."""
+        self.data.add_record(
+            PerfRecord(RecordType.COMM, pid=pid, payload_size=len(name), description=name)
+        )
+        self.data.add_record(
+            PerfRecord(RecordType.ITRACE_START, pid=pid, description=f"itrace start {name}")
+        )
+        self._started[pid] = True
+
+    def on_mmap(self, pid: int, image_name: str, base: int, size: int) -> None:
+        """Record an MMAP event (a loaded executable image)."""
+        self.image_map.add_image(image_name, base, size, pid=pid)
+        self.data.add_record(
+            PerfRecord(
+                RecordType.MMAP,
+                pid=pid,
+                payload_size=len(image_name) + 16,
+                description=f"{image_name} @ {base:#x}+{size:#x}",
+            )
+        )
+
+    def on_process_exit(self, pid: int) -> None:
+        """Record process exit and drain its remaining AUX data."""
+        self.drain(pid)
+        self.data.add_record(PerfRecord(RecordType.EXIT, pid=pid, description="exit"))
+
+    # ------------------------------------------------------------------ #
+    # AUX collection
+    # ------------------------------------------------------------------ #
+
+    def drain(self, pid: Optional[int] = None) -> int:
+        """Drain AUX buffers (of one pid or of every traced process).
+
+        Returns:
+            Number of bytes collected.
+        """
+        collected = 0
+        pids = [pid] if pid is not None else self.pmu.traced_pids()
+        for traced_pid in pids:
+            try:
+                buffer = self.pmu.aux_buffer(traced_pid)
+            except PerfError:
+                continue
+            self.pmu.encoder(traced_pid).flush()
+            payload = buffer.drain()
+            if payload:
+                self.data.add_aux_data(traced_pid, payload)
+                collected += len(payload)
+            if buffer.stats.bytes_lost:
+                self.data.add_record(
+                    PerfRecord(
+                        RecordType.LOST,
+                        pid=traced_pid,
+                        payload_size=8,
+                        description=f"lost {buffer.stats.bytes_lost} aux bytes",
+                    )
+                )
+        return collected
+
+    def finish(self) -> PerfData:
+        """Flush and drain everything and return the perf data container."""
+        if not self._finished:
+            self.pmu.flush_all()
+            self.drain()
+            self._finished = True
+        return self.data

@@ -1,0 +1,61 @@
+"""The Intel Processor Trace substrate.
+
+Packet model, per-process encoder, AUX ring buffer, decoder, loaded-image
+tracking, the PT PMU, and the cgroup filter used to scope tracing to one
+application.
+"""
+
+from repro.pt.aux_buffer import DEFAULT_AUX_SIZE, AuxRingBuffer, AuxStats
+from repro.pt.binary_map import ImageMap, ImageRecord
+from repro.pt.cgroup import Cgroup
+from repro.pt.decoder import DecodedTrace, PTDecoder, ReconstructedBranch, reconstruct_branches
+from repro.pt.encoder import DEFAULT_PSB_PERIOD, EncoderStats, PTEncoder
+from repro.pt.packets import (
+    MAX_TNT_BITS,
+    FUPPacket,
+    ModePacket,
+    OVFPacket,
+    Packet,
+    PadPacket,
+    PSBEndPacket,
+    PSBPacket,
+    TIPPacket,
+    TNTPacket,
+    TSCPacket,
+    decode_packets,
+    decompress_ip,
+    ip_compression,
+)
+from repro.pt.pmu import IntelPTPMU, PMUConfig
+
+__all__ = [
+    "DEFAULT_AUX_SIZE",
+    "AuxRingBuffer",
+    "AuxStats",
+    "ImageMap",
+    "ImageRecord",
+    "Cgroup",
+    "DecodedTrace",
+    "PTDecoder",
+    "ReconstructedBranch",
+    "reconstruct_branches",
+    "DEFAULT_PSB_PERIOD",
+    "EncoderStats",
+    "PTEncoder",
+    "MAX_TNT_BITS",
+    "FUPPacket",
+    "ModePacket",
+    "OVFPacket",
+    "Packet",
+    "PadPacket",
+    "PSBEndPacket",
+    "PSBPacket",
+    "TIPPacket",
+    "TNTPacket",
+    "TSCPacket",
+    "decode_packets",
+    "decompress_ip",
+    "ip_compression",
+    "IntelPTPMU",
+    "PMUConfig",
+]

@@ -1,0 +1,142 @@
+"""The AUX area: the ring buffer Intel PT trace data lands in.
+
+perf exposes PT data through a memory-mapped ring buffer (the "AUX area").
+Two modes matter for INSPECTOR:
+
+* **full-trace mode** -- the kernel never overwrites data the consumer has
+  not collected yet; if the consumer (``perf record``) cannot keep up, new
+  data is dropped and the trace has *gaps* (the paper observes this for
+  fast-producing applications).
+* **snapshot mode** -- the buffer is continuously overwritten and a signal
+  (SIGUSR2) freezes a snapshot of the most recent data; INSPECTOR's
+  consistent-snapshot facility is built on this mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: Default AUX buffer size (bytes); perf's default AUX mmap is a few MiB.
+DEFAULT_AUX_SIZE = 4 * 1024 * 1024
+
+
+@dataclass
+class AuxStats:
+    """Counters describing traffic through one AUX buffer.
+
+    Attributes:
+        bytes_written: Bytes the PMU produced (whether or not they fit).
+        bytes_stored: Bytes actually stored in the buffer.
+        bytes_lost: Bytes dropped because the consumer was too slow
+            (full-trace mode only).
+        bytes_overwritten: Bytes overwritten by newer data (snapshot mode).
+        drains: Number of times the consumer drained the buffer.
+        overflows: Number of distinct overflow episodes.
+    """
+
+    bytes_written: int = 0
+    bytes_stored: int = 0
+    bytes_lost: int = 0
+    bytes_overwritten: int = 0
+    drains: int = 0
+    overflows: int = 0
+
+
+class AuxRingBuffer:
+    """A bounded ring buffer holding encoded PT packets.
+
+    Args:
+        size: Capacity in bytes.
+        snapshot_mode: ``True`` for overwrite (snapshot) mode, ``False`` for
+            full-trace mode with data loss on overflow.
+    """
+
+    def __init__(self, size: int = DEFAULT_AUX_SIZE, snapshot_mode: bool = False) -> None:
+        if size <= 0:
+            raise ValueError(f"AUX buffer size must be positive, got {size}")
+        self.size = size
+        self.snapshot_mode = snapshot_mode
+        self.stats = AuxStats()
+        self._chunks: List[bytes] = []
+        self._stored = 0
+        self._in_overflow = False
+
+    @property
+    def used(self) -> int:
+        """Bytes currently stored and not yet drained."""
+        return self._stored
+
+    @property
+    def free(self) -> int:
+        """Bytes of remaining capacity."""
+        return self.size - self._stored
+
+    def write(self, data: bytes) -> int:
+        """Append ``data`` produced by the PMU.
+
+        Returns:
+            The number of bytes actually stored.  In full-trace mode the
+            remainder is lost (and accounted); in snapshot mode old data is
+            overwritten to make room.
+        """
+        if not data:
+            return 0
+        self.stats.bytes_written += len(data)
+        if len(data) <= self.free:
+            self._chunks.append(bytes(data))
+            self._stored += len(data)
+            self.stats.bytes_stored += len(data)
+            self._in_overflow = False
+            return len(data)
+        if self.snapshot_mode:
+            self._make_room(len(data))
+            kept = data[-self.size :]
+            self._chunks.append(bytes(kept))
+            self._stored += len(kept)
+            self.stats.bytes_stored += len(kept)
+            return len(kept)
+        # Full-trace mode: store what fits, drop the rest.
+        fitting = data[: self.free]
+        lost = len(data) - len(fitting)
+        if fitting:
+            self._chunks.append(bytes(fitting))
+            self._stored += len(fitting)
+            self.stats.bytes_stored += len(fitting)
+        self.stats.bytes_lost += lost
+        if lost and not self._in_overflow:
+            self.stats.overflows += 1
+            self._in_overflow = True
+        return len(fitting)
+
+    def _make_room(self, needed: int) -> None:
+        """Drop the oldest chunks until ``needed`` bytes fit (snapshot mode)."""
+        while self._chunks and self.free < needed:
+            oldest = self._chunks.pop(0)
+            if len(oldest) <= needed - self.free:
+                self._stored -= len(oldest)
+                self.stats.bytes_overwritten += len(oldest)
+            else:
+                keep = len(oldest) - (needed - self.free)
+                self.stats.bytes_overwritten += len(oldest) - keep
+                self._stored -= len(oldest) - keep
+                self._chunks.insert(0, oldest[-keep:])
+                break
+
+    def drain(self) -> bytes:
+        """Remove and return everything currently stored (consumer read)."""
+        payload = b"".join(self._chunks)
+        self._chunks.clear()
+        self._stored = 0
+        self._in_overflow = False
+        self.stats.drains += 1
+        return payload
+
+    def peek(self) -> bytes:
+        """Return the stored contents without consuming them (snapshot read)."""
+        return b"".join(self._chunks)
+
+    @property
+    def has_gaps(self) -> bool:
+        """Whether data was lost in full-trace mode."""
+        return self.stats.bytes_lost > 0

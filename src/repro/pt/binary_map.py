@@ -1,0 +1,99 @@
+"""Tracking of loaded binary images (the decode side-band).
+
+To map a PT trace back onto the program, the decoder needs to know which
+binary occupies which address range -- perf gets this from MMAP events and
+INSPECTOR additionally tracks ``mmap`` calls made by the application.  This
+module models that: every "executable image" (in our case a workload's
+synthetic text segment) registers its base and size, and lookups resolve an
+instruction pointer to the containing image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ImageRecord:
+    """One loaded executable image.
+
+    Attributes:
+        name: Image name (e.g. ``"workload:histogram"`` or ``"libinspector.so"``).
+        base: Load address of the image.
+        size: Size of the mapped text range in bytes.
+        pid: Process the mapping belongs to (``None`` for global images).
+    """
+
+    name: str
+    base: int
+    size: int
+    pid: Optional[int] = None
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped address."""
+        return self.base + self.size
+
+    def contains(self, ip: int) -> bool:
+        """Whether ``ip`` falls inside this image."""
+        return self.base <= ip < self.end
+
+
+class ImageMap:
+    """The set of loaded images plus the per-process branch-site side-band.
+
+    Besides image records, the map stores the program-order log of branch
+    sites per process.  Real decoders recover that information by walking
+    the disassembled binary alongside the packet stream; our synthetic
+    workloads have no machine code, so the branch-site log *is* the
+    reproduction's binary: it says where conditional and indirect branches
+    occur, and the decoder consumes TNT bits / TIP targets against it.
+    """
+
+    def __init__(self) -> None:
+        self._images: List[ImageRecord] = []
+        self._branch_sites: Dict[int, List[Tuple[int, bool]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Image registration (perf MMAP events)
+    # ------------------------------------------------------------------ #
+
+    def add_image(self, name: str, base: int, size: int, pid: Optional[int] = None) -> ImageRecord:
+        """Register a loaded image and return its record."""
+        record = ImageRecord(name=name, base=base, size=size, pid=pid)
+        self._images.append(record)
+        return record
+
+    def image_for(self, ip: int, pid: Optional[int] = None) -> Optional[ImageRecord]:
+        """Return the image containing ``ip`` (preferring ``pid``-local maps)."""
+        match = None
+        for record in self._images:
+            if record.contains(ip):
+                if record.pid == pid:
+                    return record
+                if record.pid is None:
+                    match = record
+        return match
+
+    def images(self) -> List[ImageRecord]:
+        """All registered images in registration order."""
+        return list(self._images)
+
+    # ------------------------------------------------------------------ #
+    # Branch-site side-band
+    # ------------------------------------------------------------------ #
+
+    def record_branch_site(self, pid: int, site: int, is_indirect: bool) -> None:
+        """Append one branch site to the program-order log of ``pid``."""
+        self._branch_sites.setdefault(pid, []).append((site, is_indirect))
+
+    def branch_sites(self, pid: int) -> List[Tuple[int, bool]]:
+        """Return the program-order branch-site log of ``pid``."""
+        return list(self._branch_sites.get(pid, []))
+
+    def branch_site_count(self, pid: Optional[int] = None) -> int:
+        """Total number of recorded branch sites (for one pid or overall)."""
+        if pid is not None:
+            return len(self._branch_sites.get(pid, []))
+        return sum(len(sites) for sites in self._branch_sites.values())

@@ -1,0 +1,52 @@
+"""A minimal cgroup model used to scope PT tracing to one application.
+
+INSPECTOR turns threads into processes whose pids are not known in advance,
+so it creates a dedicated ``perf_event`` cgroup for the application and
+lets perf filter on it: every process forked by a member is automatically a
+member too.  This class models exactly that membership rule.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+
+class Cgroup:
+    """A named group of process ids with inherit-on-fork semantics."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._members: Set[int] = set()
+
+    def add(self, pid: int) -> None:
+        """Add ``pid`` to the cgroup."""
+        self._members.add(pid)
+
+    def add_child(self, parent_pid: int, child_pid: int) -> bool:
+        """Add ``child_pid`` if its parent is a member (fork inheritance).
+
+        Returns:
+            Whether the child was added.
+        """
+        if parent_pid in self._members:
+            self._members.add(child_pid)
+            return True
+        return False
+
+    def remove(self, pid: int) -> None:
+        """Remove ``pid`` from the cgroup (process exit keeps it by default)."""
+        self._members.discard(pid)
+
+    def contains(self, pid: int) -> bool:
+        """Whether ``pid`` is a member."""
+        return pid in self._members
+
+    def members(self) -> Set[int]:
+        """A copy of the current membership."""
+        return set(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, pid: int) -> bool:
+        return self.contains(pid)

@@ -1,0 +1,172 @@
+"""The PT packet encoder: one per traced process.
+
+The hardware batches conditional-branch outcomes into TNT packets, emits a
+TIP packet for every indirect branch or return (with last-IP compression),
+and periodically inserts a PSB+ group (PSB, TSC, MODE, PSBEND) so decoders
+can resynchronise mid-stream.  The encoder writes the packet bytes straight
+into the process's AUX ring buffer, which is where ``perf record`` collects
+them from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.pt.aux_buffer import AuxRingBuffer
+from repro.pt.packets import (
+    MAX_TNT_BITS,
+    ModePacket,
+    PSBEndPacket,
+    PSBPacket,
+    TIPPacket,
+    TNTPacket,
+    TSCPacket,
+    ip_compression,
+)
+
+#: Emit a PSB+ group after roughly this many packet bytes (the real default
+#: PSB period is configurable in powers of two of bytes; 4 KiB here).
+DEFAULT_PSB_PERIOD = 4096
+
+
+@dataclass
+class EncoderStats:
+    """Counters kept per encoder (they feed Figure 9).
+
+    Attributes:
+        conditional_branches: TNT bits produced.
+        indirect_branches: TIP packets produced.
+        packets: Total packets emitted.
+        bytes_emitted: Total encoded bytes (before any AUX loss).
+        psb_groups: Number of PSB+ synchronisation groups emitted.
+    """
+
+    conditional_branches: int = 0
+    indirect_branches: int = 0
+    packets: int = 0
+    bytes_emitted: int = 0
+    psb_groups: int = 0
+
+
+class PTEncoder:
+    """Per-process Intel PT packet generator.
+
+    Args:
+        pid: The traced process id (for bookkeeping only).
+        aux: The AUX ring buffer the encoded bytes are written to.
+        psb_period: Approximate number of bytes between PSB+ groups.
+    """
+
+    def __init__(self, pid: int, aux: AuxRingBuffer, psb_period: int = DEFAULT_PSB_PERIOD) -> None:
+        self.pid = pid
+        self.aux = aux
+        self.psb_period = psb_period
+        self.stats = EncoderStats()
+        self._pending_tnt: List[bool] = []
+        self._last_ip: Optional[int] = None
+        self._bytes_since_psb = 0
+        self._timestamp = 0
+        self._enabled = True
+        # Every stream starts with a PSB+ group, like a real trace.
+        self._emit_psb_group()
+
+    # ------------------------------------------------------------------ #
+    # Control
+    # ------------------------------------------------------------------ #
+
+    @property
+    def enabled(self) -> bool:
+        """Whether tracing is currently enabled for this process."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """(Re-)enable packet generation."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Disable packet generation (branches are simply not recorded)."""
+        self.flush()
+        self._enabled = False
+
+    # ------------------------------------------------------------------ #
+    # Branch events
+    # ------------------------------------------------------------------ #
+
+    def conditional_branch(self, taken: bool) -> None:
+        """Record the outcome of a conditional branch (one TNT bit)."""
+        if not self._enabled:
+            return
+        self.stats.conditional_branches += 1
+        self._pending_tnt.append(bool(taken))
+        if len(self._pending_tnt) >= MAX_TNT_BITS:
+            self._flush_tnt()
+
+    def conditional_branch_run(self, outcomes) -> None:
+        """Record a run of conditional-branch outcomes (bulk TNT bits).
+
+        Equivalent to calling :meth:`conditional_branch` once per outcome,
+        but packs the pending bits in batches so that tight simulated loops
+        (one branch per input element) stay cheap to encode.
+        """
+        if not self._enabled or not outcomes:
+            return
+        self.stats.conditional_branches += len(outcomes)
+        pending = self._pending_tnt
+        for taken in outcomes:
+            pending.append(bool(taken))
+            if len(pending) >= MAX_TNT_BITS:
+                self._flush_tnt()
+                pending = self._pending_tnt
+
+    def indirect_branch(self, target_ip: int) -> None:
+        """Record an indirect branch / call / return target (a TIP packet)."""
+        if not self._enabled:
+            return
+        self.stats.indirect_branches += 1
+        self._flush_tnt()
+        compressed = ip_compression(self._last_ip, target_ip)
+        self._emit(TIPPacket(ip=target_ip, compressed_bytes=compressed))
+        self._last_ip = target_ip
+
+    def flush(self) -> None:
+        """Flush any buffered TNT bits (done at sync points and at exit)."""
+        self._flush_tnt()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _flush_tnt(self) -> None:
+        if not self._pending_tnt:
+            return
+        bits = tuple(self._pending_tnt)
+        self._pending_tnt.clear()
+        self._emit(TNTPacket(bits))
+
+    def _emit(self, packet) -> None:
+        encoded = packet.encode()
+        self.stats.packets += 1
+        self.stats.bytes_emitted += len(encoded)
+        self._bytes_since_psb += len(encoded)
+        self.aux.write(encoded)
+        if self._bytes_since_psb >= self.psb_period:
+            self._emit_psb_group()
+
+    def _emit_psb_group(self) -> None:
+        """Emit PSB, TSC, MODE, PSBEND -- the periodic resync group."""
+        self._timestamp += 1
+        group = (
+            PSBPacket().encode()
+            + TSCPacket(self._timestamp).encode()
+            + ModePacket().encode()
+            + PSBEndPacket().encode()
+        )
+        self.stats.packets += 4
+        self.stats.bytes_emitted += len(group)
+        self.stats.psb_groups += 1
+        self.aux.write(group)
+        self._bytes_since_psb = 0
+        # After a PSB the decoder has no IP context, so the next TIP must be
+        # sent uncompressed; model that by forgetting the last IP.
+        self._last_ip = None

@@ -1,0 +1,123 @@
+"""The Intel PT PMU as exposed through the perf-event interface.
+
+On Linux the PT hardware appears as a PMU: ``perf_event_open`` returns a
+file descriptor per traced process, the AUX area is mapped per event, and a
+cgroup filter decides which processes are traced.  This module models that
+surface: the PMU owns one encoder + AUX buffer per traced process, honours
+the cgroup filter, and hands the drained AUX data to ``perf record``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import PerfError
+from repro.pt.aux_buffer import DEFAULT_AUX_SIZE, AuxRingBuffer
+from repro.pt.cgroup import Cgroup
+from repro.pt.encoder import DEFAULT_PSB_PERIOD, PTEncoder
+
+
+@dataclass
+class PMUConfig:
+    """Configuration of the PT PMU.
+
+    Attributes:
+        aux_size: Per-process AUX buffer capacity in bytes.
+        snapshot_mode: Whether AUX buffers run in overwrite (snapshot) mode.
+        psb_period: Bytes between PSB+ groups.
+    """
+
+    aux_size: int = DEFAULT_AUX_SIZE
+    snapshot_mode: bool = False
+    psb_period: int = DEFAULT_PSB_PERIOD
+
+
+class IntelPTPMU:
+    """The PT performance-monitoring unit.
+
+    Args:
+        config: PMU configuration.
+        cgroup: Optional cgroup filter; when given, only member processes
+            are traced (attach requests for non-members are ignored, like
+            perf's cgroup filtering).
+    """
+
+    def __init__(self, config: Optional[PMUConfig] = None, cgroup: Optional[Cgroup] = None) -> None:
+        self.config = config if config is not None else PMUConfig()
+        self.cgroup = cgroup
+        self._encoders: Dict[int, PTEncoder] = {}
+        self._buffers: Dict[int, AuxRingBuffer] = {}
+
+    # ------------------------------------------------------------------ #
+    # Attachment
+    # ------------------------------------------------------------------ #
+
+    def attach(self, pid: int) -> Optional[PTEncoder]:
+        """Start tracing process ``pid`` (if the cgroup filter allows it).
+
+        Returns:
+            The process's encoder, or ``None`` when the process is filtered
+            out by the cgroup.
+        """
+        if self.cgroup is not None and pid not in self.cgroup:
+            return None
+        if pid in self._encoders:
+            return self._encoders[pid]
+        aux = AuxRingBuffer(self.config.aux_size, snapshot_mode=self.config.snapshot_mode)
+        encoder = PTEncoder(pid, aux, psb_period=self.config.psb_period)
+        self._buffers[pid] = aux
+        self._encoders[pid] = encoder
+        return encoder
+
+    def detach(self, pid: int) -> None:
+        """Stop tracing ``pid`` (its remaining AUX data stays readable)."""
+        encoder = self._encoders.get(pid)
+        if encoder is not None:
+            encoder.disable()
+
+    def encoder(self, pid: int) -> PTEncoder:
+        """Return the encoder of a traced process.
+
+        Raises:
+            PerfError: If ``pid`` was never attached.
+        """
+        try:
+            return self._encoders[pid]
+        except KeyError as exc:
+            raise PerfError(f"process {pid} is not traced by this PMU") from exc
+
+    def aux_buffer(self, pid: int) -> AuxRingBuffer:
+        """Return the AUX buffer of a traced process."""
+        try:
+            return self._buffers[pid]
+        except KeyError as exc:
+            raise PerfError(f"process {pid} has no AUX buffer") from exc
+
+    def traced_pids(self) -> List[int]:
+        """Pids currently (or previously) traced, in attach order."""
+        return list(self._encoders)
+
+    # ------------------------------------------------------------------ #
+    # Aggregate statistics (Figure 9 inputs)
+    # ------------------------------------------------------------------ #
+
+    def total_bytes_emitted(self) -> int:
+        """Encoded trace bytes produced across every traced process."""
+        return sum(encoder.stats.bytes_emitted for encoder in self._encoders.values())
+
+    def total_branches(self) -> int:
+        """Branch events (conditional + indirect) recorded across processes."""
+        return sum(
+            encoder.stats.conditional_branches + encoder.stats.indirect_branches
+            for encoder in self._encoders.values()
+        )
+
+    def total_bytes_lost(self) -> int:
+        """Bytes lost to AUX overflow across every traced process."""
+        return sum(buffer.stats.bytes_lost for buffer in self._buffers.values())
+
+    def flush_all(self) -> None:
+        """Flush every encoder's pending TNT bits (end of run)."""
+        for encoder in self._encoders.values():
+            encoder.flush()

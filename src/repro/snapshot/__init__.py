@@ -1,0 +1,33 @@
+"""The live-snapshot facility: consistent cuts stored in a bounded slot ring."""
+
+from repro.snapshot.consistent_cut import (
+    Cut,
+    cut_at,
+    frontier_of,
+    is_consistent,
+    latest_cut,
+    violations,
+)
+from repro.snapshot.ring_buffer import (
+    DEFAULT_SLOT_COUNT,
+    DEFAULT_SLOT_SIZE,
+    Slot,
+    SlotRingBuffer,
+)
+from repro.snapshot.snapshotter import SnapshotRecord, Snapshotter, SnapshotterStats
+
+__all__ = [
+    "Cut",
+    "cut_at",
+    "frontier_of",
+    "is_consistent",
+    "latest_cut",
+    "violations",
+    "DEFAULT_SLOT_COUNT",
+    "DEFAULT_SLOT_SIZE",
+    "Slot",
+    "SlotRingBuffer",
+    "SnapshotRecord",
+    "Snapshotter",
+    "SnapshotterStats",
+]

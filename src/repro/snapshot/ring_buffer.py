@@ -1,0 +1,105 @@
+"""The bounded slot ring buffer backing the live-snapshot facility.
+
+INSPECTOR bounds the space used by snapshots with a ring of fixed-size
+slots (4 MB each by default): when every slot is full, storing a new
+snapshot evicts the oldest one.  As the user finishes analysing a snapshot
+they release its slot for reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import SnapshotError
+
+#: Default slot size in bytes (the paper sets each slot to 4 MB).
+DEFAULT_SLOT_SIZE = 4 * 1024 * 1024
+
+#: Default number of slots in the ring.
+DEFAULT_SLOT_COUNT = 8
+
+
+@dataclass
+class Slot:
+    """One snapshot slot.
+
+    Attributes:
+        index: Slot position in the ring.
+        payload: The serialized snapshot stored in the slot.
+        sequence: Monotonic sequence number of the stored snapshot.
+    """
+
+    index: int
+    payload: bytes = b""
+    sequence: int = -1
+
+    @property
+    def occupied(self) -> bool:
+        """Whether the slot currently holds a snapshot."""
+        return self.sequence >= 0
+
+
+class SlotRingBuffer:
+    """A fixed-capacity ring of snapshot slots.
+
+    Args:
+        slot_size: Maximum payload size per slot in bytes.
+        slot_count: Number of slots.
+    """
+
+    def __init__(self, slot_size: int = DEFAULT_SLOT_SIZE, slot_count: int = DEFAULT_SLOT_COUNT) -> None:
+        if slot_size <= 0 or slot_count <= 0:
+            raise SnapshotError("slot size and slot count must both be positive")
+        self.slot_size = slot_size
+        self.slots: List[Slot] = [Slot(index) for index in range(slot_count)]
+        self._next_sequence = 0
+        self._cursor = 0
+        self.evictions = 0
+        self.stored = 0
+        self.oversized_rejections = 0
+
+    def store(self, payload: bytes) -> Optional[Slot]:
+        """Store ``payload`` in the next slot, evicting its previous content.
+
+        Returns:
+            The slot used, or ``None`` when the payload exceeds the slot
+            size (the snapshot is rejected and accounted, mirroring a trace
+            too large for the configured ring).
+        """
+        if len(payload) > self.slot_size:
+            self.oversized_rejections += 1
+            return None
+        slot = self.slots[self._cursor]
+        if slot.occupied:
+            self.evictions += 1
+        slot.payload = bytes(payload)
+        slot.sequence = self._next_sequence
+        self._next_sequence += 1
+        self._cursor = (self._cursor + 1) % len(self.slots)
+        self.stored += 1
+        return slot
+
+    def release(self, slot: Slot) -> None:
+        """Mark ``slot`` as analysed so its space can be reused silently."""
+        slot.payload = b""
+        slot.sequence = -1
+
+    def occupied_slots(self) -> List[Slot]:
+        """Slots currently holding snapshots, oldest first."""
+        return sorted((slot for slot in self.slots if slot.occupied), key=lambda s: s.sequence)
+
+    def latest(self) -> Optional[Slot]:
+        """The most recently stored snapshot, if any."""
+        occupied = self.occupied_slots()
+        return occupied[-1] if occupied else None
+
+    @property
+    def used_bytes(self) -> int:
+        """Total payload bytes currently held by the ring."""
+        return sum(len(slot.payload) for slot in self.slots)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity of the ring in bytes."""
+        return self.slot_size * len(self.slots)

@@ -1,0 +1,113 @@
+"""The live snapshot driver.
+
+The perf tool starts a snapshot when it receives SIGUSR2; INSPECTOR hooks
+that signal and triggers it at synchronization events, because those are
+the points where a consistent cut of the CPG is cheap to define (every
+thread's latest acquire/release is already recorded).  The snapshotter
+below is that mechanism: it is invoked at every synchronization boundary,
+takes a consistent cut every ``interval`` boundaries, serializes the cut,
+and stores it into the slot ring buffer so the user can analyse provenance
+while the program keeps running.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.algorithm import ProvenanceTracker
+from repro.core.serialization import cpg_to_dict
+from repro.snapshot.consistent_cut import Cut, cut_at, frontier_of, is_consistent
+from repro.snapshot.ring_buffer import SlotRingBuffer
+
+
+@dataclass
+class SnapshotRecord:
+    """Metadata about one snapshot that was taken.
+
+    Attributes:
+        sequence: Snapshot sequence number.
+        nodes: Number of sub-computations included.
+        serialized_bytes: Size of the serialized payload.
+        stored: Whether the payload fit into a ring slot.
+        consistent: Whether the cut passed the consistency check.
+    """
+
+    sequence: int
+    nodes: int
+    serialized_bytes: int
+    stored: bool
+    consistent: bool
+
+
+@dataclass
+class SnapshotterStats:
+    """Aggregate snapshot counters."""
+
+    triggers: int = 0
+    snapshots_taken: int = 0
+    total_serialized_bytes: int = 0
+    records: List[SnapshotRecord] = field(default_factory=list)
+
+
+class Snapshotter:
+    """Takes periodic consistent snapshots of a tracker's CPG.
+
+    Args:
+        tracker: The provenance tracker being snapshotted.
+        ring: The slot ring buffer snapshots are stored into.
+        interval: Number of synchronization boundaries between snapshots.
+    """
+
+    def __init__(
+        self,
+        tracker: ProvenanceTracker,
+        ring: Optional[SlotRingBuffer] = None,
+        interval: int = 64,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"snapshot interval must be positive, got {interval}")
+        self.tracker = tracker
+        self.ring = ring if ring is not None else SlotRingBuffer()
+        self.interval = interval
+        self.stats = SnapshotterStats()
+        self._since_last = 0
+
+    def on_sync_boundary(self) -> Optional[SnapshotRecord]:
+        """Notify the snapshotter of one synchronization boundary.
+
+        Returns:
+            The snapshot record if a snapshot was taken at this boundary.
+        """
+        self.stats.triggers += 1
+        self._since_last += 1
+        if self._since_last < self.interval:
+            return None
+        self._since_last = 0
+        return self.take_snapshot()
+
+    def take_snapshot(self) -> SnapshotRecord:
+        """Take a snapshot right now (the SIGUSR2 path)."""
+        cpg = self.tracker.cpg
+        frontier = frontier_of(cpg)
+        cut = cut_at(cpg, frontier)
+        payload = self._serialize(cut)
+        slot = self.ring.store(payload)
+        record = SnapshotRecord(
+            sequence=self.stats.snapshots_taken,
+            nodes=len(cut),
+            serialized_bytes=len(payload),
+            stored=slot is not None,
+            consistent=is_consistent(cpg, cut.nodes),
+        )
+        self.stats.snapshots_taken += 1
+        self.stats.total_serialized_bytes += len(payload)
+        self.stats.records.append(record)
+        return record
+
+    def _serialize(self, cut: Cut) -> bytes:
+        """Serialize the cut (nodes plus the edges internal to it)."""
+        payload = cpg_to_dict(self.tracker.cpg, nodes=cut.nodes)
+        payload["frontier"] = {str(tid): value for tid, value in cut.frontier.as_dict().items()}
+        return json.dumps(payload, sort_keys=True).encode("utf-8")

@@ -1,0 +1,59 @@
+"""The threading-library substrate: threads as processes, scheduled cooperatively.
+
+This package provides the mechanism half of INSPECTOR's threading library:
+simulated processes, a scheduler that switches between them at
+synchronization points, the POSIX synchronization primitives, and the
+program API workloads are written against.  The policy half (memory
+tracking, PT tracing, provenance) lives in the execution backend plugged
+into the runtime.
+"""
+
+from repro.threads.backend import BackendCounters, DirectBackend, ExecutionBackend
+from repro.threads.process import ProcessState, SimProcess
+from repro.threads.program import (
+    ProgramAPI,
+    ThreadHandle,
+    WORD_SIZE,
+    branch_site,
+    join_all,
+    spawn_workers,
+)
+from repro.threads.runtime import SimRuntime
+from repro.threads.scheduler import FixedScheduler, RandomScheduler, RoundRobinScheduler, Scheduler
+from repro.threads.sync import (
+    Barrier,
+    ConditionVariable,
+    Mutex,
+    RWLock,
+    Semaphore,
+    SyncKind,
+    SyncObject,
+    Token,
+)
+
+__all__ = [
+    "BackendCounters",
+    "DirectBackend",
+    "ExecutionBackend",
+    "ProcessState",
+    "SimProcess",
+    "ProgramAPI",
+    "ThreadHandle",
+    "WORD_SIZE",
+    "branch_site",
+    "join_all",
+    "spawn_workers",
+    "SimRuntime",
+    "FixedScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "Barrier",
+    "ConditionVariable",
+    "Mutex",
+    "RWLock",
+    "Semaphore",
+    "SyncKind",
+    "SyncObject",
+    "Token",
+]

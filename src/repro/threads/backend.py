@@ -1,0 +1,333 @@
+"""Execution backends: the policy layer behind the program API.
+
+The threading runtime provides mechanism (scheduling, blocking, sync
+objects); an :class:`ExecutionBackend` decides what actually happens on
+loads, stores, branches, allocations, and at synchronization boundaries.
+
+Two families of backends exist in this repository:
+
+* :class:`DirectBackend` (here) and the native baseline built on it --
+  memory goes straight to the shared address space, nothing is traced.
+  This is the ``pthreads`` execution the paper normalizes against.
+* ``InspectorBackend`` (in :mod:`repro.inspector.interpose`) -- memory goes
+  through the simulated MMU with page protection, every branch is encoded
+  into the Intel PT stream, and synchronization boundaries drive the
+  provenance algorithm and the shared-memory commit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.memory.address_space import SharedAddressSpace
+from repro.memory.allocator import HeapAllocator
+from repro.threads.process import SimProcess
+from repro.threads.sync import SyncKind, SyncObject
+
+
+def _is_lock_object(obj: Optional[SyncObject]) -> bool:
+    """Whether acquiring ``obj`` opens a critical section (mutex or rwlock)."""
+    return obj is not None and obj.kind in (SyncKind.MUTEX, SyncKind.RWLOCK)
+
+
+@dataclass
+class BackendCounters:
+    """Event counters every backend keeps; they feed the cost model.
+
+    Attributes:
+        loads: Number of load operations.
+        stores: Number of store operations.
+        branches: Number of conditional branch events.
+        indirect_branches: Number of indirect branches (calls/returns).
+        compute_units: Abstract units of pure computation.
+        sync_ops: Number of synchronization operations crossed.
+        allocations: Number of heap allocations.
+        output_bytes: Bytes written through the output shim.
+        per_tid_instructions: Instruction-equivalents executed per thread
+            (loads + stores + branches + compute units), used for the
+            *work* metric of the paper.
+    """
+
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    indirect_branches: int = 0
+    compute_units: int = 0
+    sync_ops: int = 0
+    allocations: int = 0
+    output_bytes: int = 0
+    per_tid_instructions: Dict[int, int] = field(default_factory=dict)
+
+    def charge_instruction(self, tid: int, units: int = 1) -> None:
+        """Charge ``units`` instruction-equivalents to thread ``tid``."""
+        self.per_tid_instructions[tid] = self.per_tid_instructions.get(tid, 0) + units
+
+    @property
+    def instructions(self) -> int:
+        """Total instruction-equivalents across all threads."""
+        return (
+            self.loads
+            + self.stores
+            + self.branches
+            + self.indirect_branches
+            + self.compute_units
+        )
+
+
+class ExecutionBackend(ABC):
+    """Interface between the program API and a particular execution mode."""
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle hooks (called by the runtime)
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def on_process_start(self, proc: SimProcess) -> None:
+        """Called when a simulated process is first scheduled."""
+
+    @abstractmethod
+    def on_process_exit(self, proc: SimProcess) -> None:
+        """Called when a simulated process finishes its entry function."""
+
+    # ------------------------------------------------------------------ #
+    # Memory and allocation
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def load(self, proc: SimProcess, address: int, size: int) -> bytes:
+        """Perform a load on behalf of ``proc``."""
+
+    @abstractmethod
+    def store(self, proc: SimProcess, address: int, data: bytes) -> None:
+        """Perform a store on behalf of ``proc``."""
+
+    @abstractmethod
+    def malloc(self, proc: SimProcess, size: int) -> int:
+        """Allocate ``size`` bytes of provenance-visible heap memory."""
+
+    @abstractmethod
+    def free(self, proc: SimProcess, address: int) -> None:
+        """Release a heap allocation."""
+
+    # ------------------------------------------------------------------ #
+    # Control flow and computation
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def branch(self, proc: SimProcess, site: int, taken: bool) -> None:
+        """Record a conditional branch at synthetic instruction pointer ``site``."""
+
+    def branch_run(self, proc: SimProcess, site: int, outcomes: Sequence[bool]) -> None:
+        """Record a run of conditional branches taken at the same site.
+
+        Inner loops execute one conditional branch per element; recording
+        them one call at a time would make the simulation intractable, so
+        workloads batch the per-element outcomes of a chunk into one call.
+        The default implementation simply loops; backends override it with
+        a bulk path.
+        """
+        for taken in outcomes:
+            self.branch(proc, site, taken)
+
+    @abstractmethod
+    def indirect(self, proc: SimProcess, target: int) -> None:
+        """Record an indirect branch (call/return) to ``target``."""
+
+    @abstractmethod
+    def compute(self, proc: SimProcess, units: int) -> None:
+        """Account ``units`` of pure computation (no memory traffic)."""
+
+    # ------------------------------------------------------------------ #
+    # Synchronization boundaries
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def before_sync(
+        self,
+        proc: SimProcess,
+        op: str,
+        obj: Optional[SyncObject],
+        releases: Sequence[SyncObject],
+    ) -> None:
+        """Called immediately before a synchronization operation is performed.
+
+        ``releases`` lists the sync objects whose clocks must receive the
+        caller's clock (release semantics).
+        """
+
+    @abstractmethod
+    def after_sync(
+        self,
+        proc: SimProcess,
+        op: str,
+        obj: Optional[SyncObject],
+        acquires: Sequence[SyncObject],
+    ) -> None:
+        """Called immediately after a synchronization operation completed.
+
+        ``acquires`` lists the sync objects whose clocks the caller must
+        merge into its own (acquire semantics).
+        """
+
+    # ------------------------------------------------------------------ #
+    # Input / output shims
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def input_base(self) -> int:
+        """Base address of the mmap-ed input region."""
+
+    @abstractmethod
+    def load_input(self, data: bytes) -> int:
+        """Map ``data`` into the input region (the paper's mmap input shim).
+
+        Returns the base address the input was mapped at.
+        """
+
+    @abstractmethod
+    def write_output(self, proc: SimProcess, data: bytes, source_addresses: Sequence[int]) -> None:
+        """Model an output system call (the DIFT sink of the paper's case study)."""
+
+
+class DirectBackend(ExecutionBackend):
+    """The plain ``pthreads`` execution mode: no tracking, direct memory.
+
+    This backend is what the native baseline and the threading-runtime unit
+    tests use.  It still counts events (the cost model needs the native
+    event counts too) and records which cache lines are written by which
+    threads so the false-sharing model can charge the native execution for
+    it -- the effect that makes *linear_regression* run faster under
+    INSPECTOR than under pthreads in the paper.
+
+    Args:
+        space: Shared address space; created on demand when omitted.
+        page_size: Page size used when a space must be created.
+    """
+
+    def __init__(self, space: Optional[SharedAddressSpace] = None, page_size: int = 4096) -> None:
+        self.space = space if space is not None else SharedAddressSpace(page_size=page_size)
+        self.allocator = HeapAllocator(self.space)
+        self.counters = BackendCounters()
+        self.outputs: List[bytes] = []
+        #: cache line id -> {tid: set of word offsets written} (false-sharing model)
+        self.line_writers: Dict[int, Dict[int, set]] = {}
+        #: number of stores to a cache line on which another thread writes
+        #: *different* addresses (the definition of false sharing); every
+        #: such store models one coherence ping-pong in the native run.
+        #: Stores made while holding a lock are excluded: lock-protected
+        #: updates already serialise, so their coherence misses are part of
+        #: the ordinary synchronization cost, not the pathological
+        #: unsynchronized ping-pong that threads-as-processes eliminates.
+        self.false_sharing_stores = 0
+        self._line_size = 64
+        self._held_locks: Dict[int, int] = {}
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def on_process_start(self, proc: SimProcess) -> None:
+        self.counters.per_tid_instructions.setdefault(proc.tid, 0)
+
+    def on_process_exit(self, proc: SimProcess) -> None:
+        return None
+
+    # -- memory --------------------------------------------------------- #
+
+    def load(self, proc: SimProcess, address: int, size: int) -> bytes:
+        self.counters.loads += 1
+        self.counters.charge_instruction(proc.tid)
+        return self.space.read(address, size)
+
+    def store(self, proc: SimProcess, address: int, data: bytes) -> None:
+        self.counters.stores += 1
+        self.counters.charge_instruction(proc.tid)
+        if self._held_locks.get(proc.pid, 0) == 0:
+            self._track_false_sharing(proc.tid, address, len(data))
+        self.space.write(address, data)
+
+    def malloc(self, proc: SimProcess, size: int) -> int:
+        self.counters.allocations += 1
+        return self.allocator.malloc(size)
+
+    def free(self, proc: SimProcess, address: int) -> None:
+        self.allocator.free(address)
+
+    # -- control flow --------------------------------------------------- #
+
+    def branch(self, proc: SimProcess, site: int, taken: bool) -> None:
+        self.counters.branches += 1
+        self.counters.charge_instruction(proc.tid)
+
+    def branch_run(self, proc: SimProcess, site: int, outcomes: Sequence[bool]) -> None:
+        self.counters.branches += len(outcomes)
+        self.counters.charge_instruction(proc.tid, len(outcomes))
+
+    def indirect(self, proc: SimProcess, target: int) -> None:
+        self.counters.indirect_branches += 1
+        self.counters.charge_instruction(proc.tid)
+
+    def compute(self, proc: SimProcess, units: int) -> None:
+        self.counters.compute_units += units
+        self.counters.charge_instruction(proc.tid, units)
+
+    # -- synchronization ------------------------------------------------ #
+
+    def before_sync(
+        self,
+        proc: SimProcess,
+        op: str,
+        obj: Optional[SyncObject],
+        releases: Sequence[SyncObject],
+    ) -> None:
+        self.counters.sync_ops += 1
+        released = sum(1 for released_obj in releases if _is_lock_object(released_obj))
+        if released:
+            held = self._held_locks.get(proc.pid, 0)
+            self._held_locks[proc.pid] = max(held - released, 0)
+
+    def after_sync(
+        self,
+        proc: SimProcess,
+        op: str,
+        obj: Optional[SyncObject],
+        acquires: Sequence[SyncObject],
+    ) -> None:
+        acquired = sum(1 for acquired_obj in acquires if _is_lock_object(acquired_obj))
+        if acquired:
+            self._held_locks[proc.pid] = self._held_locks.get(proc.pid, 0) + acquired
+
+    # -- input / output ------------------------------------------------- #
+
+    def input_base(self) -> int:
+        return self.space.region_named("input").base
+
+    def load_input(self, data: bytes) -> int:
+        return self.space.load_input(data)
+
+    def write_output(self, proc: SimProcess, data: bytes, source_addresses: Sequence[int]) -> None:
+        self.counters.output_bytes += len(data)
+        self.outputs.append(bytes(data))
+
+    # -- false-sharing model -------------------------------------------- #
+
+    def _track_false_sharing(self, tid: int, address: int, size: int) -> None:
+        first_word = address // 8
+        last_word = (address + max(size, 1) - 1) // 8
+        words_per_line = self._line_size // 8
+        counted_lines = set()
+        for word in range(first_word, last_word + 1):
+            line = word // words_per_line
+            writers = self.line_writers.setdefault(line, {})
+            if line not in counted_lines:
+                for other_tid, other_words in writers.items():
+                    # False sharing: another thread writes this cache line
+                    # but never this word -- the coherence traffic is purely
+                    # due to co-location.  Threads updating the *same* word
+                    # (a shared counter under a lock) are true sharing and
+                    # are not charged.
+                    if other_tid != tid and word not in other_words:
+                        self.false_sharing_stores += 1
+                        counted_lines.add(line)
+                        break
+            writers.setdefault(tid, set()).add(word)

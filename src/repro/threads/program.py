@@ -1,0 +1,401 @@
+"""The program API: how workloads express instruction-level behaviour.
+
+Applications evaluated by the paper are ordinary C programs whose loads,
+stores, and branches are observed from the outside (through the MMU and
+Intel PT).  A pure-Python reproduction has no hardware to observe Python
+bytecode with, so workloads are written against this small API instead:
+``load``/``store`` touch the simulated address space, ``branch`` records a
+conditional branch, ``spawn``/``join``/``lock``/... are the pthreads
+facade.  Whether those calls are merely counted (native mode) or fully
+traced (INSPECTOR mode) depends on the execution backend plugged into the
+runtime -- the workload code is identical in both modes, which mirrors the
+"no recompilation" property of the real library.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.threads.backend import ExecutionBackend
+from repro.threads.process import SimProcess
+from repro.threads.runtime import SimRuntime
+from repro.threads.sync import (
+    Barrier,
+    ConditionVariable,
+    Mutex,
+    RWLock,
+    Semaphore,
+    SyncKind,
+    Token,
+)
+
+_WORD = struct.Struct("<q")
+_DOUBLE = struct.Struct("<d")
+
+#: Size of the machine word used by the word-level helpers (bytes).
+WORD_SIZE = 8
+
+
+def branch_site(label: str) -> int:
+    """Map a stable human-readable branch label onto a synthetic instruction pointer.
+
+    The real system gets instruction pointers from the binary; here each
+    distinct call-site label is hashed into a 48-bit address inside a
+    synthetic "text segment" so that the PT encoder has realistic-looking
+    IPs to compress and the binary map has something to resolve.
+    """
+    digest = zlib.crc32(label.encode("utf-8"))
+    return 0x4000_0000_0000 | digest
+
+
+class ThreadHandle:
+    """Handle returned by :meth:`ProgramAPI.spawn`, consumed by :meth:`ProgramAPI.join`."""
+
+    def __init__(self, process: SimProcess) -> None:
+        self.process = process
+
+    @property
+    def tid(self) -> int:
+        """Thread index of the spawned thread."""
+        return self.process.tid
+
+
+class ProgramAPI:
+    """The per-thread facade workloads program against.
+
+    One instance is bound to each simulated process; it forwards memory and
+    control-flow events to the execution backend and wraps every
+    synchronization primitive with the before/after boundary calls that
+    drive sub-computation creation, memory commit, and vector-clock
+    propagation in INSPECTOR mode.
+
+    Args:
+        runtime: The scheduling runtime.
+        backend: The execution backend (native or INSPECTOR).
+        process: The simulated process this API instance is bound to.
+    """
+
+    def __init__(self, runtime: SimRuntime, backend: ExecutionBackend, process: SimProcess) -> None:
+        self.runtime = runtime
+        self.backend = backend
+        self.process = process
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tid(self) -> int:
+        """Thread index of the calling thread (0 is the main thread)."""
+        return self.process.tid
+
+    @property
+    def name(self) -> str:
+        """Name of the calling thread."""
+        return self.process.name
+
+    # ------------------------------------------------------------------ #
+    # Memory
+    # ------------------------------------------------------------------ #
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes on the tracked heap and return the address."""
+        return self.backend.malloc(self.process, size)
+
+    def calloc(self, count: int, size: int) -> int:
+        """Allocate and zero ``count * size`` bytes."""
+        address = self.backend.malloc(self.process, count * size)
+        self.store_bytes(address, bytes(count * size))
+        return address
+
+    def free(self, address: int) -> None:
+        """Release a heap allocation."""
+        self.backend.free(self.process, address)
+
+    def load_bytes(self, address: int, size: int) -> bytes:
+        """Load ``size`` raw bytes."""
+        return self.backend.load(self.process, address, size)
+
+    def store_bytes(self, address: int, data: bytes) -> None:
+        """Store raw bytes."""
+        self.backend.store(self.process, address, bytes(data))
+
+    def load(self, address: int) -> int:
+        """Load a signed 64-bit integer."""
+        return _WORD.unpack(self.backend.load(self.process, address, WORD_SIZE))[0]
+
+    def store(self, address: int, value: int) -> None:
+        """Store a signed 64-bit integer."""
+        self.backend.store(self.process, address, _WORD.pack(int(value)))
+
+    def loadf(self, address: int) -> float:
+        """Load a 64-bit float."""
+        return _DOUBLE.unpack(self.backend.load(self.process, address, WORD_SIZE))[0]
+
+    def storef(self, address: int, value: float) -> None:
+        """Store a 64-bit float."""
+        self.backend.store(self.process, address, _DOUBLE.pack(float(value)))
+
+    # ------------------------------------------------------------------ #
+    # Control flow and computation
+    # ------------------------------------------------------------------ #
+
+    def branch(self, condition: Any, site: str) -> bool:
+        """Record a conditional branch and return the branch outcome.
+
+        Typical use::
+
+            while api.branch(i < n, "worker.loop"):
+                ...
+        """
+        taken = bool(condition)
+        self.backend.branch(self.process, branch_site(site), taken)
+        return taken
+
+    def branch_run(self, outcomes: Sequence[Any], site: str) -> int:
+        """Record one conditional branch per element of ``outcomes`` in bulk.
+
+        Workload inner loops execute a branch per element; this batches a
+        chunk's worth of outcomes into one call.  Returns the number of
+        taken branches, which callers occasionally find handy.
+        """
+        bools = [bool(outcome) for outcome in outcomes]
+        self.backend.branch_run(self.process, branch_site(site), bools)
+        return sum(1 for outcome in bools if outcome)
+
+    def call(self, target: str) -> None:
+        """Record an indirect branch (function call) to ``target``."""
+        self.backend.indirect(self.process, branch_site(target))
+
+    def ret(self) -> None:
+        """Record a function return (an indirect branch in PT terms)."""
+        self.backend.indirect(self.process, branch_site("__return__"))
+
+    def compute(self, units: int = 1) -> None:
+        """Account ``units`` of pure computation (no memory traffic)."""
+        self.backend.compute(self.process, units)
+
+    def yield_(self) -> None:
+        """Voluntarily yield the CPU (a scheduling point, not a sync boundary)."""
+        self.runtime.preempt(self.process)
+
+    # ------------------------------------------------------------------ #
+    # Thread management
+    # ------------------------------------------------------------------ #
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: Optional[str] = None,
+    ) -> ThreadHandle:
+        """Create a new thread running ``fn(api, *args)`` and return its handle.
+
+        Under INSPECTOR this models ``pthread_create`` turning into a
+        ``clone()`` of a new process; the creation itself is a release on
+        the child's start token so the child's first sub-computation
+        happens-after the parent's creating sub-computation.
+        """
+        start_token = Token(self.runtime, SyncKind.THREAD_START)
+        exit_token = Token(self.runtime, SyncKind.THREAD_EXIT)
+        self.backend.before_sync(self.process, "thread_create", start_token, releases=[start_token])
+
+        def entry(proc: SimProcess) -> Any:
+            api = ProgramAPI(self.runtime, self.backend, proc)
+            return fn(api, *args)
+
+        child = self.runtime.spawn(entry, name=name, parent=self.process)
+        child.start_token = start_token
+        child.exit_token = exit_token
+        self.backend.after_sync(self.process, "thread_create", start_token, acquires=[])
+        self.runtime.preempt(self.process)
+        return ThreadHandle(child)
+
+    def join(self, handle: ThreadHandle) -> Any:
+        """Wait for a spawned thread and return its result.
+
+        The join is an acquire on the child's exit token, so everything the
+        child did happens-before the joiner's next sub-computation.
+        """
+        child = handle.process
+        self.backend.before_sync(self.process, "thread_join", child.exit_token, releases=[])
+        result = self.runtime.join(self.process, child)
+        acquires = [child.exit_token] if child.exit_token is not None else []
+        self.backend.after_sync(self.process, "thread_join", child.exit_token, acquires=acquires)
+        self.runtime.preempt(self.process)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Synchronization object constructors
+    # ------------------------------------------------------------------ #
+
+    def mutex(self, name: Optional[str] = None) -> Mutex:
+        """Create a mutex."""
+        return Mutex(self.runtime, name=name)
+
+    def condvar(self, name: Optional[str] = None) -> ConditionVariable:
+        """Create a condition variable."""
+        return ConditionVariable(self.runtime, name=name)
+
+    def semaphore(self, value: int = 0, name: Optional[str] = None) -> Semaphore:
+        """Create a counting semaphore."""
+        return Semaphore(self.runtime, value=value, name=name)
+
+    def barrier(self, parties: int, name: Optional[str] = None) -> Barrier:
+        """Create a cyclic barrier for ``parties`` threads."""
+        return Barrier(self.runtime, parties, name=name)
+
+    def rwlock(self, name: Optional[str] = None) -> RWLock:
+        """Create a reader-writer lock."""
+        return RWLock(self.runtime, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Synchronization operations (the pthreads calls INSPECTOR interposes)
+    # ------------------------------------------------------------------ #
+
+    def lock(self, mutex: Mutex) -> None:
+        """``pthread_mutex_lock``: acquire ``mutex``."""
+        self.backend.before_sync(self.process, "mutex_lock", mutex, releases=[])
+        mutex.lock(self.process)
+        self.backend.after_sync(self.process, "mutex_lock", mutex, acquires=[mutex])
+        self.runtime.preempt(self.process)
+
+    def try_lock(self, mutex: Mutex) -> bool:
+        """``pthread_mutex_trylock``: acquire ``mutex`` without blocking."""
+        self.backend.before_sync(self.process, "mutex_trylock", mutex, releases=[])
+        acquired = mutex.try_lock(self.process)
+        self.backend.after_sync(
+            self.process, "mutex_trylock", mutex, acquires=[mutex] if acquired else []
+        )
+        self.runtime.preempt(self.process)
+        return acquired
+
+    def unlock(self, mutex: Mutex) -> None:
+        """``pthread_mutex_unlock``: release ``mutex``."""
+        self.backend.before_sync(self.process, "mutex_unlock", mutex, releases=[mutex])
+        mutex.unlock(self.process)
+        self.backend.after_sync(self.process, "mutex_unlock", mutex, acquires=[])
+        self.runtime.preempt(self.process)
+
+    def cond_wait(self, cond: ConditionVariable, mutex: Mutex) -> None:
+        """``pthread_cond_wait``: release the mutex, wait, re-acquire it."""
+        self.backend.before_sync(self.process, "cond_wait", cond, releases=[mutex, cond])
+        cond.wait(self.process, mutex)
+        self.backend.after_sync(self.process, "cond_wait", cond, acquires=[cond, mutex])
+        self.runtime.preempt(self.process)
+
+    def cond_signal(self, cond: ConditionVariable) -> None:
+        """``pthread_cond_signal``: wake one waiter."""
+        self.backend.before_sync(self.process, "cond_signal", cond, releases=[cond])
+        cond.signal(self.process)
+        self.backend.after_sync(self.process, "cond_signal", cond, acquires=[])
+        self.runtime.preempt(self.process)
+
+    def cond_broadcast(self, cond: ConditionVariable) -> None:
+        """``pthread_cond_broadcast``: wake every waiter."""
+        self.backend.before_sync(self.process, "cond_broadcast", cond, releases=[cond])
+        cond.broadcast(self.process)
+        self.backend.after_sync(self.process, "cond_broadcast", cond, acquires=[])
+        self.runtime.preempt(self.process)
+
+    def sem_wait(self, semaphore: Semaphore) -> None:
+        """``sem_wait``: decrement, blocking at zero (an acquire)."""
+        self.backend.before_sync(self.process, "sem_wait", semaphore, releases=[])
+        semaphore.wait(self.process)
+        self.backend.after_sync(self.process, "sem_wait", semaphore, acquires=[semaphore])
+        self.runtime.preempt(self.process)
+
+    def sem_post(self, semaphore: Semaphore) -> None:
+        """``sem_post``: increment and wake a waiter (a release)."""
+        self.backend.before_sync(self.process, "sem_post", semaphore, releases=[semaphore])
+        semaphore.post(self.process)
+        self.backend.after_sync(self.process, "sem_post", semaphore, acquires=[])
+        self.runtime.preempt(self.process)
+
+    def barrier_wait(self, barrier: Barrier) -> bool:
+        """``pthread_barrier_wait``: release into and acquire from the barrier.
+
+        Returns ``True`` for the serial thread of each barrier cycle.
+        """
+        self.backend.before_sync(self.process, "barrier_wait", barrier, releases=[barrier])
+        serial = barrier.wait(self.process)
+        self.backend.after_sync(self.process, "barrier_wait", barrier, acquires=[barrier])
+        self.runtime.preempt(self.process)
+        return serial
+
+    def rw_rdlock(self, lock: RWLock) -> None:
+        """``pthread_rwlock_rdlock``: acquire in shared mode."""
+        self.backend.before_sync(self.process, "rwlock_rdlock", lock, releases=[])
+        lock.read_lock(self.process)
+        self.backend.after_sync(self.process, "rwlock_rdlock", lock, acquires=[lock])
+        self.runtime.preempt(self.process)
+
+    def rw_wrlock(self, lock: RWLock) -> None:
+        """``pthread_rwlock_wrlock``: acquire in exclusive mode."""
+        self.backend.before_sync(self.process, "rwlock_wrlock", lock, releases=[])
+        lock.write_lock(self.process)
+        self.backend.after_sync(self.process, "rwlock_wrlock", lock, acquires=[lock])
+        self.runtime.preempt(self.process)
+
+    def rw_unlock(self, lock: RWLock) -> None:
+        """``pthread_rwlock_unlock``: release in whichever mode is held."""
+        self.backend.before_sync(self.process, "rwlock_unlock", lock, releases=[lock])
+        lock.unlock(self.process)
+        self.backend.after_sync(self.process, "rwlock_unlock", lock, acquires=[])
+        self.runtime.preempt(self.process)
+
+    # ------------------------------------------------------------------ #
+    # Input / output shims
+    # ------------------------------------------------------------------ #
+
+    @property
+    def input_base(self) -> int:
+        """Base address of the mmap-ed input region."""
+        return self.backend.input_base()
+
+    def read_input(self, offset: int, size: int) -> bytes:
+        """Read raw bytes from the input region (a tracked load)."""
+        return self.load_bytes(self.input_base + offset, size)
+
+    def read_input_word(self, index: int) -> int:
+        """Read the ``index``-th 64-bit word of the input region."""
+        return self.load(self.input_base + index * WORD_SIZE)
+
+    def read_input_double(self, index: int) -> float:
+        """Read the ``index``-th 64-bit float of the input region."""
+        return self.loadf(self.input_base + index * WORD_SIZE)
+
+    def write_output(self, data: bytes, source_addresses: Sequence[int] = ()) -> None:
+        """Emit output through the glibc-wrapper shim (the DIFT policy sink).
+
+        Args:
+            data: The bytes written out.
+            source_addresses: Tracked addresses the output was derived from;
+                the DIFT case study uses them to check taint policies.
+        """
+        self.backend.write_output(self.process, bytes(data), tuple(source_addresses))
+
+
+def spawn_workers(
+    api: ProgramAPI,
+    worker: Callable[..., Any],
+    count: int,
+    args_for: Optional[Callable[[int], Tuple[Any, ...]]] = None,
+) -> Tuple[ThreadHandle, ...]:
+    """Spawn ``count`` worker threads and return their handles.
+
+    A small helper shared by the data-parallel workloads: worker ``i``
+    receives ``args_for(i)`` (or just ``(i,)`` when no factory is given).
+    """
+    handles = []
+    for index in range(count):
+        args = args_for(index) if args_for is not None else (index,)
+        handles.append(api.spawn(worker, *args, name=f"worker-{index}"))
+    return tuple(handles)
+
+
+def join_all(api: ProgramAPI, handles: Sequence[ThreadHandle]) -> list:
+    """Join every handle in order and return their results."""
+    return [api.join(handle) for handle in handles]

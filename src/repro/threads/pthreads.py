@@ -1,0 +1,114 @@
+"""A pthreads-style veneer over the program API.
+
+The real INSPECTOR replaces ``libpthread`` at link time; application code
+keeps calling ``pthread_mutex_lock`` and friends.  For readers who want the
+reproduction to look like the original API, this module exposes free
+functions with the POSIX names that simply delegate to the bound
+:class:`~repro.threads.program.ProgramAPI`.  Workloads in this repository
+use the object-oriented API directly; the veneer exists for the examples
+and for API fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.threads.program import ProgramAPI, ThreadHandle
+from repro.threads.sync import Barrier, ConditionVariable, Mutex, RWLock, Semaphore
+
+
+def pthread_create(
+    api: ProgramAPI, fn: Callable[..., Any], *args: Any, name: Optional[str] = None
+) -> ThreadHandle:
+    """Create a new thread running ``fn(api, *args)``."""
+    return api.spawn(fn, *args, name=name)
+
+
+def pthread_join(api: ProgramAPI, handle: ThreadHandle) -> Any:
+    """Wait for ``handle`` to finish and return its result."""
+    return api.join(handle)
+
+
+def pthread_mutex_init(api: ProgramAPI, name: Optional[str] = None) -> Mutex:
+    """Create a mutex."""
+    return api.mutex(name=name)
+
+
+def pthread_mutex_lock(api: ProgramAPI, mutex: Mutex) -> None:
+    """Acquire ``mutex``."""
+    api.lock(mutex)
+
+
+def pthread_mutex_trylock(api: ProgramAPI, mutex: Mutex) -> bool:
+    """Try to acquire ``mutex`` without blocking."""
+    return api.try_lock(mutex)
+
+
+def pthread_mutex_unlock(api: ProgramAPI, mutex: Mutex) -> None:
+    """Release ``mutex``."""
+    api.unlock(mutex)
+
+
+def pthread_cond_init(api: ProgramAPI, name: Optional[str] = None) -> ConditionVariable:
+    """Create a condition variable."""
+    return api.condvar(name=name)
+
+
+def pthread_cond_wait(api: ProgramAPI, cond: ConditionVariable, mutex: Mutex) -> None:
+    """Wait on ``cond`` releasing ``mutex`` while blocked."""
+    api.cond_wait(cond, mutex)
+
+
+def pthread_cond_signal(api: ProgramAPI, cond: ConditionVariable) -> None:
+    """Wake one waiter of ``cond``."""
+    api.cond_signal(cond)
+
+
+def pthread_cond_broadcast(api: ProgramAPI, cond: ConditionVariable) -> None:
+    """Wake every waiter of ``cond``."""
+    api.cond_broadcast(cond)
+
+
+def sem_init(api: ProgramAPI, value: int = 0, name: Optional[str] = None) -> Semaphore:
+    """Create a counting semaphore."""
+    return api.semaphore(value=value, name=name)
+
+
+def sem_wait(api: ProgramAPI, semaphore: Semaphore) -> None:
+    """Decrement ``semaphore``, blocking at zero."""
+    api.sem_wait(semaphore)
+
+
+def sem_post(api: ProgramAPI, semaphore: Semaphore) -> None:
+    """Increment ``semaphore``."""
+    api.sem_post(semaphore)
+
+
+def pthread_barrier_init(api: ProgramAPI, parties: int, name: Optional[str] = None) -> Barrier:
+    """Create a barrier for ``parties`` threads."""
+    return api.barrier(parties, name=name)
+
+
+def pthread_barrier_wait(api: ProgramAPI, barrier: Barrier) -> bool:
+    """Wait on ``barrier``; returns True for the serial thread."""
+    return api.barrier_wait(barrier)
+
+
+def pthread_rwlock_init(api: ProgramAPI, name: Optional[str] = None) -> RWLock:
+    """Create a reader-writer lock."""
+    return api.rwlock(name=name)
+
+
+def pthread_rwlock_rdlock(api: ProgramAPI, lock: RWLock) -> None:
+    """Acquire ``lock`` in shared mode."""
+    api.rw_rdlock(lock)
+
+
+def pthread_rwlock_wrlock(api: ProgramAPI, lock: RWLock) -> None:
+    """Acquire ``lock`` in exclusive mode."""
+    api.rw_wrlock(lock)
+
+
+def pthread_rwlock_unlock(api: ProgramAPI, lock: RWLock) -> None:
+    """Release ``lock``."""
+    api.rw_unlock(lock)

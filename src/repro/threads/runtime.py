@@ -1,0 +1,287 @@
+"""The simulated operating system: process creation, scheduling, blocking.
+
+Every simulated process is hosted by a real Python thread, but only one of
+them runs at any moment: the runtime hands the "CPU" to exactly one process
+and takes it back when that process reaches a scheduling point (a
+synchronization operation, a voluntary yield, or termination).  Because the
+release-consistency model restricts inter-thread communication to
+synchronization points, scheduling only at those points loses no behaviour
+that the provenance layer could observe, while keeping runs deterministic
+and replayable under a deterministic scheduler.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import DeadlockError, ThreadingError
+from repro.threads.process import ProcessState, SimProcess
+from repro.threads.scheduler import RoundRobinScheduler, Scheduler
+
+
+class _RuntimeShutdown(BaseException):
+    """Internal signal used to unwind hosted threads when a run aborts.
+
+    Derived from ``BaseException`` so that application-level ``except
+    Exception`` blocks inside workloads cannot swallow it.
+    """
+
+
+class SimRuntime:
+    """Cooperative scheduler for simulated processes.
+
+    Args:
+        scheduler: Scheduling policy; defaults to deterministic round-robin.
+        backend: Optional :class:`~repro.threads.backend.ExecutionBackend`
+            whose lifecycle hooks are invoked when processes start and exit.
+            The backend is also what the program API routes memory and
+            branch events through.
+
+    Attributes:
+        context_switches: Number of times the CPU was handed to a process.
+        process_creations: Number of processes spawned (the paper's
+            ``clone()``-per-thread cost is charged per creation).
+        sync_object_count: Number of synchronization objects created so far
+            (used to assign stable ids).
+    """
+
+    def __init__(self, scheduler: Optional[Scheduler] = None, backend: Optional[object] = None) -> None:
+        self.scheduler = scheduler if scheduler is not None else RoundRobinScheduler()
+        self.backend = backend
+        self._cond = threading.Condition()
+        self._processes: Dict[int, SimProcess] = {}
+        self._next_pid = 0
+        self._next_sync_id = 0
+        self._current: Optional[int] = None
+        self._last_scheduled: Optional[int] = None
+        self._shutdown = False
+        self._abort_error: Optional[BaseException] = None
+        self.context_switches = 0
+        self.process_creations = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def processes(self) -> List[SimProcess]:
+        """All processes created so far, in pid order."""
+        return [self._processes[pid] for pid in sorted(self._processes)]
+
+    def process(self, pid: int) -> SimProcess:
+        """Return the process with id ``pid``."""
+        return self._processes[pid]
+
+    @property
+    def sync_object_count(self) -> int:
+        """Number of synchronization-object ids handed out so far."""
+        return self._next_sync_id
+
+    def next_sync_id(self) -> int:
+        """Return a fresh synchronization-object id."""
+        sync_id = self._next_sync_id
+        self._next_sync_id += 1
+        return sync_id
+
+    # ------------------------------------------------------------------ #
+    # Process creation
+    # ------------------------------------------------------------------ #
+
+    def spawn(
+        self,
+        entry: Callable[[SimProcess], Any],
+        name: Optional[str] = None,
+        parent: Optional[SimProcess] = None,
+    ) -> SimProcess:
+        """Create a new simulated process and make it runnable.
+
+        Args:
+            entry: Callable invoked with the new :class:`SimProcess`.  Higher
+                layers use this to bind their program API to the process.
+            name: Optional human-readable name.
+            parent: The creating process, if any.
+
+        Returns:
+            The new process.  Its hosting Python thread is started
+            immediately but does not run application code until scheduled.
+        """
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = SimProcess(pid=pid, entry=entry, name=name, parent_pid=parent.pid if parent else None)
+        self._processes[pid] = proc
+        self.process_creations += 1
+        thread = threading.Thread(target=self._process_body, args=(proc,), name=proc.name, daemon=True)
+        proc.thread = thread
+        proc.state = ProcessState.RUNNABLE
+        thread.start()
+        return proc
+
+    # ------------------------------------------------------------------ #
+    # The coordinator loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, entry: Callable[[SimProcess], Any], name: str = "main") -> Any:
+        """Run ``entry`` as the main process until every process terminates.
+
+        Returns:
+            The return value of the main process.
+
+        Raises:
+            DeadlockError: If at some point no process is runnable but some
+                are still blocked.
+            Exception: The first exception raised by any simulated process
+                is re-raised here after the run is torn down.
+        """
+        self._reset_run_state()
+        main = self.spawn(entry, name=name)
+        try:
+            self._coordinate()
+        finally:
+            self._teardown_threads()
+        failed = [p for p in self.processes if p.exception is not None]
+        if failed:
+            raise failed[0].exception
+        if self._abort_error is not None:
+            raise self._abort_error
+        return main.result
+
+    def _reset_run_state(self) -> None:
+        if self._processes:
+            raise ThreadingError("SimRuntime.run() may only be called once per runtime instance")
+        self.scheduler.reset()
+        self._shutdown = False
+        self._abort_error = None
+
+    def _coordinate(self) -> None:
+        with self._cond:
+            while True:
+                procs = list(self._processes.values())
+                if all(p.state is ProcessState.TERMINATED for p in procs):
+                    return
+                if any(p.exception is not None for p in procs):
+                    self._begin_shutdown()
+                    return
+                runnable = sorted(p.pid for p in procs if p.state is ProcessState.RUNNABLE)
+                if not runnable:
+                    blocked = [p for p in procs if p.state is ProcessState.BLOCKED]
+                    self._abort_error = DeadlockError(
+                        "no runnable process; blocked: "
+                        + ", ".join(f"{p.name} on {p.waiting_on!r}" for p in blocked)
+                    )
+                    self._begin_shutdown()
+                    return
+                pid = self.scheduler.pick(runnable, self._last_scheduled)
+                if pid not in runnable:
+                    raise ThreadingError(f"scheduler chose pid {pid} which is not runnable")
+                self._last_scheduled = pid
+                self._current = pid
+                self.context_switches += 1
+                self._cond.notify_all()
+                while self._current is not None:
+                    self._cond.wait()
+
+    def _begin_shutdown(self) -> None:
+        """Ask every hosted thread that is parked in the runtime to unwind."""
+        self._shutdown = True
+        self._cond.notify_all()
+
+    def _teardown_threads(self) -> None:
+        with self._cond:
+            self._begin_shutdown()
+        for proc in self.processes:
+            if proc.thread is not None and proc.thread.is_alive():
+                proc.thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------ #
+    # The process side
+    # ------------------------------------------------------------------ #
+
+    def _process_body(self, proc: SimProcess) -> None:
+        try:
+            self._wait_until_scheduled(proc)
+        except _RuntimeShutdown:
+            self._finish(proc)
+            return
+        try:
+            if self.backend is not None:
+                self.backend.on_process_start(proc)
+            proc.result = proc.entry(proc)
+            if self.backend is not None:
+                self.backend.on_process_exit(proc)
+        except _RuntimeShutdown:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - propagated to run()
+            proc.exception = exc
+        finally:
+            self._finish(proc)
+
+    def _wait_until_scheduled(self, proc: SimProcess) -> None:
+        with self._cond:
+            while self._current != proc.pid:
+                if self._shutdown:
+                    raise _RuntimeShutdown()
+                self._cond.wait()
+            proc.state = ProcessState.RUNNING
+
+    def _finish(self, proc: SimProcess) -> None:
+        with self._cond:
+            proc.state = ProcessState.TERMINATED
+            for waiter in proc.joiners:
+                if waiter.state is ProcessState.BLOCKED:
+                    waiter.state = ProcessState.RUNNABLE
+                    waiter.waiting_on = None
+            proc.joiners.clear()
+            if self._current == proc.pid:
+                self._current = None
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Scheduling points used by the synchronization layer
+    # ------------------------------------------------------------------ #
+
+    def yield_control(self, proc: SimProcess, new_state: ProcessState = ProcessState.RUNNABLE) -> None:
+        """Give the CPU back to the coordinator and wait to be rescheduled.
+
+        Args:
+            proc: The currently running process (must be the caller).
+            new_state: The state to park the process in while it waits
+                (``RUNNABLE`` for a voluntary yield, ``BLOCKED`` when the
+                caller is waiting on a synchronization object).
+        """
+        with self._cond:
+            proc.state = new_state
+            self._current = None
+            self._cond.notify_all()
+            while self._current != proc.pid:
+                if self._shutdown:
+                    raise _RuntimeShutdown()
+                self._cond.wait()
+            proc.state = ProcessState.RUNNING
+
+    def block_current(self, proc: SimProcess, waiting_on: object) -> None:
+        """Block ``proc`` on ``waiting_on`` until someone makes it runnable again."""
+        proc.waiting_on = waiting_on
+        self.yield_control(proc, ProcessState.BLOCKED)
+        proc.waiting_on = None
+
+    def make_runnable(self, proc: SimProcess) -> None:
+        """Move a blocked process back to the runnable set."""
+        with self._cond:
+            if proc.state is ProcessState.BLOCKED:
+                proc.state = ProcessState.RUNNABLE
+                proc.waiting_on = None
+                self._cond.notify_all()
+
+    def preempt(self, proc: SimProcess) -> None:
+        """Voluntary yield: let the scheduler pick again (caller stays runnable)."""
+        self.yield_control(proc, ProcessState.RUNNABLE)
+
+    def join(self, caller: SimProcess, target: SimProcess) -> Any:
+        """Block ``caller`` until ``target`` terminates and return its result."""
+        if caller.pid == target.pid:
+            raise ThreadingError(f"{caller.name} attempted to join itself")
+        while not target.terminated:
+            target.joiners.append(caller)
+            self.block_current(caller, waiting_on=("join", target.pid))
+        return target.result

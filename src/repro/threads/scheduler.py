@@ -1,0 +1,107 @@
+"""Schedulers deciding which simulated process runs next.
+
+The runtime switches between simulated processes only at synchronization
+points (which is exactly where the release-consistency model allows
+inter-thread communication), so the scheduler's job is to pick one runnable
+process whenever the current one yields, blocks, or terminates.
+
+Two policies are provided: a deterministic round-robin scheduler used by
+default (replayable runs, stable benchmarks) and a seeded pseudo-random
+scheduler used by the property-based tests to explore many interleavings of
+the same program.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.errors import SchedulerError
+
+
+class Scheduler(ABC):
+    """Strategy interface for picking the next runnable process."""
+
+    @abstractmethod
+    def pick(self, runnable: Sequence[int], last: Optional[int]) -> int:
+        """Return the pid of the process to run next.
+
+        Args:
+            runnable: Pids of processes that are currently runnable, in
+                ascending pid order.  Never empty.
+            last: Pid of the process that ran most recently, or ``None`` at
+                the very beginning of the run.
+        """
+
+    def reset(self) -> None:
+        """Reset any internal state before a new run (optional)."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Deterministic scheduler cycling through runnable pids in order.
+
+    The next process is the runnable pid strictly greater than the last one
+    that ran, wrapping around to the smallest runnable pid.  Given the same
+    program this produces the same interleaving on every run, which keeps
+    CPGs and benchmark statistics reproducible.
+    """
+
+    def pick(self, runnable: Sequence[int], last: Optional[int]) -> int:
+        if not runnable:
+            raise SchedulerError("pick() called with no runnable processes")
+        if last is None:
+            return runnable[0]
+        for pid in runnable:
+            if pid > last:
+                return pid
+        return runnable[0]
+
+
+class RandomScheduler(Scheduler):
+    """Seeded pseudo-random scheduler used to explore interleavings.
+
+    Args:
+        seed: Seed for the private :class:`random.Random` instance.  Runs
+            with the same seed produce the same schedule.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def pick(self, runnable: Sequence[int], last: Optional[int]) -> int:
+        if not runnable:
+            raise SchedulerError("pick() called with no runnable processes")
+        return self._rng.choice(list(runnable))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class FixedScheduler(Scheduler):
+    """Scheduler that replays an explicit pid sequence (for targeted tests).
+
+    Args:
+        order: The schedule to replay.  When the requested pid is not
+            runnable (or the sequence is exhausted) the scheduler falls back
+            to the smallest runnable pid, so a partially specified schedule
+            still makes progress.
+    """
+
+    def __init__(self, order: Sequence[int]) -> None:
+        self.order: List[int] = list(order)
+        self._cursor = 0
+
+    def pick(self, runnable: Sequence[int], last: Optional[int]) -> int:
+        if not runnable:
+            raise SchedulerError("pick() called with no runnable processes")
+        while self._cursor < len(self.order):
+            wanted = self.order[self._cursor]
+            self._cursor += 1
+            if wanted in runnable:
+                return wanted
+        return runnable[0]
+
+    def reset(self) -> None:
+        self._cursor = 0

@@ -1,0 +1,268 @@
+"""Synchronization primitives of the simulated pthreads library.
+
+These classes implement the *mechanism* of the POSIX primitives INSPECTOR
+supports (mutexes, condition variables, semaphores, barriers, and
+reader-writer locks) on top of the runtime's block/wake facilities.  The
+*policy* side -- ending sub-computations, committing memory, and
+propagating vector clocks according to the acquire/release model -- is
+layered on by the program API facade, which calls into the execution
+backend around every operation defined here.
+
+Every primitive is a :class:`SyncObject` with a stable id, because the
+provenance algorithm keys its synchronization clocks ``C_S`` by object.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Deque, List, Optional
+
+from collections import deque
+
+from repro.errors import InvalidSyncStateError
+from repro.threads.process import SimProcess
+from repro.threads.runtime import SimRuntime
+
+
+class SyncKind(enum.Enum):
+    """The kind of synchronization object (recorded in the CPG)."""
+
+    MUTEX = "mutex"
+    CONDVAR = "condvar"
+    SEMAPHORE = "semaphore"
+    BARRIER = "barrier"
+    RWLOCK = "rwlock"
+    THREAD_START = "thread_start"
+    THREAD_EXIT = "thread_exit"
+
+
+class SyncObject:
+    """Base class for every synchronization object.
+
+    Attributes:
+        runtime: The owning runtime (provides blocking and ids).
+        sync_id: Stable id used by the provenance layer to key ``C_S``.
+        kind: The :class:`SyncKind` of this object.
+        name: Optional human-readable name.
+    """
+
+    def __init__(self, runtime: SimRuntime, kind: SyncKind, name: Optional[str] = None) -> None:
+        self.runtime = runtime
+        self.sync_id = runtime.next_sync_id()
+        self.kind = kind
+        self.name = name if name is not None else f"{kind.value}-{self.sync_id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(id={self.sync_id}, name={self.name!r})"
+
+
+class Token(SyncObject):
+    """A passive sync object used only to carry happens-before information.
+
+    Thread-creation and thread-exit ordering is modelled with tokens: the
+    parent *releases* the child's start token, the child *acquires* it when
+    it begins; the child releases its exit token when it finishes and the
+    joiner acquires it.  Tokens never block anyone by themselves.
+    """
+
+    def __init__(self, runtime: SimRuntime, kind: SyncKind, name: Optional[str] = None) -> None:
+        if kind not in (SyncKind.THREAD_START, SyncKind.THREAD_EXIT):
+            raise InvalidSyncStateError("Token must be a thread_start or thread_exit object")
+        super().__init__(runtime, kind, name)
+
+
+class Mutex(SyncObject):
+    """A non-recursive mutual-exclusion lock."""
+
+    def __init__(self, runtime: SimRuntime, name: Optional[str] = None) -> None:
+        super().__init__(runtime, SyncKind.MUTEX, name)
+        self._owner: Optional[SimProcess] = None
+        self._waiters: Deque[SimProcess] = deque()
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    @property
+    def owner(self) -> Optional[SimProcess]:
+        """The process currently holding the lock, or ``None``."""
+        return self._owner
+
+    def lock(self, proc: SimProcess) -> None:
+        """Acquire the mutex, blocking until it is free."""
+        if self._owner is proc:
+            raise InvalidSyncStateError(f"{proc.name} attempted to re-lock non-recursive {self.name}")
+        contended = False
+        while self._owner is not None:
+            contended = True
+            self._waiters.append(proc)
+            self.runtime.block_current(proc, waiting_on=self)
+        self._owner = proc
+        self.acquisitions += 1
+        if contended:
+            self.contended_acquisitions += 1
+
+    def try_lock(self, proc: SimProcess) -> bool:
+        """Acquire the mutex if it is free; return whether it was acquired."""
+        if self._owner is None:
+            self._owner = proc
+            self.acquisitions += 1
+            return True
+        return False
+
+    def unlock(self, proc: SimProcess) -> None:
+        """Release the mutex and wake every waiter (they re-contend)."""
+        if self._owner is not proc:
+            owner = self._owner.name if self._owner else "nobody"
+            raise InvalidSyncStateError(
+                f"{proc.name} unlocked {self.name} which is held by {owner}"
+            )
+        self._owner = None
+        while self._waiters:
+            self.runtime.make_runnable(self._waiters.popleft())
+
+
+class ConditionVariable(SyncObject):
+    """A POSIX-style condition variable used together with a :class:`Mutex`."""
+
+    def __init__(self, runtime: SimRuntime, name: Optional[str] = None) -> None:
+        super().__init__(runtime, SyncKind.CONDVAR, name)
+        self._waiters: Deque[SimProcess] = deque()
+        self.signals = 0
+        self.broadcasts = 0
+        self.waits = 0
+
+    def wait(self, proc: SimProcess, mutex: Mutex) -> None:
+        """Atomically release ``mutex``, wait for a signal, and re-acquire it."""
+        if mutex.owner is not proc:
+            raise InvalidSyncStateError(
+                f"{proc.name} called wait on {self.name} without holding {mutex.name}"
+            )
+        self.waits += 1
+        self._waiters.append(proc)
+        mutex.unlock(proc)
+        self.runtime.block_current(proc, waiting_on=self)
+        mutex.lock(proc)
+
+    def signal(self, proc: SimProcess) -> None:
+        """Wake one waiter (if any)."""
+        self.signals += 1
+        if self._waiters:
+            self.runtime.make_runnable(self._waiters.popleft())
+
+    def broadcast(self, proc: SimProcess) -> None:
+        """Wake every waiter."""
+        self.broadcasts += 1
+        while self._waiters:
+            self.runtime.make_runnable(self._waiters.popleft())
+
+
+class Semaphore(SyncObject):
+    """A counting semaphore."""
+
+    def __init__(self, runtime: SimRuntime, value: int = 0, name: Optional[str] = None) -> None:
+        if value < 0:
+            raise InvalidSyncStateError(f"semaphore initial value must be >= 0, got {value}")
+        super().__init__(runtime, SyncKind.SEMAPHORE, name)
+        self._value = value
+        self._waiters: Deque[SimProcess] = deque()
+
+    @property
+    def value(self) -> int:
+        """Current semaphore count."""
+        return self._value
+
+    def wait(self, proc: SimProcess) -> None:
+        """Decrement the semaphore, blocking while the count is zero."""
+        while self._value == 0:
+            self._waiters.append(proc)
+            self.runtime.block_current(proc, waiting_on=self)
+        self._value -= 1
+
+    def try_wait(self, proc: SimProcess) -> bool:
+        """Decrement without blocking; return whether the decrement happened."""
+        if self._value > 0:
+            self._value -= 1
+            return True
+        return False
+
+    def post(self, proc: SimProcess) -> None:
+        """Increment the semaphore and wake one waiter."""
+        self._value += 1
+        if self._waiters:
+            self.runtime.make_runnable(self._waiters.popleft())
+
+
+class Barrier(SyncObject):
+    """A cyclic barrier for a fixed number of parties."""
+
+    def __init__(self, runtime: SimRuntime, parties: int, name: Optional[str] = None) -> None:
+        if parties <= 0:
+            raise InvalidSyncStateError(f"barrier needs a positive party count, got {parties}")
+        super().__init__(runtime, SyncKind.BARRIER, name)
+        self.parties = parties
+        self._arrived = 0
+        self._generation = 0
+        self._waiters: List[SimProcess] = []
+        self.cycles = 0
+
+    def wait(self, proc: SimProcess) -> bool:
+        """Wait until ``parties`` processes have arrived.
+
+        Returns:
+            ``True`` for exactly one process per cycle (the last arriver),
+            mirroring ``PTHREAD_BARRIER_SERIAL_THREAD``.
+        """
+        generation = self._generation
+        self._arrived += 1
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self._generation += 1
+            self.cycles += 1
+            waiters = list(self._waiters)
+            self._waiters.clear()
+            for waiter in waiters:
+                self.runtime.make_runnable(waiter)
+            return True
+        self._waiters.append(proc)
+        while self._generation == generation:
+            self.runtime.block_current(proc, waiting_on=self)
+        return False
+
+
+class RWLock(SyncObject):
+    """A reader-writer lock (writers have priority over new readers)."""
+
+    def __init__(self, runtime: SimRuntime, name: Optional[str] = None) -> None:
+        super().__init__(runtime, SyncKind.RWLOCK, name)
+        self._readers: List[SimProcess] = []
+        self._writer: Optional[SimProcess] = None
+        self._waiting_writers: Deque[SimProcess] = deque()
+        self._waiting_readers: Deque[SimProcess] = deque()
+
+    def read_lock(self, proc: SimProcess) -> None:
+        """Acquire the lock in shared (read) mode."""
+        while self._writer is not None or self._waiting_writers:
+            self._waiting_readers.append(proc)
+            self.runtime.block_current(proc, waiting_on=self)
+        self._readers.append(proc)
+
+    def write_lock(self, proc: SimProcess) -> None:
+        """Acquire the lock in exclusive (write) mode."""
+        while self._writer is not None or self._readers:
+            self._waiting_writers.append(proc)
+            self.runtime.block_current(proc, waiting_on=self)
+        self._writer = proc
+
+    def unlock(self, proc: SimProcess) -> None:
+        """Release the lock in whichever mode the caller holds it."""
+        if self._writer is proc:
+            self._writer = None
+        elif proc in self._readers:
+            self._readers.remove(proc)
+        else:
+            raise InvalidSyncStateError(f"{proc.name} does not hold {self.name}")
+        if self._writer is None and not self._readers:
+            if self._waiting_writers:
+                self.runtime.make_runnable(self._waiting_writers.popleft())
+            else:
+                while self._waiting_readers:
+                    self.runtime.make_runnable(self._waiting_readers.popleft())

@@ -1,0 +1,33 @@
+"""Re-implementations of the Phoenix 2.0 and PARSEC 3.0 applications evaluated in the paper."""
+
+from repro.workloads.base import (
+    SIZES,
+    DatasetSpec,
+    InputDescriptor,
+    PaperReference,
+    Workload,
+    chunk_ranges,
+)
+from repro.workloads.registry import (
+    INPUT_SCALING_WORKLOADS,
+    OUTLIER_WORKLOADS,
+    WORKLOAD_CLASSES,
+    all_workloads,
+    get_workload,
+    list_workloads,
+)
+
+__all__ = [
+    "SIZES",
+    "DatasetSpec",
+    "InputDescriptor",
+    "PaperReference",
+    "Workload",
+    "chunk_ranges",
+    "INPUT_SCALING_WORKLOADS",
+    "OUTLIER_WORKLOADS",
+    "WORKLOAD_CLASSES",
+    "all_workloads",
+    "get_workload",
+    "list_workloads",
+]

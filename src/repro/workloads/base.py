@@ -1,0 +1,154 @@
+"""Workload abstractions: the applications the paper evaluates.
+
+The paper evaluates INSPECTOR on the Phoenix 2.0 and PARSEC 3.0 benchmark
+suites.  Those native C programs (and their multi-hundred-megabyte inputs)
+are not available offline, so each application is re-implemented as a
+:class:`Workload` against the program API, scaled down but preserving the
+characteristics that drive the paper's results: how much computation it
+performs per page it touches, how often it synchronizes, how many threads
+it creates, how write-heavy it is, and how branchy its inner loops are.
+Each concrete workload documents the shape it preserves in its docstring.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.threads.program import ProgramAPI
+
+#: The canonical dataset sizes of Figure 8.
+SIZES = ("small", "medium", "large")
+
+
+@dataclass
+class DatasetSpec:
+    """A generated input dataset.
+
+    Attributes:
+        workload: Name of the workload the dataset belongs to.
+        size: Size label (``"small"``, ``"medium"``, ``"large"``).
+        payload: Raw bytes mapped into the input region.
+        meta: Workload-specific parameters (element counts, cluster counts,
+            expected results, ...).
+    """
+
+    workload: str
+    size: str
+    payload: bytes
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size_bytes(self) -> int:
+        """Length of the raw input in bytes."""
+        return len(self.payload)
+
+
+@dataclass
+class InputDescriptor:
+    """Where a dataset was mapped and what it contains.
+
+    Attributes:
+        base: Address of the first input byte in the input region.
+        size: Input length in bytes.
+        meta: The dataset's metadata dictionary (same object as the spec's).
+    """
+
+    base: int
+    size: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PaperReference:
+    """The paper-reported numbers for one workload (16 threads).
+
+    These are copied from Figures 7 and 9 of the paper and used by
+    EXPERIMENTS.md to report paper-versus-measured values side by side.
+
+    Attributes:
+        dataset: The dataset / parameter string of Figure 7.
+        page_faults: Total page faults (Figure 7).
+        faults_per_sec: Page faults per second (Figure 7).
+        log_mb: Provenance log size in MB (Figure 9).
+        compressed_mb: lz4-compressed log size in MB (Figure 9).
+        compression_ratio: Compression ratio (Figure 9).
+        bandwidth_mb_per_sec: Log bandwidth in MB/s (Figure 9).
+        branch_instr_per_sec: Branch instructions per second (Figure 9).
+        overhead_band: Qualitative Figure 5 band at 16 threads:
+            ``"low"`` (about 1x-2.5x), ``"high"`` (outlier above 2.5x), or
+            ``"below_native"`` (faster than pthreads).
+    """
+
+    dataset: str
+    page_faults: float
+    faults_per_sec: float
+    log_mb: float
+    compressed_mb: float
+    compression_ratio: float
+    bandwidth_mb_per_sec: float
+    branch_instr_per_sec: float
+    overhead_band: str = "low"
+
+
+class Workload(ABC):
+    """Base class for the twelve evaluated applications.
+
+    Subclasses provide a dataset generator and the parallel ``run`` method
+    written against the program API.  The same ``run`` executes unmodified
+    under the native backend and under INSPECTOR, which mirrors the paper's
+    "no recompilation" property.
+    """
+
+    #: Unique workload name (matches the paper's tables).
+    name: str = ""
+    #: The benchmark suite the application comes from.
+    suite: str = ""
+    #: Short description of what the application computes.
+    description: str = ""
+    #: Paper-reported reference numbers for EXPERIMENTS.md.
+    paper: Optional[PaperReference] = None
+
+    @abstractmethod
+    def generate_dataset(self, size: str = "medium", seed: int = 42) -> DatasetSpec:
+        """Generate a synthetic dataset of the requested size."""
+
+    @abstractmethod
+    def run(self, api: ProgramAPI, inp: InputDescriptor, num_threads: int) -> Any:
+        """Execute the workload with ``num_threads`` worker threads."""
+
+    def verify(self, result: Any, dataset: DatasetSpec) -> None:
+        """Check the result against the dataset's expected output.
+
+        Raises:
+            AssertionError: If the result is wrong.  The default
+                implementation accepts anything; workloads with cheap exact
+                answers override it.
+        """
+
+    def sizes(self) -> Tuple[str, ...]:
+        """Dataset sizes this workload supports."""
+        return SIZES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Workload {self.name} ({self.suite})>"
+
+
+def chunk_ranges(total: int, chunks: int) -> Tuple[Tuple[int, int], ...]:
+    """Split ``range(total)`` into ``chunks`` contiguous (start, end) ranges.
+
+    The data-parallel workloads use this to divide their input between
+    worker threads the same way the Phoenix/PARSEC versions do.
+    """
+    if chunks <= 0:
+        raise ValueError(f"chunks must be positive, got {chunks}")
+    base = total // chunks
+    remainder = total % chunks
+    ranges = []
+    start = 0
+    for index in range(chunks):
+        end = start + base + (1 if index < remainder else 0)
+        ranges.append((start, end))
+        start = end
+    return tuple(ranges)

@@ -1,0 +1,138 @@
+"""The PARSEC *blackscholes* workload.
+
+The original prices a portfolio of European options with the Black-Scholes
+closed-form solution.  Characteristics preserved: an embarrassingly
+parallel sweep with heavy floating-point work per option, a read-mostly
+input, one output write per option block, and very little synchronization
+-- the paper places it firmly in the low-overhead band with PT tracing as
+the dominant cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.threads.program import ProgramAPI, join_all
+from repro.workloads.base import DatasetSpec, InputDescriptor, PaperReference, Workload, chunk_ranges
+from repro.workloads.datasets import pack_doubles, rng_for, scaled, unpack_doubles
+
+#: Fields per option: spot, strike, rate, volatility, time, call/put flag.
+FIELDS = 6
+
+#: Options per chunked read.
+CHUNK = 64
+
+
+def _cumulative_normal(x: float) -> float:
+    """Standard normal CDF via the error function."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def black_scholes_price(
+    spot: float, strike: float, rate: float, volatility: float, time: float, is_call: bool
+) -> float:
+    """Closed-form Black-Scholes price of a European option."""
+    if time <= 0 or volatility <= 0:
+        intrinsic = spot - strike if is_call else strike - spot
+        return max(intrinsic, 0.0)
+    d1 = (math.log(spot / strike) + (rate + 0.5 * volatility**2) * time) / (
+        volatility * math.sqrt(time)
+    )
+    d2 = d1 - volatility * math.sqrt(time)
+    if is_call:
+        return spot * _cumulative_normal(d1) - strike * math.exp(-rate * time) * _cumulative_normal(d2)
+    return strike * math.exp(-rate * time) * _cumulative_normal(-d2) - spot * _cumulative_normal(-d1)
+
+
+class BlackScholesWorkload(Workload):
+    """European option pricing with the Black-Scholes closed form."""
+
+    name = "blackscholes"
+    suite = "parsec"
+    description = "Price a portfolio of European options (Black-Scholes)"
+    paper = PaperReference(
+        dataset="16 in_64K.txt prices.txt",
+        page_faults=2.49e4,
+        faults_per_sec=2.58e4,
+        log_mb=851,
+        compressed_mb=57.3,
+        compression_ratio=15,
+        bandwidth_mb_per_sec=882,
+        branch_instr_per_sec=2.49e9,
+        overhead_band="low",
+    )
+
+    def generate_dataset(self, size: str = "medium", seed: int = 42) -> DatasetSpec:
+        rng = rng_for(self.name, size, seed)
+        options = scaled(size, 2_048, 6_144, 18_432)
+        values: List[float] = []
+        for _ in range(options):
+            values.extend(
+                (
+                    rng.uniform(10.0, 150.0),  # spot
+                    rng.uniform(10.0, 150.0),  # strike
+                    rng.uniform(0.01, 0.1),  # rate
+                    rng.uniform(0.05, 0.6),  # volatility
+                    rng.uniform(0.1, 2.0),  # time to maturity
+                    1.0 if rng.random() < 0.5 else 0.0,  # call flag
+                )
+            )
+        return DatasetSpec(
+            workload=self.name,
+            size=size,
+            payload=pack_doubles(values),
+            meta={"options": options},
+        )
+
+    def run(self, api: ProgramAPI, inp: InputDescriptor, num_threads: int) -> Dict[str, object]:
+        options = inp.meta["options"]
+        prices_addr = api.calloc(options, 8)
+
+        def worker(wapi: ProgramAPI, start: int, end: int) -> float:
+            checksum = 0.0
+            cursor = start
+            while wapi.branch(cursor < end, "blackscholes.option_loop"):
+                upper = min(cursor + CHUNK, end)
+                raw = wapi.load_bytes(
+                    inp.base + cursor * FIELDS * 8, (upper - cursor) * FIELDS * 8
+                )
+                values = unpack_doubles(raw)
+                # The closed-form evaluation is ~200 FLOP-equivalents/option.
+                wapi.compute(200 * (upper - cursor))
+                # One validity/maturity check per option; essentially always
+                # taken (valid portfolios), hence the 15x compressibility.
+                wapi.branch_run(
+                    [values[option * FIELDS + 4] > 0.0 for option in range(upper - cursor)],
+                    "blackscholes.maturity_check",
+                )
+                prices: List[float] = []
+                for option in range(upper - cursor):
+                    spot, strike, rate, vol, time, flag = values[
+                        option * FIELDS : (option + 1) * FIELDS
+                    ]
+                    price = black_scholes_price(spot, strike, rate, vol, time, flag >= 0.5)
+                    prices.append(price)
+                    checksum += price
+                wapi.store_bytes(prices_addr + cursor * 8, pack_doubles(prices))
+                cursor = upper
+            return checksum
+
+        handles = [
+            api.spawn(worker, start, end, name=f"bs-{index}")
+            for index, (start, end) in enumerate(chunk_ranges(options, num_threads))
+        ]
+        checksums = [api.join(handle) for handle in handles]
+        total = sum(checksums)
+        api.write_output(pack_doubles([total]), source_addresses=[prices_addr])
+        return {"checksum": total, "options": options, "prices_addr": prices_addr}
+
+    def verify(self, result: Dict[str, object], dataset: DatasetSpec) -> None:
+        values = unpack_doubles(dataset.payload)
+        expected = 0.0
+        for option in range(dataset.meta["options"]):
+            spot, strike, rate, vol, time, flag = values[option * FIELDS : (option + 1) * FIELDS]
+            expected += black_scholes_price(spot, strike, rate, vol, time, flag >= 0.5)
+        assert abs(result["checksum"] - expected) < 1e-6 * max(1.0, abs(expected)), (
+            "sum of option prices does not match the reference"
+        )

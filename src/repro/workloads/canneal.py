@@ -1,0 +1,116 @@
+"""The PARSEC *canneal* workload.
+
+The original minimises the routing cost of a chip netlist with simulated
+annealing: every move picks two random elements, evaluates the cost delta
+of swapping them, and commits or rejects the swap.  Characteristics
+preserved: random accesses that scatter over a large shared array (so a
+sub-computation touches many distinct pages while doing little work per
+page) and frequent short critical sections.  That combination makes canneal
+the paper's largest page-fault producer (2.1e6 faults) and one of the three
+high-overhead outliers, with the overhead attributed to the threading
+library rather than PT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.threads.program import ProgramAPI, join_all
+from repro.workloads.base import DatasetSpec, InputDescriptor, PaperReference, Workload
+from repro.workloads.datasets import pack_words, rng_for, scaled, unpack_words
+
+#: Swap moves attempted per critical section (one sub-computation).  The
+#: original holds its elements for long stretches of moves; long critical
+#: sections are also what lets the page faults of a sub-computation
+#: amortise over many moves.
+MOVES_PER_STEP = 512
+
+
+class CannealWorkload(Workload):
+    """Simulated annealing over a netlist with random element swaps."""
+
+    name = "canneal"
+    suite = "parsec"
+    description = "Simulated-annealing placement of netlist elements"
+    paper = PaperReference(
+        dataset="15 10000 2000 100000.nets 32",
+        page_faults=2.11e6,
+        faults_per_sec=21.57e4,
+        log_mb=5_343,
+        compressed_mb=315.0,
+        compression_ratio=17,
+        bandwidth_mb_per_sec=547,
+        branch_instr_per_sec=1.55e9,
+        overhead_band="high",
+    )
+
+    def generate_dataset(self, size: str = "medium", seed: int = 42) -> DatasetSpec:
+        rng = rng_for(self.name, size, seed)
+        elements = scaled(size, 8_192, 16_384, 32_768)
+        moves = scaled(size, 8_192, 16_384, 32_768)
+        placement = list(range(elements))
+        rng.shuffle(placement)
+        return DatasetSpec(
+            workload=self.name,
+            size=size,
+            payload=pack_words(placement),
+            meta={"elements": elements, "moves": moves, "seed": seed},
+        )
+
+    def run(self, api: ProgramAPI, inp: InputDescriptor, num_threads: int) -> Dict[str, object]:
+        elements = inp.meta["elements"]
+        total_moves = inp.meta["moves"]
+        seed = inp.meta["seed"]
+        # The netlist placement lives in the shared heap; every worker swaps
+        # random entries of it.
+        placement_addr = api.calloc(elements, 8)
+        initial = unpack_words(api.load_bytes(inp.base, elements * 8))
+        api.store_bytes(placement_addr, pack_words(initial))
+        placement_lock = api.mutex("canneal.placement")
+        accepted_addr = api.calloc(1, 8)
+
+        moves_per_thread = max(total_moves // num_threads, 1)
+
+        def worker(wapi: ProgramAPI, index: int) -> int:
+            import random as _random
+
+            rng = _random.Random(f"canneal:{seed}:{index}")
+            accepted = 0
+            steps = moves_per_thread // MOVES_PER_STEP
+            step = 0
+            while wapi.branch(step < steps, "canneal.step_loop"):
+                wapi.lock(placement_lock)
+                for _ in range(MOVES_PER_STEP):
+                    first = rng.randrange(elements)
+                    second = rng.randrange(elements)
+                    a = wapi.load(placement_addr + first * 8)
+                    b = wapi.load(placement_addr + second * 8)
+                    # Routing-cost delta over both elements' nets (~300 ops:
+                    # the original walks every net of both elements).
+                    wapi.compute(300)
+                    delta = (a - b) * (first - second)
+                    if wapi.branch(delta > 0, "canneal.accept_swap"):
+                        wapi.store(placement_addr + first * 8, b)
+                        wapi.store(placement_addr + second * 8, a)
+                        accepted += 1
+                wapi.unlock(placement_lock)
+                step += 1
+            wapi.lock(placement_lock)
+            wapi.store(accepted_addr, wapi.load(accepted_addr) + accepted)
+            wapi.unlock(placement_lock)
+            return accepted
+
+        handles = [
+            api.spawn(worker, index, name=f"canneal-{index}") for index in range(num_threads)
+        ]
+        join_all(api, handles)
+        accepted = api.load(accepted_addr)
+        checksum = sum(
+            unpack_words(api.load_bytes(placement_addr, min(elements, 512) * 8))
+        )
+        api.write_output(pack_words([accepted, checksum]), source_addresses=[placement_addr])
+        return {"accepted_moves": accepted, "checksum": checksum}
+
+    def verify(self, result: Dict[str, object], dataset: DatasetSpec) -> None:
+        total_moves = dataset.meta["moves"]
+        assert 0 <= result["accepted_moves"] <= total_moves, "accepted moves out of range"

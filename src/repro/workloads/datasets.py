@@ -1,0 +1,109 @@
+"""Synthetic dataset generation helpers shared by the workloads.
+
+The paper's inputs (bitmap images, 500 MB key files, netlists, option
+portfolios) are replaced by deterministic synthetic equivalents that are
+small enough to simulate but keep the same structure.  All generators are
+seeded so that every run -- and therefore every CPG and every benchmark
+row -- is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Iterable, List, Sequence, Tuple
+
+_WORD = struct.Struct("<q")
+_DOUBLE = struct.Struct("<d")
+
+#: Size in bytes of one packed word/double.
+ELEMENT_SIZE = 8
+
+
+def pack_words(values: Iterable[int]) -> bytes:
+    """Pack integers as consecutive little-endian 64-bit words."""
+    return b"".join(_WORD.pack(int(value)) for value in values)
+
+
+def unpack_words(payload: bytes) -> List[int]:
+    """Invert :func:`pack_words`."""
+    return [
+        _WORD.unpack_from(payload, offset)[0] for offset in range(0, len(payload), ELEMENT_SIZE)
+    ]
+
+
+def pack_doubles(values: Iterable[float]) -> bytes:
+    """Pack floats as consecutive little-endian IEEE-754 doubles."""
+    return b"".join(_DOUBLE.pack(float(value)) for value in values)
+
+
+def unpack_doubles(payload: bytes) -> List[float]:
+    """Invert :func:`pack_doubles`."""
+    return [
+        _DOUBLE.unpack_from(payload, offset)[0] for offset in range(0, len(payload), ELEMENT_SIZE)
+    ]
+
+
+def rng_for(workload: str, size: str, seed: int) -> random.Random:
+    """Return a deterministic RNG namespaced by workload and size."""
+    return random.Random(f"{workload}:{size}:{seed}")
+
+
+def scaled(size: str, small: int, medium: int, large: int) -> int:
+    """Pick a size-dependent element count."""
+    if size == "small":
+        return small
+    if size == "medium":
+        return medium
+    if size == "large":
+        return large
+    raise ValueError(f"unknown dataset size {size!r}")
+
+
+def random_words(rng: random.Random, count: int, low: int = 0, high: int = 255) -> List[int]:
+    """Generate ``count`` random integers in ``[low, high]``."""
+    return [rng.randint(low, high) for _ in range(count)]
+
+
+def random_doubles(rng: random.Random, count: int, low: float = 0.0, high: float = 1.0) -> List[float]:
+    """Generate ``count`` random floats in ``[low, high)``."""
+    return [rng.uniform(low, high) for _ in range(count)]
+
+
+def random_points(
+    rng: random.Random, count: int, dimensions: int, spread: float = 100.0
+) -> List[Tuple[float, ...]]:
+    """Generate ``count`` points in ``dimensions``-dimensional space."""
+    return [tuple(rng.uniform(0.0, spread) for _ in range(dimensions)) for _ in range(count)]
+
+
+def random_text_words(rng: random.Random, count: int, vocabulary: int = 64) -> List[int]:
+    """Generate a word-id stream drawn from a Zipf-ish vocabulary.
+
+    Word counting and reverse indexing operate on word identifiers rather
+    than strings (strings would only slow the simulation down without
+    changing its memory behaviour); the skewed distribution preserves the
+    hot-key behaviour of real text.
+    """
+    weights = [1.0 / (rank + 1) for rank in range(vocabulary)]
+    total = sum(weights)
+    cumulative = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    words = []
+    for _ in range(count):
+        pick = rng.random()
+        for word_id, bound in enumerate(cumulative):
+            if pick <= bound:
+                words.append(word_id)
+                break
+        else:
+            words.append(vocabulary - 1)
+    return words
+
+
+def flatten(points: Sequence[Tuple[float, ...]]) -> List[float]:
+    """Flatten a point list into a coordinate list."""
+    return [coordinate for point in points for coordinate in point]

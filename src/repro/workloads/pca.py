@@ -1,0 +1,115 @@
+"""The Phoenix *pca* workload.
+
+The original computes the mean vector and a sampled covariance matrix of a
+dense matrix in two barrier-separated phases.  Characteristics preserved:
+two phases over the same input separated by a barrier, partial results
+merged under a mutex, and a moderate amount of arithmetic per page.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.threads.program import ProgramAPI, join_all
+from repro.workloads.base import DatasetSpec, InputDescriptor, PaperReference, Workload, chunk_ranges
+from repro.workloads.datasets import pack_doubles, rng_for, scaled, unpack_doubles
+
+#: Number of covariance entries sampled in phase two (the paper's -s flag).
+COVARIANCE_SAMPLES = 48
+
+
+class PCAWorkload(Workload):
+    """Mean and sampled covariance of a dense matrix, in two barrier phases."""
+
+    name = "pca"
+    suite = "phoenix"
+    description = "Column means and sampled covariance of a dense matrix"
+    paper = PaperReference(
+        dataset="-r 4000 -c 4000 -s 100",
+        page_faults=5.34e5,
+        faults_per_sec=10.22e4,
+        log_mb=1_900,
+        compressed_mb=116.0,
+        compression_ratio=16,
+        bandwidth_mb_per_sec=364,
+        branch_instr_per_sec=1.42e9,
+        overhead_band="low",
+    )
+
+    def generate_dataset(self, size: str = "medium", seed: int = 42) -> DatasetSpec:
+        rng = rng_for(self.name, size, seed)
+        rows = scaled(size, 144, 256, 448)
+        columns = scaled(size, 96, 160, 224)
+        values = [rng.uniform(0.0, 10.0) for _ in range(rows * columns)]
+        return DatasetSpec(
+            workload=self.name,
+            size=size,
+            payload=pack_doubles(values),
+            meta={"rows": rows, "columns": columns},
+        )
+
+    def run(self, api: ProgramAPI, inp: InputDescriptor, num_threads: int) -> Dict[str, object]:
+        rows = inp.meta["rows"]
+        columns = inp.meta["columns"]
+        means_addr = api.calloc(columns, 8)
+        cov_addr = api.calloc(COVARIANCE_SAMPLES, 8)
+        merge_lock = api.mutex("pca.merge")
+        phase_barrier = api.barrier(num_threads, "pca.phase")
+        sample_pairs = [
+            ((7 * index) % columns, (13 * index + 3) % columns) for index in range(COVARIANCE_SAMPLES)
+        ]
+
+        def worker(wapi: ProgramAPI, row_start: int, row_end: int) -> None:
+            # Phase 1: partial column sums.
+            partial = [0.0] * columns
+            row = row_start
+            while wapi.branch(row < row_end, "pca.mean_loop"):
+                values = unpack_doubles(wapi.load_bytes(inp.base + row * columns * 8, columns * 8))
+                # Load, accumulate, and update the running mean per cell.
+                wapi.compute(8 * columns)
+                wapi.branch_run([True] * columns, "pca.mean_cell_loop")
+                for column in range(columns):
+                    partial[column] += values[column]
+                row += 1
+            wapi.lock(merge_lock)
+            for column in range(columns):
+                address = means_addr + column * 8
+                wapi.storef(address, wapi.loadf(address) + partial[column] / rows)
+            wapi.unlock(merge_lock)
+
+            # Every thread must see the final means before phase 2.
+            wapi.barrier_wait(phase_barrier)
+            means = [wapi.loadf(means_addr + column * 8) for column in range(columns)]
+
+            # Phase 2: partial sampled covariance.
+            cov_partial = [0.0] * COVARIANCE_SAMPLES
+            row = row_start
+            while wapi.branch(row < row_end, "pca.cov_loop"):
+                values = unpack_doubles(wapi.load_bytes(inp.base + row * columns * 8, columns * 8))
+                wapi.compute(24 * COVARIANCE_SAMPLES)
+                wapi.branch_run([True] * COVARIANCE_SAMPLES, "pca.cov_sample_loop")
+                for index, (ci, cj) in enumerate(sample_pairs):
+                    cov_partial[index] += (values[ci] - means[ci]) * (values[cj] - means[cj])
+                row += 1
+            wapi.lock(merge_lock)
+            for index in range(COVARIANCE_SAMPLES):
+                address = cov_addr + index * 8
+                wapi.storef(address, wapi.loadf(address) + cov_partial[index] / max(rows - 1, 1))
+            wapi.unlock(merge_lock)
+
+        handles = [
+            api.spawn(worker, start, end, name=f"pca-{index}")
+            for index, (start, end) in enumerate(chunk_ranges(rows, num_threads))
+        ]
+        join_all(api, handles)
+        means = [api.loadf(means_addr + column * 8) for column in range(columns)]
+        covariance = [api.loadf(cov_addr + index * 8) for index in range(COVARIANCE_SAMPLES)]
+        api.write_output(pack_doubles(means[:8]), source_addresses=[means_addr])
+        return {"means": means, "covariance_samples": covariance}
+
+    def verify(self, result: Dict[str, object], dataset: DatasetSpec) -> None:
+        rows = dataset.meta["rows"]
+        columns = dataset.meta["columns"]
+        values = unpack_doubles(dataset.payload)
+        expected_first_mean = sum(values[row * columns] for row in range(rows)) / rows
+        assert abs(result["means"][0] - expected_first_mean) < 1e-6, "first column mean is wrong"

@@ -1,0 +1,68 @@
+"""The workload registry: every evaluated application by name."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.workloads.base import Workload
+from repro.workloads.blackscholes import BlackScholesWorkload
+from repro.workloads.canneal import CannealWorkload
+from repro.workloads.histogram import HistogramWorkload
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.linear_regression import LinearRegressionWorkload
+from repro.workloads.matrix_multiply import MatrixMultiplyWorkload
+from repro.workloads.pca import PCAWorkload
+from repro.workloads.reverse_index import ReverseIndexWorkload
+from repro.workloads.streamcluster import StreamclusterWorkload
+from repro.workloads.string_match import StringMatchWorkload
+from repro.workloads.swaptions import SwaptionsWorkload
+from repro.workloads.word_count import WordCountWorkload
+
+#: Every evaluated workload class, in the order the paper's figures list them.
+WORKLOAD_CLASSES: Dict[str, Type[Workload]] = {
+    cls.name: cls
+    for cls in (
+        BlackScholesWorkload,
+        CannealWorkload,
+        HistogramWorkload,
+        KMeansWorkload,
+        LinearRegressionWorkload,
+        MatrixMultiplyWorkload,
+        PCAWorkload,
+        ReverseIndexWorkload,
+        StreamclusterWorkload,
+        StringMatchWorkload,
+        SwaptionsWorkload,
+        WordCountWorkload,
+    )
+}
+
+#: The four workloads shipped with small/medium/large inputs in Figure 8.
+INPUT_SCALING_WORKLOADS = ("histogram", "linear_regression", "string_match", "word_count")
+
+#: The paper's three high-overhead outliers.
+OUTLIER_WORKLOADS = ("canneal", "reverse_index", "kmeans")
+
+
+def list_workloads() -> List[str]:
+    """Names of every registered workload, in figure order."""
+    return list(WORKLOAD_CLASSES)
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate the workload called ``name``.
+
+    Raises:
+        KeyError: If no workload with that name is registered.
+    """
+    try:
+        return WORKLOAD_CLASSES[name]()
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(list_workloads())}"
+        ) from exc
+
+
+def all_workloads() -> List[Workload]:
+    """Fresh instances of every registered workload."""
+    return [cls() for cls in WORKLOAD_CLASSES.values()]

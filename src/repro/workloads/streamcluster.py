@@ -1,0 +1,155 @@
+"""The PARSEC *streamcluster* workload.
+
+The original performs online clustering of a point stream: in every round
+each thread evaluates, for each of its points, whether opening a new centre
+would reduce the total cost, synchronising with barriers between rounds.
+Characteristics preserved: many barrier-separated rounds over the same
+data, distance computations with a data-dependent branch per point (the
+densest branch stream of the paper -- 7.8e9 branches/sec producing a 29 GB
+trace, the largest of all benchmarks), and shared per-round accumulators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.threads.program import ProgramAPI, join_all
+from repro.workloads.base import DatasetSpec, InputDescriptor, PaperReference, Workload, chunk_ranges
+from repro.workloads.datasets import pack_doubles, rng_for, scaled, unpack_doubles
+
+#: Dimensionality of the streamed points.
+DIMENSIONS = 4
+
+#: Points per chunked read.
+CHUNK = 128
+
+
+class StreamclusterWorkload(Workload):
+    """Online clustering with barrier-separated rounds and dense branching."""
+
+    name = "streamcluster"
+    suite = "parsec"
+    description = "Online k-median clustering of a point stream"
+    paper = PaperReference(
+        dataset="2 5 1 10 10 5 none output.txt 16",
+        page_faults=1.64e5,
+        faults_per_sec=1.163e4,
+        log_mb=29_300,
+        compressed_mb=787.0,
+        compression_ratio=37,
+        bandwidth_mb_per_sec=2083,
+        branch_instr_per_sec=7.78e9,
+        overhead_band="low",
+    )
+
+    #: Barrier-separated rounds of the gain-evaluation loop.
+    rounds = 10
+
+    def generate_dataset(self, size: str = "medium", seed: int = 42) -> DatasetSpec:
+        rng = rng_for(self.name, size, seed)
+        points = scaled(size, 2_048, 6_144, 18_432)
+        centres = 5
+        values: List[float] = []
+        for _ in range(points):
+            values.extend(rng.uniform(0.0, 100.0) for _ in range(DIMENSIONS))
+        return DatasetSpec(
+            workload=self.name,
+            size=size,
+            payload=pack_doubles(values),
+            meta={"points": points, "centres": centres},
+        )
+
+    def run(self, api: ProgramAPI, inp: InputDescriptor, num_threads: int) -> Dict[str, object]:
+        points = inp.meta["points"]
+        centres = inp.meta["centres"]
+        # Shared state: current centres, per-worker partial costs/open
+        # counters (reduced by the serial thread after each barrier), and
+        # the per-round totals.
+        centres_addr = api.calloc(centres * DIMENSIONS, 8)
+        partial_cost_addr = api.calloc(num_threads, 8)
+        partial_open_addr = api.calloc(num_threads, 8)
+        cost_addr = api.calloc(self.rounds, 8)
+        opened_addr = api.calloc(1, 8)
+        round_barrier = api.barrier(num_threads, "streamcluster.round")
+
+        initial = unpack_doubles(api.load_bytes(inp.base, centres * DIMENSIONS * 8))
+        for offset, value in enumerate(initial):
+            api.storef(centres_addr + offset * 8, value)
+
+        def worker(wapi: ProgramAPI, index: int, start: int, end: int) -> float:
+            local_cost_total = 0.0
+            for round_index in range(self.rounds):
+                current = [
+                    wapi.loadf(centres_addr + offset * 8) for offset in range(centres * DIMENSIONS)
+                ]
+                threshold = 50.0 + 5.0 * round_index
+                local_cost = 0.0
+                would_open = 0
+                cursor = start
+                while wapi.branch(cursor < end, "streamcluster.point_loop"):
+                    upper = min(cursor + CHUNK, end)
+                    raw = wapi.load_bytes(
+                        inp.base + cursor * DIMENSIONS * 8, (upper - cursor) * DIMENSIONS * 8
+                    )
+                    values = unpack_doubles(raw)
+                    # Distance to every centre plus the gain bookkeeping
+                    # (~6x the bare multiply-accumulate count).
+                    wapi.compute(6 * centres * DIMENSIONS * (upper - cursor))
+                    chunk_opens = 0
+                    gain_outcomes = []
+                    for point in range(upper - cursor):
+                        coords = values[point * DIMENSIONS : (point + 1) * DIMENSIONS]
+                        best = float("inf")
+                        for centre in range(centres):
+                            distance = 0.0
+                            for dimension in range(DIMENSIONS):
+                                diff = coords[dimension] - current[centre * DIMENSIONS + dimension]
+                                distance += diff * diff
+                            if distance < best:
+                                best = distance
+                        local_cost += best
+                        opens = best > threshold * threshold
+                        gain_outcomes.append(opens)
+                        if opens:
+                            chunk_opens += 1
+                    # Two data-dependent branches per point (nearest-centre
+                    # update and the "would opening a centre pay off?" test)
+                    # are what make streamcluster's trace the paper's largest.
+                    wapi.branch_run(gain_outcomes, "streamcluster.gain_test")
+                    wapi.branch_run([True] * (upper - cursor), "streamcluster.point_loop")
+                    would_open += chunk_opens
+                    cursor = upper
+                wapi.storef(partial_cost_addr + index * 8, local_cost)
+                wapi.store(partial_open_addr + index * 8, would_open)
+                local_cost_total += local_cost
+                serial = wapi.barrier_wait(round_barrier)
+                if serial:
+                    # The serial thread reduces the partial results and
+                    # nudges the first centre every round, so rounds differ.
+                    round_cost = 0.0
+                    round_opens = 0
+                    for worker_index in range(num_threads):
+                        round_cost += wapi.loadf(partial_cost_addr + worker_index * 8)
+                        round_opens += wapi.load(partial_open_addr + worker_index * 8)
+                    wapi.storef(cost_addr + round_index * 8, round_cost)
+                    wapi.store(opened_addr, wapi.load(opened_addr) + round_opens)
+                    for dimension in range(DIMENSIONS):
+                        address = centres_addr + dimension * 8
+                        wapi.storef(address, wapi.loadf(address) * 0.95)
+                wapi.barrier_wait(round_barrier)
+            return local_cost_total
+
+        handles = [
+            api.spawn(worker, index, start, end, name=f"sc-{index}")
+            for index, (start, end) in enumerate(chunk_ranges(points, num_threads))
+        ]
+        join_all(api, handles)
+        costs = [api.loadf(cost_addr + round_index * 8) for round_index in range(self.rounds)]
+        opened = api.load(opened_addr)
+        api.write_output(pack_doubles(costs), source_addresses=[cost_addr])
+        return {"round_costs": costs, "candidate_opens": opened}
+
+    def verify(self, result: Dict[str, object], dataset: DatasetSpec) -> None:
+        costs = result["round_costs"]
+        assert len(costs) == self.rounds
+        assert all(cost >= 0.0 for cost in costs), "negative clustering cost"

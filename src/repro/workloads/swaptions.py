@@ -1,0 +1,123 @@
+"""The PARSEC *swaptions* workload.
+
+The original prices a portfolio of swaptions with Heath-Jarrow-Morton
+Monte-Carlo simulation: each swaption runs tens of thousands of simulation
+trials, each trial being pure floating-point work with data-dependent
+branches and essentially no shared memory.  Characteristics preserved:
+static division of swaptions between threads, a large amount of compute and
+branching per swaption (the paper measures a 7 GB trace with only 8x
+compressibility), and negligible synchronization.
+"""
+
+from __future__ import annotations
+
+import math
+import random as _random
+from typing import Dict, List
+
+from repro.threads.program import ProgramAPI, join_all
+from repro.workloads.base import DatasetSpec, InputDescriptor, PaperReference, Workload, chunk_ranges
+from repro.workloads.datasets import pack_doubles, rng_for, scaled, unpack_doubles
+
+#: Fields per swaption: strike, maturity, tenor, volatility.
+FIELDS = 4
+
+#: Monte-Carlo trials per swaption (scaled down from the paper's -sm 50000).
+TRIALS = 64
+
+#: Trials batched per recorded branch (keeps the simulation tractable while
+#: preserving the branch-heavy character of the trace).
+TRIAL_BATCH = 8
+
+
+class SwaptionsWorkload(Workload):
+    """Monte-Carlo swaption pricing (HJM framework, simplified)."""
+
+    name = "swaptions"
+    suite = "parsec"
+    description = "Price swaptions with Monte-Carlo simulation"
+    paper = PaperReference(
+        dataset="-ns 128 -sm 50000 -nt 16",
+        page_faults=4.66e4,
+        faults_per_sec=1.207e4,
+        log_mb=7_061,
+        compressed_mb=929.0,
+        compression_ratio=8,
+        bandwidth_mb_per_sec=1830,
+        branch_instr_per_sec=4.84e9,
+        overhead_band="low",
+    )
+
+    def generate_dataset(self, size: str = "medium", seed: int = 42) -> DatasetSpec:
+        rng = rng_for(self.name, size, seed)
+        swaptions = scaled(size, 96, 192, 384)
+        values: List[float] = []
+        for _ in range(swaptions):
+            values.extend(
+                (
+                    rng.uniform(0.01, 0.08),  # strike
+                    rng.uniform(1.0, 10.0),  # maturity
+                    rng.uniform(1.0, 5.0),  # tenor
+                    rng.uniform(0.1, 0.4),  # volatility
+                )
+            )
+        return DatasetSpec(
+            workload=self.name,
+            size=size,
+            payload=pack_doubles(values),
+            meta={"swaptions": swaptions, "seed": seed},
+        )
+
+    def run(self, api: ProgramAPI, inp: InputDescriptor, num_threads: int) -> Dict[str, object]:
+        swaptions = inp.meta["swaptions"]
+        seed = inp.meta["seed"]
+        prices_addr = api.calloc(swaptions, 8)
+
+        def worker(wapi: ProgramAPI, start: int, end: int) -> float:
+            checksum = 0.0
+            index = start
+            while wapi.branch(index < end, "swaptions.swaption_loop"):
+                fields = unpack_doubles(
+                    wapi.load_bytes(inp.base + index * FIELDS * 8, FIELDS * 8)
+                )
+                strike, maturity, tenor, volatility = fields
+                rng = _random.Random(f"swaptions:{seed}:{index}")
+                payoff_sum = 0.0
+                in_the_money = 0
+                # Each trial is ~100 FLOP-equivalents of path simulation.
+                wapi.compute(100 * TRIALS)
+                outcomes = []
+                for trial in range(TRIALS):
+                    shock = rng.gauss(0.0, 1.0)
+                    forward = 0.04 * math.exp(
+                        (-0.5 * volatility**2) * maturity + volatility * math.sqrt(maturity) * shock
+                    )
+                    payoff = max(forward - strike, 0.0) * tenor
+                    payoff_sum += payoff
+                    if payoff > 0.0:
+                        in_the_money += 1
+                    outcomes.append(payoff > 0.0)
+                # Several data-dependent branches per trial (path steps and
+                # the in-the-money test); the outcomes follow the simulated
+                # paths, hence the poor 8x compressibility in the paper.
+                for repeat in range(4):
+                    wapi.branch_run(outcomes, f"swaptions.trial_step_{repeat}")
+                price = payoff_sum / TRIALS
+                wapi.storef(prices_addr + index * 8, price)
+                wapi.branch(in_the_money > TRIALS // 2, "swaptions.mostly_itm")
+                checksum += price
+                index += 1
+            return checksum
+
+        handles = [
+            api.spawn(worker, start, end, name=f"swap-{index}")
+            for index, (start, end) in enumerate(chunk_ranges(swaptions, num_threads))
+        ]
+        checksums = [api.join(handle) for handle in handles]
+        total = sum(checksums)
+        api.write_output(pack_doubles([total]), source_addresses=[prices_addr])
+        return {"checksum": total, "swaptions": swaptions}
+
+    def verify(self, result: Dict[str, object], dataset: DatasetSpec) -> None:
+        assert result["swaptions"] == dataset.meta["swaptions"]
+        assert result["checksum"] >= 0.0, "negative aggregate swaption value"

@@ -1,0 +1,227 @@
+"""End-to-end integration tests: workloads under native and INSPECTOR modes."""
+
+import pytest
+
+from repro.core.cpg import EdgeKind
+from repro.core.queries import find_racy_pairs
+from repro.core.thunk import INPUT_NODE
+from repro.inspector.api import run_native, run_with_provenance
+from repro.inspector.config import InspectorConfig
+from repro.workloads.registry import all_workloads, get_workload, list_workloads
+
+#: A configuration that keeps integration runs quick.
+FAST = InspectorConfig(page_size=1024)
+
+
+@pytest.fixture(scope="module")
+def histogram_runs():
+    """One shared pair of native/INSPECTOR runs reused by several tests."""
+    workload = get_workload("histogram")
+    dataset = workload.generate_dataset("small")
+    native = run_native(workload, num_threads=4, dataset=dataset, config=FAST)
+    traced = run_with_provenance(workload, num_threads=4, dataset=dataset, config=FAST)
+    return workload, dataset, native, traced
+
+
+class TestResultsMatchAcrossModes:
+    def test_registry_is_complete(self):
+        assert len(list_workloads()) == 12
+
+    @pytest.mark.parametrize("name", list_workloads())
+    def test_workload_results_are_correct_in_both_modes(self, name):
+        workload = get_workload(name)
+        dataset = workload.generate_dataset("small")
+        native = run_native(workload, num_threads=2, dataset=dataset, config=FAST)
+        traced = run_with_provenance(workload, num_threads=2, dataset=dataset, config=FAST)
+        workload.verify(native.result, dataset)
+        workload.verify(traced.result, dataset)
+
+    def test_histogram_results_identical(self, histogram_runs):
+        _, _, native, traced = histogram_runs
+        assert native.result == traced.result
+
+    def test_dataset_generation_is_deterministic(self):
+        workload = get_workload("word_count")
+        first = workload.generate_dataset("small", seed=7)
+        second = workload.generate_dataset("small", seed=7)
+        assert first.payload == second.payload
+        assert first.meta["expected"] == second.meta["expected"]
+
+    def test_dataset_sizes_increase(self):
+        workload = get_workload("string_match")
+        small = workload.generate_dataset("small")
+        medium = workload.generate_dataset("medium")
+        large = workload.generate_dataset("large")
+        assert small.size_bytes < medium.size_bytes < large.size_bytes
+
+
+class TestProvenanceGraphWellFormed:
+    def test_cpg_is_acyclic(self, histogram_runs):
+        _, _, _, traced = histogram_runs
+        assert traced.cpg.is_acyclic()
+
+    def test_every_thread_has_nodes(self, histogram_runs):
+        _, _, _, traced = histogram_runs
+        # Main thread plus four workers.
+        assert len([t for t in traced.cpg.threads() if t >= 0]) == 5
+
+    def test_control_edges_follow_program_order(self, histogram_runs):
+        _, _, _, traced = histogram_runs
+        for source, target, _ in traced.cpg.edges(EdgeKind.CONTROL):
+            assert source[0] == target[0]
+            assert source[1] < target[1]
+
+    def test_sync_edges_respect_happens_before(self, histogram_runs):
+        _, _, _, traced = histogram_runs
+        for source, target, _ in traced.cpg.edges(EdgeKind.SYNC):
+            assert traced.cpg.happens_before(source, target)
+
+    def test_data_edges_follow_happens_before_and_pages(self, histogram_runs):
+        _, _, _, traced = histogram_runs
+        for source, target, attrs in traced.cpg.edges(EdgeKind.DATA):
+            pages = attrs["pages"]
+            src = traced.cpg.subcomputation(source)
+            dst = traced.cpg.subcomputation(target)
+            assert pages <= src.write_set
+            assert pages <= dst.read_set
+            if source != INPUT_NODE:
+                assert traced.cpg.happens_before(source, target)
+
+    def test_input_node_present_and_feeds_workers(self, histogram_runs):
+        _, _, _, traced = histogram_runs
+        assert traced.cpg.input_node is not None
+        input_successors = traced.cpg.successors(INPUT_NODE, EdgeKind.DATA)
+        assert input_successors, "nobody read the input?"
+
+    def test_no_races_in_lock_protected_workload(self, histogram_runs):
+        _, _, _, traced = histogram_runs
+        assert find_racy_pairs(traced.cpg) == []
+
+    def test_read_write_sets_are_page_ids(self, histogram_runs):
+        _, _, _, traced = histogram_runs
+        max_page = (1 << 63) // FAST.page_size
+        for node in traced.cpg.subcomputations():
+            for page in node.read_set | node.write_set:
+                assert 0 <= page < max_page
+
+    def test_thunks_recorded_for_branchy_subcomputations(self, histogram_runs):
+        _, _, _, traced = histogram_runs
+        assert any(node.branch_count > 0 for node in traced.cpg.subcomputations())
+
+
+class TestStatisticsAndTrace:
+    def test_stats_counters_positive(self, histogram_runs):
+        _, _, _, traced = histogram_runs
+        stats = traced.stats
+        assert stats.page_faults > 0
+        assert stats.sync_ops > 0
+        assert stats.pt_bytes > 0
+        assert stats.perf_log_bytes > stats.pt_bytes * 0.5
+        assert stats.total_seconds > 0
+        assert stats.cpg_nodes == len(traced.cpg)
+
+    def test_native_run_has_no_provenance_costs(self, histogram_runs):
+        _, _, native, _ = histogram_runs
+        assert native.stats.page_faults == 0
+        assert native.stats.pt_bytes == 0
+        assert native.stats.pt_seconds == 0.0
+
+    def test_trace_decodes_to_recorded_branches(self, histogram_runs):
+        from repro.perf.script import PerfScript
+
+        _, _, _, traced = histogram_runs
+        output = PerfScript(traced.backend.image_map).run(traced.perf_data)
+        assert output.total_branches == traced.stats.branch_instructions
+        assert output.lost_events == 0
+
+    def test_output_shim_recorded(self, histogram_runs):
+        _, _, _, traced = histogram_runs
+        assert traced.outputs
+        assert all(record.data for record in traced.outputs)
+
+    def test_work_metric_at_least_time_metric(self, histogram_runs):
+        _, _, _, traced = histogram_runs
+        assert traced.stats.work_seconds >= traced.stats.total_seconds
+
+
+class TestSchedulerAndThreadCountVariations:
+    def test_result_is_schedule_independent(self):
+        workload = get_workload("word_count")
+        dataset = workload.generate_dataset("small")
+        results = []
+        for seed in range(3):
+            config = InspectorConfig(page_size=1024, scheduler="random", scheduler_seed=seed)
+            results.append(run_with_provenance(workload, 4, dataset=dataset, config=config).result)
+        assert results[0] == results[1] == results[2]
+
+    def test_result_independent_of_thread_count(self):
+        workload = get_workload("histogram")
+        dataset = workload.generate_dataset("small")
+        results = [
+            run_with_provenance(workload, threads, dataset=dataset, config=FAST).result
+            for threads in (1, 2, 8)
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_more_threads_create_more_processes(self):
+        workload = get_workload("string_match")
+        dataset = workload.generate_dataset("small")
+        two = run_with_provenance(workload, 2, dataset=dataset, config=FAST)
+        eight = run_with_provenance(workload, 8, dataset=dataset, config=FAST)
+        assert eight.stats.process_creations > two.stats.process_creations
+
+    def test_kmeans_creates_hundreds_of_processes_at_sixteen_threads(self):
+        workload = get_workload("kmeans")
+        dataset = workload.generate_dataset("small")
+        result = run_with_provenance(workload, 16, dataset=dataset, config=FAST)
+        assert result.stats.process_creations > 400
+
+
+class TestSnapshotFacilityDuringRuns:
+    def test_snapshots_taken_and_consistent(self):
+        config = InspectorConfig(page_size=1024, enable_snapshots=True, snapshot_interval=8)
+        workload = get_workload("reverse_index")
+        result = run_with_provenance(workload, 4, size="small", config=config)
+        snapshotter = result.backend.snapshotter
+        assert snapshotter is not None
+        assert snapshotter.stats.snapshots_taken > 0
+        assert all(record.consistent for record in snapshotter.stats.records)
+
+    def test_snapshot_ring_respects_slot_count(self):
+        config = InspectorConfig(
+            page_size=1024,
+            enable_snapshots=True,
+            snapshot_interval=4,
+            snapshot_slot_count=2,
+            snapshot_slot_size=1 << 20,
+        )
+        workload = get_workload("canneal")
+        result = run_with_provenance(workload, 2, size="small", config=config)
+        ring = result.backend.snapshotter.ring
+        assert len(ring.occupied_slots()) <= 2
+
+
+class TestConfigurationToggles:
+    def test_disabling_pt_removes_trace(self):
+        config = InspectorConfig(page_size=1024, enable_pt=False)
+        result = run_with_provenance("histogram", 2, size="small", config=config)
+        assert result.stats.pt_bytes == 0
+        assert result.stats.pt_seconds == 0.0
+        # Memory provenance is still recorded.
+        assert result.stats.page_faults > 0
+
+    def test_disabling_memory_tracking_removes_faults(self):
+        config = InspectorConfig(page_size=1024, enable_memory_tracking=False)
+        result = run_with_provenance("histogram", 2, size="small", config=config)
+        assert result.stats.page_faults == 0
+        assert result.stats.pt_bytes > 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            InspectorConfig(page_size=1000).validate()
+        with pytest.raises(ValueError):
+            InspectorConfig(scheduler="magic").validate()
+
+    def test_invalid_thread_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_with_provenance("histogram", 0, size="small")

@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compression.lz import compress, decompress
+from repro.core.algorithm import ProvenanceTracker
+from repro.core.dependencies import derive_data_edges
+from repro.core.cpg import EdgeKind
+from repro.core.vector_clock import VectorClock, merge_all
+from repro.memory.address_space import SharedAddressSpace
+from repro.memory.allocator import HeapAllocator
+from repro.memory.diff import apply_diff, diff_page
+from repro.memory.layout import HEAP_BASE
+from repro.memory.mmu import MMU
+from repro.memory.shared_commit import SharedMemoryCommitter
+from repro.pt.aux_buffer import AuxRingBuffer
+from repro.pt.decoder import PTDecoder
+from repro.pt.encoder import PTEncoder
+
+# ---------------------------------------------------------------------- #
+# Strategies
+# ---------------------------------------------------------------------- #
+
+clock_entries = st.dictionaries(st.integers(0, 7), st.integers(0, 40), max_size=6)
+clocks = clock_entries.map(VectorClock)
+
+
+class TestVectorClockLaws:
+    @given(clocks, clocks)
+    def test_merge_is_commutative(self, a, b):
+        assert a.merged(b) == b.merged(a)
+
+    @given(clocks, clocks, clocks)
+    def test_merge_is_associative(self, a, b, c):
+        assert a.merged(b).merged(c) == a.merged(b.merged(c))
+
+    @given(clocks)
+    def test_merge_is_idempotent(self, a):
+        assert a.merged(a) == a
+
+    @given(clocks, clocks)
+    def test_merge_dominates_both_operands(self, a, b):
+        merged = a.merged(b)
+        assert a.dominated_by(merged)
+        assert b.dominated_by(merged)
+
+    @given(clocks, clocks)
+    def test_happens_before_is_antisymmetric(self, a, b):
+        assert not (a.happens_before(b) and b.happens_before(a))
+
+    @given(clocks, clocks, clocks)
+    def test_happens_before_is_transitive(self, a, b, c):
+        if a.happens_before(b) and b.happens_before(c):
+            assert a.happens_before(c)
+
+    @given(clocks, clocks)
+    def test_trichotomy_of_ordering(self, a, b):
+        relations = [a.happens_before(b), b.happens_before(a), a == b, a.concurrent_with(b)]
+        assert sum(1 for relation in relations if relation) == 1
+
+    @given(st.lists(clocks, max_size=5))
+    def test_merge_all_dominates_every_clock(self, clock_list):
+        merged = merge_all(clock_list)
+        assert all(clock.dominated_by(merged) for clock in clock_list)
+
+
+class TestDiffProperties:
+    @given(st.binary(min_size=1, max_size=256), st.binary(min_size=1, max_size=256))
+    def test_diff_then_apply_reproduces_current(self, twin, current):
+        size = min(len(twin), len(current))
+        twin, current = twin[:size], current[:size]
+        diff = diff_page(0, twin, current)
+        target = bytearray(twin)
+        apply_diff(target, diff)
+        assert bytes(target) == current
+
+    @given(st.binary(min_size=1, max_size=256))
+    def test_identical_buffers_have_empty_diff(self, data):
+        assert diff_page(0, data, data).is_empty()
+
+    @given(st.binary(min_size=1, max_size=256), st.binary(min_size=1, max_size=256))
+    def test_modified_bytes_counts_exact_differences(self, twin, current):
+        size = min(len(twin), len(current))
+        twin, current = twin[:size], current[:size]
+        diff = diff_page(0, twin, current)
+        expected = sum(1 for a, b in zip(twin, current) if a != b)
+        assert diff.modified_bytes == expected
+
+
+class TestCompressionProperties:
+    @given(st.binary(max_size=4096))
+    def test_round_trip(self, data):
+        assert decompress(compress(data)) == data
+
+    @given(st.binary(min_size=64, max_size=2048), st.integers(2, 8))
+    def test_repetition_round_trip(self, chunk, repeats):
+        data = chunk * repeats
+        assert decompress(compress(data)) == data
+
+
+class TestPTEncodeDecodeProperties:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(st.lists(st.booleans(), max_size=400))
+    def test_tnt_stream_round_trip(self, outcomes):
+        aux = AuxRingBuffer(size=1 << 20)
+        encoder = PTEncoder(pid=1, aux=aux, psb_period=1 << 20)
+        for taken in outcomes:
+            encoder.conditional_branch(taken)
+        encoder.flush()
+        trace = PTDecoder().decode(aux.drain())
+        assert trace.tnt_bits == outcomes
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(st.lists(st.integers(0, 2**47 - 1), max_size=60))
+    def test_tip_stream_round_trip(self, targets):
+        aux = AuxRingBuffer(size=1 << 20)
+        encoder = PTEncoder(pid=1, aux=aux, psb_period=1 << 20)
+        for target in targets:
+            encoder.indirect_branch(target)
+        encoder.flush()
+        trace = PTDecoder().decode(aux.drain())
+        assert trace.tip_targets == targets
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 2**40)), max_size=120))
+    def test_mixed_stream_preserves_order_per_kind(self, events):
+        aux = AuxRingBuffer(size=1 << 20)
+        encoder = PTEncoder(pid=1, aux=aux, psb_period=1 << 20)
+        expected_bits, expected_tips = [], []
+        for is_tip, value in events:
+            if is_tip:
+                encoder.indirect_branch(value)
+                expected_tips.append(value)
+            else:
+                taken = bool(value & 1)
+                encoder.conditional_branch(taken)
+                expected_bits.append(taken)
+        encoder.flush()
+        trace = PTDecoder().decode(aux.drain())
+        assert trace.tnt_bits == expected_bits
+        assert trace.tip_targets == expected_tips
+
+
+class TestAllocatorProperties:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(st.lists(st.integers(1, 512), min_size=1, max_size=40), st.randoms())
+    def test_live_allocations_never_overlap(self, sizes, rng):
+        space = SharedAddressSpace(page_size=256)
+        allocator = HeapAllocator(space)
+        live = {}
+        for index, size in enumerate(sizes):
+            address = allocator.malloc(size)
+            for other_address, other_size in live.items():
+                assert address + size <= other_address or other_address + other_size <= address
+            live[address] = size
+            if live and rng.random() < 0.3:
+                victim = rng.choice(sorted(live))
+                allocator.free(victim)
+                del live[victim]
+        assert allocator.stats.live_bytes >= sum(live.values())
+
+
+class TestCommitConvergence:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 3), st.integers(0, 40), st.binary(min_size=1, max_size=16)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_sequential_commits_equal_direct_writes(self, operations):
+        """Committing after every write is equivalent to writing shared memory directly."""
+        page_size = 256
+        tracked = SharedAddressSpace(page_size=page_size)
+        reference = SharedAddressSpace(page_size=page_size)
+        mmu = MMU(tracked)
+        committer = SharedMemoryCommitter(tracked)
+        for pid, offset, payload in operations:
+            address = HEAP_BASE + offset * 16
+            mmu.write(pid, address, payload)
+            committer.commit(mmu.view(pid))
+            reference.write(address, payload)
+        span = 48 * 16 + 32
+        assert tracked.read(HEAP_BASE, span) == reference.read(HEAP_BASE, span)
+
+
+class TestCPGInvariantsUnderRandomSchedules:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None, max_examples=25)
+    @given(st.integers(0, 10_000))
+    def test_random_lock_schedules_produce_acyclic_consistent_graphs(self, seed):
+        rng = random.Random(seed)
+        tracker = ProvenanceTracker()
+        threads = [1, 2, 3]
+        lock_object = 99
+        holder = None
+        for tid in threads:
+            tracker.on_thread_start(tid)
+        for _ in range(rng.randint(3, 25)):
+            tid = rng.choice(threads)
+            if holder is None:
+                tracker.on_sync_boundary(tid, "mutex_lock")
+                tracker.on_acquire(tid, lock_object)
+                tracker.begin_next(tid)
+                tracker.on_memory_access(tid, rng.randint(0, 5), is_write=bool(rng.getrandbits(1)))
+                holder = tid
+            elif holder == tid:
+                tracker.on_sync_boundary(tid, "mutex_unlock")
+                tracker.on_release(tid, lock_object)
+                tracker.begin_next(tid)
+                holder = None
+        for tid in threads:
+            tracker.on_thread_end(tid)
+        cpg = tracker.finalize()
+        derive_data_edges(cpg)
+        assert cpg.is_acyclic()
+        # Every sync edge must agree with the vector-clock order.
+        for source, target, _ in cpg.edges(EdgeKind.SYNC):
+            assert cpg.happens_before(source, target)
+        # Every data edge must connect a writer to a reader of the same pages.
+        for source, target, attrs in cpg.edges(EdgeKind.DATA):
+            assert attrs["pages"] <= cpg.subcomputation(source).write_set
+            assert attrs["pages"] <= cpg.subcomputation(target).read_set

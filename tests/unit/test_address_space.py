@@ -1,0 +1,152 @@
+"""Unit tests for the shared address space and the heap allocator."""
+
+import pytest
+
+from repro.errors import AllocationError, DoubleFreeError, InvalidAddressError
+from repro.memory.address_space import SharedAddressSpace
+from repro.memory.allocator import HeapAllocator
+from repro.memory.layout import HEAP_BASE, INPUT_BASE
+
+
+@pytest.fixture
+def space():
+    return SharedAddressSpace(page_size=256)
+
+
+class TestSharedAddressSpace:
+    def test_read_back_what_was_written(self, space):
+        space.write(HEAP_BASE, b"hello world")
+        assert space.read(HEAP_BASE, 11) == b"hello world"
+
+    def test_unwritten_memory_is_zero(self, space):
+        assert space.read(HEAP_BASE, 16) == bytes(16)
+
+    def test_write_across_page_boundary(self, space):
+        address = HEAP_BASE + 256 - 4
+        payload = b"0123456789"
+        space.write(address, payload)
+        assert space.read(address, len(payload)) == payload
+
+    def test_word_round_trip(self, space):
+        space.write_word(HEAP_BASE, -123456789)
+        assert space.read_word(HEAP_BASE) == -123456789
+
+    def test_double_round_trip(self, space):
+        space.write_double(HEAP_BASE, 3.14159)
+        assert space.read_double(HEAP_BASE) == pytest.approx(3.14159)
+
+    def test_unmapped_address_raises(self, space):
+        with pytest.raises(InvalidAddressError):
+            space.read(0x1, 8)
+
+    def test_region_of(self, space):
+        assert space.region_of(HEAP_BASE).name == "heap"
+
+    def test_region_named_missing(self, space):
+        with pytest.raises(InvalidAddressError):
+            space.region_named("does-not-exist")
+
+    def test_access_past_region_end_raises(self, space):
+        heap = space.region_named("heap")
+        with pytest.raises(InvalidAddressError):
+            space.read(heap.end - 4, 8)
+
+    def test_is_tracked(self, space):
+        assert space.is_tracked(HEAP_BASE)
+        stack = space.region_named("stack")
+        assert not space.is_tracked(stack.base)
+
+    def test_load_input_places_data_in_input_region(self, space):
+        base = space.load_input(b"abcdef")
+        assert base == INPUT_BASE
+        assert space.read(base, 6) == b"abcdef"
+
+    def test_pages_for_validates_and_returns_pages(self, space):
+        pages = space.pages_for(HEAP_BASE, 512)
+        assert len(pages) >= 2
+
+    def test_page_snapshot_is_immutable_copy(self, space):
+        space.write(HEAP_BASE, b"xyz")
+        page = space.pages_for(HEAP_BASE, 1)[0]
+        snap = space.page_snapshot(page)
+        space.write(HEAP_BASE, b"abc")
+        assert snap[:3] == b"xyz"
+
+
+class TestHeapAllocator:
+    def test_malloc_returns_heap_addresses(self, space):
+        allocator = HeapAllocator(space)
+        address = allocator.malloc(100)
+        assert space.region_of(address).name == "heap"
+
+    def test_allocations_do_not_overlap(self, space):
+        allocator = HeapAllocator(space)
+        first = allocator.malloc(64)
+        second = allocator.malloc(64)
+        assert abs(first - second) >= 64
+
+    def test_alignment(self, space):
+        allocator = HeapAllocator(space, alignment=16)
+        for _ in range(5):
+            assert allocator.malloc(7) % 16 == 0
+
+    def test_free_and_reuse(self, space):
+        allocator = HeapAllocator(space)
+        first = allocator.malloc(128)
+        allocator.free(first)
+        second = allocator.malloc(128)
+        assert second == first
+
+    def test_double_free_raises(self, space):
+        allocator = HeapAllocator(space)
+        address = allocator.malloc(32)
+        allocator.free(address)
+        with pytest.raises(DoubleFreeError):
+            allocator.free(address)
+
+    def test_free_unallocated_raises(self, space):
+        allocator = HeapAllocator(space)
+        with pytest.raises(DoubleFreeError):
+            allocator.free(HEAP_BASE + 12345)
+
+    def test_zero_size_malloc_raises(self, space):
+        allocator = HeapAllocator(space)
+        with pytest.raises(AllocationError):
+            allocator.malloc(0)
+
+    def test_calloc_zeroes_memory(self, space):
+        allocator = HeapAllocator(space)
+        space.write(HEAP_BASE, b"\xff" * 64)
+        address = allocator.calloc(8, 8)
+        assert space.read(address, 64) == bytes(64)
+
+    def test_out_of_memory(self):
+        small = SharedAddressSpace(page_size=256)
+        allocator = HeapAllocator(small)
+        heap = small.region_named("heap")
+        with pytest.raises(AllocationError):
+            allocator.malloc(heap.size + 1)
+
+    def test_stats_track_live_bytes(self, space):
+        allocator = HeapAllocator(space)
+        a = allocator.malloc(100)
+        b = allocator.malloc(100)
+        assert allocator.stats.live_bytes >= 200
+        allocator.free(a)
+        allocator.free(b)
+        assert allocator.stats.live_bytes == 0
+        assert allocator.stats.peak_bytes >= 200
+
+    def test_coalescing_allows_large_realloc(self, space):
+        allocator = HeapAllocator(space)
+        blocks = [allocator.malloc(64) for _ in range(8)]
+        for block in blocks:
+            allocator.free(block)
+        # After coalescing the freed blocks, a larger allocation fits at the front.
+        big = allocator.malloc(64 * 8)
+        assert big == blocks[0]
+
+    def test_allocation_size(self, space):
+        allocator = HeapAllocator(space)
+        address = allocator.malloc(30)
+        assert allocator.allocation_size(address) >= 30

@@ -1,0 +1,87 @@
+"""Unit tests for address-space layout helpers."""
+
+from repro.memory.layout import (
+    DEFAULT_PAGE_SIZE,
+    Region,
+    cache_line_id,
+    default_regions,
+    page_base,
+    page_id,
+    page_offset,
+    pages_spanned,
+)
+
+
+class TestRegion:
+    def test_contains_inside(self):
+        region = Region("r", base=0x1000, size=0x100)
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+
+    def test_contains_outside(self):
+        region = Region("r", base=0x1000, size=0x100)
+        assert not region.contains(0xFFF)
+        assert not region.contains(0x1100)
+
+    def test_end(self):
+        region = Region("r", base=0x1000, size=0x100)
+        assert region.end == 0x1100
+
+    def test_default_regions_names(self):
+        names = {r.name for r in default_regions()}
+        assert names == {"globals", "heap", "input", "stack"}
+
+    def test_default_regions_do_not_overlap(self):
+        regions = sorted(default_regions(), key=lambda r: r.base)
+        for earlier, later in zip(regions, regions[1:]):
+            assert earlier.end <= later.base
+
+    def test_stack_is_untracked(self):
+        stack = next(r for r in default_regions() if r.name == "stack")
+        assert not stack.tracked
+        assert not stack.shared
+
+    def test_heap_and_globals_are_tracked_and_shared(self):
+        for name in ("heap", "globals"):
+            region = next(r for r in default_regions() if r.name == name)
+            assert region.tracked
+            assert region.shared
+
+
+class TestPageMath:
+    def test_page_id_of_zero(self):
+        assert page_id(0) == 0
+
+    def test_page_id_boundary(self):
+        assert page_id(DEFAULT_PAGE_SIZE - 1) == 0
+        assert page_id(DEFAULT_PAGE_SIZE) == 1
+
+    def test_page_base(self):
+        assert page_base(DEFAULT_PAGE_SIZE + 17) == DEFAULT_PAGE_SIZE
+
+    def test_page_offset(self):
+        assert page_offset(DEFAULT_PAGE_SIZE + 17) == 17
+
+    def test_custom_page_size(self):
+        assert page_id(255, page_size=256) == 0
+        assert page_id(256, page_size=256) == 1
+
+    def test_pages_spanned_single_page(self):
+        assert pages_spanned(0, 8) == [0]
+
+    def test_pages_spanned_two_pages(self):
+        assert pages_spanned(DEFAULT_PAGE_SIZE - 4, 8) == [0, 1]
+
+    def test_pages_spanned_exact_page(self):
+        assert pages_spanned(0, DEFAULT_PAGE_SIZE) == [0]
+
+    def test_pages_spanned_large_access(self):
+        assert pages_spanned(0, DEFAULT_PAGE_SIZE * 3) == [0, 1, 2]
+
+    def test_pages_spanned_zero_size(self):
+        assert pages_spanned(100, 0) == []
+
+    def test_cache_line_id(self):
+        assert cache_line_id(0) == 0
+        assert cache_line_id(63) == 0
+        assert cache_line_id(64) == 1

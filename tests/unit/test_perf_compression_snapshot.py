@@ -1,0 +1,299 @@
+"""Unit tests for the perf layer, the LZ compressor, and the snapshot facility."""
+
+import json
+
+import pytest
+
+from repro.compression.lz import compress, compression_ratio, decompress
+from repro.core.algorithm import ProvenanceTracker
+from repro.perf.events import PerfData, PerfRecord, RecordType
+from repro.perf.record import PerfRecordSession
+from repro.perf.script import PerfScript
+from repro.pt.binary_map import ImageMap
+from repro.pt.cgroup import Cgroup
+from repro.pt.pmu import IntelPTPMU, PMUConfig
+from repro.snapshot.consistent_cut import cut_at, frontier_of, is_consistent, latest_cut, violations
+from repro.snapshot.ring_buffer import SlotRingBuffer
+from repro.snapshot.snapshotter import Snapshotter
+from repro.errors import SnapshotError
+
+
+class TestCgroup:
+    def test_membership(self):
+        cgroup = Cgroup("inspector")
+        cgroup.add(1)
+        assert 1 in cgroup
+        assert 2 not in cgroup
+
+    def test_children_inherit_membership(self):
+        cgroup = Cgroup("inspector")
+        cgroup.add(1)
+        assert cgroup.add_child(1, 2)
+        assert 2 in cgroup
+
+    def test_children_of_non_members_stay_out(self):
+        cgroup = Cgroup("inspector")
+        assert not cgroup.add_child(5, 6)
+        assert 6 not in cgroup
+
+
+class TestPMU:
+    def test_attach_creates_encoder_and_buffer(self):
+        pmu = IntelPTPMU()
+        encoder = pmu.attach(1)
+        assert encoder is not None
+        assert pmu.aux_buffer(1) is encoder.aux
+
+    def test_attach_is_idempotent(self):
+        pmu = IntelPTPMU()
+        assert pmu.attach(1) is pmu.attach(1)
+
+    def test_cgroup_filter_blocks_non_members(self):
+        cgroup = Cgroup("inspector")
+        cgroup.add(1)
+        pmu = IntelPTPMU(cgroup=cgroup)
+        assert pmu.attach(1) is not None
+        assert pmu.attach(2) is None
+
+    def test_totals_aggregate_over_processes(self):
+        pmu = IntelPTPMU(PMUConfig(psb_period=1 << 20))
+        for pid in (1, 2):
+            encoder = pmu.attach(pid)
+            for _ in range(10):
+                encoder.conditional_branch(True)
+        pmu.flush_all()
+        assert pmu.total_branches() == 20
+        assert pmu.total_bytes_emitted() > 0
+
+    def test_detach_stops_tracing(self):
+        pmu = IntelPTPMU()
+        encoder = pmu.attach(1)
+        pmu.detach(1)
+        encoder.conditional_branch(True)
+        assert encoder.stats.conditional_branches == 0
+
+
+class TestPerfRecordAndScript:
+    def _traced_pmu(self):
+        pmu = IntelPTPMU(PMUConfig(psb_period=1 << 20))
+        image_map = ImageMap()
+        session = PerfRecordSession(pmu, image_map, command="workload")
+        session.on_process_start(1, "worker-1")
+        session.on_mmap(1, "workload:test", 0x400000000000, 1 << 32)
+        encoder = pmu.attach(1)
+        for index in range(20):
+            site = 0x400000000000 + index * 8
+            encoder.conditional_branch(index % 2 == 0)
+            image_map.record_branch_site(1, site, False)
+        return pmu, image_map, session
+
+    def test_record_collects_aux_data(self):
+        _, _, session = self._traced_pmu()
+        data = session.finish()
+        assert data.aux_bytes(1) > 0
+        assert data.records_of(RecordType.AUXTRACE)
+
+    def test_record_emits_sideband_records(self):
+        _, _, session = self._traced_pmu()
+        data = session.finish()
+        assert data.records_of(RecordType.COMM)
+        assert data.records_of(RecordType.MMAP)
+        assert data.records_of(RecordType.ITRACE_START)
+
+    def test_lost_records_on_overflow(self):
+        pmu = IntelPTPMU(PMUConfig(aux_size=64, psb_period=1 << 20))
+        session = PerfRecordSession(pmu)
+        session.on_process_start(1, "w")
+        encoder = pmu.attach(1)
+        for _ in range(5000):
+            encoder.indirect_branch(0x1234567890AB)
+        data = session.finish()
+        assert data.records_of(RecordType.LOST)
+
+    def test_total_size_includes_framing(self):
+        _, _, session = self._traced_pmu()
+        data = session.finish()
+        assert data.total_size > data.aux_bytes()
+
+    def test_script_decodes_branches(self):
+        pmu, image_map, session = self._traced_pmu()
+        data = session.finish()
+        output = PerfScript(image_map).run(data)
+        assert output.total_branches == 20
+        assert 1 in output.branches
+        assert len(output.branches[1]) == 20
+        assert output.lines
+
+    def test_script_counts_lost_events(self):
+        data = PerfData()
+        data.add_record(PerfRecord(RecordType.LOST, pid=1, payload_size=8))
+        output = PerfScript().run(data)
+        assert output.lost_events == 1
+
+
+class TestLZCompression:
+    def test_round_trip_text(self):
+        payload = b"the quick brown fox jumps over the lazy dog " * 50
+        assert decompress(compress(payload)) == payload
+
+    def test_round_trip_binary(self):
+        payload = bytes(range(256)) * 20
+        assert decompress(compress(payload)) == payload
+
+    def test_round_trip_incompressible(self):
+        import random
+
+        rng = random.Random(7)
+        payload = bytes(rng.randrange(256) for _ in range(4096))
+        assert decompress(compress(payload)) == payload
+
+    def test_empty_input(self):
+        assert compress(b"") == b""
+        assert decompress(b"") == b""
+
+    def test_repetitive_data_compresses_well(self):
+        payload = b"\xAA" * 10_000
+        result = compression_ratio(payload)
+        assert result.ratio > 10
+
+    def test_random_data_does_not_explode(self):
+        import random
+
+        rng = random.Random(3)
+        payload = bytes(rng.randrange(256) for _ in range(8192))
+        result = compression_ratio(payload)
+        assert result.compressed_size < len(payload) * 2.1
+
+    def test_sampled_ratio_close_to_full_ratio(self):
+        payload = (b"pattern-one " * 100 + b"pattern-two " * 100) * 20
+        full = compression_ratio(payload)
+        sampled = compression_ratio(payload, sample_limit=1024)
+        assert sampled.sampled
+        assert sampled.ratio == pytest.approx(full.ratio, rel=0.5)
+
+    def test_malformed_stream_rejected(self):
+        with pytest.raises(ValueError):
+            decompress(b"\x05\x00ab")  # claims 5 literals, provides 2
+        with pytest.raises(ValueError):
+            decompress(b"\x00\x05\xff\xff")  # match offset beyond output
+
+
+def _tracker_with_two_threads(sync_ops=8):
+    tracker = ProvenanceTracker()
+    tracker.on_thread_start(1)
+    tracker.on_thread_start(2)
+    for index in range(sync_ops):
+        tid = 1 if index % 2 == 0 else 2
+        tracker.on_memory_access(tid, 100 + index, is_write=True)
+        tracker.on_sync_boundary(tid, "mutex_unlock")
+        tracker.on_release(tid, 5)
+        tracker.begin_next(tid)
+        other = 2 if tid == 1 else 1
+        tracker.on_sync_boundary(other, "mutex_lock")
+        tracker.on_acquire(other, 5)
+        tracker.begin_next(other)
+    return tracker
+
+
+class TestConsistentCut:
+    def test_latest_cut_includes_all_completed_nodes(self):
+        tracker = _tracker_with_two_threads()
+        cut = latest_cut(tracker.cpg)
+        assert len(cut) == len(tracker.cpg.nodes())
+
+    def test_latest_cut_is_consistent(self):
+        tracker = _tracker_with_two_threads()
+        cut = latest_cut(tracker.cpg)
+        assert is_consistent(tracker.cpg, cut.nodes)
+        assert violations(tracker.cpg, cut.nodes) == []
+
+    def test_cut_at_partial_frontier_is_consistent(self):
+        tracker = _tracker_with_two_threads()
+        cpg = tracker.cpg
+        # A frontier covering only thread 1's first few sub-computations.
+        from repro.core.vector_clock import VectorClock
+
+        frontier = VectorClock({1: 2})
+        cut = cut_at(cpg, frontier)
+        assert is_consistent(cpg, cut.nodes)
+        assert 0 < len(cut) < len(cpg.nodes())
+
+    def test_dropping_a_release_breaks_consistency(self):
+        tracker = _tracker_with_two_threads()
+        cpg = tracker.cpg
+        cut = latest_cut(cpg)
+        # Remove a node that has outgoing sync/control edges into the cut.
+        from repro.core.cpg import EdgeKind
+
+        source, target, _ = cpg.edges(EdgeKind.SYNC)[0]
+        broken = set(cut.nodes)
+        broken.discard(source)
+        assert not is_consistent(cpg, broken)
+
+    def test_frontier_covers_every_thread(self):
+        tracker = _tracker_with_two_threads()
+        frontier = frontier_of(tracker.cpg)
+        assert frontier.get(1) > 0
+        assert frontier.get(2) > 0
+
+
+class TestRingBufferAndSnapshotter:
+    def test_store_and_latest(self):
+        ring = SlotRingBuffer(slot_size=1024, slot_count=2)
+        ring.store(b"one")
+        slot = ring.store(b"two")
+        assert ring.latest() is slot
+        assert ring.latest().payload == b"two"
+
+    def test_eviction_when_full(self):
+        ring = SlotRingBuffer(slot_size=1024, slot_count=2)
+        ring.store(b"a")
+        ring.store(b"b")
+        ring.store(b"c")
+        assert ring.evictions == 1
+        payloads = [slot.payload for slot in ring.occupied_slots()]
+        assert b"a" not in payloads
+
+    def test_oversized_payload_rejected(self):
+        ring = SlotRingBuffer(slot_size=4, slot_count=2)
+        assert ring.store(b"too large") is None
+        assert ring.oversized_rejections == 1
+
+    def test_release_frees_slot(self):
+        ring = SlotRingBuffer(slot_size=64, slot_count=2)
+        slot = ring.store(b"payload")
+        ring.release(slot)
+        assert not slot.occupied
+        assert ring.used_bytes == 0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(SnapshotError):
+            SlotRingBuffer(slot_size=0, slot_count=1)
+
+    def test_snapshotter_interval(self):
+        tracker = _tracker_with_two_threads()
+        snapshotter = Snapshotter(tracker, SlotRingBuffer(slot_size=1 << 20, slot_count=4), interval=3)
+        taken = [snapshotter.on_sync_boundary() for _ in range(9)]
+        assert sum(1 for record in taken if record is not None) == 3
+        assert snapshotter.stats.snapshots_taken == 3
+
+    def test_snapshots_are_consistent_and_parseable(self):
+        tracker = _tracker_with_two_threads()
+        snapshotter = Snapshotter(tracker, SlotRingBuffer(slot_size=1 << 20, slot_count=4), interval=1)
+        record = snapshotter.on_sync_boundary()
+        assert record is not None
+        assert record.consistent
+        payload = json.loads(snapshotter.ring.latest().payload)
+        assert payload["nodes"]
+        assert "frontier" in payload
+
+    def test_snapshot_rejected_when_slot_too_small(self):
+        tracker = _tracker_with_two_threads()
+        snapshotter = Snapshotter(tracker, SlotRingBuffer(slot_size=16, slot_count=2), interval=1)
+        record = snapshotter.take_snapshot()
+        assert not record.stored
+
+    def test_invalid_interval_rejected(self):
+        tracker = ProvenanceTracker()
+        with pytest.raises(ValueError):
+            Snapshotter(tracker, interval=0)

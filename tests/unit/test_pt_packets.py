@@ -1,0 +1,313 @@
+"""Unit tests for the Intel PT packet model, encoder, AUX buffer, and decoder."""
+
+import pytest
+
+from repro.errors import PacketDecodeError
+from repro.pt.aux_buffer import AuxRingBuffer
+from repro.pt.binary_map import ImageMap
+from repro.pt.decoder import PTDecoder, reconstruct_branches
+from repro.pt.encoder import PTEncoder
+from repro.pt.packets import (
+    MAX_TNT_BITS,
+    FUPPacket,
+    ModePacket,
+    OVFPacket,
+    PSBEndPacket,
+    PSBPacket,
+    PadPacket,
+    TIPPacket,
+    TNTPacket,
+    TSCPacket,
+    decode_packets,
+    decompress_ip,
+    ip_compression,
+)
+
+
+class TestPacketEncoding:
+    def test_pad_is_one_byte(self):
+        assert PadPacket().size == 1
+
+    def test_psb_is_sixteen_bytes(self):
+        assert PSBPacket().size == 16
+
+    def test_psbend_and_ovf_are_two_bytes(self):
+        assert PSBEndPacket().size == 2
+        assert OVFPacket().size == 2
+
+    def test_tsc_is_eight_bytes(self):
+        assert TSCPacket(123456).size == 8
+
+    def test_mode_is_two_bytes(self):
+        assert ModePacket().size == 2
+
+    def test_short_tnt_is_three_bytes(self):
+        packet = TNTPacket(tuple([True] * 6))
+        assert packet.size == 3
+
+    def test_long_tnt_is_eight_bytes(self):
+        packet = TNTPacket(tuple([True, False] * 23 + [True]))
+        assert len(packet.bits) == MAX_TNT_BITS
+        assert packet.size == 2 + 6
+
+    def test_tnt_rejects_empty_and_oversized(self):
+        with pytest.raises(PacketDecodeError):
+            TNTPacket(())
+        with pytest.raises(PacketDecodeError):
+            TNTPacket(tuple([True] * (MAX_TNT_BITS + 1)))
+
+    def test_tip_sizes_depend_on_compression(self):
+        assert TIPPacket(0x1234, compressed_bytes=0).size == 2
+        assert TIPPacket(0x1234, compressed_bytes=2).size == 4
+        assert TIPPacket(0x1234, compressed_bytes=8).size == 10
+
+    def test_tip_rejects_bad_compression(self):
+        with pytest.raises(PacketDecodeError):
+            TIPPacket(0x1234, compressed_bytes=3)
+
+    def test_fup_is_nine_bytes(self):
+        assert FUPPacket(0xDEADBEEF).size == 9
+
+
+class TestPacketDecoding:
+    def test_round_trip_mixed_stream(self):
+        stream = (
+            PSBPacket().encode()
+            + TSCPacket(7).encode()
+            + ModePacket().encode()
+            + PSBEndPacket().encode()
+            + TNTPacket((True, False, True)).encode()
+            + TIPPacket(0xABCDEF, compressed_bytes=8).encode()
+            + OVFPacket().encode()
+            + PadPacket().encode()
+        )
+        packets = decode_packets(stream)
+        kinds = [type(p).__name__ for p in packets]
+        assert kinds == [
+            "PSBPacket",
+            "TSCPacket",
+            "ModePacket",
+            "PSBEndPacket",
+            "TNTPacket",
+            "TIPPacket",
+            "OVFPacket",
+            "PadPacket",
+        ]
+
+    def test_tnt_bits_preserved(self):
+        bits = (True, False, False, True, True, False, True)
+        [packet] = decode_packets(TNTPacket(bits).encode())
+        assert packet.bits == bits
+
+    def test_tsc_value_preserved(self):
+        [packet] = decode_packets(TSCPacket(99999).encode())
+        assert packet.timestamp == 99999
+
+    def test_truncated_stream_raises(self):
+        data = TNTPacket((True,) * 10).encode()[:-1]
+        with pytest.raises(PacketDecodeError):
+            decode_packets(data)
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(PacketDecodeError):
+            decode_packets(bytes([0x77]))
+
+    def test_empty_stream_decodes_to_nothing(self):
+        assert decode_packets(b"") == []
+
+
+class TestIPCompression:
+    def test_first_ip_is_uncompressed(self):
+        assert ip_compression(None, 0x1234) == 8
+
+    def test_same_ip_is_zero_bytes(self):
+        assert ip_compression(0x1234, 0x1234) == 0
+
+    def test_nearby_ip_uses_two_bytes(self):
+        assert ip_compression(0x400010, 0x400020) == 2
+
+    def test_distant_ip_uses_more_bytes(self):
+        assert ip_compression(0x1_0000_0000, 0x2_0000_0000) == 6
+
+    def test_decompress_round_trip(self):
+        previous = 0x7F1234567890
+        for target in (previous, previous + 4, previous + 0x10000, previous + 0x1_0000_0000):
+            nbytes = ip_compression(previous, target)
+            payload = target.to_bytes(8, "little")[:nbytes]
+            assert decompress_ip(previous, payload) == target
+
+    def test_decompress_without_context_requires_full_ip(self):
+        with pytest.raises(PacketDecodeError):
+            decompress_ip(None, b"")
+
+
+class TestAuxBuffer:
+    def test_write_and_drain(self):
+        buffer = AuxRingBuffer(size=64)
+        buffer.write(b"abc")
+        buffer.write(b"def")
+        assert buffer.drain() == b"abcdef"
+        assert buffer.used == 0
+
+    def test_full_trace_mode_loses_data_on_overflow(self):
+        buffer = AuxRingBuffer(size=8, snapshot_mode=False)
+        buffer.write(b"12345678")
+        stored = buffer.write(b"abcd")
+        assert stored == 0
+        assert buffer.stats.bytes_lost == 4
+        assert buffer.has_gaps
+
+    def test_overflow_episodes_counted_once(self):
+        buffer = AuxRingBuffer(size=4, snapshot_mode=False)
+        buffer.write(b"1234")
+        buffer.write(b"a")
+        buffer.write(b"b")
+        assert buffer.stats.overflows == 1
+
+    def test_snapshot_mode_overwrites_oldest(self):
+        buffer = AuxRingBuffer(size=8, snapshot_mode=True)
+        buffer.write(b"AAAA")
+        buffer.write(b"BBBB")
+        buffer.write(b"CCCC")
+        content = buffer.peek()
+        assert len(content) <= 8
+        assert b"CCCC" in content
+        assert buffer.stats.bytes_lost == 0
+        assert buffer.stats.bytes_overwritten > 0
+
+    def test_snapshot_mode_keeps_most_recent_when_payload_exceeds_size(self):
+        buffer = AuxRingBuffer(size=4, snapshot_mode=True)
+        buffer.write(b"0123456789")
+        assert buffer.peek() == b"6789"
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            AuxRingBuffer(size=0)
+
+
+class TestEncoderDecoder:
+    def test_encoder_batches_tnt_bits(self):
+        aux = AuxRingBuffer(size=1 << 20)
+        encoder = PTEncoder(pid=1, aux=aux)
+        for index in range(100):
+            encoder.conditional_branch(index % 3 == 0)
+        encoder.flush()
+        trace = PTDecoder().decode(aux.drain())
+        assert trace.tnt_bits == [index % 3 == 0 for index in range(100)]
+
+    def test_encoder_emits_tip_for_indirect_branches(self):
+        aux = AuxRingBuffer(size=1 << 20)
+        encoder = PTEncoder(pid=1, aux=aux)
+        targets = [0x400000, 0x400040, 0x400040, 0x7F0000000000]
+        for target in targets:
+            encoder.indirect_branch(target)
+        encoder.flush()
+        trace = PTDecoder().decode(aux.drain())
+        assert trace.tip_targets == targets
+
+    def test_interleaved_branches_preserve_order_within_kind(self):
+        aux = AuxRingBuffer(size=1 << 20)
+        encoder = PTEncoder(pid=1, aux=aux)
+        encoder.conditional_branch(True)
+        encoder.indirect_branch(0x1000)
+        encoder.conditional_branch(False)
+        encoder.indirect_branch(0x2000)
+        encoder.flush()
+        trace = PTDecoder().decode(aux.drain())
+        assert trace.tnt_bits == [True, False]
+        assert trace.tip_targets == [0x1000, 0x2000]
+
+    def test_psb_groups_emitted_periodically(self):
+        aux = AuxRingBuffer(size=1 << 22)
+        encoder = PTEncoder(pid=1, aux=aux, psb_period=256)
+        for _ in range(5000):
+            encoder.conditional_branch(True)
+        encoder.flush()
+        trace = PTDecoder().decode(aux.drain())
+        assert trace.psb_count >= 2
+
+    def test_compression_makes_repeated_targets_cheaper(self):
+        aux_a = AuxRingBuffer(size=1 << 20)
+        encoder_a = PTEncoder(pid=1, aux=aux_a, psb_period=1 << 20)
+        for _ in range(100):
+            encoder_a.indirect_branch(0x400000)
+        encoder_a.flush()
+
+        aux_b = AuxRingBuffer(size=1 << 20)
+        encoder_b = PTEncoder(pid=2, aux=aux_b, psb_period=1 << 20)
+        for index in range(100):
+            encoder_b.indirect_branch(0x400000 + index * 0x1_0000_0000)
+        encoder_b.flush()
+        assert encoder_a.stats.bytes_emitted < encoder_b.stats.bytes_emitted
+
+    def test_disabled_encoder_records_nothing(self):
+        aux = AuxRingBuffer(size=1 << 20)
+        encoder = PTEncoder(pid=1, aux=aux)
+        encoder.disable()
+        encoder.conditional_branch(True)
+        encoder.indirect_branch(0x1000)
+        assert encoder.stats.conditional_branches == 0
+        assert encoder.stats.indirect_branches == 0
+
+    def test_bytes_per_branch_is_realistic(self):
+        aux = AuxRingBuffer(size=1 << 22)
+        encoder = PTEncoder(pid=1, aux=aux)
+        for index in range(10_000):
+            encoder.conditional_branch(index % 2 == 0)
+        encoder.flush()
+        bytes_per_branch = encoder.stats.bytes_emitted / 10_000
+        # Long TNT packets: 8 bytes per 47 branches plus PSB overhead.
+        assert bytes_per_branch < 1.0
+
+    def test_decoder_lenient_recovers_from_leading_garbage(self):
+        aux = AuxRingBuffer(size=1 << 20)
+        encoder = PTEncoder(pid=1, aux=aux, psb_period=1 << 20)
+        for _ in range(10):
+            encoder.conditional_branch(True)
+        encoder.flush()
+        data = aux.drain()
+        mangled = b"\x77\x99" + data[2:]
+        trace = PTDecoder().decode_lenient(mangled)
+        assert trace.overflow_count >= 1
+
+
+class TestReconstruction:
+    def test_reconstruct_full_branch_sequence(self):
+        aux = AuxRingBuffer(size=1 << 20)
+        encoder = PTEncoder(pid=1, aux=aux)
+        image_map = ImageMap()
+        image_map.add_image("workload:test", 0x400000000000, 1 << 32)
+        sites = []
+        for index in range(50):
+            site = 0x400000000000 + index * 16
+            if index % 5 == 0:
+                encoder.indirect_branch(site)
+                image_map.record_branch_site(1, site, True)
+                sites.append((site, True))
+            else:
+                taken = index % 2 == 0
+                encoder.conditional_branch(taken)
+                image_map.record_branch_site(1, site, False)
+                sites.append((site, taken))
+        encoder.flush()
+        trace = PTDecoder().decode(aux.drain())
+        reconstructed = reconstruct_branches(trace, image_map.branch_sites(1), image_map)
+        assert len(reconstructed) == 50
+        for (site, expectation), branch in zip(sites, reconstructed):
+            if branch.is_indirect:
+                assert branch.site == site
+            else:
+                assert branch.taken == expectation
+
+    def test_reconstruction_stops_at_gap(self):
+        trace = PTDecoder().decode(TNTPacket((True, False)).encode())
+        sites = [(0x1, False), (0x2, False), (0x3, False)]
+        reconstructed = reconstruct_branches(trace, sites)
+        assert len(reconstructed) == 2
+
+    def test_image_map_lookup(self):
+        image_map = ImageMap()
+        image_map.add_image("libinspector.so", 0x1000, 0x1000)
+        record = image_map.image_for(0x1800)
+        assert record is not None and record.name == "libinspector.so"
+        assert image_map.image_for(0x5000) is None

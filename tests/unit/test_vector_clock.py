@@ -1,0 +1,128 @@
+"""Unit tests for vector clocks."""
+
+import pytest
+
+from repro.core.vector_clock import VectorClock, merge_all
+
+
+class TestBasics:
+    def test_empty_clock_components_are_zero(self):
+        clock = VectorClock()
+        assert clock.get(0) == 0
+        assert clock.get(99) == 0
+
+    def test_set_and_get(self):
+        clock = VectorClock()
+        clock.set(1, 5)
+        assert clock.get(1) == 5
+
+    def test_constructor_drops_zero_entries(self):
+        clock = VectorClock({1: 0, 2: 3})
+        assert clock.as_dict() == {2: 3}
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock({1: -1})
+        clock = VectorClock()
+        with pytest.raises(ValueError):
+            clock.set(1, -2)
+
+    def test_advance_increments(self):
+        clock = VectorClock()
+        assert clock.advance(3) == 1
+        assert clock.advance(3) == 2
+
+    def test_advance_with_explicit_value(self):
+        clock = VectorClock()
+        clock.advance(1, 10)
+        assert clock.get(1) == 10
+
+    def test_advance_backwards_rejected(self):
+        clock = VectorClock({1: 5})
+        with pytest.raises(ValueError):
+            clock.advance(1, 3)
+
+    def test_copy_is_independent(self):
+        clock = VectorClock({1: 1})
+        clone = clock.copy()
+        clone.set(1, 9)
+        assert clock.get(1) == 1
+
+    def test_equality_and_hash(self):
+        assert VectorClock({1: 2, 3: 4}) == VectorClock({3: 4, 1: 2})
+        assert hash(VectorClock({1: 2})) == hash(VectorClock({1: 2}))
+        assert VectorClock({1: 2}) != VectorClock({1: 3})
+
+    def test_iteration_is_sorted(self):
+        clock = VectorClock({5: 1, 2: 7})
+        assert list(clock) == [(2, 7), (5, 1)]
+
+
+class TestMerge:
+    def test_merge_takes_componentwise_max(self):
+        a = VectorClock({1: 3, 2: 1})
+        b = VectorClock({1: 2, 2: 5, 3: 1})
+        a.merge(b)
+        assert a.as_dict() == {1: 3, 2: 5, 3: 1}
+
+    def test_merged_does_not_mutate(self):
+        a = VectorClock({1: 1})
+        b = VectorClock({2: 2})
+        c = a.merged(b)
+        assert a.as_dict() == {1: 1}
+        assert c.as_dict() == {1: 1, 2: 2}
+
+    def test_merge_is_idempotent(self):
+        a = VectorClock({1: 3})
+        a.merge(a)
+        assert a.as_dict() == {1: 3}
+
+    def test_merge_all(self):
+        clocks = [VectorClock({1: 1}), VectorClock({2: 4}), VectorClock({1: 3})]
+        assert merge_all(clocks).as_dict() == {1: 3, 2: 4}
+
+
+class TestOrdering:
+    def test_strictly_smaller_happens_before(self):
+        a = VectorClock({1: 1})
+        b = VectorClock({1: 2})
+        assert a.happens_before(b)
+        assert not b.happens_before(a)
+
+    def test_equal_clocks_do_not_happen_before(self):
+        a = VectorClock({1: 1})
+        b = VectorClock({1: 1})
+        assert not a.happens_before(b)
+        assert not b.happens_before(a)
+
+    def test_concurrent_clocks(self):
+        a = VectorClock({1: 1})
+        b = VectorClock({2: 1})
+        assert a.concurrent_with(b)
+        assert b.concurrent_with(a)
+
+    def test_dominated_by_mixed(self):
+        a = VectorClock({1: 1, 2: 2})
+        b = VectorClock({1: 2, 2: 2})
+        assert a.dominated_by(b)
+        assert not b.dominated_by(a)
+
+    def test_empty_clock_happens_before_any_nonempty(self):
+        assert VectorClock().happens_before(VectorClock({1: 1}))
+
+    def test_comparison_operators(self):
+        a = VectorClock({1: 1})
+        b = VectorClock({1: 2})
+        assert a < b
+        assert a <= b
+        assert b <= b
+        assert not (b < b)
+
+    def test_release_acquire_chain_orders_threads(self):
+        # Thread 1 releases after its second sub-computation, thread 2 acquires.
+        t1 = VectorClock({1: 2})
+        sync = VectorClock()
+        sync.merge(t1)
+        t2 = VectorClock({2: 1})
+        t2.merge(sync)
+        assert t1.happens_before(t2)

@@ -1,0 +1,215 @@
+"""Unit tests for workload datasets, the cost model, stats, and the pthreads veneer."""
+
+import pytest
+
+from repro.inspector.costmodel import CostModel, CostParameters
+from repro.inspector.stats import RunStats
+from repro.threads.backend import DirectBackend
+from repro.threads.program import ProgramAPI, branch_site
+from repro.threads.pthreads import (
+    pthread_barrier_init,
+    pthread_barrier_wait,
+    pthread_create,
+    pthread_join,
+    pthread_mutex_init,
+    pthread_mutex_lock,
+    pthread_mutex_unlock,
+)
+from repro.threads.runtime import SimRuntime
+from repro.workloads.base import chunk_ranges
+from repro.workloads.registry import (
+    INPUT_SCALING_WORKLOADS,
+    OUTLIER_WORKLOADS,
+    all_workloads,
+    get_workload,
+    list_workloads,
+)
+
+
+class TestWorkloadRegistry:
+    def test_twelve_workloads_registered(self):
+        assert len(list_workloads()) == 12
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("does-not-exist")
+
+    def test_outliers_and_scaling_sets_are_registered_workloads(self):
+        names = set(list_workloads())
+        assert set(OUTLIER_WORKLOADS) <= names
+        assert set(INPUT_SCALING_WORKLOADS) <= names
+
+    def test_every_workload_has_paper_reference(self):
+        for workload in all_workloads():
+            assert workload.paper is not None
+            assert workload.paper.page_faults > 0
+            assert workload.paper.compression_ratio > 0
+            assert workload.suite in ("phoenix", "parsec")
+
+    def test_overhead_bands_match_paper(self):
+        for workload in all_workloads():
+            if workload.name in OUTLIER_WORKLOADS:
+                assert workload.paper.overhead_band == "high"
+            elif workload.name == "linear_regression":
+                assert workload.paper.overhead_band == "below_native"
+            else:
+                assert workload.paper.overhead_band == "low"
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("name", list_workloads())
+    def test_datasets_deterministic_and_sized(self, name):
+        workload = get_workload(name)
+        first = workload.generate_dataset("small", seed=3)
+        second = workload.generate_dataset("small", seed=3)
+        assert first.payload == second.payload
+        large = workload.generate_dataset("large", seed=3)
+        assert large.size_bytes > first.size_bytes
+
+    def test_different_seeds_differ(self):
+        workload = get_workload("canneal")
+        assert (
+            workload.generate_dataset("small", seed=1).payload
+            != workload.generate_dataset("small", seed=2).payload
+        )
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            get_workload("histogram").generate_dataset("gigantic")
+
+    def test_verify_rejects_wrong_results(self):
+        workload = get_workload("histogram")
+        dataset = workload.generate_dataset("small")
+        with pytest.raises(AssertionError):
+            workload.verify([0] * 256, dataset)
+
+
+class TestChunkRanges:
+    def test_covers_everything_without_overlap(self):
+        ranges = chunk_ranges(100, 7)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 100
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end == start
+        assert sum(end - start for start, end in ranges) == 100
+
+    def test_more_chunks_than_items(self):
+        ranges = chunk_ranges(3, 8)
+        assert len(ranges) == 8
+        assert sum(end - start for start, end in ranges) == 3
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(10, 0)
+
+
+def make_stats(mode="inspector", **overrides):
+    base = dict(
+        workload="synthetic",
+        mode=mode,
+        threads=4,
+        instructions=1_000_000,
+        per_thread_instructions={0: 250_000, 1: 250_000, 2: 250_000, 3: 250_000},
+        sync_ops=100,
+        process_creations=5,
+        page_faults=200,
+        locked_faults=50,
+        pages_committed=100,
+        bytes_committed=10_000,
+        branches=50_000,
+        pt_bytes=20_000,
+        perf_log_bytes=25_000,
+    )
+    base.update(overrides)
+    return RunStats(**base)
+
+
+class TestCostModel:
+    def test_inspector_costs_more_than_native_for_same_counts(self):
+        model = CostModel()
+        native = model.apply(make_stats(mode="native", page_faults=0, locked_faults=0, pt_bytes=0,
+                                        perf_log_bytes=0))
+        traced = model.apply(make_stats())
+        assert traced.total_seconds > native.total_seconds
+
+    def test_more_faults_cost_more(self):
+        model = CostModel()
+        few = model.apply(make_stats(page_faults=10, locked_faults=5))
+        many = model.apply(make_stats(page_faults=10_000, locked_faults=5_000))
+        assert many.total_seconds > few.total_seconds
+
+    def test_unlocked_faults_parallelise(self):
+        model = CostModel()
+        locked = model.apply(make_stats(page_faults=1_000, locked_faults=1_000))
+        unlocked = model.apply(make_stats(page_faults=1_000, locked_faults=0))
+        assert unlocked.threading_seconds < locked.threading_seconds
+
+    def test_compute_critical_path_uses_waves(self):
+        model = CostModel()
+        wave_stats = make_stats(per_thread_instructions={i: 1_000 for i in range(100)})
+        assert model.compute_seconds(wave_stats) == pytest.approx(
+            wave_stats.instructions / 4 * 1e-9
+        )
+
+    def test_pt_cost_zero_without_trace(self):
+        model = CostModel()
+        stats = model.apply(make_stats(pt_bytes=0))
+        assert stats.pt_seconds == 0.0
+
+    def test_custom_parameters_respected(self):
+        expensive = CostModel(CostParameters(page_fault_ns=1e6))
+        cheap = CostModel(CostParameters(page_fault_ns=1.0))
+        assert (
+            expensive.apply(make_stats()).total_seconds
+            > cheap.apply(make_stats()).total_seconds
+        )
+
+    def test_work_exceeds_time(self):
+        stats = CostModel().apply(make_stats())
+        assert stats.work_seconds >= stats.total_seconds
+
+    def test_overhead_against_baseline(self):
+        model = CostModel()
+        native = model.apply(make_stats(mode="native", page_faults=0, locked_faults=0,
+                                        pt_bytes=0, perf_log_bytes=0))
+        traced = model.apply(make_stats())
+        assert traced.overhead_against(native) == pytest.approx(
+            traced.total_seconds / native.total_seconds
+        )
+
+    def test_derived_rates(self):
+        stats = CostModel().apply(make_stats())
+        assert stats.faults_per_second > 0
+        assert stats.branches_per_second > 0
+        assert stats.log_bandwidth_bytes_per_second > 0
+        assert stats.as_dict()["page_faults"] == 200
+
+
+class TestPthreadsVeneer:
+    def test_veneer_matches_object_api(self):
+        backend = DirectBackend(page_size=256)
+        runtime = SimRuntime(backend=backend)
+
+        def worker(api, mutex, barrier, addr):
+            pthread_mutex_lock(api, mutex)
+            api.store(addr, api.load(addr) + 1)
+            pthread_mutex_unlock(api, mutex)
+            pthread_barrier_wait(api, barrier)
+            return api.load(addr)
+
+        def main(proc):
+            api = ProgramAPI(runtime, backend, proc)
+            mutex = pthread_mutex_init(api)
+            barrier = pthread_barrier_init(api, 3)
+            addr = api.malloc(8)
+            api.store(addr, 0)
+            handles = [pthread_create(api, worker, mutex, barrier, addr) for _ in range(3)]
+            return [pthread_join(api, handle) for handle in handles]
+
+        results = runtime.run(main)
+        # Every worker sees the fully incremented counter after the barrier.
+        assert results == [3, 3, 3]
+
+    def test_branch_site_is_stable(self):
+        assert branch_site("a.loop") == branch_site("a.loop")
+        assert branch_site("a.loop") != branch_site("b.loop")
