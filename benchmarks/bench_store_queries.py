@@ -1,0 +1,220 @@
+"""Store benchmark: indexed on-disk queries vs. full-graph reload.
+
+The persistent store exists so post-run provenance queries (the paper's
+case studies) do not need the whole CPG in memory.  This benchmark makes
+the win concrete: for backward slices, page lineage, and taint propagation
+it compares
+
+* **reload** -- read the whole serialized CPG back from disk and run the
+  in-memory query (what every consumer had to do before the store), and
+* **indexed** -- open the store cold and let the
+  :class:`~repro.store.query.StoreQueryEngine` load only the segments its
+  indexes select,
+
+asserting on the way that both paths return identical results and that the
+indexed path decoded strictly fewer segments than the store holds.
+
+Run under pytest (``pytest benchmarks/bench_store_queries.py``) or
+standalone (``PYTHONPATH=src python benchmarks/bench_store_queries.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.cpg import ConcurrentProvenanceGraph
+from repro.core.queries import backward_slice, lineage_of_pages, propagate_taint
+from repro.core.serialization import node_key, read_cpg, write_cpg
+from repro.store import ProvenanceStore, StoreQueryEngine
+
+#: Sub-computations per segment; small enough that slices span few of them.
+SEGMENT_NODES = 32
+
+#: Benchmarked configuration.  ``reverse_index`` takes a lock per insert,
+#: so its CPG has hundreds of sub-computations -- a graph size where the
+#: store's indexed access pays off over re-reading the whole document.
+WORKLOAD = "reverse_index"
+THREADS = 8
+
+#: Timing repetitions (best-of to shave scheduler noise).
+REPEATS = 5
+
+
+def prepare(base_dir: str, cpg: ConcurrentProvenanceGraph) -> Tuple[str, str]:
+    """Persist ``cpg`` both ways: as a store and as a flat JSON document."""
+    store_dir = os.path.join(base_dir, "store")
+    ProvenanceStore.create(store_dir).ingest(cpg, segment_nodes=SEGMENT_NODES)
+    json_path = os.path.join(base_dir, "cpg.json")
+    write_cpg(cpg, json_path, indent=None)
+    return store_dir, json_path
+
+
+def pick_targets(cpg: ConcurrentProvenanceGraph) -> Tuple[tuple, List[int]]:
+    """A slice origin with a non-trivial but *localized* history, plus pages.
+
+    The interesting case for an out-of-core store is a query about one
+    corner of the graph (one thread's result, one buffer), not the final
+    aggregation whose history is the entire run -- so pick the
+    worker-thread node with the largest data-backward slice, and
+    taint/lineage pages from its write set.
+    """
+    candidates = [cpg.thread_nodes(tid)[-1] for tid in cpg.threads() if tid >= 1]
+    if not candidates:
+        candidates = [node for node in cpg.nodes() if node[0] >= 0]
+    origin = max(candidates, key=lambda node: len(backward_slice(cpg, node)))
+    pages = sorted(cpg.subcomputation(origin).write_set)[:2]
+    if not pages:
+        input_node = cpg.input_node
+        pages = sorted(cpg.subcomputation(input_node).write_set)[:2] if input_node else [0]
+    return origin, pages
+
+
+def best_of(fn: Callable[[], object], repeats: int = REPEATS) -> float:
+    """Best wall-clock seconds of ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def compare_queries(cpg: ConcurrentProvenanceGraph, store_dir: str, json_path: str) -> List[dict]:
+    """Run every query both ways; return one report row per query."""
+    origin, pages = pick_targets(cpg)
+    cases = [
+        (
+            f"backward_slice {node_key(origin)}",
+            lambda graph: backward_slice(graph, origin),
+            lambda engine: engine.backward_slice(origin),
+            True,
+        ),
+        (
+            f"lineage_of_pages {pages}",
+            lambda graph: lineage_of_pages(graph, pages),
+            lambda engine: engine.lineage_of_pages(pages),
+            True,
+        ),
+        (
+            # Taint from a worker's buffer floods through the shared result
+            # pages in most workloads, so "touches every segment" can be
+            # the correct answer here; only equality is asserted.
+            f"propagate_taint {pages}",
+            lambda graph: frozenset(propagate_taint(graph, pages).tainted_nodes),
+            lambda engine: frozenset(engine.propagate_taint(pages).tainted_nodes),
+            False,
+        ),
+    ]
+    rows = []
+    for label, reload_query, indexed_query, expect_subset in cases:
+
+        def reload_path():
+            return reload_query(read_cpg(json_path))
+
+        def indexed_path():
+            return indexed_query(StoreQueryEngine(ProvenanceStore.open(store_dir)))
+
+        expected = reload_path()
+        store = ProvenanceStore.open(store_dir)
+        engine = StoreQueryEngine(store)
+        actual = indexed_query(engine)
+        assert actual == expected, f"{label}: indexed result diverged"
+        segments_read = engine.segments_loaded
+        total_segments = store.manifest.segment_count
+        if expect_subset:
+            assert segments_read < total_segments, (
+                f"{label}: read {segments_read}/{total_segments} segments -- not out-of-core"
+            )
+        reload_seconds = best_of(reload_path)
+        indexed_seconds = best_of(indexed_path)
+        rows.append(
+            {
+                "query": label,
+                "reload_ms": reload_seconds * 1e3,
+                "indexed_ms": indexed_seconds * 1e3,
+                "speedup": reload_seconds / indexed_seconds if indexed_seconds else float("inf"),
+                "segments_read": segments_read,
+                "total_segments": total_segments,
+            }
+        )
+    return rows
+
+
+def report_lines(rows: List[dict]) -> List[str]:
+    lines = [
+        f"Store queries: indexed on-disk vs full reload ({WORKLOAD}, {THREADS} threads)",
+        f"{'query':34s} {'reload ms':>10s} {'indexed ms':>11s} {'speedup':>8s} {'segments':>10s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['query']:34s} {row['reload_ms']:10.2f} {row['indexed_ms']:11.2f} "
+            f"{row['speedup']:7.1f}x {row['segments_read']:>4d}/{row['total_segments']:<4d}"
+        )
+    return lines
+
+
+# ---------------------------------------------------------------------- #
+# pytest entry points
+# ---------------------------------------------------------------------- #
+
+
+def test_store_queries_report(benchmark, tmp_path):
+    """Write the store-query comparison table and assert the indexed win."""
+    from benchmarks.conftest import inspector_run, write_report
+
+    cpg = inspector_run(WORKLOAD, THREADS).cpg
+
+    def run() -> List[dict]:
+        store_dir, json_path = prepare(str(tmp_path), cpg)
+        return compare_queries(cpg, store_dir, json_path)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    path = write_report("store_queries.txt", report_lines(rows))
+    print("\n".join(report_lines(rows)))
+    print(f"[written to {path}]")
+    assert len(rows) == 3
+    # The indexed path must beat reloading the whole graph on at least the
+    # localized queries (slice + lineage).
+    assert any(row["speedup"] > 1.0 for row in rows)
+
+
+def test_indexed_slice_touches_a_strict_segment_subset(benchmark, tmp_path):
+    """Acceptance: a slice decodes fewer segments than the store holds."""
+    from benchmarks.conftest import inspector_run
+
+    cpg = inspector_run(WORKLOAD, THREADS).cpg
+    store_dir, _ = prepare(str(tmp_path), cpg)
+    origin, _ = pick_targets(cpg)
+
+    def run():
+        store = ProvenanceStore.open(store_dir)
+        engine = StoreQueryEngine(store)
+        result = engine.backward_slice(origin)
+        return result, engine.segments_loaded, store.manifest.segment_count
+
+    result, segments_read, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result == backward_slice(cpg, origin)
+    assert 0 < segments_read < total
+
+
+# ---------------------------------------------------------------------- #
+# Standalone entry point
+# ---------------------------------------------------------------------- #
+
+
+def main() -> None:
+    import tempfile
+
+    from repro.inspector.api import run_with_provenance
+
+    cpg = run_with_provenance(WORKLOAD, num_threads=THREADS, size="small").cpg
+    with tempfile.TemporaryDirectory(prefix="inspector-bench-") as tmp:
+        store_dir, json_path = prepare(tmp, cpg)
+        rows = compare_queries(cpg, store_dir, json_path)
+    print("\n".join(report_lines(rows)))
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,11 @@ a shared index under a lock), then uses the CPG to answer:
 * whether any unsynchronized conflicting accesses exist (a data race would
   show up here as a pair of concurrent sub-computations touching the page).
 
+The run also streams its CPG into a persistent provenance store, and the
+final section answers the same "why is this page in that state" question
+again -- this time *from disk*, through the ``python -m repro.store`` CLI,
+the way a developer would after the traced process is long gone.
+
 Run with::
 
     python examples/case_debugging.py
@@ -21,16 +26,22 @@ Run with::
 
 from __future__ import annotations
 
+import tempfile
+
 from repro.analysis.debugging import blame_threads, explain_memory_state
 from repro.inspector.api import run_with_provenance
 from repro.inspector.config import InspectorConfig
+from repro.store.__main__ import main as store_cli
 from repro.workloads.registry import get_workload
 
 
 def main() -> None:
     config = InspectorConfig()
     workload = get_workload("reverse_index")
-    result = run_with_provenance(workload, num_threads=4, size="small", config=config)
+    store_dir = tempfile.mkdtemp(prefix="inspector-debugging-store-")
+    result = run_with_provenance(
+        workload, num_threads=4, size="small", config=config, store_path=store_dir
+    )
 
     # The "suspicious" memory: the shared per-target counters the workload
     # reported through its output shim.
@@ -54,6 +65,15 @@ def main() -> None:
             print(f"  {first} || {second} conflict on pages {sorted(pages)}")
     else:
         print("\nno unsynchronized conflicting accesses: every write was lock-protected")
+
+    # The same question, answered after the fact from the persistent store:
+    # the run above streamed its CPG into `store_dir` segment by segment,
+    # so the lineage query below touches the disk, not `result.cpg`.
+    print(f"\n== the same query, from the store at {store_dir} ==")
+    store_cli(["info", store_dir])
+    page_list = ",".join(str(page) for page in suspicious_pages[:2])
+    print(f"\n$ python -m repro.store slice {store_dir} --pages {page_list}")
+    store_cli(["slice", store_dir, "--pages", page_list])
 
 
 if __name__ == "__main__":

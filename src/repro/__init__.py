@@ -13,6 +13,11 @@ The most convenient entry points live in :mod:`repro.inspector.api`:
   INSPECTOR library and obtain its CPG plus runtime statistics.
 * ``run_native(workload, ...)`` -- run the same workload under the plain
   pthreads model (the baseline the paper normalizes against).
+
+Provenance graphs can outlive the run: pass ``store_path=`` to stream the
+CPG into a persistent store (:mod:`repro.store`) and query it later --
+out of core -- through :class:`repro.store.StoreQueryEngine` or the
+``python -m repro.store`` command line.
 """
 
 __version__ = "1.0.0"

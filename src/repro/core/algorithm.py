@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.cpg import ConcurrentProvenanceGraph
+from repro.core.cpg import ConcurrentProvenanceGraph, EdgeKind
 from repro.core.events import (
     BranchEvent,
     EventLog,
@@ -77,6 +77,8 @@ class ProvenanceTracker:
         self._last_releaser: Dict[int, NodeId] = {}
         self._event_log = EventLog() if keep_event_log else None
         self._input_pages: Set[int] = set()
+        #: observers notified as sub-computations are published (store sinks)
+        self._listeners: List[object] = []
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -105,6 +107,23 @@ class ProvenanceTracker:
         if state is None:
             raise ProvenanceError(f"thread {tid} was never started in the tracker")
         return state
+
+    def add_listener(self, listener: object) -> None:
+        """Register an observer of published sub-computations.
+
+        ``listener.subcomputation_published(node, edges)`` is called every
+        time a sub-computation is closed and added to the CPG (and once for
+        the virtual input node at finalisation).  ``edges`` is the list of
+        ``(source, target, kind, attributes)`` tuples recorded together
+        with the vertex -- its incoming control and synchronization edges.
+        The persistent store's ingest sink uses this to stream the graph to
+        disk while the program is still running.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, node: SubComputation, edges: List[Tuple]) -> None:
+        for listener in self._listeners:
+            listener.subcomputation_published(node, edges)
 
     # ------------------------------------------------------------------ #
     # Input registration
@@ -333,7 +352,9 @@ class ProvenanceTracker:
             if not state.finished and state.current is not None:
                 self.on_thread_end(state.tid)
         if self._input_pages and self.cpg.input_node is None:
-            self.cpg.add_subcomputation(make_input_node(self._input_pages))
+            input_node = make_input_node(self._input_pages)
+            self.cpg.add_subcomputation(input_node)
+            self._notify(input_node, [])
         return self.cpg
 
     # ------------------------------------------------------------------ #
@@ -372,15 +393,21 @@ class ProvenanceTracker:
         current.ended_by = ended_by
         node_id = self.cpg.add_subcomputation(current)
         self.stats.subcomputations += 1
+        published_edges: List[Tuple] = []
         if state.last_node is not None:
             self.cpg.add_control_edge(state.last_node, node_id)
+            published_edges.append((state.last_node, node_id, EdgeKind.CONTROL, {}))
         # Sync edges from the releasers whose objects this thread acquired
         # while this sub-computation was being created.
         for source, object_id, operation in state.pending_acquire_sources:
             if source != node_id:
                 self.cpg.add_sync_edge(source, node_id, object_id=object_id, operation=operation)
+                published_edges.append(
+                    (source, node_id, EdgeKind.SYNC, {"object_id": object_id, "operation": operation})
+                )
         state.pending_acquire_sources.clear()
         state.last_node = node_id
         state.current = None
         state.alpha += 1
+        self._notify(current, published_edges)
         return node_id

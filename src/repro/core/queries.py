@@ -8,8 +8,9 @@ tracking, and simple structural statistics.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cpg import ConcurrentProvenanceGraph, EdgeKind
 from repro.core.dependencies import writers_of_pages
@@ -91,6 +92,37 @@ class TaintResult:
         return page in self.tainted_pages
 
 
+def replay_taint(
+    ordered_nodes: Iterable[tuple],
+    source_pages: Iterable[int],
+    through_thread_state: bool = False,
+) -> TaintResult:
+    """Replay the page-level taint policy over ``(node_id, sub-computation)``
+    pairs in a linear extension of the happens-before order.
+
+    This is the single definition of the DIFT policy: both the in-memory
+    :func:`propagate_taint` and the store's out-of-core
+    ``StoreQueryEngine.propagate_taint`` replay through it, which is what
+    keeps their results interchangeable.
+    """
+    result = TaintResult(source_pages=set(source_pages))
+    result.tainted_pages = set(result.source_pages)
+    tainted_threads: Set[int] = set()
+    for node_id, node in ordered_nodes:
+        if node.write_set and node.tid < 0:
+            # The virtual input node defines the sources; writing input
+            # pages does not by itself taint the node.
+            continue
+        tainted = bool(node.read_set & result.tainted_pages)
+        if through_thread_state and node.tid in tainted_threads:
+            tainted = True
+        if tainted:
+            result.tainted_nodes.add(node_id)
+            result.tainted_pages |= node.write_set
+            tainted_threads.add(node.tid)
+    return result
+
+
 def propagate_taint(
     cpg: ConcurrentProvenanceGraph,
     source_pages: Iterable[int],
@@ -111,23 +143,8 @@ def propagate_taint(
             well.  This is the conservative setting the DIFT policy checker
             uses; the default keeps taint strictly page-carried.
     """
-    result = TaintResult(source_pages=set(source_pages))
-    result.tainted_pages = set(result.source_pages)
-    tainted_threads: Set[int] = set()
-    for node_id in cpg.topological_order():
-        node = cpg.subcomputation(node_id)
-        if node.write_set and node.tid < 0:
-            # The virtual input node defines the sources; writing input
-            # pages does not by itself taint the node.
-            continue
-        tainted = bool(node.read_set & result.tainted_pages)
-        if through_thread_state and node.tid in tainted_threads:
-            tainted = True
-        if tainted:
-            result.tainted_nodes.add(node_id)
-            result.tainted_pages |= node.write_set
-            tainted_threads.add(node.tid)
-    return result
+    ordered = ((node_id, cpg.subcomputation(node_id)) for node_id in cpg.topological_order())
+    return replay_taint(ordered, source_pages, through_thread_state=through_thread_state)
 
 
 def happens_before_pairs(cpg: ConcurrentProvenanceGraph) -> Set[tuple]:
@@ -171,6 +188,55 @@ def graph_statistics(cpg: ConcurrentProvenanceGraph) -> Dict[str, float]:
     }
 
 
+@dataclass
+class PageAccessIndex:
+    """Inverted index mapping each page to the sub-computations touching it.
+
+    Built once per graph (O(sum of access-set sizes)); the persistent store
+    serializes the same structure as its page index, so in-memory analyses
+    and out-of-core queries share one definition of "who touched this page".
+
+    Attributes:
+        writers: page -> node ids whose write set contains the page,
+            sorted by ``(tid, index)``.
+        readers: page -> node ids whose read set contains the page,
+            sorted by ``(tid, index)``.
+    """
+
+    writers: Dict[int, List[NodeId]] = field(default_factory=dict)
+    readers: Dict[int, List[NodeId]] = field(default_factory=dict)
+
+    def writers_of(self, page: int) -> List[NodeId]:
+        """Node ids that wrote ``page`` (empty when nothing did)."""
+        return self.writers.get(page, [])
+
+    def readers_of(self, page: int) -> List[NodeId]:
+        """Node ids that read ``page`` (empty when nothing did)."""
+        return self.readers.get(page, [])
+
+    def accessors_of(self, page: int) -> Set[NodeId]:
+        """Every node id that read or wrote ``page``."""
+        return set(self.writers_of(page)) | set(self.readers_of(page))
+
+    def pages(self) -> Set[int]:
+        """Every page with at least one recorded access."""
+        return set(self.writers) | set(self.readers)
+
+
+def build_page_index(cpg: ConcurrentProvenanceGraph) -> PageAccessIndex:
+    """Build the page -> accessors inverted index over every vertex of ``cpg``
+    (including the virtual input node, whose write set is the program input)."""
+    writers: Dict[int, List[NodeId]] = defaultdict(list)
+    readers: Dict[int, List[NodeId]] = defaultdict(list)
+    for node_id in cpg.nodes():
+        node = cpg.subcomputation(node_id)
+        for page in node.write_set:
+            writers[page].append(node_id)
+        for page in node.read_set:
+            readers[page].append(node_id)
+    return PageAccessIndex(writers=dict(writers), readers=dict(readers))
+
+
 def find_racy_pairs(cpg: ConcurrentProvenanceGraph) -> List[tuple]:
     """Return pairs of concurrent sub-computations with conflicting page accesses.
 
@@ -178,19 +244,31 @@ def find_racy_pairs(cpg: ConcurrentProvenanceGraph) -> List[tuple]:
     and one writes a page the other reads or writes.  Under the POSIX data-
     race-free assumption this list should be empty for page-disjoint
     programs; the debugging example uses it to locate synchronization bugs.
+
+    Instead of testing every node pair (quadratic in the graph size, with a
+    reachability test per pair), candidate pairs are generated from the
+    page -> accessors inverted index: only pairs that actually share a page
+    with at least one writer are checked for concurrency.
     """
-    nodes = [n for n in cpg.nodes() if n[0] >= 0]
-    racy = []
-    for i, a in enumerate(nodes):
-        sub_a = cpg.subcomputation(a)
-        for b in nodes[i + 1 :]:
-            if a[0] == b[0]:
+    index = build_page_index(cpg)
+    candidates: Set[Tuple[NodeId, NodeId]] = set()
+    for page, writers in index.writers.items():
+        accessors = index.accessors_of(page)
+        for writer in writers:
+            if writer[0] < 0:
                 continue
-            sub_b = cpg.subcomputation(b)
-            writes_conflict = (
-                (sub_a.write_set & (sub_b.read_set | sub_b.write_set))
-                or (sub_b.write_set & sub_a.read_set)
-            )
-            if writes_conflict and cpg.concurrent(a, b):
-                racy.append((a, b, frozenset(writes_conflict)))
+            for other in accessors:
+                if other == writer or other[0] < 0 or other[0] == writer[0]:
+                    continue
+                candidates.add((min(writer, other), max(writer, other)))
+    racy = []
+    for a, b in sorted(candidates):
+        sub_a = cpg.subcomputation(a)
+        sub_b = cpg.subcomputation(b)
+        writes_conflict = (
+            (sub_a.write_set & (sub_b.read_set | sub_b.write_set))
+            or (sub_b.write_set & sub_a.read_set)
+        )
+        if writes_conflict and cpg.concurrent(a, b):
+            racy.append((a, b, frozenset(writes_conflict)))
     return racy

@@ -76,6 +76,11 @@ class ProvenanceError(InspectorError):
     """Errors raised by the provenance core (CPG construction or queries)."""
 
 
+class StoreError(ProvenanceError):
+    """Errors raised by the persistent provenance store (corrupt segments,
+    missing manifests, or queries against nodes the store never ingested)."""
+
+
 class SnapshotError(InspectorError):
     """Errors raised by the consistent-snapshot facility."""
 

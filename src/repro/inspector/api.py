@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Optional, Union
 from repro.inspector.config import InspectorConfig
 from repro.inspector.costmodel import CostParameters
 from repro.inspector.session import InspectorRunResult, InspectorSession
+from repro.store.store import ProvenanceStore
 from repro.workloads.base import DatasetSpec, Workload
 from repro.workloads.registry import get_workload
 
@@ -41,6 +42,7 @@ def run_with_provenance(
     dataset: Optional[DatasetSpec] = None,
     cost_params: Optional[CostParameters] = None,
     seed: int = 42,
+    store_path: Optional[Union[str, ProvenanceStore]] = None,
 ) -> InspectorRunResult:
     """Run a workload under the INSPECTOR library and return its CPG and stats.
 
@@ -53,8 +55,12 @@ def run_with_provenance(
         dataset: Optional pre-generated dataset (overrides ``size``).
         cost_params: Optional cost-model overrides.
         seed: Dataset generation seed.
+        store_path: Optional persistent provenance store to stream the run
+            into (a directory path, opened or created as needed, or an
+            already-open :class:`~repro.store.store.ProvenanceStore`).  The
+            returned result carries the store as ``result.store``.
     """
-    session = InspectorSession(config=config, cost_params=cost_params)
+    session = InspectorSession(config=config, cost_params=cost_params, store=store_path)
     return session.run(_resolve(workload), num_threads=num_threads, size=size, dataset=dataset, seed=seed)
 
 

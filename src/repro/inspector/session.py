@@ -9,7 +9,7 @@ statistics every benchmark figure is derived from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Union
 
 from repro.core.algorithm import ProvenanceTracker
 from repro.core.cpg import ConcurrentProvenanceGraph, EdgeKind
@@ -19,6 +19,9 @@ from repro.inspector.costmodel import CostModel, CostParameters
 from repro.inspector.interpose import InspectorBackend, OutputRecord
 from repro.inspector.stats import RunStats
 from repro.perf.events import PerfData
+from repro.store.format import DEFAULT_SEGMENT_NODES
+from repro.store.sink import StoreSink
+from repro.store.store import ProvenanceStore
 from repro.threads.program import ProgramAPI
 from repro.threads.runtime import SimRuntime
 from repro.threads.scheduler import RandomScheduler, RoundRobinScheduler, Scheduler
@@ -38,6 +41,8 @@ class InspectorRunResult:
         perf_data: The recorded perf/PT log.
         dataset: The dataset the workload consumed.
         backend: The backend, exposed for advanced analyses (DIFT, NUMA).
+        store: The persistent store the run was ingested into, when the
+            session was created with one.
     """
 
     workload: str
@@ -48,6 +53,7 @@ class InspectorRunResult:
     perf_data: Optional[PerfData] = None
     dataset: Optional[DatasetSpec] = None
     backend: Optional[InspectorBackend] = None
+    store: Optional[ProvenanceStore] = None
 
     @property
     def tracker(self) -> ProvenanceTracker:
@@ -68,16 +74,30 @@ class InspectorSession:
     Args:
         config: Library configuration (defaults are fine for most uses).
         cost_params: Optional cost-model parameter overrides.
+        store: Optional persistent provenance store (or a path to one; it
+            is opened or created as needed).  When given, the run streams
+            its CPG into the store while executing -- one segment per
+            ingest epoch -- and the derived data edges are appended when
+            the run completes.  A store holds one graph, so each traced
+            run needs a fresh store directory; a second run against the
+            same store fails fast before the workload executes.
+        store_segment_nodes: Sub-computations per ingest epoch.
     """
 
     def __init__(
         self,
         config: Optional[InspectorConfig] = None,
         cost_params: Optional[CostParameters] = None,
+        store: Optional[Union[str, ProvenanceStore]] = None,
+        store_segment_nodes: int = DEFAULT_SEGMENT_NODES,
     ) -> None:
         self.config = config if config is not None else InspectorConfig()
         self.config.validate()
         self.cost_model = CostModel(cost_params)
+        if isinstance(store, str):
+            store = ProvenanceStore.open_or_create(store)
+        self.store = store
+        self.store_segment_nodes = store_segment_nodes
 
     def run(
         self,
@@ -103,6 +123,10 @@ class InspectorSession:
         base = backend.load_input(spec.payload)
         descriptor = InputDescriptor(base=base, size=len(spec.payload), meta=spec.meta)
         runtime = SimRuntime(scheduler=make_scheduler(self.config), backend=backend)
+        sink: Optional[StoreSink] = None
+        if self.store is not None:
+            sink = StoreSink(self.store, segment_nodes=self.store_segment_nodes)
+            sink.attach(backend.tracker)
 
         def entry(proc):
             api = ProgramAPI(runtime, backend, proc)
@@ -113,6 +137,16 @@ class InspectorSession:
         cpg = backend.tracker.finalize()
         if self.config.derive_data_edges:
             derive_data_edges(cpg)
+        if sink is not None:
+            sink.finish(
+                cpg,
+                run_meta={
+                    "workload": workload.name,
+                    "threads": num_threads,
+                    "input_bytes": spec.size_bytes,
+                    "nodes": len(cpg),
+                },
+            )
         perf_data = backend.perf_session.finish()
         stats = self._collect_stats(workload, num_threads, spec, backend, runtime, cpg, perf_data)
         return InspectorRunResult(
@@ -124,6 +158,7 @@ class InspectorSession:
             perf_data=perf_data,
             dataset=spec,
             backend=backend,
+            store=self.store,
         )
 
     # ------------------------------------------------------------------ #

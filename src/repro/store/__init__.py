@@ -1,0 +1,41 @@
+"""Persistent provenance store: durable, queryable CPGs that outlive the run.
+
+The paper's case studies all query the Concurrent Provenance Graph *after*
+the traced execution; this package is the storage layer that makes that
+possible without keeping the graph in RAM or re-running the workload.  It
+provides:
+
+* :class:`~repro.store.store.ProvenanceStore` -- an append-only, segmented,
+  lz-compressed on-disk format with page/thread/sync secondary indexes;
+* :class:`~repro.store.query.StoreQueryEngine` -- slices, lineage, and
+  taint propagation that load only the index-selected subgraph;
+* :class:`~repro.store.sink.StoreSink` -- incremental ingestion of a
+  running execution, one segment per epoch;
+* ``python -m repro.store`` -- the ``ingest`` / ``info`` / ``slice`` /
+  ``taint`` command-line surface.
+"""
+
+from repro.errors import StoreError
+from repro.store.format import (
+    DEFAULT_SEGMENT_NODES,
+    STORE_FORMAT_VERSION,
+    SegmentInfo,
+    StoreManifest,
+)
+from repro.store.indexes import StoreIndexes
+from repro.store.query import StoreQueryEngine
+from repro.store.sink import StoreSink
+from repro.store.store import ProvenanceStore, StoreReadStats
+
+__all__ = [
+    "DEFAULT_SEGMENT_NODES",
+    "STORE_FORMAT_VERSION",
+    "ProvenanceStore",
+    "SegmentInfo",
+    "StoreError",
+    "StoreIndexes",
+    "StoreManifest",
+    "StoreQueryEngine",
+    "StoreReadStats",
+    "StoreSink",
+]

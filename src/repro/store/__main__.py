@@ -1,0 +1,228 @@
+"""Command-line surface of the persistent provenance store.
+
+Usage::
+
+    python -m repro.store ingest <store> <cpg.json> [--segment-nodes N]
+    python -m repro.store info <store> [--json]
+    python -m repro.store slice <store> (--node TID:IDX | --pages 1,2) \\
+        [--forward] [--kinds data,control,sync] [--json]
+    python -m repro.store taint <store> --pages 1,2 \\
+        [--through-thread-state] [--json]
+
+``slice --node`` answers "what does this sub-computation depend on" (or,
+with ``--forward``, "what did it influence"); ``slice --pages`` answers the
+debugging case study's "why is this page in that state" as the lineage of
+the pages.  Every query prints how many segments it read out of how many
+the store holds, making the out-of-core behaviour visible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.cpg import EdgeKind
+from repro.core.serialization import node_key, parse_node_key
+from repro.errors import InspectorError
+
+from repro.store.query import StoreQueryEngine
+from repro.store.store import ProvenanceStore
+
+
+def _parse_pages(text: str) -> List[int]:
+    try:
+        return [int(piece) for piece in text.split(",") if piece.strip() != ""]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"malformed page list {text!r}: {exc}") from exc
+
+
+def _parse_kinds(text: str) -> List[EdgeKind]:
+    kinds = []
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        try:
+            kinds.append(EdgeKind(piece))
+        except ValueError as exc:
+            known = ", ".join(sorted(member.value for member in EdgeKind))
+            raise argparse.ArgumentTypeError(
+                f"unknown edge kind {piece!r} (known kinds: {known})"
+            ) from exc
+    if not kinds:
+        raise argparse.ArgumentTypeError("at least one edge kind is required")
+    return kinds
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.store`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Query and maintain persistent provenance stores.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    ingest = commands.add_parser("ingest", help="ingest a CPG JSON file (v1 or v2)")
+    ingest.add_argument("store", help="store directory (created when missing)")
+    ingest.add_argument("cpg", help="CPG JSON file written with write_cpg()")
+    ingest.add_argument(
+        "--segment-nodes", type=int, default=None, help="sub-computations per segment"
+    )
+
+    info = commands.add_parser("info", help="print the store summary")
+    info.add_argument("store", help="store directory")
+    info.add_argument("--json", action="store_true", help="machine-readable output")
+
+    slice_cmd = commands.add_parser("slice", help="backward/forward slice or page lineage")
+    slice_cmd.add_argument("store", help="store directory")
+    slice_cmd.add_argument("--node", help="slice origin as TID:INDEX")
+    slice_cmd.add_argument("--pages", type=_parse_pages, help="lineage of these pages (comma-separated)")
+    slice_cmd.add_argument("--forward", action="store_true", help="forward slice instead of backward")
+    slice_cmd.add_argument(
+        "--kinds",
+        type=_parse_kinds,
+        default=[EdgeKind.DATA],
+        help="edge kinds to follow (default: data)",
+    )
+    slice_cmd.add_argument("--json", action="store_true", help="machine-readable output")
+
+    taint = commands.add_parser("taint", help="propagate page-granularity taint")
+    taint.add_argument("store", help="store directory")
+    taint.add_argument("--pages", type=_parse_pages, required=True, help="source pages")
+    taint.add_argument(
+        "--through-thread-state",
+        action="store_true",
+        help="conservative mode: a tainted thread stays tainted",
+    )
+    taint.add_argument("--json", action="store_true", help="machine-readable output")
+    return parser
+
+
+def _print_read_footer(engine: StoreQueryEngine) -> None:
+    total = engine.store.manifest.segment_count
+    print(f"[segments read: {engine.segments_loaded} / {total}]")
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    store = ProvenanceStore.open_or_create(args.store)
+    kwargs = {}
+    if args.segment_nodes is not None:
+        kwargs["segment_nodes"] = args.segment_nodes
+    segments = store.ingest_json_file(args.cpg, **kwargs)
+    print(
+        f"ingested {args.cpg} into {args.store}: "
+        f"{segments} new segment(s), {store.manifest.node_count} node(s) total"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    store = ProvenanceStore.open(args.store)
+    summary = store.info()
+    if args.json:
+        print(json.dumps(summary, sort_keys=True, indent=2))
+        return 0
+    print(f"provenance store at {summary['path']}")
+    print(f"  format version:   {summary['format_version']}")
+    print(f"  segments:         {summary['segments']}")
+    print(f"  sub-computations: {summary['nodes']}")
+    print(f"  edges:            {summary['edges']}")
+    print(f"  threads:          {summary['threads']}")
+    print(f"  pages indexed:    {summary['pages_indexed']}")
+    print(f"  sync objects:     {summary['sync_objects']}")
+    print(
+        f"  segment bytes:    {summary['stored_bytes']} on disk "
+        f"({summary['raw_bytes']} raw, {summary['compression_ratio']}x)"
+    )
+    for run in summary["runs"]:
+        print(f"  run:              {run}")
+    return 0
+
+
+def _cmd_slice(args: argparse.Namespace) -> int:
+    if (args.node is None) == (args.pages is None):
+        print("slice needs exactly one of --node or --pages", file=sys.stderr)
+        return 2
+    if args.pages is not None and (args.forward or args.kinds != [EdgeKind.DATA]):
+        # Lineage is defined as the backward data-slice of the pages'
+        # writers; silently ignoring the flags would answer a different
+        # question than the one asked.
+        print("--forward/--kinds apply to --node slices, not --pages lineage", file=sys.stderr)
+        return 2
+    store = ProvenanceStore.open(args.store)
+    engine = StoreQueryEngine(store)
+    if args.node is not None:
+        origin = parse_node_key(args.node)
+        if args.forward:
+            nodes = engine.forward_slice(origin, kinds=tuple(args.kinds))
+        else:
+            nodes = engine.backward_slice(origin, kinds=tuple(args.kinds))
+        label = ("forward" if args.forward else "backward") + f" slice of {args.node}"
+    else:
+        nodes = engine.lineage_of_pages(args.pages)
+        label = f"lineage of pages {args.pages}"
+    ordered = sorted(nodes)
+    if args.json:
+        print(json.dumps({"query": label, "nodes": [node_key(node) for node in ordered]}))
+        return 0
+    print(f"{label}: {len(ordered)} sub-computation(s)")
+    for node in ordered:
+        print(f"  {node_key(node)}")
+    _print_read_footer(engine)
+    return 0
+
+
+def _cmd_taint(args: argparse.Namespace) -> int:
+    store = ProvenanceStore.open(args.store)
+    engine = StoreQueryEngine(store)
+    result = engine.propagate_taint(args.pages, through_thread_state=args.through_thread_state)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "source_pages": sorted(result.source_pages),
+                    "tainted_pages": sorted(result.tainted_pages),
+                    "tainted_nodes": [node_key(node) for node in sorted(result.tainted_nodes)],
+                }
+            )
+        )
+        return 0
+    print(f"taint from pages {sorted(result.source_pages)}:")
+    print(f"  tainted pages: {sorted(result.tainted_pages)}")
+    print(f"  tainted sub-computations: {len(result.tainted_nodes)}")
+    for node in sorted(result.tainted_nodes):
+        print(f"    {node_key(node)}")
+    _print_read_footer(engine)
+    return 0
+
+
+_COMMANDS = {
+    "ingest": _cmd_ingest,
+    "info": _cmd_info,
+    "slice": _cmd_slice,
+    "taint": _cmd_taint,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro.store``."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except InspectorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output was piped into something like `head` that closed early;
+        # suppress the noisy traceback the interpreter would print while
+        # flushing stdout at exit.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""On-disk layout of the persistent provenance store.
+
+A store is a directory::
+
+    <store>/
+        MANIFEST.json            # format version, segment table, run log
+        segments/seg-<id>.seg    # append-only, lz-compressed CPG segments
+        index/nodes.json         # node -> owning segment + topological rank
+        index/pages.json         # page -> writer/reader nodes
+        index/threads.json       # thread -> node indexes + segments
+        index/sync.json          # sync object -> recorded release->acquire edges
+        index/edges.json         # node -> segments holding its in-/out-edges
+
+Segments are immutable once written; ingestion only appends new segments
+and rewrites the (small) manifest and index files.  Segment payloads use
+the v2 CPG serialization (:mod:`repro.core.serialization`) compressed with
+the :mod:`repro.compression.lz` codec behind a tiny framed header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import StoreError
+
+#: Version of the store directory layout (matches the v2 CPG serialization).
+STORE_FORMAT_VERSION = 2
+
+#: Identifies a manifest as belonging to this subsystem.
+STORE_KIND = "inspector-provenance-store"
+
+MANIFEST_NAME = "MANIFEST.json"
+SEGMENTS_DIR = "segments"
+INDEX_DIR = "index"
+
+#: Framing magic of a segment file: "ISEG" + format version byte.
+SEGMENT_MAGIC = b"ISEG\x02"
+
+#: Number of sub-computations per segment unless the caller overrides it;
+#: also the epoch length of the incremental ingest sink.
+DEFAULT_SEGMENT_NODES = 64
+
+
+def segment_file_name(segment_id: int) -> str:
+    """File name of segment ``segment_id`` inside :data:`SEGMENTS_DIR`."""
+    return f"seg-{segment_id:08d}.seg"
+
+
+@dataclass
+class SegmentInfo:
+    """Manifest entry describing one sealed segment.
+
+    Attributes:
+        segment_id: 1-based id; also determines the file name.
+        nodes: Number of sub-computations stored in the segment.
+        edges: Number of edges stored in the segment.
+        raw_bytes: Size of the uncompressed JSON payload.
+        stored_bytes: Size of the segment file on disk (header + lz data).
+    """
+
+    segment_id: int
+    nodes: int
+    edges: int
+    raw_bytes: int
+    stored_bytes: int
+
+    @property
+    def file_name(self) -> str:
+        """The segment's file name."""
+        return segment_file_name(self.segment_id)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.segment_id,
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "raw_bytes": self.raw_bytes,
+            "stored_bytes": self.stored_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SegmentInfo":
+        missing = [key for key in ("id", "nodes", "edges") if key not in data]
+        if missing:
+            raise StoreError(f"segment entry is missing field(s) {missing}: {data!r}")
+        return cls(
+            segment_id=int(data["id"]),
+            nodes=int(data["nodes"]),
+            edges=int(data["edges"]),
+            raw_bytes=int(data.get("raw_bytes", 0)),
+            stored_bytes=int(data.get("stored_bytes", 0)),
+        )
+
+
+@dataclass
+class StoreManifest:
+    """The store's root metadata document (``MANIFEST.json``).
+
+    Attributes:
+        version: Store format version.
+        segments: Sealed segments in append order.
+        node_count: Total sub-computations across every segment.
+        edge_count: Total edges across every segment.
+        next_topo: Next topological sequence number to hand out; node ranks
+            are assigned in ingest order, which every ingest path keeps a
+            linear extension of the CPG's happens-before order.
+        runs: One entry per ingested run (workload name, threads, ...).
+        meta: Free-form store metadata supplied at creation time.
+    """
+
+    version: int = STORE_FORMAT_VERSION
+    segments: List[SegmentInfo] = field(default_factory=list)
+    node_count: int = 0
+    edge_count: int = 0
+    next_topo: int = 0
+    runs: List[dict] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def segment_count(self) -> int:
+        """Number of sealed segments."""
+        return len(self.segments)
+
+    def segment_info(self, segment_id: int) -> SegmentInfo:
+        """Manifest entry of ``segment_id``."""
+        if not 1 <= segment_id <= len(self.segments):
+            raise StoreError(f"no segment {segment_id} (store has {len(self.segments)})")
+        return self.segments[segment_id - 1]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": STORE_KIND,
+            "version": self.version,
+            "segments": [segment.to_dict() for segment in self.segments],
+            "node_count": self.node_count,
+            "edge_count": self.edge_count,
+            "next_topo": self.next_topo,
+            "runs": list(self.runs),
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StoreManifest":
+        if not isinstance(data, dict) or data.get("kind") != STORE_KIND:
+            raise StoreError(f"not a provenance-store manifest: {data!r}")
+        version = data.get("version")
+        if version != STORE_FORMAT_VERSION:
+            raise StoreError(
+                f"unsupported store format version {version!r} "
+                f"(this build reads version {STORE_FORMAT_VERSION})"
+            )
+        manifest = cls(version=int(version))
+        manifest.segments = [SegmentInfo.from_dict(entry) for entry in data.get("segments", ())]
+        manifest.node_count = int(data.get("node_count", 0))
+        manifest.edge_count = int(data.get("edge_count", 0))
+        manifest.next_topo = int(data.get("next_topo", 0))
+        manifest.runs = list(data.get("runs", ()))
+        manifest.meta = dict(data.get("meta", {}))
+        expected = [index + 1 for index in range(len(manifest.segments))]
+        actual = [segment.segment_id for segment in manifest.segments]
+        if actual != expected:
+            raise StoreError(f"segment table is not contiguous: {actual}")
+        return manifest

@@ -1,0 +1,287 @@
+"""Secondary indexes of the persistent provenance store.
+
+The indexes are the in-memory part of the out-of-core design: they are
+small (node ids and page numbers, no read/write sets, no thunks), they are
+rewritten wholesale on flush, and every query starts here to decide which
+segments are worth loading.
+
+Four index families exist:
+
+* **nodes** -- node id -> owning segment and topological rank.  The rank is
+  the node's position in the ingest order, which every ingest path keeps a
+  linear extension of the CPG's control+sync partial order; the taint
+  replay sorts by it.
+* **pages** -- page -> writer/reader node ids (the same inverted index
+  :func:`repro.core.queries.build_page_index` computes in memory).
+* **threads** -- thread id -> its sub-computation indexes and segments.
+* **sync** -- synchronization object id -> recorded release->acquire edges.
+* **edges** -- node id -> segments holding its incoming / outgoing edges.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Set
+
+from repro.core.cpg import EdgeKind
+from repro.core.serialization import node_key, parse_node_key
+from repro.core.thunk import NodeId, SubComputation
+from repro.errors import StoreError
+
+from repro.store.format import INDEX_DIR
+from repro.store.segment import EdgeTuple
+
+_NODES_FILE = "nodes.json"
+_PAGES_FILE = "pages.json"
+_THREADS_FILE = "threads.json"
+_SYNC_FILE = "sync.json"
+_EDGES_FILE = "edges.json"
+
+
+class StoreIndexes:
+    """All secondary indexes of one store, with load/save and query helpers."""
+
+    def __init__(self) -> None:
+        #: node key -> segment id
+        self.node_segments: Dict[str, int] = {}
+        #: node key -> topological rank (ingest order)
+        self.node_topo: Dict[str, int] = {}
+        #: page -> node keys that wrote it
+        self.page_writers: Dict[int, List[str]] = {}
+        #: page -> node keys that read it
+        self.page_readers: Dict[int, List[str]] = {}
+        #: tid -> sorted sub-computation indexes of the thread
+        self.thread_indexes: Dict[int, List[int]] = {}
+        #: tid -> segments holding the thread's nodes
+        self.thread_segments: Dict[int, List[int]] = {}
+        #: sync object id -> recorded release->acquire edges
+        self.sync_edges: Dict[int, List[dict]] = {}
+        #: node key -> segments holding edges that end at the node
+        self.in_edge_segments: Dict[str, List[int]] = {}
+        #: node key -> segments holding edges that start at the node
+        self.out_edge_segments: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, segment_id: int, node: SubComputation, topo: int) -> None:
+        """Register one stored sub-computation."""
+        key = node_key(node.node_id)
+        if key in self.node_segments:
+            raise StoreError(f"node {key} ingested twice")
+        self.node_segments[key] = segment_id
+        self.node_topo[key] = topo
+        for page in node.write_set:
+            self.page_writers.setdefault(page, []).append(key)
+        for page in node.read_set:
+            self.page_readers.setdefault(page, []).append(key)
+        indexes = self.thread_indexes.setdefault(node.tid, [])
+        indexes.append(node.index)
+        segments = self.thread_segments.setdefault(node.tid, [])
+        if not segments or segments[-1] != segment_id:
+            segments.append(segment_id)
+
+    def add_edge(self, segment_id: int, edge: EdgeTuple) -> None:
+        """Register one stored edge."""
+        source, target, kind, attrs = edge
+        source_key, target_key = node_key(source), node_key(target)
+        incoming = self.in_edge_segments.setdefault(target_key, [])
+        if not incoming or incoming[-1] != segment_id:
+            incoming.append(segment_id)
+        outgoing = self.out_edge_segments.setdefault(source_key, [])
+        if not outgoing or outgoing[-1] != segment_id:
+            outgoing.append(segment_id)
+        if kind is EdgeKind.SYNC:
+            object_id = attrs.get("object_id")
+            if object_id is not None:
+                self.sync_edges.setdefault(int(object_id), []).append(
+                    {
+                        "source": source_key,
+                        "target": target_key,
+                        "operation": attrs.get("operation", ""),
+                        "segment": segment_id,
+                    }
+                )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def has_node(self, node_id: NodeId) -> bool:
+        """Whether the store holds ``node_id``."""
+        return node_key(node_id) in self.node_segments
+
+    def segment_of(self, node_id: NodeId) -> int:
+        """Segment holding ``node_id``'s record."""
+        try:
+            return self.node_segments[node_key(node_id)]
+        except KeyError as exc:
+            raise StoreError(f"no sub-computation {node_id} in the store") from exc
+
+    def topo_of(self, node_id: NodeId) -> int:
+        """Topological rank of ``node_id`` (ingest order)."""
+        try:
+            return self.node_topo[node_key(node_id)]
+        except KeyError as exc:
+            raise StoreError(f"no sub-computation {node_id} in the store") from exc
+
+    def writers_of_page(self, page: int) -> List[NodeId]:
+        """Node ids whose write set contains ``page``."""
+        return [parse_node_key(key) for key in self.page_writers.get(page, ())]
+
+    def readers_of_page(self, page: int) -> List[NodeId]:
+        """Node ids whose read set contains ``page``."""
+        return [parse_node_key(key) for key in self.page_readers.get(page, ())]
+
+    def pages_written_by(self) -> Dict[NodeId, Set[int]]:
+        """Invert the writer index: node id -> pages it wrote."""
+        written: Dict[NodeId, Set[int]] = {}
+        for page, keys in self.page_writers.items():
+            for key in keys:
+                written.setdefault(parse_node_key(key), set()).add(page)
+        return written
+
+    def thread_nodes_from(self, tid: int, index: int) -> List[NodeId]:
+        """Node ids ``(tid, i)`` with ``i >= index``, in execution order."""
+        return [(tid, i) for i in self.thread_indexes.get(tid, ()) if i >= index]
+
+    def in_segments(self, node_id: NodeId) -> List[int]:
+        """Segments holding edges that end at ``node_id``."""
+        return self.in_edge_segments.get(node_key(node_id), [])
+
+    def out_segments(self, node_id: NodeId) -> List[int]:
+        """Segments holding edges that start at ``node_id``."""
+        return self.out_edge_segments.get(node_key(node_id), [])
+
+    def nodes(self) -> List[NodeId]:
+        """Every stored node id, sorted."""
+        return sorted(parse_node_key(key) for key in self.node_segments)
+
+    def clamp_to_segments(self, segment_count: int) -> None:
+        """Drop every entry referencing segments beyond ``segment_count``.
+
+        The manifest is the store's commit point: a crash between the
+        per-file atomic renames of a flush can leave index files one
+        generation ahead of the manifest (referencing a segment it does not
+        list).  Clamping on open restores the previous consistent
+        generation -- on a cleanly flushed store this is a no-op.
+        """
+        self.node_segments = {
+            key: segment for key, segment in self.node_segments.items() if segment <= segment_count
+        }
+        known = set(self.node_segments)
+        self.node_topo = {key: topo for key, topo in self.node_topo.items() if key in known}
+        known_nodes = {parse_node_key(key) for key in known}
+        for pages in (self.page_writers, self.page_readers):
+            for page in list(pages):
+                pages[page] = [key for key in pages[page] if key in known]
+                if not pages[page]:
+                    del pages[page]
+        for tid in list(self.thread_indexes):
+            self.thread_indexes[tid] = [
+                index for index in self.thread_indexes[tid] if (tid, index) in known_nodes
+            ]
+            self.thread_segments[tid] = [
+                segment for segment in self.thread_segments.get(tid, []) if segment <= segment_count
+            ]
+            if not self.thread_indexes[tid]:
+                del self.thread_indexes[tid]
+                self.thread_segments.pop(tid, None)
+        for object_id in list(self.sync_edges):
+            self.sync_edges[object_id] = [
+                edge
+                for edge in self.sync_edges[object_id]
+                if edge.get("segment", 0) <= segment_count
+                and edge.get("source") in known
+                and edge.get("target") in known
+            ]
+            if not self.sync_edges[object_id]:
+                del self.sync_edges[object_id]
+        for segments in (self.in_edge_segments, self.out_edge_segments):
+            for key in list(segments):
+                segments[key] = [segment for segment in segments[key] if segment <= segment_count]
+                if not segments[key] or key not in known:
+                    del segments[key]
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, store_path: str) -> None:
+        """Write every index file under ``<store>/index/``."""
+        index_dir = os.path.join(store_path, INDEX_DIR)
+        os.makedirs(index_dir, exist_ok=True)
+        self._write(index_dir, _NODES_FILE, {"segments": self.node_segments, "topo": self.node_topo})
+        self._write(
+            index_dir,
+            _PAGES_FILE,
+            {
+                "writers": {str(page): keys for page, keys in self.page_writers.items()},
+                "readers": {str(page): keys for page, keys in self.page_readers.items()},
+            },
+        )
+        self._write(
+            index_dir,
+            _THREADS_FILE,
+            {
+                str(tid): {
+                    "indexes": self.thread_indexes.get(tid, []),
+                    "segments": self.thread_segments.get(tid, []),
+                }
+                for tid in self.thread_indexes
+            },
+        )
+        self._write(
+            index_dir, _SYNC_FILE, {str(object_id): edges for object_id, edges in self.sync_edges.items()}
+        )
+        self._write(
+            index_dir, _EDGES_FILE, {"in": self.in_edge_segments, "out": self.out_edge_segments}
+        )
+
+    @classmethod
+    def load(cls, store_path: str) -> "StoreIndexes":
+        """Read every index file of a store directory."""
+        index_dir = os.path.join(store_path, INDEX_DIR)
+        indexes = cls()
+        nodes = cls._read(index_dir, _NODES_FILE)
+        indexes.node_segments = {key: int(seg) for key, seg in nodes.get("segments", {}).items()}
+        indexes.node_topo = {key: int(topo) for key, topo in nodes.get("topo", {}).items()}
+        pages = cls._read(index_dir, _PAGES_FILE)
+        indexes.page_writers = {int(page): keys for page, keys in pages.get("writers", {}).items()}
+        indexes.page_readers = {int(page): keys for page, keys in pages.get("readers", {}).items()}
+        for tid_text, entry in cls._read(index_dir, _THREADS_FILE).items():
+            tid = int(tid_text)
+            indexes.thread_indexes[tid] = [int(i) for i in entry.get("indexes", ())]
+            indexes.thread_segments[tid] = [int(s) for s in entry.get("segments", ())]
+        indexes.sync_edges = {
+            int(object_id): edges for object_id, edges in cls._read(index_dir, _SYNC_FILE).items()
+        }
+        edges = cls._read(index_dir, _EDGES_FILE)
+        indexes.in_edge_segments = {key: [int(s) for s in segs] for key, segs in edges.get("in", {}).items()}
+        indexes.out_edge_segments = {
+            key: [int(s) for s in segs] for key, segs in edges.get("out", {}).items()
+        }
+        return indexes
+
+    @staticmethod
+    def _write(index_dir: str, name: str, payload: dict) -> None:
+        # Temp-file + atomic rename: a crash mid-write must not truncate
+        # the previous generation of the index.
+        path = os.path.join(index_dir, name)
+        scratch = path + ".tmp"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(scratch, path)
+
+    @staticmethod
+    def _read(index_dir: str, name: str) -> dict:
+        path = os.path.join(index_dir, name)
+        if not os.path.exists(path):
+            raise StoreError(f"missing index file {name} (store not flushed?)")
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                return json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise StoreError(f"corrupt index file {name}: {exc}") from exc

@@ -1,0 +1,177 @@
+"""Out-of-core provenance queries over a persistent store.
+
+:class:`StoreQueryEngine` answers the same questions as
+:mod:`repro.core.queries` -- backward/forward slices, page lineage, taint
+propagation -- but against a :class:`~repro.store.store.ProvenanceStore`,
+loading only the segments the secondary indexes select instead of
+materializing the whole graph.  On a store built from a finalized CPG
+(:meth:`ProvenanceStore.ingest`) every query returns exactly what the
+in-memory functions return on that CPG.  Slices and lineage are
+set-valued and exact for every ingest path; taint replay on a
+sink-streamed store uses the runtime arrival order, which agrees with
+the in-memory result on race-free executions but may resolve a data
+race differently (see ``docs/store.md``).
+
+Slices walk the edge-segment index (node -> segments holding its in-/out-
+edges), so a slice confined to one corner of the graph touches only the
+segments of that corner.  Taint propagation first computes, from the page
+and thread indexes alone (no segment I/O), a closed superset of the nodes
+the taint frontier can ever reach, then replays the in-memory policy over
+just those nodes in stored topological rank order -- nodes outside the
+closure can neither become tainted nor taint a page, so restricting the
+replay preserves the result bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core.cpg import EdgeKind
+from repro.core.queries import TaintResult, replay_taint
+from repro.core.thunk import NodeId, SubComputation
+
+from repro.store.segment import EdgeTuple
+from repro.store.store import ProvenanceStore
+
+
+class StoreQueryEngine:
+    """Indexed queries over one provenance store."""
+
+    def __init__(self, store: ProvenanceStore) -> None:
+        self.store = store
+
+    @property
+    def segments_loaded(self) -> int:
+        """Segments decoded from disk so far (the out-of-core metric)."""
+        return self.store.read_stats.segments_read
+
+    # ------------------------------------------------------------------ #
+    # Node access
+    # ------------------------------------------------------------------ #
+
+    def subcomputation(self, node_id: NodeId) -> SubComputation:
+        """Load the sub-computation stored at ``node_id``."""
+        payload = self.store.segment(self.store.indexes.segment_of(node_id))
+        return payload.nodes[node_id]
+
+    def _edges_at(self, node_id: NodeId, forward: bool) -> List[EdgeTuple]:
+        indexes = self.store.indexes
+        segments = indexes.out_segments(node_id) if forward else indexes.in_segments(node_id)
+        edges: List[EdgeTuple] = []
+        for segment_id in segments:
+            payload = self.store.segment(segment_id)
+            grouped = payload.edges_by_source if forward else payload.edges_by_target
+            edges.extend(grouped.get(node_id, ()))
+        return edges
+
+    def _closure(
+        self, node_id: NodeId, kinds: Optional[Sequence[EdgeKind]], forward: bool
+    ) -> Set[NodeId]:
+        # Mirrors ConcurrentProvenanceGraph._closure, but expands through
+        # the edge-segment index instead of an in-memory adjacency list.
+        self.store.indexes.segment_of(node_id)  # raises for unknown nodes
+        allowed = set(kinds) if kinds is not None else None
+        seen: Set[NodeId] = set()
+        frontier = [node_id]
+        while frontier:
+            current = frontier.pop()
+            for source, target, kind, _ in self._edges_at(current, forward):
+                if allowed is not None and kind not in allowed:
+                    continue
+                nxt = target if forward else source
+                if nxt not in seen and nxt != node_id:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    # ------------------------------------------------------------------ #
+    # Slices
+    # ------------------------------------------------------------------ #
+
+    def backward_slice(
+        self,
+        node_id: NodeId,
+        kinds: Sequence[EdgeKind] = (EdgeKind.DATA,),
+        include_start: bool = True,
+    ) -> Set[NodeId]:
+        """Every stored sub-computation ``node_id`` transitively depends on."""
+        result = self._closure(node_id, kinds, forward=False)
+        if include_start:
+            result.add(node_id)
+        return result
+
+    def forward_slice(
+        self,
+        node_id: NodeId,
+        kinds: Sequence[EdgeKind] = (EdgeKind.DATA,),
+        include_start: bool = True,
+    ) -> Set[NodeId]:
+        """Every stored sub-computation transitively influenced by ``node_id``."""
+        result = self._closure(node_id, kinds, forward=True)
+        if include_start:
+            result.add(node_id)
+        return result
+
+    def lineage_of_pages(self, pages: Iterable[int]) -> Set[NodeId]:
+        """Writers of ``pages`` plus everything they depend on through data edges."""
+        result: Set[NodeId] = set()
+        writers: Set[NodeId] = set()
+        for page in pages:
+            writers.update(self.store.indexes.writers_of_page(page))
+        for writer in writers:
+            result |= self.backward_slice(writer, kinds=(EdgeKind.DATA,))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Taint propagation
+    # ------------------------------------------------------------------ #
+
+    def propagate_taint(
+        self, source_pages: Iterable[int], through_thread_state: bool = False
+    ) -> TaintResult:
+        """Page-granularity taint propagation, replayed out of core.
+
+        Matches :func:`repro.core.queries.propagate_taint` on the stored
+        graph (see the module docstring for why restricting the replay to
+        the index-computed closure is exact).
+        """
+        candidates = self._taint_candidates(set(source_pages), through_thread_state)
+        order = sorted(candidates, key=self.store.indexes.topo_of)
+        ordered = ((node_id, self.subcomputation(node_id)) for node_id in order)
+        return replay_taint(ordered, source_pages, through_thread_state=through_thread_state)
+
+    def _taint_candidates(
+        self, source_pages: Set[int], through_thread_state: bool
+    ) -> Set[NodeId]:
+        """Closed superset of the nodes taint can reach, from indexes alone.
+
+        Worklist fixpoint: every page and node is expanded exactly once, so
+        the closure is linear in its output rather than quadratic.
+        """
+        indexes = self.store.indexes
+        written_by: Dict[NodeId, Set[int]] = indexes.pages_written_by()
+        pages = set(source_pages)
+        candidates: Set[NodeId] = set()
+        page_frontier = list(pages)
+        node_frontier: List[NodeId] = []
+
+        def add_node(node_id: NodeId) -> None:
+            if node_id not in candidates:
+                candidates.add(node_id)
+                node_frontier.append(node_id)
+
+        while page_frontier or node_frontier:
+            while page_frontier:
+                page = page_frontier.pop()
+                for reader in indexes.readers_of_page(page):
+                    add_node(reader)
+            while node_frontier:
+                node_id = node_frontier.pop()
+                for page in written_by.get(node_id, ()):
+                    if page not in pages:
+                        pages.add(page)
+                        page_frontier.append(page)
+                if through_thread_state:
+                    for later in indexes.thread_nodes_from(node_id[0], node_id[1]):
+                        add_node(later)
+        return candidates

@@ -1,0 +1,116 @@
+"""Segment encoding and decoding.
+
+A segment is the unit of disk I/O of the store: a batch of sub-computations
+plus the edges co-located with them (an edge lives in the segment of its
+*target* node whenever possible, so a backward expansion of a node finds
+its incoming edges in the segment it just loaded).  The payload is the v2
+CPG serialization compressed with :mod:`repro.compression.lz` behind a
+small framed header::
+
+    +---------+----------------------+---------------------+
+    | "ISEG"2 | raw length (8B LE)   | lz-compressed JSON  |
+    +---------+----------------------+---------------------+
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.compression.lz import compress, decompress
+from repro.core.cpg import EdgeKind
+from repro.core.serialization import (
+    FORMAT_VERSION_V2,
+    edge_from_dict,
+    edge_to_dict,
+    subcomputation_from_dict,
+    subcomputation_to_dict,
+)
+from repro.core.thunk import NodeId, SubComputation
+from repro.errors import StoreError
+
+from repro.store.format import SEGMENT_MAGIC
+
+#: An edge as the store passes it around: ``(source, target, kind, attrs)``.
+EdgeTuple = Tuple[NodeId, NodeId, EdgeKind, dict]
+
+_HEADER_SIZE = len(SEGMENT_MAGIC) + 8
+
+
+@dataclass
+class SegmentPayload:
+    """One decoded segment, indexed for adjacency scans.
+
+    Attributes:
+        nodes: Sub-computations stored in the segment, by node id.
+        edges: Every edge stored in the segment.
+        edges_by_target: Edges grouped by target node id.
+        edges_by_source: Edges grouped by source node id.
+    """
+
+    nodes: Dict[NodeId, SubComputation] = field(default_factory=dict)
+    edges: List[EdgeTuple] = field(default_factory=list)
+    edges_by_target: Dict[NodeId, List[EdgeTuple]] = field(default_factory=dict)
+    edges_by_source: Dict[NodeId, List[EdgeTuple]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, nodes: Iterable[SubComputation], edges: Iterable[EdgeTuple]) -> "SegmentPayload":
+        payload = cls(nodes={node.node_id: node for node in nodes}, edges=list(edges))
+        for edge in payload.edges:
+            payload.edges_by_source.setdefault(edge[0], []).append(edge)
+            payload.edges_by_target.setdefault(edge[1], []).append(edge)
+        return payload
+
+
+def encode_segment(
+    nodes: Iterable[SubComputation], edges: Iterable[EdgeTuple]
+) -> Tuple[bytes, int]:
+    """Serialize one segment.
+
+    Returns:
+        ``(framed bytes, raw payload size)`` -- the raw size feeds the
+        manifest's compression accounting.
+    """
+    document = {
+        "format_version": FORMAT_VERSION_V2,
+        "kind": "cpg-segment",
+        "nodes": [subcomputation_to_dict(node) for node in nodes],
+        "edges": [
+            edge_to_dict(source, target, {"kind": kind, **attrs}, version=FORMAT_VERSION_V2)
+            for source, target, kind, attrs in edges
+        ],
+    }
+    raw = json.dumps(document, sort_keys=True).encode("utf-8")
+    framed = SEGMENT_MAGIC + len(raw).to_bytes(8, "little") + compress(raw)
+    return framed, len(raw)
+
+
+def decode_segment(data: bytes) -> SegmentPayload:
+    """Invert :func:`encode_segment`.
+
+    Raises:
+        StoreError: If the framing, compression, or payload is corrupt.
+    """
+    if len(data) < _HEADER_SIZE or not data.startswith(SEGMENT_MAGIC):
+        raise StoreError("not a provenance-store segment (bad magic)")
+    raw_length = int.from_bytes(data[len(SEGMENT_MAGIC) : _HEADER_SIZE], "little")
+    try:
+        raw = decompress(data[_HEADER_SIZE:])
+    except ValueError as exc:
+        raise StoreError(f"corrupt segment payload: {exc}") from exc
+    if len(raw) != raw_length:
+        raise StoreError(
+            f"segment length mismatch: header says {raw_length} bytes, got {len(raw)}"
+        )
+    try:
+        document = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreError(f"segment payload is not valid JSON: {exc}") from exc
+    if document.get("format_version") != FORMAT_VERSION_V2:
+        raise StoreError(
+            f"unsupported segment format version {document.get('format_version')!r}"
+        )
+    nodes = [subcomputation_from_dict(entry) for entry in document.get("nodes", ())]
+    edges = [edge_from_dict(entry) for entry in document.get("edges", ())]
+    return SegmentPayload.build(nodes, edges)

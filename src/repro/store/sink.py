@@ -1,0 +1,133 @@
+"""Incremental ingestion of a running execution into a store.
+
+:class:`StoreSink` subscribes to the provenance tracker's publication
+stream (:meth:`repro.core.algorithm.ProvenanceTracker.add_listener`) and
+buffers sub-computations as they are closed, together with the control and
+synchronization edges recorded with them.  Every ``segment_nodes``
+publications -- one ingest *epoch* -- the buffer is sealed into a segment,
+so a long run streams to disk instead of accumulating in memory and the
+store stays readable mid-run up to the last committed epoch.
+
+Data edges are derived only after the run (they need the full happens-
+before order), so :meth:`StoreSink.finish` appends them at the end, grouped
+by the segment of their target node to preserve the locality the query
+engine expects.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.core.cpg import ConcurrentProvenanceGraph, EdgeKind
+from repro.core.thunk import SubComputation
+from repro.errors import StoreError
+
+from repro.store.format import DEFAULT_SEGMENT_NODES
+from repro.store.segment import EdgeTuple
+from repro.store.store import ProvenanceStore
+
+
+class StoreSink:
+    """Streams published sub-computations into a :class:`ProvenanceStore`.
+
+    Args:
+        store: The destination store.
+        segment_nodes: Epoch length -- sub-computations per sealed segment.
+        flush_every_epochs: How often the manifest and index files are
+            rewritten.  1 (the default) makes every committed epoch durable
+            but rewrites the whole (growing) index each time -- O(n^2/epoch)
+            over very long runs; raise it to amortize when mid-run
+            durability matters less than ingest throughput.  ``finish``
+            always flushes.
+    """
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        segment_nodes: int = DEFAULT_SEGMENT_NODES,
+        flush_every_epochs: int = 1,
+    ) -> None:
+        if segment_nodes <= 0:
+            raise ValueError(f"segment_nodes must be positive, got {segment_nodes}")
+        if flush_every_epochs <= 0:
+            raise ValueError(f"flush_every_epochs must be positive, got {flush_every_epochs}")
+        self.store = store
+        self.segment_nodes = segment_nodes
+        self.flush_every_epochs = flush_every_epochs
+        self.epochs_committed = 0
+        self._nodes: List[SubComputation] = []
+        self._edges: List[EdgeTuple] = []
+        self._finished = False
+
+    def attach(self, tracker) -> None:
+        """Subscribe to ``tracker``'s publication stream.
+
+        Raises:
+            StoreError: If the store already holds a graph.  Node ids are
+                ``(tid, index)``, so a second run would collide mid-stream;
+                failing here -- before the workload executes -- beats losing
+                the run to a duplicate-node error at the first epoch commit.
+        """
+        if self.store.manifest.node_count > 0:
+            raise StoreError(
+                f"store at {self.store.path} already holds a graph "
+                f"({self.store.manifest.node_count} nodes) -- stream each traced run "
+                f"into a fresh store directory"
+            )
+        tracker.add_listener(self)
+
+    # Called by the tracker (listener protocol).
+    def subcomputation_published(self, node: SubComputation, edges: List[EdgeTuple]) -> None:
+        """Buffer one published sub-computation and its recorded edges."""
+        self._nodes.append(node)
+        self._edges.extend(edges)
+        if len(self._nodes) >= self.segment_nodes:
+            self.commit_epoch()
+
+    def commit_epoch(self) -> Optional[int]:
+        """Seal the current buffer into a segment; returns its id (or None).
+
+        The manifest and indexes are flushed every ``flush_every_epochs``
+        epochs (default: every epoch), so the store stays readable -- up to
+        the last flushed epoch -- even if the traced process dies mid-run.
+        """
+        if not self._nodes and not self._edges:
+            return None
+        segment_id = self.store.append_segment(self._nodes, self._edges)
+        self._nodes = []
+        self._edges = []
+        self.epochs_committed += 1
+        if self.epochs_committed % self.flush_every_epochs == 0:
+            self.store.flush()
+        return segment_id
+
+    def finish(
+        self, cpg: Optional[ConcurrentProvenanceGraph] = None, run_meta: Optional[dict] = None
+    ) -> None:
+        """Commit the final epoch, append derived data edges, and flush.
+
+        Args:
+            cpg: The finalized graph; its data edges (derived after the run)
+                are appended as edge-only segments grouped by the segment of
+                their target node.
+            run_meta: Optional run description recorded in the manifest.
+        """
+        if self._finished:
+            return
+        self.commit_epoch()
+        if cpg is not None:
+            by_segment: Dict[int, List[EdgeTuple]] = defaultdict(list)
+            for source, target, attrs in cpg.edges(EdgeKind.DATA):
+                segment_id = self.store.indexes.segment_of(target)
+                by_segment[segment_id].append(
+                    (source, target, EdgeKind.DATA, {"pages": attrs.get("pages", frozenset())})
+                )
+            for segment_id in sorted(by_segment):
+                self.store.append_segment([], by_segment[segment_id])
+        if run_meta is not None:
+            entry = dict(run_meta)
+            entry.setdefault("epochs", self.epochs_committed)
+            self.store.manifest.runs.append(entry)
+        self.store.flush()
+        self._finished = True

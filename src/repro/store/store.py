@@ -1,0 +1,320 @@
+"""The persistent provenance store.
+
+:class:`ProvenanceStore` owns one store directory: an append-only sequence
+of compressed CPG segments plus the secondary indexes and the manifest.
+Whole graphs are ingested with :meth:`ProvenanceStore.ingest`; running
+executions stream into the store through :class:`repro.store.sink.StoreSink`;
+queries that only touch the index-selected subgraph are served by
+:class:`repro.store.query.StoreQueryEngine`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.cpg import ConcurrentProvenanceGraph
+from repro.core.serialization import apply_edge, cpg_from_json, node_key
+from repro.core.thunk import SubComputation
+from repro.errors import StoreError
+
+from repro.store.format import (
+    DEFAULT_SEGMENT_NODES,
+    MANIFEST_NAME,
+    SEGMENTS_DIR,
+    SegmentInfo,
+    StoreManifest,
+    segment_file_name,
+)
+from repro.store.indexes import StoreIndexes
+from repro.store.segment import EdgeTuple, SegmentPayload, decode_segment, encode_segment
+
+
+@dataclass
+class StoreReadStats:
+    """Disk-read accounting (the out-of-core acceptance metric).
+
+    Attributes:
+        segments_read: Segment files decoded from disk (cache misses).
+        bytes_read: Compressed bytes read from segment files.
+    """
+
+    segments_read: int = 0
+    bytes_read: int = 0
+
+
+#: Decoded segments kept in memory at once (LRU); queries over stores
+#: larger than this stay out-of-core in memory, not just in I/O counts.
+DEFAULT_CACHE_SEGMENTS = 64
+
+
+class ProvenanceStore:
+    """One store directory: segments + indexes + manifest.
+
+    A store holds **one** graph namespace: node ids are ``(tid, index)``,
+    so two traced runs would collide -- stream each run into its own
+    directory (ingestion fails fast on the first duplicate node).
+
+    Use :meth:`create`, :meth:`open`, or :meth:`open_or_create` instead of
+    the constructor.
+    """
+
+    def __init__(self, path: str, manifest: StoreManifest, indexes: StoreIndexes) -> None:
+        self.path = path
+        self.manifest = manifest
+        self.indexes = indexes
+        self.read_stats = StoreReadStats()
+        self.max_cached_segments = DEFAULT_CACHE_SEGMENTS
+        self._cache: Dict[int, SegmentPayload] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(cls, path: str, meta: Optional[dict] = None) -> "ProvenanceStore":
+        """Initialise an empty store at ``path`` (must not already hold one)."""
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        if os.path.exists(manifest_path):
+            raise StoreError(f"a provenance store already exists at {path}")
+        os.makedirs(os.path.join(path, SEGMENTS_DIR), exist_ok=True)
+        manifest = StoreManifest(meta=dict(meta or {}))
+        store = cls(path, manifest, StoreIndexes())
+        store.flush()
+        return store
+
+    @classmethod
+    def open(cls, path: str) -> "ProvenanceStore":
+        """Open an existing store directory."""
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            raise StoreError(f"no provenance store at {path} (missing {MANIFEST_NAME})")
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            try:
+                manifest = StoreManifest.from_dict(json.load(handle))
+            except json.JSONDecodeError as exc:
+                raise StoreError(f"corrupt manifest at {path}: {exc}") from exc
+        indexes = StoreIndexes.load(path)
+        # The manifest is the commit point: a crash mid-flush can leave
+        # index files one segment generation ahead of it.
+        indexes.clamp_to_segments(manifest.segment_count)
+        return cls(path, manifest, indexes)
+
+    @classmethod
+    def open_or_create(cls, path: str, meta: Optional[dict] = None) -> "ProvenanceStore":
+        """Open ``path`` when it holds a store, initialise one otherwise."""
+        if os.path.exists(os.path.join(path, MANIFEST_NAME)):
+            return cls.open(path)
+        return cls.create(path, meta=meta)
+
+    def flush(self) -> None:
+        """Write the manifest and every index file to disk.
+
+        Index files are written first and the manifest last, each through a
+        temp-file + atomic rename, so a crash mid-flush leaves the previous
+        consistent manifest/index generation in place (the manifest is the
+        commit point: new segments it does not yet reference are ignored).
+        """
+        self.indexes.save(self.path)
+        manifest_path = os.path.join(self.path, MANIFEST_NAME)
+        scratch = manifest_path + ".tmp"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump(self.manifest.to_dict(), handle, sort_keys=True, indent=2)
+        os.replace(scratch, manifest_path)
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+
+    def append_segment(
+        self,
+        nodes: Sequence[SubComputation],
+        edges: Sequence[EdgeTuple],
+        topo_positions: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Seal ``nodes`` + ``edges`` into a new segment and return its id.
+
+        Topological ranks default to arrival order (``manifest.next_topo``
+        onwards); the whole-graph ingest path passes explicit ranks from
+        :meth:`ConcurrentProvenanceGraph.topological_order` instead.
+
+        The manifest and indexes are only updated in memory; call
+        :meth:`flush` once the batch of appends is complete.
+        """
+        if topo_positions is None:
+            topo_positions = range(self.manifest.next_topo, self.manifest.next_topo + len(nodes))
+        elif len(topo_positions) != len(nodes):
+            raise StoreError(
+                f"got {len(topo_positions)} topological ranks for {len(nodes)} nodes"
+            )
+        # Check collisions (against the store and within the batch) before
+        # any file is written, so a duplicate node cannot leave an orphan
+        # segment or a half-updated index behind.
+        batch_ids = set()
+        for node in nodes:
+            if self.indexes.has_node(node.node_id) or node.node_id in batch_ids:
+                raise StoreError(
+                    f"node {node_key(node.node_id)} ingested twice -- a store holds one "
+                    f"graph; stream each run into a fresh directory"
+                )
+            batch_ids.add(node.node_id)
+        segment_id = self.manifest.segment_count + 1
+        framed, raw_bytes = encode_segment(nodes, edges)
+        with open(os.path.join(self.path, SEGMENTS_DIR, segment_file_name(segment_id)), "wb") as handle:
+            handle.write(framed)
+        for node, topo in zip(nodes, topo_positions):
+            self.indexes.add_node(segment_id, node, topo)
+        for edge in edges:
+            self.indexes.add_edge(segment_id, edge)
+        self.manifest.segments.append(
+            SegmentInfo(
+                segment_id=segment_id,
+                nodes=len(nodes),
+                edges=len(edges),
+                raw_bytes=raw_bytes,
+                stored_bytes=len(framed),
+            )
+        )
+        self.manifest.node_count += len(nodes)
+        self.manifest.edge_count += len(edges)
+        self.manifest.next_topo = max(
+            self.manifest.next_topo, max(topo_positions, default=self.manifest.next_topo - 1) + 1
+        )
+        self._cache[segment_id] = SegmentPayload.build(nodes, edges)
+        while len(self._cache) > max(1, self.max_cached_segments):
+            self._cache.pop(next(iter(self._cache)))
+        return segment_id
+
+    def ingest(
+        self,
+        cpg: ConcurrentProvenanceGraph,
+        segment_nodes: int = DEFAULT_SEGMENT_NODES,
+        run_meta: Optional[dict] = None,
+    ) -> int:
+        """Ingest a finalized CPG and return the number of segments written.
+
+        Nodes are batched in topological order (so segment locality follows
+        causality) and every edge is co-located with its target node.
+        """
+        if segment_nodes <= 0:
+            raise StoreError(f"segment_nodes must be positive, got {segment_nodes}")
+        order = cpg.topological_order()
+        collisions = [node_id for node_id in order if self.indexes.has_node(node_id)]
+        if collisions:
+            raise StoreError(
+                f"store at {self.path} already holds {len(collisions)} of these nodes "
+                f"(first: {node_key(collisions[0])}) -- ingest each graph into a fresh store"
+            )
+        base_topo = self.manifest.next_topo
+        topo_by_node = {node_id: base_topo + rank for rank, node_id in enumerate(order)}
+        edges_by_target: Dict[object, List[EdgeTuple]] = defaultdict(list)
+        for source, target, attrs in cpg.edges():
+            kind = attrs["kind"]
+            extra = {key: value for key, value in attrs.items() if key != "kind"}
+            edges_by_target[target].append((source, target, kind, extra))
+        segments_written = 0
+        for start in range(0, len(order), segment_nodes):
+            batch = order[start : start + segment_nodes]
+            nodes = [cpg.subcomputation(node_id) for node_id in batch]
+            edges: List[EdgeTuple] = []
+            for node_id in batch:
+                edges.extend(edges_by_target.get(node_id, ()))
+            self.append_segment(nodes, edges, topo_positions=[topo_by_node[n] for n in batch])
+            segments_written += 1
+        if run_meta is not None:
+            self.manifest.runs.append(dict(run_meta))
+        self.flush()
+        return segments_written
+
+    def ingest_json_file(
+        self,
+        path: str,
+        segment_nodes: int = DEFAULT_SEGMENT_NODES,
+        run_meta: Optional[dict] = None,
+    ) -> int:
+        """Ingest a CPG JSON file (v1 or v2) written with ``write_cpg``."""
+        with open(path, "r", encoding="utf-8") as handle:
+            cpg = cpg_from_json(handle.read())
+        meta = {"source": os.path.basename(path)}
+        meta.update(run_meta or {})
+        return self.ingest(cpg, segment_nodes=segment_nodes, run_meta=meta)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def segment(self, segment_id: int) -> SegmentPayload:
+        """Load one segment (LRU-cached up to ``max_cached_segments``)."""
+        cached = self._cache.get(segment_id)
+        if cached is not None:
+            # Re-insert to refresh recency (dicts preserve insertion order).
+            del self._cache[segment_id]
+            self._cache[segment_id] = cached
+            return cached
+        info = self.manifest.segment_info(segment_id)
+        path = os.path.join(self.path, SEGMENTS_DIR, info.file_name)
+        if not os.path.exists(path):
+            raise StoreError(f"segment file {info.file_name} is missing from {self.path}")
+        with open(path, "rb") as handle:
+            data = handle.read()
+        payload = decode_segment(data)
+        self.read_stats.segments_read += 1
+        self.read_stats.bytes_read += len(data)
+        self._cache[segment_id] = payload
+        while len(self._cache) > max(1, self.max_cached_segments):
+            self._cache.pop(next(iter(self._cache)))
+        return payload
+
+    def clear_cache(self) -> None:
+        """Drop decoded segments (subsequent reads hit the disk again)."""
+        self._cache.clear()
+
+    def reset_read_stats(self) -> None:
+        """Zero the read counters (used by benchmarks and tests)."""
+        self.read_stats = StoreReadStats()
+
+    def load_cpg(self) -> ConcurrentProvenanceGraph:
+        """Materialize the full graph (reads every segment).
+
+        This is the fallback path the query engine exists to avoid; the
+        benchmarks use it as the baseline.
+        """
+        payloads = [self.segment(segment_id) for segment_id in range(1, self.manifest.segment_count + 1)]
+        cpg = ConcurrentProvenanceGraph()
+        for payload in payloads:
+            for node in payload.nodes.values():
+                cpg.add_subcomputation(node)
+        for payload in payloads:
+            for source, target, kind, attrs in payload.edges:
+                apply_edge(cpg, source, target, kind, attrs)
+        return cpg
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def info(self) -> dict:
+        """Summary of the store (the CLI's ``info`` output)."""
+        manifest = self.manifest
+        raw = sum(segment.raw_bytes for segment in manifest.segments)
+        stored = sum(segment.stored_bytes for segment in manifest.segments)
+        return {
+            "path": self.path,
+            "format_version": manifest.version,
+            "segments": manifest.segment_count,
+            "nodes": manifest.node_count,
+            "edges": manifest.edge_count,
+            "threads": sorted(self.indexes.thread_indexes),
+            "pages_indexed": len(set(self.indexes.page_writers) | set(self.indexes.page_readers)),
+            "sync_objects": len(self.indexes.sync_edges),
+            "raw_bytes": raw,
+            "stored_bytes": stored,
+            "compression_ratio": round(raw / stored, 2) if stored else 1.0,
+            "runs": list(manifest.runs),
+        }
+
+    def __len__(self) -> int:
+        return self.manifest.node_count

@@ -1,0 +1,553 @@
+"""Tests for the persistent provenance store (:mod:`repro.store`)."""
+
+import json
+
+import pytest
+
+from repro.core.algorithm import ProvenanceTracker
+from repro.core.cpg import EdgeKind
+from repro.core.dependencies import derive_data_edges
+from repro.core.queries import (
+    DEFAULT_SLICE_KINDS,
+    backward_slice,
+    build_page_index,
+    find_racy_pairs,
+    forward_slice,
+    lineage_of_pages,
+    propagate_taint,
+)
+from repro.core.serialization import (
+    FORMAT_VERSION_V2,
+    cpg_from_dict,
+    cpg_to_dict,
+    edge_from_dict,
+    node_key,
+    parse_node_key,
+    subcomputation_from_dict,
+    write_cpg,
+)
+from repro.errors import ProvenanceError, StoreError
+from repro.inspector.api import run_with_provenance
+from repro.store import ProvenanceStore, StoreQueryEngine, StoreSink
+from repro.store.__main__ import main as store_cli
+from repro.store.segment import decode_segment, encode_segment
+
+
+def build_example_cpg(racy: bool = False):
+    """A three-thread lock-schedule CPG with input pages and data edges."""
+    tracker = ProvenanceTracker()
+    tracker.register_input_pages({100, 101})
+    lock = 7
+    for tid in (1, 2, 3):
+        tracker.on_thread_start(tid)
+    tracker.on_memory_access(1, 100, is_write=False)
+    tracker.on_memory_access(1, 10, is_write=True)
+    tracker.on_sync_boundary(1, "mutex_unlock")
+    tracker.on_release(1, lock)
+    tracker.begin_next(1)
+    tracker.on_sync_boundary(2, "mutex_lock")
+    tracker.on_acquire(2, lock)
+    tracker.begin_next(2)
+    tracker.on_memory_access(2, 10, is_write=False)
+    tracker.on_memory_access(2, 11, is_write=True)
+    tracker.on_sync_boundary(2, "mutex_unlock")
+    tracker.on_release(2, lock)
+    tracker.begin_next(2)
+    tracker.on_sync_boundary(3, "mutex_lock")
+    tracker.on_acquire(3, lock)
+    tracker.begin_next(3)
+    tracker.on_memory_access(3, 11, is_write=False)
+    tracker.on_memory_access(3, 101, is_write=False)
+    tracker.on_memory_access(3, 12, is_write=True)
+    if racy:
+        tracker.on_memory_access(1, 12, is_write=True)
+    for tid in (1, 2, 3):
+        tracker.on_thread_end(tid)
+    cpg = tracker.finalize()
+    derive_data_edges(cpg)
+    return cpg
+
+
+def canonical_edges(cpg):
+    entries = []
+    for source, target, attrs in cpg.edges():
+        kind = attrs["kind"]
+        if kind is EdgeKind.SYNC:
+            extra = (attrs.get("object_id"), attrs.get("operation", ""))
+        elif kind is EdgeKind.DATA:
+            extra = (tuple(sorted(attrs.get("pages", ()))),)
+        else:
+            extra = ()
+        entries.append((source, target, kind.value, extra))
+    return sorted(entries)
+
+
+@pytest.fixture(scope="module")
+def histogram_run():
+    return run_with_provenance("histogram", num_threads=4, size="small")
+
+
+# ---------------------------------------------------------------------- #
+# Serialization v2 + robustness (satellite)
+# ---------------------------------------------------------------------- #
+
+
+class TestSerializationV2:
+    def test_v2_round_trip_preserves_everything(self):
+        cpg = build_example_cpg()
+        clone = cpg_from_dict(cpg_to_dict(cpg, version=FORMAT_VERSION_V2))
+        assert clone.nodes() == cpg.nodes()
+        assert canonical_edges(clone) == canonical_edges(cpg)
+        for node_id in cpg.nodes():
+            assert clone.subcomputation(node_id).read_set == cpg.subcomputation(node_id).read_set
+            assert clone.subcomputation(node_id).clock == cpg.subcomputation(node_id).clock
+
+    def test_v2_uses_compact_endpoints(self):
+        cpg = build_example_cpg()
+        data = cpg_to_dict(cpg, version=FORMAT_VERSION_V2)
+        assert data["format_version"] == FORMAT_VERSION_V2
+        assert all(isinstance(edge["source"], str) for edge in data["edges"])
+
+    def test_v1_documents_still_load(self):
+        cpg = build_example_cpg()
+        data = cpg_to_dict(cpg)  # default: v1
+        assert data["format_version"] == 1
+        clone = cpg_from_dict(data)
+        assert canonical_edges(clone) == canonical_edges(cpg)
+
+    def test_unknown_edge_kind_reports_provenance_error(self):
+        with pytest.raises(ProvenanceError, match="unknown edge kind"):
+            edge_from_dict({"source": "1:0", "target": "1:1", "kind": "telepathy"})
+
+    def test_missing_edge_fields_report_provenance_error(self):
+        with pytest.raises(ProvenanceError, match="missing field"):
+            edge_from_dict({"source": "1:0", "kind": "control"})
+
+    def test_missing_node_fields_report_provenance_error(self):
+        with pytest.raises(ProvenanceError, match="missing field"):
+            subcomputation_from_dict({"tid": 1})
+
+    def test_unsupported_version_lists_supported_ones(self):
+        with pytest.raises(ProvenanceError, match="supported"):
+            cpg_from_dict({"format_version": 3, "nodes": [], "edges": []})
+
+    def test_malformed_node_key_rejected(self):
+        with pytest.raises(ProvenanceError):
+            parse_node_key("not-a-key")
+        assert parse_node_key(node_key((4, 9))) == (4, 9)
+
+
+# ---------------------------------------------------------------------- #
+# Segment codec
+# ---------------------------------------------------------------------- #
+
+
+class TestSegmentCodec:
+    def test_round_trip(self):
+        cpg = build_example_cpg()
+        nodes = [cpg.subcomputation(node_id) for node_id in cpg.nodes()]
+        edges = [
+            (source, target, attrs["kind"], {k: v for k, v in attrs.items() if k != "kind"})
+            for source, target, attrs in cpg.edges()
+        ]
+        framed, raw_bytes = encode_segment(nodes, edges)
+        assert raw_bytes > len(framed) - 16  # compressed or near-incompressible
+        payload = decode_segment(framed)
+        assert set(payload.nodes) == set(cpg.nodes())
+        assert len(payload.edges) == len(edges)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(StoreError, match="magic"):
+            decode_segment(b"NOPE" + b"\x00" * 32)
+
+    def test_corrupt_payload_rejected(self):
+        framed, _ = encode_segment([], [])
+        with pytest.raises(StoreError):
+            decode_segment(framed[:-1] + b"\xff\xff\xff")
+
+
+# ---------------------------------------------------------------------- #
+# Store round trip and lifecycle
+# ---------------------------------------------------------------------- #
+
+
+class TestStoreRoundTrip:
+    def test_ingest_load_preserves_graph(self, tmp_path):
+        cpg = build_example_cpg()
+        store = ProvenanceStore.create(str(tmp_path / "store"))
+        segments = store.ingest(cpg, segment_nodes=3)
+        assert segments >= 2
+        reopened = ProvenanceStore.open(str(tmp_path / "store"))
+        clone = reopened.load_cpg()
+        assert clone.nodes() == cpg.nodes()
+        assert canonical_edges(clone) == canonical_edges(cpg)
+        for node_id in cpg.nodes():
+            original = cpg.subcomputation(node_id)
+            copy = clone.subcomputation(node_id)
+            assert copy.read_set == original.read_set
+            assert copy.write_set == original.write_set
+            assert copy.clock == original.clock
+            assert copy.started_by == original.started_by
+            assert copy.ended_by == original.ended_by
+
+    def test_ingest_json_file_accepts_v1(self, tmp_path):
+        cpg = build_example_cpg()
+        json_path = tmp_path / "cpg.json"
+        write_cpg(cpg, str(json_path))  # v1 document
+        store = ProvenanceStore.create(str(tmp_path / "store"))
+        store.ingest_json_file(str(json_path), segment_nodes=4)
+        assert canonical_edges(store.load_cpg()) == canonical_edges(cpg)
+        assert store.manifest.runs and store.manifest.runs[0]["source"] == "cpg.json"
+
+    def test_create_twice_fails(self, tmp_path):
+        ProvenanceStore.create(str(tmp_path))
+        with pytest.raises(StoreError, match="already exists"):
+            ProvenanceStore.create(str(tmp_path))
+
+    def test_open_missing_fails(self, tmp_path):
+        with pytest.raises(StoreError, match="no provenance store"):
+            ProvenanceStore.open(str(tmp_path / "nope"))
+
+    def test_corrupt_manifest_reports_store_error(self, tmp_path):
+        store = ProvenanceStore.create(str(tmp_path))
+        (tmp_path / "MANIFEST.json").write_text("{not json")
+        with pytest.raises(StoreError, match="corrupt manifest"):
+            ProvenanceStore.open(str(tmp_path))
+        del store
+
+    def test_double_ingest_of_same_node_rejected(self, tmp_path):
+        cpg = build_example_cpg()
+        store = ProvenanceStore.create(str(tmp_path))
+        store.ingest(cpg)
+        with pytest.raises(StoreError, match="already holds"):
+            store.ingest(cpg)
+
+    def test_intra_batch_duplicate_rejected_before_any_write(self, tmp_path):
+        cpg = build_example_cpg()
+        node = cpg.subcomputation(cpg.nodes()[0])
+        store = ProvenanceStore.create(str(tmp_path))
+        with pytest.raises(StoreError, match="twice"):
+            store.append_segment([node, node], [])
+        assert store.manifest.segment_count == 0
+        assert not store.indexes.has_node(node.node_id)
+        assert list((tmp_path / "segments").iterdir()) == []
+
+
+# ---------------------------------------------------------------------- #
+# Out-of-core query engine
+# ---------------------------------------------------------------------- #
+
+
+class TestStoreQueryEngine:
+    @pytest.fixture()
+    def stored(self, tmp_path, histogram_run):
+        store = ProvenanceStore.create(str(tmp_path / "store"))
+        store.ingest(histogram_run.cpg, segment_nodes=4)
+        cold = ProvenanceStore.open(str(tmp_path / "store"))
+        return histogram_run.cpg, cold
+
+    def test_backward_slice_matches_in_memory(self, stored):
+        cpg, store = stored
+        engine = StoreQueryEngine(store)
+        for node_id in cpg.nodes():
+            assert engine.backward_slice(node_id) == backward_slice(cpg, node_id)
+            assert engine.backward_slice(node_id, kinds=DEFAULT_SLICE_KINDS) == backward_slice(
+                cpg, node_id, kinds=DEFAULT_SLICE_KINDS
+            )
+
+    def test_forward_slice_matches_in_memory(self, stored):
+        cpg, store = stored
+        engine = StoreQueryEngine(store)
+        for node_id in cpg.nodes():
+            assert engine.forward_slice(node_id) == forward_slice(cpg, node_id)
+
+    def test_lineage_matches_in_memory(self, stored):
+        cpg, store = stored
+        engine = StoreQueryEngine(store)
+        pages = sorted(build_page_index(cpg).pages())
+        assert engine.lineage_of_pages(pages[:2]) == lineage_of_pages(cpg, pages[:2])
+
+    def test_taint_matches_in_memory(self, stored):
+        cpg, store = stored
+        input_pages = sorted(cpg.subcomputation(cpg.input_node).write_set)
+        engine = StoreQueryEngine(store)
+        for through in (False, True):
+            mine = engine.propagate_taint(input_pages[:3], through_thread_state=through)
+            reference = propagate_taint(cpg, input_pages[:3], through_thread_state=through)
+            assert mine.tainted_nodes == reference.tainted_nodes
+            assert mine.tainted_pages == reference.tainted_pages
+            assert mine.source_pages == reference.source_pages
+
+    def test_localized_slice_reads_fewer_segments_than_store_holds(self, stored):
+        cpg, store = stored
+        total = store.manifest.segment_count
+        assert total >= 4  # otherwise the assertion below is vacuous
+        engine = StoreQueryEngine(store)
+        target = cpg.thread_nodes(1)[-1]
+        result = engine.backward_slice(target)
+        assert result == backward_slice(cpg, target)
+        assert 0 < engine.segments_loaded < total
+
+    def test_localized_taint_reads_fewer_segments_than_store_holds(self, tmp_path):
+        # Taint seeded at a page only the lock chain touches stays within
+        # that chain, so the replay must not decode unrelated segments.
+        cpg = build_example_cpg()
+        store = ProvenanceStore.create(str(tmp_path / "store"))
+        store.ingest(cpg, segment_nodes=2)
+        cold = ProvenanceStore.open(str(tmp_path / "store"))
+        total = cold.manifest.segment_count
+        assert total >= 4
+        engine = StoreQueryEngine(cold)
+        mine = engine.propagate_taint([10])
+        reference = propagate_taint(cpg, [10])
+        assert mine.tainted_nodes == reference.tainted_nodes
+        assert mine.tainted_pages == reference.tainted_pages
+        assert 0 < engine.segments_loaded < total
+
+    def test_unknown_node_raises(self, stored):
+        _, store = stored
+        with pytest.raises(ProvenanceError):
+            StoreQueryEngine(store).backward_slice((999, 0))
+
+
+# ---------------------------------------------------------------------- #
+# Incremental ingest (session sink)
+# ---------------------------------------------------------------------- #
+
+
+class TestStoreSink:
+    def test_session_streams_run_into_store(self, tmp_path):
+        result = run_with_provenance(
+            "histogram", num_threads=4, size="small", store_path=str(tmp_path / "store")
+        )
+        assert result.store is not None
+        assert result.store.manifest.node_count == len(result.cpg)
+        cold = ProvenanceStore.open(str(tmp_path / "store"))
+        assert canonical_edges(cold.load_cpg()) == canonical_edges(result.cpg)
+        assert cold.manifest.runs[0]["workload"] == "histogram"
+
+    def test_sink_commits_epochs_during_the_run(self, tmp_path):
+        from repro.inspector.session import InspectorSession
+        from repro.workloads.registry import get_workload
+
+        session = InspectorSession(store=str(tmp_path / "store"), store_segment_nodes=4)
+        result = session.run(get_workload("histogram"), num_threads=4, size="small")
+        epochs = [run["epochs"] for run in result.store.manifest.runs]
+        assert epochs and epochs[0] >= 2
+
+    def test_sink_query_results_match_in_memory(self, tmp_path):
+        result = run_with_provenance(
+            "histogram", num_threads=4, size="small", store_path=str(tmp_path / "store")
+        )
+        cpg = result.cpg
+        engine = StoreQueryEngine(ProvenanceStore.open(str(tmp_path / "store")))
+        for node_id in cpg.nodes():
+            assert engine.backward_slice(node_id) == backward_slice(cpg, node_id)
+        input_pages = sorted(cpg.subcomputation(cpg.input_node).write_set)[:2]
+        mine = engine.propagate_taint(input_pages)
+        reference = propagate_taint(cpg, input_pages)
+        assert mine.tainted_nodes == reference.tainted_nodes
+        assert mine.tainted_pages == reference.tainted_pages
+
+    def test_sink_seals_multiple_epochs_for_one_run(self, tmp_path):
+        store = ProvenanceStore.create(str(tmp_path / "store"))
+        cpg = build_example_cpg()
+        sink = StoreSink(store, segment_nodes=2)
+        for node_id in cpg.topological_order():
+            sink.subcomputation_published(cpg.subcomputation(node_id), [])
+        sink.finish()
+        assert store.manifest.node_count == len(cpg)
+        assert sink.epochs_committed >= 2
+
+    def test_store_is_readable_mid_run_up_to_last_epoch(self, tmp_path):
+        # Simulates a crash: epochs are committed but finish() never runs.
+        store = ProvenanceStore.create(str(tmp_path / "store"))
+        cpg = build_example_cpg()
+        sink = StoreSink(store, segment_nodes=2)
+        order = cpg.topological_order()
+        for node_id in order[:5]:
+            sink.subcomputation_published(cpg.subcomputation(node_id), [])
+        survivor = ProvenanceStore.open(str(tmp_path / "store"))
+        assert survivor.manifest.node_count == 4  # two sealed epochs of 2
+        assert set(survivor.load_cpg().nodes()) == set(order[:4])
+
+    def test_torn_flush_recovers_previous_generation(self, tmp_path):
+        # Simulates a crash after the index files were renamed but before
+        # the manifest (the commit point) was: opening must fall back to
+        # the previous consistent generation.
+        cpg = build_example_cpg()
+        store = ProvenanceStore.create(str(tmp_path))
+        order = cpg.topological_order()
+        first = [cpg.subcomputation(node_id) for node_id in order[:6]]
+        second = [cpg.subcomputation(node_id) for node_id in order[6:]]
+        store.append_segment(first, [])
+        store.flush()
+        store.append_segment(second, [])
+        store.indexes.save(str(tmp_path))  # indexes one generation ahead
+        reopened = ProvenanceStore.open(str(tmp_path))
+        assert reopened.manifest.segment_count == 1
+        assert set(reopened.load_cpg().nodes()) == {node.node_id for node in first}
+        with pytest.raises(ProvenanceError):
+            StoreQueryEngine(reopened).backward_slice(second[0].node_id)
+        for keys in list(reopened.indexes.page_writers.values()) + list(
+            reopened.indexes.page_readers.values()
+        ):
+            for key in keys:
+                assert key in reopened.indexes.node_segments
+
+    def test_second_run_into_same_store_fails_before_executing(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        run_with_provenance("histogram", num_threads=2, size="small", store_path=store_dir)
+        segments_before = ProvenanceStore.open(store_dir).manifest.segment_count
+        with pytest.raises(StoreError, match="fresh store"):
+            run_with_provenance("histogram", num_threads=2, size="small", store_path=store_dir)
+        # Failing fast must leave the store untouched (no orphan segments).
+        assert ProvenanceStore.open(store_dir).manifest.segment_count == segments_before
+
+    def test_ingest_collision_leaves_no_orphan_segments(self, tmp_path):
+        store = ProvenanceStore.create(str(tmp_path))
+        cpg = build_example_cpg()
+        store.ingest(cpg, segment_nodes=3)
+        segment_files = sorted((tmp_path / "segments").iterdir())
+        with pytest.raises(StoreError, match="fresh store"):
+            store.ingest(cpg, segment_nodes=3)
+        assert sorted((tmp_path / "segments").iterdir()) == segment_files
+
+    def test_segment_cache_is_bounded(self, tmp_path):
+        cpg = build_example_cpg()
+        store = ProvenanceStore.create(str(tmp_path))
+        store.ingest(cpg, segment_nodes=2)
+        cold = ProvenanceStore.open(str(tmp_path))
+        cold.max_cached_segments = 2
+        total = cold.manifest.segment_count
+        assert total > 2
+        for segment_id in range(1, total + 1):
+            cold.segment(segment_id)
+        assert len(cold._cache) == 2
+        # Evicted segments are re-read from disk, and correctly.
+        reads_before = cold.read_stats.segments_read
+        payload = cold.segment(1)
+        assert cold.read_stats.segments_read == reads_before + 1
+        assert set(payload.nodes) <= set(cpg.nodes())
+
+
+# ---------------------------------------------------------------------- #
+# find_racy_pairs rewrite (satellite)
+# ---------------------------------------------------------------------- #
+
+
+def _reference_racy_pairs(cpg):
+    """The original O(n^2 * reachability) implementation, kept as oracle."""
+    nodes = [n for n in cpg.nodes() if n[0] >= 0]
+    racy = []
+    for i, a in enumerate(nodes):
+        sub_a = cpg.subcomputation(a)
+        for b in nodes[i + 1 :]:
+            if a[0] == b[0]:
+                continue
+            sub_b = cpg.subcomputation(b)
+            writes_conflict = (
+                (sub_a.write_set & (sub_b.read_set | sub_b.write_set))
+                or (sub_b.write_set & sub_a.read_set)
+            )
+            if writes_conflict and cpg.concurrent(a, b):
+                racy.append((a, b, frozenset(writes_conflict)))
+    return racy
+
+
+class TestFindRacyPairsIndexed:
+    def test_matches_reference_on_race_free_graph(self):
+        cpg = build_example_cpg()
+        assert find_racy_pairs(cpg) == _reference_racy_pairs(cpg) == []
+
+    def test_matches_reference_on_racy_graph(self):
+        cpg = build_example_cpg(racy=True)
+        result = find_racy_pairs(cpg)
+        assert result == _reference_racy_pairs(cpg)
+        assert result, "the racy example must actually race"
+
+    def test_matches_reference_on_unsynchronized_writers(self):
+        tracker = ProvenanceTracker()
+        tracker.on_thread_start(1)
+        tracker.on_thread_start(2)
+        tracker.on_memory_access(1, 7, is_write=True)
+        tracker.on_memory_access(2, 7, is_write=True)
+        cpg = tracker.finalize()
+        assert find_racy_pairs(cpg) == _reference_racy_pairs(cpg)
+        assert len(find_racy_pairs(cpg)) == 1
+
+    def test_page_index_covers_all_accesses(self):
+        cpg = build_example_cpg()
+        index = build_page_index(cpg)
+        for node_id in cpg.nodes():
+            node = cpg.subcomputation(node_id)
+            for page in node.write_set:
+                assert node_id in index.writers_of(page)
+            for page in node.read_set:
+                assert node_id in index.readers_of(page)
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+# ---------------------------------------------------------------------- #
+
+
+class TestStoreCLI:
+    @pytest.fixture()
+    def ingested(self, tmp_path):
+        cpg = build_example_cpg()
+        json_path = tmp_path / "cpg.json"
+        write_cpg(cpg, str(json_path))
+        store_dir = str(tmp_path / "store")
+        assert store_cli(["ingest", store_dir, str(json_path), "--segment-nodes", "3"]) == 0
+        return cpg, store_dir
+
+    def test_info(self, ingested, capsys):
+        _, store_dir = ingested
+        assert store_cli(["info", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "sub-computations" in out and "segments" in out
+
+    def test_info_json(self, ingested, capsys):
+        _, store_dir = ingested
+        assert store_cli(["info", store_dir, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["format_version"] == 2
+        assert summary["nodes"] > 0
+
+    def test_slice_node_matches_library(self, ingested, capsys):
+        cpg, store_dir = ingested
+        target = cpg.thread_nodes(3)[0]
+        assert store_cli(["slice", store_dir, "--node", node_key(target), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        expected = sorted(node_key(n) for n in backward_slice(cpg, target))
+        assert payload["nodes"] == expected
+
+    def test_slice_pages_lineage(self, ingested, capsys):
+        cpg, store_dir = ingested
+        assert store_cli(["slice", store_dir, "--pages", "12", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        expected = sorted(node_key(n) for n in lineage_of_pages(cpg, [12]))
+        assert payload["nodes"] == expected
+
+    def test_taint(self, ingested, capsys):
+        cpg, store_dir = ingested
+        assert store_cli(["taint", store_dir, "--pages", "100,101", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        reference = propagate_taint(cpg, [100, 101])
+        assert payload["tainted_pages"] == sorted(reference.tainted_pages)
+        assert payload["tainted_nodes"] == sorted(node_key(n) for n in reference.tainted_nodes)
+
+    def test_slice_requires_exactly_one_origin(self, ingested):
+        _, store_dir = ingested
+        assert store_cli(["slice", store_dir]) == 2
+        assert store_cli(["slice", store_dir, "--node", "1:0", "--pages", "1"]) == 2
+
+    def test_slice_pages_rejects_node_only_flags(self, ingested, capsys):
+        _, store_dir = ingested
+        assert store_cli(["slice", store_dir, "--pages", "12", "--forward"]) == 2
+        assert store_cli(["slice", store_dir, "--pages", "12", "--kinds", "sync"]) == 2
+        assert "--node" in capsys.readouterr().err
+
+    def test_errors_surface_as_exit_code_one(self, tmp_path):
+        assert store_cli(["info", str(tmp_path / "missing")]) == 1
