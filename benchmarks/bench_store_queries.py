@@ -121,6 +121,8 @@ def compare_queries(cpg: ConcurrentProvenanceGraph, store_dir: str, json_path: s
         engine = StoreQueryEngine(store)
         actual = indexed_query(engine)
         assert actual == expected, f"{label}: indexed result diverged"
+        if engine.last_taint_mode is not None:
+            label += f" [{engine.last_taint_mode}]"
         segments_read = engine.segments_loaded
         total_segments = store.manifest.segment_count
         if expect_subset:
@@ -197,6 +199,35 @@ def test_indexed_slice_touches_a_strict_segment_subset(benchmark, tmp_path):
     result, segments_read, total = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result == backward_slice(cpg, origin)
     assert 0 < segments_read < total
+
+
+def test_queries_survive_compaction_with_identical_results(benchmark, tmp_path):
+    """Compaction must shrink fragmentation, never change an answer.
+
+    A sink-streamed store (short epochs + edge-only data-edge tails) is
+    the fragmented case compaction exists for; every query must return
+    exactly the in-memory result before and after.
+    """
+    from repro.inspector.api import run_with_provenance
+
+    store_dir = str(tmp_path / "streamed-store")
+    result = run_with_provenance(
+        WORKLOAD, num_threads=THREADS, size="small", store_path=store_dir
+    )
+    cpg = result.cpg
+    origin, pages = pick_targets(cpg)
+    before = ProvenanceStore.open(store_dir).manifest.segment_count
+
+    def run():
+        store = ProvenanceStore.open(store_dir)
+        stats = store.compact(segment_nodes=SEGMENT_NODES)
+        engine = StoreQueryEngine(ProvenanceStore.open(store_dir))
+        return stats, engine.backward_slice(origin), engine.lineage_of_pages(pages)
+
+    stats, slice_after, lineage_after = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.segments_after <= before
+    assert slice_after == backward_slice(cpg, origin)
+    assert lineage_after == lineage_of_pages(cpg, pages)
 
 
 # ---------------------------------------------------------------------- #

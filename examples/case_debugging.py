@@ -15,9 +15,13 @@ a shared index under a lock), then uses the CPG to answer:
   show up here as a pair of concurrent sub-computations touching the page).
 
 The run also streams its CPG into a persistent provenance store, and the
-final section answers the same "why is this page in that state" question
+final sections answer the same "why is this page in that state" question
 again -- this time *from disk*, through the ``python -m repro.store`` CLI,
-the way a developer would after the traced process is long gone.
+the way a developer would after the traced process is long gone.  The
+store holds many runs, so the example then traces the workload a *second*
+time into the same store and diffs the page's lineage between the two runs
+with ``compare_lineage`` -- the "did yesterday's run produce this memory
+the same way as today's" question a single-run record cannot answer.
 
 Run with::
 
@@ -29,8 +33,10 @@ from __future__ import annotations
 import tempfile
 
 from repro.analysis.debugging import blame_threads, explain_memory_state
+from repro.core.serialization import node_key
 from repro.inspector.api import run_with_provenance
 from repro.inspector.config import InspectorConfig
+from repro.store import ProvenanceStore, StoreQueryEngine
 from repro.store.__main__ import main as store_cli
 from repro.workloads.registry import get_workload
 
@@ -72,8 +78,35 @@ def main() -> None:
     print(f"\n== the same query, from the store at {store_dir} ==")
     store_cli(["info", store_dir])
     page_list = ",".join(str(page) for page in suspicious_pages[:2])
-    print(f"\n$ python -m repro.store slice {store_dir} --pages {page_list}")
-    store_cli(["slice", store_dir, "--pages", page_list])
+    run_id = result.store_run_id
+    print(f"\n$ python -m repro.store slice {store_dir} --pages {page_list} --run {run_id}")
+    store_cli(["slice", store_dir, "--pages", page_list, "--run", str(run_id)])
+
+    # A store holds many runs.  Trace the workload again into the *same*
+    # store -- same program, its own run namespace -- and diff how the two
+    # executions produced the suspicious page.
+    print("\n== second run, same store: diffing the two executions ==")
+    rerun = run_with_provenance(
+        workload, num_threads=4, size="small", config=config, store_path=store_dir
+    )
+    print(f"$ python -m repro.store runs {store_dir}")
+    store_cli(["runs", store_dir])
+    engine = StoreQueryEngine(ProvenanceStore.open(store_dir))
+    page = suspicious_pages[0]
+    diff = engine.compare_lineage(result.store_run_id, rerun.store_run_id, page)
+    print(
+        f"\ncompare_lineage(run {diff.run_a}, run {diff.run_b}, page {page}): "
+        f"{len(diff.common)} common, {len(diff.only_a)} only in run {diff.run_a}, "
+        f"{len(diff.only_b)} only in run {diff.run_b}"
+    )
+    if diff.identical:
+        print("both runs produced the page through the same history -- the bug reproduces")
+    else:
+        # Histories diverged: a schedule-dependent write path. The
+        # exclusive nodes are exactly where to start looking.
+        for node in sorted(diff.only_a | diff.only_b)[:5]:
+            owner = diff.run_a if node in diff.only_a else diff.run_b
+            print(f"  {node_key(node)} appears only in run {owner}")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,12 @@ The most convenient entry points live in :mod:`repro.inspector.api`:
 Provenance graphs can outlive the run: pass ``store_path=`` to stream the
 CPG into a persistent store (:mod:`repro.store`) and query it later --
 out of core -- through :class:`repro.store.StoreQueryEngine` or the
-``python -m repro.store`` command line.
+``python -m repro.store`` command line.  One store holds many traced
+runs, each under its own run id, so executions can be queried
+individually, across runs, or diffed against each other.
+
+A package-by-package map of the whole reproduction lives in
+``docs/architecture.md``.
 """
 
 __version__ = "1.0.0"

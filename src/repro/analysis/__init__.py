@@ -1,4 +1,7 @@
-"""The three case studies of §VIII: debugging, DIFT, and NUMA placement."""
+"""The three case studies of §VIII: debugging, DIFT, and NUMA placement.
+
+Where this package sits in the whole reproduction: ``docs/architecture.md``.
+"""
 
 from repro.analysis.debugging import (
     MemoryExplanation,

@@ -1,5 +1,8 @@
 """Baselines the reproduction compares against: native pthreads and
-process-granularity provenance."""
+process-granularity provenance.
+
+Where this package sits in the whole reproduction: ``docs/architecture.md``.
+"""
 
 from repro.baselines.native import NativeBackend, NativeRunResult, NativeSession
 from repro.baselines.process_prov import collapse_to_process_granularity, precision_comparison

@@ -1,4 +1,7 @@
-"""The lz4-equivalent compressor used to report provenance-log compressibility."""
+"""The lz4-equivalent compressor used to report provenance-log compressibility.
+
+Where this package sits in the whole reproduction: ``docs/architecture.md``.
+"""
 
 from repro.compression.lz import (
     MIN_MATCH,

@@ -3,6 +3,8 @@
 Vector clocks, sub-computations and thunks, the Concurrent Provenance
 Graph, the parallel recording algorithm, data-dependence derivation, and
 query/serialization utilities.
+
+Where this package sits in the whole reproduction: ``docs/architecture.md``.
 """
 
 from repro.core.algorithm import ProvenanceTracker, TrackerStats

@@ -1,4 +1,7 @@
-"""The INSPECTOR library: configuration, sessions, statistics, cost model."""
+"""The INSPECTOR library: configuration, sessions, statistics, cost model.
+
+Where this package sits in the whole reproduction: ``docs/architecture.md``.
+"""
 
 from repro.inspector.api import overhead_factor, run_native, run_with_provenance
 from repro.inspector.config import InspectorConfig, default_config

@@ -43,6 +43,7 @@ def run_with_provenance(
     cost_params: Optional[CostParameters] = None,
     seed: int = 42,
     store_path: Optional[Union[str, ProvenanceStore]] = None,
+    run_meta: Optional[dict] = None,
 ) -> InspectorRunResult:
     """Run a workload under the INSPECTOR library and return its CPG and stats.
 
@@ -57,11 +58,23 @@ def run_with_provenance(
         seed: Dataset generation seed.
         store_path: Optional persistent provenance store to stream the run
             into (a directory path, opened or created as needed, or an
-            already-open :class:`~repro.store.store.ProvenanceStore`).  The
-            returned result carries the store as ``result.store``.
+            already-open :class:`~repro.store.store.ProvenanceStore`).  One
+            store holds many runs -- repeated calls against the same path
+            each mint their own run id.  The returned result carries the
+            store as ``result.store`` and the minted run id as
+            ``result.store_run_id``.
+        run_meta: Extra metadata recorded with the store's run entry (e.g.
+            ``created_at`` wall-clock, experiment labels).
     """
     session = InspectorSession(config=config, cost_params=cost_params, store=store_path)
-    return session.run(_resolve(workload), num_threads=num_threads, size=size, dataset=dataset, seed=seed)
+    return session.run(
+        _resolve(workload),
+        num_threads=num_threads,
+        size=size,
+        dataset=dataset,
+        seed=seed,
+        run_meta=run_meta,
+    )
 
 
 def run_native(

@@ -43,6 +43,8 @@ class InspectorRunResult:
         backend: The backend, exposed for advanced analyses (DIFT, NUMA).
         store: The persistent store the run was ingested into, when the
             session was created with one.
+        store_run_id: Id of the run minted in the store for this execution
+            (the namespace to query it under), when a store was used.
     """
 
     workload: str
@@ -54,6 +56,7 @@ class InspectorRunResult:
     dataset: Optional[DatasetSpec] = None
     backend: Optional[InspectorBackend] = None
     store: Optional[ProvenanceStore] = None
+    store_run_id: Optional[int] = None
 
     @property
     def tracker(self) -> ProvenanceTracker:
@@ -75,12 +78,14 @@ class InspectorSession:
         config: Library configuration (defaults are fine for most uses).
         cost_params: Optional cost-model parameter overrides.
         store: Optional persistent provenance store (or a path to one; it
-            is opened or created as needed).  When given, the run streams
+            is opened or created as needed).  When given, each run streams
             its CPG into the store while executing -- one segment per
             ingest epoch -- and the derived data edges are appended when
-            the run completes.  A store holds one graph, so each traced
-            run needs a fresh store directory; a second run against the
-            same store fails fast before the workload executes.
+            the run completes.  Every run gets its own run id (namespace)
+            in the store, so one session (and one store) can trace any
+            number of runs of any workloads; query them individually or
+            compare them with
+            :meth:`repro.store.StoreQueryEngine.compare_lineage`.
         store_segment_nodes: Sub-computations per ingest epoch.
     """
 
@@ -106,6 +111,7 @@ class InspectorSession:
         size: str = "medium",
         dataset: Optional[DatasetSpec] = None,
         seed: int = 42,
+        run_meta: Optional[dict] = None,
     ) -> InspectorRunResult:
         """Execute ``workload`` under provenance tracking.
 
@@ -115,6 +121,10 @@ class InspectorSession:
             size: Dataset size label (ignored when ``dataset`` is given).
             dataset: Pre-generated dataset to reuse across runs.
             seed: Dataset generation seed.
+            run_meta: Extra metadata recorded with the store's run entry
+                (e.g. a caller-supplied wall-clock timestamp as
+                ``created_at``, ticket ids, experiment labels).  Ignored
+                when the session has no store.
         """
         if num_threads <= 0:
             raise ValueError(f"num_threads must be positive, got {num_threads}")
@@ -125,7 +135,12 @@ class InspectorSession:
         runtime = SimRuntime(scheduler=make_scheduler(self.config), backend=backend)
         sink: Optional[StoreSink] = None
         if self.store is not None:
-            sink = StoreSink(self.store, segment_nodes=self.store_segment_nodes)
+            sink = StoreSink(
+                self.store,
+                segment_nodes=self.store_segment_nodes,
+                workload=workload.name,
+                run_meta=dict(run_meta or {}),
+            )
             sink.attach(backend.tracker)
 
         def entry(proc):
@@ -143,6 +158,9 @@ class InspectorSession:
                 run_meta={
                     "workload": workload.name,
                     "threads": num_threads,
+                    "size": size if dataset is None else "custom",
+                    "seed": seed,
+                    "scheduler": self.config.scheduler,
                     "input_bytes": spec.size_bytes,
                     "nodes": len(cpg),
                 },
@@ -159,6 +177,7 @@ class InspectorSession:
             dataset=spec,
             backend=backend,
             store=self.store,
+            store_run_id=sink.run_id if sink is not None else None,
         )
 
     # ------------------------------------------------------------------ #

@@ -5,6 +5,8 @@ shared, file-backed address space; per-process copy-on-write views; page
 protection with fault delivery to a registered handler; the byte-level
 diff/commit protocol that implements release consistency; and a heap
 allocator so applications can obtain provenance-tracked memory.
+
+Where this package sits in the whole reproduction: ``docs/architecture.md``.
 """
 
 from repro.memory.address_space import SharedAddressSpace, WORD_SIZE

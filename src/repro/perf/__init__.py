@@ -1,4 +1,7 @@
-"""The perf-utility layer: ``perf record`` and ``perf script`` equivalents."""
+"""The perf-utility layer: ``perf record`` and ``perf script`` equivalents.
+
+Where this package sits in the whole reproduction: ``docs/architecture.md``.
+"""
 
 from repro.perf.events import RECORD_HEADER_SIZE, PerfData, PerfRecord, RecordType
 from repro.perf.record import PerfRecordSession

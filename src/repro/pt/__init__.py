@@ -3,6 +3,8 @@
 Packet model, per-process encoder, AUX ring buffer, decoder, loaded-image
 tracking, the PT PMU, and the cgroup filter used to scope tracing to one
 application.
+
+Where this package sits in the whole reproduction: ``docs/architecture.md``.
 """
 
 from repro.pt.aux_buffer import DEFAULT_AUX_SIZE, AuxRingBuffer, AuxStats

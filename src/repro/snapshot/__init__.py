@@ -1,4 +1,7 @@
-"""The live-snapshot facility: consistent cuts stored in a bounded slot ring."""
+"""The live-snapshot facility: consistent cuts stored in a bounded slot ring.
+
+Where this package sits in the whole reproduction: ``docs/architecture.md``.
+"""
 
 from repro.snapshot.consistent_cut import (
     Cut,

@@ -2,35 +2,52 @@
 
 The paper's case studies all query the Concurrent Provenance Graph *after*
 the traced execution; this package is the storage layer that makes that
-possible without keeping the graph in RAM or re-running the workload.  It
-provides:
+possible without keeping the graph in RAM or re-running the workload.
+Provenance is a longitudinal record: one store holds **many traced runs**
+(each run a separate node-id namespace), so the same store answers "what
+happened in this run", "what happened in every run", and "what changed
+between these two runs".  It provides:
 
 * :class:`~repro.store.store.ProvenanceStore` -- an append-only, segmented,
-  lz-compressed on-disk format with page/thread/sync secondary indexes;
+  lz-compressed on-disk format with per-run page/thread/sync secondary
+  indexes, plus run-scoped maintenance (``compact`` merges small segments,
+  ``gc`` drops superseded runs), both crash-consistent through the
+  manifest commit protocol;
 * :class:`~repro.store.query.StoreQueryEngine` -- slices, lineage, and
-  taint propagation that load only the index-selected subgraph;
+  taint propagation that load only the index-selected subgraph, within a
+  run, across all runs, or diffed between two runs
+  (:meth:`~repro.store.query.StoreQueryEngine.compare_lineage`);
 * :class:`~repro.store.sink.StoreSink` -- incremental ingestion of a
-  running execution, one segment per epoch;
-* ``python -m repro.store`` -- the ``ingest`` / ``info`` / ``slice`` /
-  ``taint`` command-line surface.
+  running execution, one segment per epoch, one run per sink;
+* ``python -m repro.store`` -- the ``ingest`` / ``info`` / ``runs`` /
+  ``slice`` / ``taint`` / ``compact`` / ``gc`` command-line surface.
+
+The whole reproduction's module map lives in ``docs/architecture.md``;
+this package's own design notes are in ``docs/store.md``.
 """
 
 from repro.errors import StoreError
 from repro.store.format import (
     DEFAULT_SEGMENT_NODES,
     STORE_FORMAT_VERSION,
+    STORE_FORMAT_VERSION_V2,
+    RunInfo,
     SegmentInfo,
     StoreManifest,
 )
 from repro.store.indexes import StoreIndexes
-from repro.store.query import StoreQueryEngine
+from repro.store.query import LineageDiff, StoreQueryEngine
 from repro.store.sink import StoreSink
-from repro.store.store import ProvenanceStore, StoreReadStats
+from repro.store.store import MaintenanceStats, ProvenanceStore, StoreReadStats
 
 __all__ = [
     "DEFAULT_SEGMENT_NODES",
     "STORE_FORMAT_VERSION",
+    "STORE_FORMAT_VERSION_V2",
+    "LineageDiff",
+    "MaintenanceStats",
     "ProvenanceStore",
+    "RunInfo",
     "SegmentInfo",
     "StoreError",
     "StoreIndexes",

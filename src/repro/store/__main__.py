@@ -2,18 +2,25 @@
 
 Usage::
 
-    python -m repro.store ingest <store> <cpg.json> [--segment-nodes N]
+    python -m repro.store ingest <store> <cpg.json> [--segment-nodes N] [--workload NAME]
     python -m repro.store info <store> [--json]
+    python -m repro.store runs <store> [--json]
     python -m repro.store slice <store> (--node TID:IDX | --pages 1,2) \\
-        [--forward] [--kinds data,control,sync] [--json]
+        [--run R] [--forward] [--kinds data,control,sync] [--json]
     python -m repro.store taint <store> --pages 1,2 \\
-        [--through-thread-state] [--json]
+        [--run R] [--through-thread-state] [--json]
+    python -m repro.store compact <store> [--run R] [--segment-nodes N] [--json]
+    python -m repro.store gc <store> (--keep-last N | --runs 1,2) [--json]
 
 ``slice --node`` answers "what does this sub-computation depend on" (or,
 with ``--forward``, "what did it influence"); ``slice --pages`` answers the
 debugging case study's "why is this page in that state" as the lineage of
-the pages.  Every query prints how many segments it read out of how many
-the store holds, making the out-of-core behaviour visible.
+the pages.  A store holds many runs: ``runs`` lists them, ``--run`` scopes
+a query to one (optional while the store holds exactly one run),
+``compact`` merges a run's small segments, and ``gc`` drops superseded
+runs and reclaims their disk space.  Every query prints how many segments
+it read out of how many the store holds, making the out-of-core behaviour
+visible.
 """
 
 from __future__ import annotations
@@ -37,6 +44,13 @@ def _parse_pages(text: str) -> List[int]:
         return [int(piece) for piece in text.split(",") if piece.strip() != ""]
     except ValueError as exc:
         raise argparse.ArgumentTypeError(f"malformed page list {text!r}: {exc}") from exc
+
+
+def _parse_runs(text: str) -> List[int]:
+    try:
+        return [int(piece) for piece in text.split(",") if piece.strip() != ""]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"malformed run list {text!r}: {exc}") from exc
 
 
 def _parse_kinds(text: str) -> List[EdgeKind]:
@@ -65,21 +79,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    ingest = commands.add_parser("ingest", help="ingest a CPG JSON file (v1 or v2)")
+    ingest = commands.add_parser("ingest", help="ingest a CPG JSON file (v1 or v2) as a new run")
     ingest.add_argument("store", help="store directory (created when missing)")
     ingest.add_argument("cpg", help="CPG JSON file written with write_cpg()")
     ingest.add_argument(
         "--segment-nodes", type=int, default=None, help="sub-computations per segment"
     )
+    ingest.add_argument("--workload", default="", help="workload name recorded for the run")
 
     info = commands.add_parser("info", help="print the store summary")
     info.add_argument("store", help="store directory")
     info.add_argument("--json", action="store_true", help="machine-readable output")
 
+    runs = commands.add_parser("runs", help="list the store's runs")
+    runs.add_argument("store", help="store directory")
+    runs.add_argument("--json", action="store_true", help="machine-readable output")
+
     slice_cmd = commands.add_parser("slice", help="backward/forward slice or page lineage")
     slice_cmd.add_argument("store", help="store directory")
     slice_cmd.add_argument("--node", help="slice origin as TID:INDEX")
     slice_cmd.add_argument("--pages", type=_parse_pages, help="lineage of these pages (comma-separated)")
+    slice_cmd.add_argument(
+        "--run", type=int, default=None, help="run to query (optional for single-run stores)"
+    )
     slice_cmd.add_argument("--forward", action="store_true", help="forward slice instead of backward")
     slice_cmd.add_argument(
         "--kinds",
@@ -93,11 +115,30 @@ def build_parser() -> argparse.ArgumentParser:
     taint.add_argument("store", help="store directory")
     taint.add_argument("--pages", type=_parse_pages, required=True, help="source pages")
     taint.add_argument(
+        "--run", type=int, default=None, help="run to query (optional for single-run stores)"
+    )
+    taint.add_argument(
         "--through-thread-state",
         action="store_true",
         help="conservative mode: a tainted thread stays tainted",
     )
     taint.add_argument("--json", action="store_true", help="machine-readable output")
+
+    compact = commands.add_parser("compact", help="merge a run's small segments")
+    compact.add_argument("store", help="store directory")
+    compact.add_argument(
+        "--run", type=int, default=None, help="run to compact (default: every run)"
+    )
+    compact.add_argument(
+        "--segment-nodes", type=int, default=None, help="sub-computations per rewritten segment"
+    )
+    compact.add_argument("--json", action="store_true", help="machine-readable output")
+
+    gc = commands.add_parser("gc", help="drop superseded runs and reclaim disk space")
+    gc.add_argument("store", help="store directory")
+    gc.add_argument("--keep-last", type=int, default=None, help="keep the N most recent runs")
+    gc.add_argument("--runs", type=_parse_runs, default=None, help="drop exactly these run ids")
+    gc.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
 
@@ -111,9 +152,10 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.segment_nodes is not None:
         kwargs["segment_nodes"] = args.segment_nodes
-    segments = store.ingest_json_file(args.cpg, **kwargs)
+    segments = store.ingest_json_file(args.cpg, workload=args.workload, **kwargs)
+    run_id = store.manifest.runs[-1].run_id
     print(
-        f"ingested {args.cpg} into {args.store}: "
+        f"ingested {args.cpg} into {args.store} as run {run_id}: "
         f"{segments} new segment(s), {store.manifest.node_count} node(s) total"
     )
     return 0
@@ -127,6 +169,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         return 0
     print(f"provenance store at {summary['path']}")
     print(f"  format version:   {summary['format_version']}")
+    print(f"  runs:             {len(summary['runs'])}")
     print(f"  segments:         {summary['segments']}")
     print(f"  sub-computations: {summary['nodes']}")
     print(f"  edges:            {summary['edges']}")
@@ -138,7 +181,28 @@ def _cmd_info(args: argparse.Namespace) -> int:
         f"({summary['raw_bytes']} raw, {summary['compression_ratio']}x)"
     )
     for run in summary["runs"]:
-        print(f"  run:              {run}")
+        print(
+            f"  run {run['id']:4d}:         {run['workload'] or '?'} "
+            f"[{run['status']}] {run['nodes']} node(s), {run['segments']} segment(s)"
+        )
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    store = ProvenanceStore.open(args.store)
+    summaries = [store.run_summary(run_id) for run_id in store.run_ids()]
+    if args.json:
+        print(json.dumps(summaries, sort_keys=True, indent=2))
+        return 0
+    if not summaries:
+        print(f"store at {args.store} holds no runs")
+        return 0
+    print(f"{'run':>4s} {'workload':20s} {'status':9s} {'nodes':>7s} {'segments':>9s} {'bytes':>10s} created")
+    for run in summaries:
+        print(
+            f"{run['id']:4d} {(run['workload'] or '?'):20s} {run['status']:9s} "
+            f"{run['nodes']:7d} {run['segments']:9d} {run['stored_bytes']:10d} {run['created_at']}"
+        )
     return 0
 
 
@@ -153,20 +217,26 @@ def _cmd_slice(args: argparse.Namespace) -> int:
         print("--forward/--kinds apply to --node slices, not --pages lineage", file=sys.stderr)
         return 2
     store = ProvenanceStore.open(args.store)
+    run_id = store.resolve_run(args.run)
     engine = StoreQueryEngine(store)
     if args.node is not None:
         origin = parse_node_key(args.node)
         if args.forward:
-            nodes = engine.forward_slice(origin, kinds=tuple(args.kinds))
+            nodes = engine.forward_slice(origin, kinds=tuple(args.kinds), run=run_id)
         else:
-            nodes = engine.backward_slice(origin, kinds=tuple(args.kinds))
+            nodes = engine.backward_slice(origin, kinds=tuple(args.kinds), run=run_id)
         label = ("forward" if args.forward else "backward") + f" slice of {args.node}"
     else:
-        nodes = engine.lineage_of_pages(args.pages)
+        nodes = engine.lineage_of_pages(args.pages, run=run_id)
         label = f"lineage of pages {args.pages}"
+    label += f" (run {run_id})"
     ordered = sorted(nodes)
     if args.json:
-        print(json.dumps({"query": label, "nodes": [node_key(node) for node in ordered]}))
+        print(
+            json.dumps(
+                {"query": label, "run": run_id, "nodes": [node_key(node) for node in ordered]}
+            )
+        )
         return 0
     print(f"{label}: {len(ordered)} sub-computation(s)")
     for node in ordered:
@@ -177,12 +247,16 @@ def _cmd_slice(args: argparse.Namespace) -> int:
 
 def _cmd_taint(args: argparse.Namespace) -> int:
     store = ProvenanceStore.open(args.store)
+    run_id = store.resolve_run(args.run)
     engine = StoreQueryEngine(store)
-    result = engine.propagate_taint(args.pages, through_thread_state=args.through_thread_state)
+    result = engine.propagate_taint(
+        args.pages, through_thread_state=args.through_thread_state, run=run_id
+    )
     if args.json:
         print(
             json.dumps(
                 {
+                    "run": run_id,
                     "source_pages": sorted(result.source_pages),
                     "tainted_pages": sorted(result.tainted_pages),
                     "tainted_nodes": [node_key(node) for node in sorted(result.tainted_nodes)],
@@ -190,7 +264,7 @@ def _cmd_taint(args: argparse.Namespace) -> int:
             )
         )
         return 0
-    print(f"taint from pages {sorted(result.source_pages)}:")
+    print(f"taint from pages {sorted(result.source_pages)} (run {run_id}):")
     print(f"  tainted pages: {sorted(result.tainted_pages)}")
     print(f"  tainted sub-computations: {len(result.tainted_nodes)}")
     for node in sorted(result.tainted_nodes):
@@ -199,11 +273,48 @@ def _cmd_taint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compact(args: argparse.Namespace) -> int:
+    store = ProvenanceStore.open(args.store)
+    kwargs = {}
+    if args.segment_nodes is not None:
+        kwargs["segment_nodes"] = args.segment_nodes
+    stats = store.compact(run=args.run, **kwargs)
+    if args.json:
+        print(json.dumps(stats.to_dict(), sort_keys=True))
+        return 0
+    scope = f"run {args.run}" if args.run is not None else "every run"
+    print(
+        f"compacted {scope}: {stats.segments_before} -> {stats.segments_after} segment(s), "
+        f"{stats.bytes_reclaimed} byte(s) reclaimed"
+    )
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    if (args.keep_last is None) == (args.runs is None):
+        print("gc needs exactly one of --keep-last or --runs", file=sys.stderr)
+        return 2
+    store = ProvenanceStore.open(args.store)
+    stats = store.gc(keep_last=args.keep_last, runs=args.runs)
+    if args.json:
+        print(json.dumps(stats.to_dict(), sort_keys=True))
+        return 0
+    dropped = ", ".join(str(run) for run in stats.runs_dropped) or "nothing"
+    print(
+        f"gc dropped {dropped}: {stats.segments_before} -> {stats.segments_after} segment(s), "
+        f"{stats.bytes_reclaimed} byte(s) reclaimed"
+    )
+    return 0
+
+
 _COMMANDS = {
     "ingest": _cmd_ingest,
     "info": _cmd_info,
+    "runs": _cmd_runs,
     "slice": _cmd_slice,
     "taint": _cmd_taint,
+    "compact": _cmd_compact,
+    "gc": _cmd_gc,
 }
 
 

@@ -3,18 +3,38 @@
 A store is a directory::
 
     <store>/
-        MANIFEST.json            # format version, segment table, run log
-        segments/seg-<id>.seg    # append-only, lz-compressed CPG segments
-        index/nodes.json         # node -> owning segment + topological rank
-        index/pages.json         # page -> writer/reader nodes
-        index/threads.json       # thread -> node indexes + segments
-        index/sync.json          # sync object -> recorded release->acquire edges
-        index/edges.json         # node -> segments holding its in-/out-edges
+        MANIFEST.json                   # format version, run table, segment table
+        segments/seg-<id>.seg           # immutable, lz-compressed CPG segments
+        index/run-<id>/nodes.json       # node -> owning segment + topological rank
+        index/run-<id>/pages.json       # page -> writer/reader nodes
+        index/run-<id>/threads.json     # thread -> node indexes + segments
+        index/run-<id>/sync.json        # sync object -> recorded release->acquire edges
+        index/run-<id>/edges.json       # node -> segments holding its in-/out-edges
 
-Segments are immutable once written; ingestion only appends new segments
-and rewrites the (small) manifest and index files.  Segment payloads use
-the v2 CPG serialization (:mod:`repro.core.serialization`) compressed with
-the :mod:`repro.compression.lz` codec behind a tiny framed header.
+One store holds **many traced runs**.  Every run gets a :class:`RunInfo`
+entry in the manifest (minted at ingest, carrying workload name, config and
+wall-clock metadata), every segment belongs to exactly one run, and every
+run owns its own index directory -- node ids ``(tid, index)`` are only
+unique *within* a run, so the run id is the namespace that lets two
+executions of the same program coexist.
+
+Segments are immutable once written; ingestion appends new segments and
+rewrites the (small) manifest and index files.  Maintenance rewrites are
+run-scoped: :meth:`~repro.store.store.ProvenanceStore.compact` replaces a
+run's segments with fewer, denser ones and
+:meth:`~repro.store.store.ProvenanceStore.gc` drops whole runs; both commit
+through the manifest (temp file + atomic rename) before any old file is
+deleted, so a crash at any point leaves a consistent store.  Segment ids
+are minted from a monotonic counter and never reused, which is what makes
+"the manifest is the commit point" recovery sound.
+
+Segment payloads use the v2 CPG serialization
+(:mod:`repro.core.serialization`) compressed with the
+:mod:`repro.compression.lz` codec behind a tiny framed header -- the
+payload format is unchanged from store format version 2; version 3 only
+adds the run dimension to the manifest and index layout.  Version-2 stores
+(one implicit run) remain readable: they are mapped to a single run with
+id 1 on open.
 """
 
 from __future__ import annotations
@@ -24,8 +44,14 @@ from typing import Dict, List, Optional
 
 from repro.errors import StoreError
 
-#: Version of the store directory layout (matches the v2 CPG serialization).
-STORE_FORMAT_VERSION = 2
+#: Version of the store directory layout (3 = multi-run).
+STORE_FORMAT_VERSION = 3
+
+#: The PR-1 single-run layout; still readable, mapped to one run on open.
+STORE_FORMAT_VERSION_V2 = 2
+
+#: Every manifest version :meth:`StoreManifest.from_dict` understands.
+SUPPORTED_STORE_VERSIONS = (STORE_FORMAT_VERSION_V2, STORE_FORMAT_VERSION)
 
 #: Identifies a manifest as belonging to this subsystem.
 STORE_KIND = "inspector-provenance-store"
@@ -34,12 +60,15 @@ MANIFEST_NAME = "MANIFEST.json"
 SEGMENTS_DIR = "segments"
 INDEX_DIR = "index"
 
-#: Framing magic of a segment file: "ISEG" + format version byte.
+#: Framing magic of a segment file: "ISEG" + payload format version byte.
 SEGMENT_MAGIC = b"ISEG\x02"
 
 #: Number of sub-computations per segment unless the caller overrides it;
 #: also the epoch length of the incremental ingest sink.
 DEFAULT_SEGMENT_NODES = 64
+
+#: The run id a version-2 (single-run) store is mapped to on open.
+LEGACY_RUN_ID = 1
 
 
 def segment_file_name(segment_id: int) -> str:
@@ -47,12 +76,20 @@ def segment_file_name(segment_id: int) -> str:
     return f"seg-{segment_id:08d}.seg"
 
 
+def run_index_dir_name(run_id: int) -> str:
+    """Directory name of run ``run_id``'s indexes inside :data:`INDEX_DIR`."""
+    return f"run-{run_id:08d}"
+
+
 @dataclass
 class SegmentInfo:
     """Manifest entry describing one sealed segment.
 
     Attributes:
-        segment_id: 1-based id; also determines the file name.
+        segment_id: Id minted from ``StoreManifest.next_segment_id``; also
+            determines the file name.  Ids are never reused, even after the
+            segment is compacted or garbage-collected away.
+        run: Id of the run the segment belongs to.
         nodes: Number of sub-computations stored in the segment.
         edges: Number of edges stored in the segment.
         raw_bytes: Size of the uncompressed JSON payload.
@@ -60,6 +97,7 @@ class SegmentInfo:
     """
 
     segment_id: int
+    run: int
     nodes: int
     edges: int
     raw_bytes: int
@@ -73,6 +111,7 @@ class SegmentInfo:
     def to_dict(self) -> dict:
         return {
             "id": self.segment_id,
+            "run": self.run,
             "nodes": self.nodes,
             "edges": self.edges,
             "raw_bytes": self.raw_bytes,
@@ -80,12 +119,13 @@ class SegmentInfo:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "SegmentInfo":
+    def from_dict(cls, data: dict, default_run: int = LEGACY_RUN_ID) -> "SegmentInfo":
         missing = [key for key in ("id", "nodes", "edges") if key not in data]
         if missing:
             raise StoreError(f"segment entry is missing field(s) {missing}: {data!r}")
         return cls(
             segment_id=int(data["id"]),
+            run=int(data.get("run", default_run)),
             nodes=int(data["nodes"]),
             edges=int(data["edges"]),
             raw_bytes=int(data.get("raw_bytes", 0)),
@@ -93,28 +133,100 @@ class SegmentInfo:
         )
 
 
+#: A run whose ingest is still streaming (or died mid-stream); readable up
+#: to its last committed epoch.
+RUN_RUNNING = "running"
+
+#: A run whose ingest finished cleanly.
+RUN_COMPLETE = "complete"
+
+
+@dataclass
+class RunInfo:
+    """Manifest entry describing one traced run (the node-id namespace).
+
+    Attributes:
+        run_id: Id minted from ``StoreManifest.next_run_id``; never reused.
+        workload: Name of the workload that produced the run.
+        status: :data:`RUN_RUNNING` while streaming, :data:`RUN_COMPLETE`
+            once the ingest finished.
+        created_at: Wall-clock timestamp (ISO 8601) supplied by the ingest
+            path, or whatever the caller passed as run metadata.
+        nodes: Sub-computations ingested for the run so far.
+        edges: Edges ingested for the run so far.
+        next_topo: Next topological rank to hand out within the run; ranks
+            are assigned in ingest order, which every ingest path keeps a
+            linear extension of the run's happens-before order.
+        meta: Free-form run metadata (thread count, config, input size...).
+    """
+
+    run_id: int
+    workload: str = ""
+    status: str = RUN_RUNNING
+    created_at: str = ""
+    nodes: int = 0
+    edges: int = 0
+    next_topo: int = 0
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.run_id,
+            "workload": self.workload,
+            "status": self.status,
+            "created_at": self.created_at,
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "next_topo": self.next_topo,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunInfo":
+        if "id" not in data:
+            raise StoreError(f"run entry is missing its id: {data!r}")
+        return cls(
+            run_id=int(data["id"]),
+            workload=str(data.get("workload", "")),
+            status=str(data.get("status", RUN_COMPLETE)),
+            created_at=str(data.get("created_at", "")),
+            nodes=int(data.get("nodes", 0)),
+            edges=int(data.get("edges", 0)),
+            next_topo=int(data.get("next_topo", 0)),
+            meta=dict(data.get("meta", {})),
+        )
+
+
 @dataclass
 class StoreManifest:
     """The store's root metadata document (``MANIFEST.json``).
 
+    The manifest is the store's *commit point*: segment and index files are
+    written first, the manifest last (each through a temp-file + atomic
+    rename), so whatever generation the manifest describes is the store's
+    content -- files it does not reference are ignored on open and swept by
+    the next maintenance operation.
+
     Attributes:
-        version: Store format version.
-        segments: Sealed segments in append order.
-        node_count: Total sub-computations across every segment.
-        edge_count: Total edges across every segment.
-        next_topo: Next topological sequence number to hand out; node ranks
-            are assigned in ingest order, which every ingest path keeps a
-            linear extension of the CPG's happens-before order.
-        runs: One entry per ingested run (workload name, threads, ...).
+        version: Store format version the manifest was **loaded** as (2 or
+            3); writing always emits version 3.
+        segments: Sealed segments in append order (per run this is
+            topological order).
+        runs: One entry per ingested run, in mint order.
+        next_segment_id: Next segment id to mint (monotonic, never reused).
+        next_run_id: Next run id to mint (monotonic, never reused).
+        node_count: Total sub-computations across every run.
+        edge_count: Total edges across every run.
         meta: Free-form store metadata supplied at creation time.
     """
 
     version: int = STORE_FORMAT_VERSION
     segments: List[SegmentInfo] = field(default_factory=list)
+    runs: List[RunInfo] = field(default_factory=list)
+    next_segment_id: int = 1
+    next_run_id: int = 1
     node_count: int = 0
     edge_count: int = 0
-    next_topo: int = 0
-    runs: List[dict] = field(default_factory=list)
     meta: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -124,19 +236,63 @@ class StoreManifest:
 
     def segment_info(self, segment_id: int) -> SegmentInfo:
         """Manifest entry of ``segment_id``."""
-        if not 1 <= segment_id <= len(self.segments):
-            raise StoreError(f"no segment {segment_id} (store has {len(self.segments)})")
-        return self.segments[segment_id - 1]
+        for segment in self.segments:
+            if segment.segment_id == segment_id:
+                return segment
+        raise StoreError(f"no segment {segment_id} (store has {len(self.segments)})")
+
+    def segment_ids(self) -> List[int]:
+        """Every referenced segment id, in append order."""
+        return [segment.segment_id for segment in self.segments]
+
+    def segments_of_run(self, run_id: int) -> List[SegmentInfo]:
+        """The run's segments, in append (= per-run topological) order."""
+        return [segment for segment in self.segments if segment.run == run_id]
+
+    def run_ids(self) -> List[int]:
+        """Every run id, in mint order."""
+        return [run.run_id for run in self.runs]
+
+    def run_info(self, run_id: int) -> RunInfo:
+        """Manifest entry of run ``run_id``."""
+        for run in self.runs:
+            if run.run_id == run_id:
+                return run
+        known = self.run_ids()
+        raise StoreError(f"no run {run_id} in the store (runs: {known or 'none'})")
+
+    def mint_run(self, workload: str = "", created_at: str = "", meta: Optional[dict] = None) -> RunInfo:
+        """Append a fresh :class:`RunInfo` and return it."""
+        run = RunInfo(
+            run_id=self.next_run_id,
+            workload=workload,
+            created_at=created_at,
+            meta=dict(meta or {}),
+        )
+        self.next_run_id += 1
+        self.runs.append(run)
+        return run
+
+    def remove_run(self, run_id: int) -> List[SegmentInfo]:
+        """Drop a run and its segment entries; returns the dropped segments."""
+        run = self.run_info(run_id)
+        dropped = self.segments_of_run(run_id)
+        self.runs = [entry for entry in self.runs if entry.run_id != run_id]
+        self.segments = [segment for segment in self.segments if segment.run != run_id]
+        self.node_count -= run.nodes
+        self.edge_count -= run.edges
+        return dropped
 
     def to_dict(self) -> dict:
         return {
             "kind": STORE_KIND,
-            "version": self.version,
+            "version": STORE_FORMAT_VERSION,
             "segments": [segment.to_dict() for segment in self.segments],
+            "runs": [run.to_dict() for run in self.runs],
+            "next_segment_id": self.next_segment_id,
+            "next_run_id": self.next_run_id,
             "node_count": self.node_count,
             "edge_count": self.edge_count,
-            "next_topo": self.next_topo,
-            "runs": list(self.runs),
             "meta": dict(self.meta),
         }
 
@@ -145,20 +301,63 @@ class StoreManifest:
         if not isinstance(data, dict) or data.get("kind") != STORE_KIND:
             raise StoreError(f"not a provenance-store manifest: {data!r}")
         version = data.get("version")
-        if version != STORE_FORMAT_VERSION:
+        if version not in SUPPORTED_STORE_VERSIONS:
+            supported = ", ".join(str(v) for v in SUPPORTED_STORE_VERSIONS)
             raise StoreError(
                 f"unsupported store format version {version!r} "
-                f"(this build reads version {STORE_FORMAT_VERSION})"
+                f"(this build reads versions {supported})"
             )
         manifest = cls(version=int(version))
         manifest.segments = [SegmentInfo.from_dict(entry) for entry in data.get("segments", ())]
         manifest.node_count = int(data.get("node_count", 0))
         manifest.edge_count = int(data.get("edge_count", 0))
-        manifest.next_topo = int(data.get("next_topo", 0))
-        manifest.runs = list(data.get("runs", ()))
         manifest.meta = dict(data.get("meta", {}))
-        expected = [index + 1 for index in range(len(manifest.segments))]
-        actual = [segment.segment_id for segment in manifest.segments]
-        if actual != expected:
-            raise StoreError(f"segment table is not contiguous: {actual}")
+        if version == STORE_FORMAT_VERSION_V2:
+            manifest._upgrade_from_v2(data)
+        else:
+            manifest.runs = [RunInfo.from_dict(entry) for entry in data.get("runs", ())]
+            manifest.next_segment_id = int(data.get("next_segment_id", 1))
+            manifest.next_run_id = int(data.get("next_run_id", 1))
+        ids = manifest.segment_ids()
+        if sorted(set(ids)) != ids:
+            raise StoreError(f"segment table is not strictly increasing: {ids}")
+        if any(segment_id >= manifest.next_segment_id for segment_id in ids):
+            raise StoreError(
+                f"segment id {max(ids)} is not below next_segment_id "
+                f"{manifest.next_segment_id}"
+            )
+        known_runs = set(manifest.run_ids())
+        orphaned = [s.segment_id for s in manifest.segments if s.run not in known_runs]
+        if orphaned:
+            raise StoreError(f"segment(s) {orphaned} reference unknown runs")
         return manifest
+
+    def _upgrade_from_v2(self, data: dict) -> None:
+        """Map a PR-1 single-run manifest to one run with :data:`LEGACY_RUN_ID`.
+
+        The v2 segment table was contiguous ``1..N`` and the run log was a
+        list of free-form dicts (at most one entry: a second ingest failed
+        fast).  Everything becomes run 1; the legacy run dicts become the
+        run's metadata.
+        """
+        expected = [index + 1 for index in range(len(self.segments))]
+        if self.segment_ids() != expected:
+            raise StoreError(f"v2 segment table is not contiguous: {self.segment_ids()}")
+        legacy_runs = list(data.get("runs", ()))
+        first = legacy_runs[0] if legacy_runs else {}
+        run = RunInfo(
+            run_id=LEGACY_RUN_ID,
+            workload=str(first.get("workload", "")),
+            status=RUN_COMPLETE,
+            nodes=self.node_count,
+            edges=self.edge_count,
+            next_topo=int(data.get("next_topo", 0)),
+            meta=dict(first),
+        )
+        if len(legacy_runs) > 1:
+            run.meta["legacy_runs"] = legacy_runs
+        for segment in self.segments:
+            segment.run = LEGACY_RUN_ID
+        self.runs = [run]
+        self.next_run_id = LEGACY_RUN_ID + 1
+        self.next_segment_id = len(self.segments) + 1

@@ -5,7 +5,13 @@ small (node ids and page numbers, no read/write sets, no thunks), they are
 rewritten wholesale on flush, and every query starts here to decide which
 segments are worth loading.
 
-Four index families exist:
+One :class:`StoreIndexes` instance covers one **run**: node ids
+``(tid, index)`` are only unique within a run, so the store keeps a
+separate index namespace per run, persisted under
+``index/run-<id>/`` (format v3; the v2 layout had a single flat
+``index/`` directory, which the store loads as the legacy run's indexes).
+
+Five index families exist:
 
 * **nodes** -- node id -> owning segment and topological rank.  The rank is
   the node's position in the ingest order, which every ingest path keeps a
@@ -22,14 +28,13 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Set
+from typing import Dict, Iterable, List, Set
 
 from repro.core.cpg import EdgeKind
 from repro.core.serialization import node_key, parse_node_key
 from repro.core.thunk import NodeId, SubComputation
 from repro.errors import StoreError
 
-from repro.store.format import INDEX_DIR
 from repro.store.segment import EdgeTuple
 
 _NODES_FILE = "nodes.json"
@@ -159,59 +164,41 @@ class StoreIndexes:
         """Every stored node id, sorted."""
         return sorted(parse_node_key(key) for key in self.node_segments)
 
-    def clamp_to_segments(self, segment_count: int) -> None:
-        """Drop every entry referencing segments beyond ``segment_count``.
+    def is_consistent_with(self, valid_segments: Iterable[int], expected_nodes: int) -> bool:
+        """Whether this index generation matches a manifest generation.
 
         The manifest is the store's commit point: a crash between the
-        per-file atomic renames of a flush can leave index files one
-        generation ahead of the manifest (referencing a segment it does not
-        list).  Clamping on open restores the previous consistent
-        generation -- on a cleanly flushed store this is a no-op.
+        per-file atomic renames of a flush can leave index files a
+        generation *ahead* of the manifest -- referencing segments it does
+        not list (appends), or rewritten wholesale against replacement
+        segments (compaction).  This check is how :meth:`ProvenanceStore.open`
+        detects every such tear, after which the run's indexes are rebuilt
+        from its (committed, ground-truth) segments.  Cheap: in-memory set
+        membership only, no segment I/O.
         """
-        self.node_segments = {
-            key: segment for key, segment in self.node_segments.items() if segment <= segment_count
-        }
-        known = set(self.node_segments)
-        self.node_topo = {key: topo for key, topo in self.node_topo.items() if key in known}
-        known_nodes = {parse_node_key(key) for key in known}
-        for pages in (self.page_writers, self.page_readers):
-            for page in list(pages):
-                pages[page] = [key for key in pages[page] if key in known]
-                if not pages[page]:
-                    del pages[page]
-        for tid in list(self.thread_indexes):
-            self.thread_indexes[tid] = [
-                index for index in self.thread_indexes[tid] if (tid, index) in known_nodes
-            ]
-            self.thread_segments[tid] = [
-                segment for segment in self.thread_segments.get(tid, []) if segment <= segment_count
-            ]
-            if not self.thread_indexes[tid]:
-                del self.thread_indexes[tid]
-                self.thread_segments.pop(tid, None)
-        for object_id in list(self.sync_edges):
-            self.sync_edges[object_id] = [
-                edge
-                for edge in self.sync_edges[object_id]
-                if edge.get("segment", 0) <= segment_count
-                and edge.get("source") in known
-                and edge.get("target") in known
-            ]
-            if not self.sync_edges[object_id]:
-                del self.sync_edges[object_id]
-        for segments in (self.in_edge_segments, self.out_edge_segments):
-            for key in list(segments):
-                segments[key] = [segment for segment in segments[key] if segment <= segment_count]
-                if not segments[key] or key not in known:
-                    del segments[key]
+        valid = set(valid_segments)
+        if len(self.node_segments) != expected_nodes:
+            return False
+        if any(segment not in valid for segment in self.node_segments.values()):
+            return False
+        for segments in self.thread_segments.values():
+            if any(segment not in valid for segment in segments):
+                return False
+        for edges in self.sync_edges.values():
+            if any(edge.get("segment", 0) not in valid for edge in edges):
+                return False
+        for family in (self.in_edge_segments, self.out_edge_segments):
+            for segments in family.values():
+                if any(segment not in valid for segment in segments):
+                    return False
+        return True
 
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
 
-    def save(self, store_path: str) -> None:
-        """Write every index file under ``<store>/index/``."""
-        index_dir = os.path.join(store_path, INDEX_DIR)
+    def save(self, index_dir: str) -> None:
+        """Write every index file under ``index_dir`` (one run's directory)."""
         os.makedirs(index_dir, exist_ok=True)
         self._write(index_dir, _NODES_FILE, {"segments": self.node_segments, "topo": self.node_topo})
         self._write(
@@ -241,9 +228,8 @@ class StoreIndexes:
         )
 
     @classmethod
-    def load(cls, store_path: str) -> "StoreIndexes":
-        """Read every index file of a store directory."""
-        index_dir = os.path.join(store_path, INDEX_DIR)
+    def load(cls, index_dir: str) -> "StoreIndexes":
+        """Read every index file of one run's index directory."""
         indexes = cls()
         nodes = cls._read(index_dir, _NODES_FILE)
         indexes.node_segments = {key: int(seg) for key, seg in nodes.get("segments", {}).items()}

@@ -4,13 +4,22 @@
 :mod:`repro.core.queries` -- backward/forward slices, page lineage, taint
 propagation -- but against a :class:`~repro.store.store.ProvenanceStore`,
 loading only the segments the secondary indexes select instead of
-materializing the whole graph.  On a store built from a finalized CPG
-(:meth:`ProvenanceStore.ingest`) every query returns exactly what the
-in-memory functions return on that CPG.  Slices and lineage are
-set-valued and exact for every ingest path; taint replay on a
-sink-streamed store uses the runtime arrival order, which agrees with
-the in-memory result on race-free executions but may resolve a data
-race differently (see ``docs/store.md``).
+materializing the whole graph.
+
+Every query is answered **within one run** (node ids are only unique per
+run); the ``run`` argument defaults to the store's only run and must be
+given explicitly on multi-run stores.  Cross-run questions have their own
+entry points: the ``*_across_runs`` methods fan one query out over every
+run, and :meth:`StoreQueryEngine.compare_lineage` diffs the lineage of a
+page between two runs -- the longitudinal "what changed between yesterday's
+run and today's" query the multi-run store exists for.
+
+On a store built from a finalized CPG (:meth:`ProvenanceStore.ingest`)
+every query returns exactly what the in-memory functions return on that
+CPG.  Slices and lineage are set-valued and exact for every ingest path;
+taint replay on a sink-streamed store uses the runtime arrival order,
+which agrees with the in-memory result on race-free executions but may
+resolve a data race differently (see ``docs/store.md``).
 
 Slices walk the edge-segment index (node -> segments holding its in-/out-
 edges), so a slice confined to one corner of the graph touches only the
@@ -19,12 +28,18 @@ and thread indexes alone (no segment I/O), a closed superset of the nodes
 the taint frontier can ever reach, then replays the in-memory policy over
 just those nodes in stored topological rank order -- nodes outside the
 closure can neither become tainted nor taint a page, so restricting the
-replay preserves the result bit for bit.
+replay preserves the result bit for bit.  When the closure floods (the
+frontier touches a majority of the run's *read* pages -- write-only pages
+never spread taint further) the engine stops
+expanding it and falls back to one sequential sweep of the run's segments
+in topological order: each segment is decoded exactly once, which is the
+optimal access pattern for a query whose answer genuinely spans the run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cpg import EdgeKind
 from repro.core.queries import TaintResult, replay_taint
@@ -33,12 +48,50 @@ from repro.core.thunk import NodeId, SubComputation
 from repro.store.segment import EdgeTuple
 from repro.store.store import ProvenanceStore
 
+#: Fraction of a run's read pages the taint frontier may reach before the
+#: engine abandons the index closure for one sequential segment sweep.
+TAINT_FLOOD_FRACTION = 0.5
+
+
+@dataclass
+class LineageDiff:
+    """Result of :meth:`StoreQueryEngine.compare_lineage`.
+
+    Node ids are comparable across runs because both runs execute the same
+    program shape: ``(tid, index)`` names "the index-th sub-computation of
+    thread tid", so the diff shows where the two executions' histories for
+    the same pages diverge.
+
+    Attributes:
+        run_a: First run id.
+        run_b: Second run id.
+        pages: The pages whose lineage was compared.
+        only_a: Lineage nodes present in run A but not run B.
+        only_b: Lineage nodes present in run B but not run A.
+        common: Lineage nodes present in both runs.
+    """
+
+    run_a: int
+    run_b: int
+    pages: Tuple[int, ...]
+    only_a: Set[NodeId] = field(default_factory=set)
+    only_b: Set[NodeId] = field(default_factory=set)
+    common: Set[NodeId] = field(default_factory=set)
+
+    @property
+    def identical(self) -> bool:
+        """Whether both runs produced the pages the same way."""
+        return not self.only_a and not self.only_b
+
 
 class StoreQueryEngine:
-    """Indexed queries over one provenance store."""
+    """Indexed queries over one provenance store (any number of runs)."""
 
     def __init__(self, store: ProvenanceStore) -> None:
         self.store = store
+        #: How the last ``propagate_taint`` ran: ``"indexed"`` (closure
+        #: from the indexes) or ``"sweep"`` (sequential flood fallback).
+        self.last_taint_mode: Optional[str] = None
 
     @property
     def segments_loaded(self) -> int:
@@ -49,13 +102,13 @@ class StoreQueryEngine:
     # Node access
     # ------------------------------------------------------------------ #
 
-    def subcomputation(self, node_id: NodeId) -> SubComputation:
-        """Load the sub-computation stored at ``node_id``."""
-        payload = self.store.segment(self.store.indexes.segment_of(node_id))
+    def subcomputation(self, node_id: NodeId, run: Optional[int] = None) -> SubComputation:
+        """Load the sub-computation stored at ``node_id`` of ``run``."""
+        payload = self.store.segment(self.store.indexes_for(run).segment_of(node_id))
         return payload.nodes[node_id]
 
-    def _edges_at(self, node_id: NodeId, forward: bool) -> List[EdgeTuple]:
-        indexes = self.store.indexes
+    def _edges_at(self, node_id: NodeId, forward: bool, run: int) -> List[EdgeTuple]:
+        indexes = self.store.indexes_for(run)
         segments = indexes.out_segments(node_id) if forward else indexes.in_segments(node_id)
         edges: List[EdgeTuple] = []
         for segment_id in segments:
@@ -65,17 +118,21 @@ class StoreQueryEngine:
         return edges
 
     def _closure(
-        self, node_id: NodeId, kinds: Optional[Sequence[EdgeKind]], forward: bool
+        self,
+        node_id: NodeId,
+        kinds: Optional[Sequence[EdgeKind]],
+        forward: bool,
+        run: int,
     ) -> Set[NodeId]:
         # Mirrors ConcurrentProvenanceGraph._closure, but expands through
         # the edge-segment index instead of an in-memory adjacency list.
-        self.store.indexes.segment_of(node_id)  # raises for unknown nodes
+        self.store.indexes_for(run).segment_of(node_id)  # raises for unknown nodes
         allowed = set(kinds) if kinds is not None else None
         seen: Set[NodeId] = set()
         frontier = [node_id]
         while frontier:
             current = frontier.pop()
-            for source, target, kind, _ in self._edges_at(current, forward):
+            for source, target, kind, _ in self._edges_at(current, forward, run):
                 if allowed is not None and kind not in allowed:
                     continue
                 nxt = target if forward else source
@@ -93,9 +150,11 @@ class StoreQueryEngine:
         node_id: NodeId,
         kinds: Sequence[EdgeKind] = (EdgeKind.DATA,),
         include_start: bool = True,
+        run: Optional[int] = None,
     ) -> Set[NodeId]:
-        """Every stored sub-computation ``node_id`` transitively depends on."""
-        result = self._closure(node_id, kinds, forward=False)
+        """Every sub-computation ``node_id`` transitively depends on (in ``run``)."""
+        run_id = self.store.resolve_run(run)
+        result = self._closure(node_id, kinds, forward=False, run=run_id)
         if include_start:
             result.add(node_id)
         return result
@@ -105,52 +164,142 @@ class StoreQueryEngine:
         node_id: NodeId,
         kinds: Sequence[EdgeKind] = (EdgeKind.DATA,),
         include_start: bool = True,
+        run: Optional[int] = None,
     ) -> Set[NodeId]:
-        """Every stored sub-computation transitively influenced by ``node_id``."""
-        result = self._closure(node_id, kinds, forward=True)
+        """Every sub-computation transitively influenced by ``node_id`` (in ``run``)."""
+        run_id = self.store.resolve_run(run)
+        result = self._closure(node_id, kinds, forward=True, run=run_id)
         if include_start:
             result.add(node_id)
         return result
 
-    def lineage_of_pages(self, pages: Iterable[int]) -> Set[NodeId]:
+    def lineage_of_pages(self, pages: Iterable[int], run: Optional[int] = None) -> Set[NodeId]:
         """Writers of ``pages`` plus everything they depend on through data edges."""
+        run_id = self.store.resolve_run(run)
         result: Set[NodeId] = set()
         writers: Set[NodeId] = set()
         for page in pages:
-            writers.update(self.store.indexes.writers_of_page(page))
+            writers.update(self.store.indexes_for(run_id).writers_of_page(page))
         for writer in writers:
-            result |= self.backward_slice(writer, kinds=(EdgeKind.DATA,))
+            result |= self.backward_slice(writer, kinds=(EdgeKind.DATA,), run=run_id)
         return result
+
+    # ------------------------------------------------------------------ #
+    # Cross-run queries
+    # ------------------------------------------------------------------ #
+
+    def runs_containing(self, node_id: NodeId) -> List[int]:
+        """Every run that recorded a sub-computation named ``node_id``."""
+        return [
+            run_id
+            for run_id in self.store.run_ids()
+            if self.store.indexes_for(run_id).has_node(node_id)
+        ]
+
+    def backward_slice_across_runs(
+        self,
+        node_id: NodeId,
+        kinds: Sequence[EdgeKind] = (EdgeKind.DATA,),
+        include_start: bool = True,
+    ) -> Dict[int, Set[NodeId]]:
+        """:meth:`backward_slice` in every run that holds ``node_id``."""
+        return {
+            run_id: self.backward_slice(node_id, kinds=kinds, include_start=include_start, run=run_id)
+            for run_id in self.runs_containing(node_id)
+        }
+
+    def lineage_across_runs(self, pages: Iterable[int]) -> Dict[int, Set[NodeId]]:
+        """:meth:`lineage_of_pages` in every run of the store."""
+        wanted = list(pages)
+        return {
+            run_id: self.lineage_of_pages(wanted, run=run_id) for run_id in self.store.run_ids()
+        }
+
+    def taint_across_runs(
+        self, source_pages: Iterable[int], through_thread_state: bool = False
+    ) -> Dict[int, TaintResult]:
+        """:meth:`propagate_taint` in every run of the store."""
+        sources = list(source_pages)
+        return {
+            run_id: self.propagate_taint(sources, through_thread_state=through_thread_state, run=run_id)
+            for run_id in self.store.run_ids()
+        }
+
+    def compare_lineage(self, run_a: int, run_b: int, pages) -> LineageDiff:
+        """Diff the lineage of ``pages`` between two runs.
+
+        ``pages`` may be a single page or an iterable of pages.  The result
+        partitions the union of both lineages into nodes exclusive to each
+        run and nodes common to both -- empty exclusives mean the two
+        executions produced those pages through the same history.
+        """
+        wanted = (pages,) if isinstance(pages, int) else tuple(pages)
+        lineage_a = self.lineage_of_pages(wanted, run=run_a)
+        lineage_b = self.lineage_of_pages(wanted, run=run_b)
+        return LineageDiff(
+            run_a=run_a,
+            run_b=run_b,
+            pages=wanted,
+            only_a=lineage_a - lineage_b,
+            only_b=lineage_b - lineage_a,
+            common=lineage_a & lineage_b,
+        )
 
     # ------------------------------------------------------------------ #
     # Taint propagation
     # ------------------------------------------------------------------ #
 
     def propagate_taint(
-        self, source_pages: Iterable[int], through_thread_state: bool = False
+        self,
+        source_pages: Iterable[int],
+        through_thread_state: bool = False,
+        run: Optional[int] = None,
     ) -> TaintResult:
         """Page-granularity taint propagation, replayed out of core.
 
         Matches :func:`repro.core.queries.propagate_taint` on the stored
         graph (see the module docstring for why restricting the replay to
-        the index-computed closure is exact).
+        the index-computed closure is exact).  When the closure floods --
+        taint reaches a majority of the run's read pages -- the engine
+        early-exits to one sequential sweep of the run's segments instead
+        of finishing the fixpoint and re-reading segments node by node;
+        the replay policy is identical either way, so only the access
+        pattern (not the result) changes.
         """
-        candidates = self._taint_candidates(set(source_pages), through_thread_state)
-        order = sorted(candidates, key=self.store.indexes.topo_of)
-        ordered = ((node_id, self.subcomputation(node_id)) for node_id in order)
-        return replay_taint(ordered, source_pages, through_thread_state=through_thread_state)
+        run_id = self.store.resolve_run(run)
+        sources = set(source_pages)
+        candidates = self._taint_candidates(sources, through_thread_state, run_id)
+        if candidates is None:
+            self.last_taint_mode = "sweep"
+            return self._sweep_taint(sources, through_thread_state, run_id)
+        self.last_taint_mode = "indexed"
+        indexes = self.store.indexes_for(run_id)
+        order = sorted(candidates, key=indexes.topo_of)
+        ordered = ((node_id, self.subcomputation(node_id, run=run_id)) for node_id in order)
+        return replay_taint(ordered, sources, through_thread_state=through_thread_state)
 
     def _taint_candidates(
-        self, source_pages: Set[int], through_thread_state: bool
-    ) -> Set[NodeId]:
+        self, source_pages: Set[int], through_thread_state: bool, run: int
+    ) -> Optional[Set[NodeId]]:
         """Closed superset of the nodes taint can reach, from indexes alone.
 
         Worklist fixpoint: every page and node is expanded exactly once, so
-        the closure is linear in its output rather than quadratic.
+        the closure is linear in its output rather than quadratic.  Returns
+        ``None`` when the page frontier floods past
+        :data:`TAINT_FLOOD_FRACTION` of the run's read pages -- the signal
+        to stop paying for the closure and sweep sequentially.
         """
-        indexes = self.store.indexes
+        indexes = self.store.indexes_for(run)
         written_by: Dict[NodeId, Set[int]] = indexes.pages_written_by()
+        # Only pages somebody *reads* spread taint further, so the flood
+        # metric counts read-pages: write-only pages (e.g. final outputs)
+        # grow the result but never the frontier.
+        readable = set(indexes.page_readers)
+        flood_at = len(readable) * TAINT_FLOOD_FRACTION
         pages = set(source_pages)
+        reached = len(pages & readable)
+        if readable and reached > flood_at:
+            return None
         candidates: Set[NodeId] = set()
         page_frontier = list(pages)
         node_frontier: List[NodeId] = []
@@ -171,7 +320,32 @@ class StoreQueryEngine:
                     if page not in pages:
                         pages.add(page)
                         page_frontier.append(page)
+                        if page in readable:
+                            reached += 1
+                            if reached > flood_at:
+                                return None
                 if through_thread_state:
                     for later in indexes.thread_nodes_from(node_id[0], node_id[1]):
                         add_node(later)
         return candidates
+
+    def _sweep_taint(
+        self, source_pages: Set[int], through_thread_state: bool, run: int
+    ) -> TaintResult:
+        """Replay the taint policy over one sequential pass of the run.
+
+        Segments of a run are appended in topological order and compaction
+        preserves that order, but nodes are still sorted by their stored
+        rank (an index lookup, no extra I/O) so the replay is a guaranteed
+        linear extension of happens-before.  Every segment is decoded
+        exactly once -- the optimal pattern when the answer spans the run.
+        """
+        indexes = self.store.indexes_for(run)
+        entries: List[Tuple[int, NodeId, SubComputation]] = []
+        for info in self.store.manifest.segments_of_run(run):
+            payload = self.store.segment(info.segment_id)
+            for node_id, node in payload.nodes.items():
+                entries.append((indexes.topo_of(node_id), node_id, node))
+        entries.sort(key=lambda entry: entry[0])
+        ordered = ((node_id, node) for _, node_id, node in entries)
+        return replay_taint(ordered, source_pages, through_thread_state=through_thread_state)

@@ -8,10 +8,19 @@ publications -- one ingest *epoch* -- the buffer is sealed into a segment,
 so a long run streams to disk instead of accumulating in memory and the
 store stays readable mid-run up to the last committed epoch.
 
+Each sink owns one **run**: a run id is minted when the sink attaches (or
+lazily at its first commit), recorded in the manifest with the workload
+name and wall-clock metadata, and marked complete by :meth:`StoreSink.finish`.
+Because runs are separate node-id namespaces, any number of traced runs --
+of the same workload or different ones -- can stream into one store, each
+through its own sink.
+
 Data edges are derived only after the run (they need the full happens-
 before order), so :meth:`StoreSink.finish` appends them at the end, grouped
 by the segment of their target node to preserve the locality the query
-engine expects.
+engine expects.  (These edge-only tail segments are what
+:meth:`~repro.store.store.ProvenanceStore.compact` later folds back into
+the node segments.)
 """
 
 from __future__ import annotations
@@ -21,18 +30,17 @@ from typing import Dict, List, Optional
 
 from repro.core.cpg import ConcurrentProvenanceGraph, EdgeKind
 from repro.core.thunk import SubComputation
-from repro.errors import StoreError
 
-from repro.store.format import DEFAULT_SEGMENT_NODES
+from repro.store.format import DEFAULT_SEGMENT_NODES, RUN_COMPLETE
 from repro.store.segment import EdgeTuple
 from repro.store.store import ProvenanceStore
 
 
 class StoreSink:
-    """Streams published sub-computations into a :class:`ProvenanceStore`.
+    """Streams published sub-computations into one run of a :class:`ProvenanceStore`.
 
     Args:
-        store: The destination store.
+        store: The destination store (may already hold other runs).
         segment_nodes: Epoch length -- sub-computations per sealed segment.
         flush_every_epochs: How often the manifest and index files are
             rewritten.  1 (the default) makes every committed epoch durable
@@ -40,6 +48,9 @@ class StoreSink:
             over very long runs; raise it to amortize when mid-run
             durability matters less than ingest throughput.  ``finish``
             always flushes.
+        workload: Workload name recorded in the minted run's manifest entry.
+        run_meta: Initial run metadata (config, wall-clock args, ...);
+            merged with whatever ``finish`` supplies.
     """
 
     def __init__(
@@ -47,6 +58,8 @@ class StoreSink:
         store: ProvenanceStore,
         segment_nodes: int = DEFAULT_SEGMENT_NODES,
         flush_every_epochs: int = 1,
+        workload: str = "",
+        run_meta: Optional[dict] = None,
     ) -> None:
         if segment_nodes <= 0:
             raise ValueError(f"segment_nodes must be positive, got {segment_nodes}")
@@ -55,27 +68,34 @@ class StoreSink:
         self.store = store
         self.segment_nodes = segment_nodes
         self.flush_every_epochs = flush_every_epochs
+        self.workload = workload
+        self.run_meta = dict(run_meta or {})
         self.epochs_committed = 0
+        self.run_id: Optional[int] = None
         self._nodes: List[SubComputation] = []
         self._edges: List[EdgeTuple] = []
         self._finished = False
 
     def attach(self, tracker) -> None:
-        """Subscribe to ``tracker``'s publication stream.
+        """Subscribe to ``tracker``'s publication stream and mint the run.
 
-        Raises:
-            StoreError: If the store already holds a graph.  Node ids are
-                ``(tid, index)``, so a second run would collide mid-stream;
-                failing here -- before the workload executes -- beats losing
-                the run to a duplicate-node error at the first epoch commit.
+        Minting up front (rather than at the first epoch) records the run's
+        wall-clock start; the run entry becomes durable with the first
+        flushed epoch.
         """
-        if self.store.manifest.node_count > 0:
-            raise StoreError(
-                f"store at {self.store.path} already holds a graph "
-                f"({self.store.manifest.node_count} nodes) -- stream each traced run "
-                f"into a fresh store directory"
-            )
+        self._ensure_run()
         tracker.add_listener(self)
+
+    def _ensure_run(self) -> int:
+        if self.run_id is None:
+            self.run_id = self.store.new_run(
+                workload=self.workload,
+                meta=self.run_meta,
+                created_at=(
+                    str(self.run_meta["created_at"]) if "created_at" in self.run_meta else None
+                ),
+            )
+        return self.run_id
 
     # Called by the tracker (listener protocol).
     def subcomputation_published(self, node: SubComputation, edges: List[EdgeTuple]) -> None:
@@ -94,7 +114,7 @@ class StoreSink:
         """
         if not self._nodes and not self._edges:
             return None
-        segment_id = self.store.append_segment(self._nodes, self._edges)
+        segment_id = self.store.append_segment(self._nodes, self._edges, run=self._ensure_run())
         self._nodes = []
         self._edges = []
         self.epochs_committed += 1
@@ -111,23 +131,28 @@ class StoreSink:
             cpg: The finalized graph; its data edges (derived after the run)
                 are appended as edge-only segments grouped by the segment of
                 their target node.
-            run_meta: Optional run description recorded in the manifest.
+            run_meta: Additional run metadata merged into the manifest entry.
         """
         if self._finished:
             return
+        run_id = self._ensure_run()
         self.commit_epoch()
         if cpg is not None:
+            indexes = self.store.indexes_for(run_id)
             by_segment: Dict[int, List[EdgeTuple]] = defaultdict(list)
             for source, target, attrs in cpg.edges(EdgeKind.DATA):
-                segment_id = self.store.indexes.segment_of(target)
+                segment_id = indexes.segment_of(target)
                 by_segment[segment_id].append(
                     (source, target, EdgeKind.DATA, {"pages": attrs.get("pages", frozenset())})
                 )
             for segment_id in sorted(by_segment):
-                self.store.append_segment([], by_segment[segment_id])
+                self.store.append_segment([], by_segment[segment_id], run=run_id)
+        run_info = self.store.manifest.run_info(run_id)
         if run_meta is not None:
-            entry = dict(run_meta)
-            entry.setdefault("epochs", self.epochs_committed)
-            self.store.manifest.runs.append(entry)
+            run_info.meta.update(run_meta)
+            if "workload" in run_meta and not run_info.workload:
+                run_info.workload = str(run_meta["workload"])
+        run_info.meta.setdefault("epochs", self.epochs_committed)
+        run_info.status = RUN_COMPLETE
         self.store.flush()
         self._finished = True

@@ -1,19 +1,34 @@
 """The persistent provenance store.
 
 :class:`ProvenanceStore` owns one store directory: an append-only sequence
-of compressed CPG segments plus the secondary indexes and the manifest.
-Whole graphs are ingested with :meth:`ProvenanceStore.ingest`; running
-executions stream into the store through :class:`repro.store.sink.StoreSink`;
-queries that only touch the index-selected subgraph are served by
+of compressed CPG segments plus per-run secondary indexes and the
+manifest.  One store holds **many traced runs** -- each run is its own
+node-id namespace (node ids ``(tid, index)`` are only unique within a
+run).  Whole graphs are ingested with :meth:`ProvenanceStore.ingest`
+(which mints a fresh run per call); running executions stream into the
+store through :class:`repro.store.sink.StoreSink`; queries that only touch
+the index-selected subgraph are served by
 :class:`repro.store.query.StoreQueryEngine`.
+
+Maintenance is run-scoped: :meth:`ProvenanceStore.compact` rewrites a
+run's segments into fewer, denser ones (folding in the edge-only tail
+segments a streamed ingest leaves behind) and :meth:`ProvenanceStore.gc`
+drops superseded runs and reclaims their disk space.  Both are
+crash-consistent through the store's single commit protocol: new files
+first, manifest last (temp file + atomic rename), old files deleted only
+after the manifest commit -- a crash at any point leaves the previous
+consistent generation in place, and unreferenced files are swept by the
+next maintenance operation.
 """
 
 from __future__ import annotations
 
+import datetime as _datetime
 import json
 import os
+import re
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.cpg import ConcurrentProvenanceGraph
@@ -23,14 +38,29 @@ from repro.errors import StoreError
 
 from repro.store.format import (
     DEFAULT_SEGMENT_NODES,
+    INDEX_DIR,
+    LEGACY_RUN_ID,
     MANIFEST_NAME,
+    RUN_COMPLETE,
     SEGMENTS_DIR,
+    STORE_FORMAT_VERSION,
+    STORE_FORMAT_VERSION_V2,
+    RunInfo,
     SegmentInfo,
     StoreManifest,
+    run_index_dir_name,
     segment_file_name,
 )
 from repro.store.indexes import StoreIndexes
 from repro.store.segment import EdgeTuple, SegmentPayload, decode_segment, encode_segment
+
+_SEGMENT_FILE_RE = re.compile(r"^seg-(\d{8})\.seg$")
+_RUN_DIR_RE = re.compile(r"^run-(\d{8})$")
+
+
+def _utc_now_iso() -> str:
+    """Wall-clock timestamp recorded for freshly minted runs."""
+    return _datetime.datetime.now(_datetime.timezone.utc).isoformat(timespec="seconds")
 
 
 @dataclass
@@ -46,26 +76,54 @@ class StoreReadStats:
     bytes_read: int = 0
 
 
+@dataclass
+class MaintenanceStats:
+    """What one :meth:`ProvenanceStore.compact` or ``gc`` call reclaimed.
+
+    Attributes:
+        runs_dropped: Run ids removed from the store (gc only).
+        segments_before: Referenced segments before the operation.
+        segments_after: Referenced segments after the operation.
+        bytes_reclaimed: Segment bytes deleted from disk.
+    """
+
+    runs_dropped: List[int] = field(default_factory=list)
+    segments_before: int = 0
+    segments_after: int = 0
+    bytes_reclaimed: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "runs_dropped": list(self.runs_dropped),
+            "segments_before": self.segments_before,
+            "segments_after": self.segments_after,
+            "bytes_reclaimed": self.bytes_reclaimed,
+        }
+
+
 #: Decoded segments kept in memory at once (LRU); queries over stores
 #: larger than this stay out-of-core in memory, not just in I/O counts.
 DEFAULT_CACHE_SEGMENTS = 64
 
 
 class ProvenanceStore:
-    """One store directory: segments + indexes + manifest.
+    """One store directory: segments + per-run indexes + manifest.
 
-    A store holds **one** graph namespace: node ids are ``(tid, index)``,
-    so two traced runs would collide -- stream each run into its own
-    directory (ingestion fails fast on the first duplicate node).
+    Node ids are ``(tid, index)`` and therefore collide *across* runs of
+    the same program; the run id minted at ingest is the namespace that
+    keeps them apart.  Every query is answered within a run (resolved
+    implicitly when the store holds exactly one).
 
     Use :meth:`create`, :meth:`open`, or :meth:`open_or_create` instead of
     the constructor.
     """
 
-    def __init__(self, path: str, manifest: StoreManifest, indexes: StoreIndexes) -> None:
+    def __init__(
+        self, path: str, manifest: StoreManifest, run_indexes: Dict[int, StoreIndexes]
+    ) -> None:
         self.path = path
         self.manifest = manifest
-        self.indexes = indexes
+        self.run_indexes = run_indexes
         self.read_stats = StoreReadStats()
         self.max_cached_segments = DEFAULT_CACHE_SEGMENTS
         self._cache: Dict[int, SegmentPayload] = {}
@@ -82,13 +140,13 @@ class ProvenanceStore:
             raise StoreError(f"a provenance store already exists at {path}")
         os.makedirs(os.path.join(path, SEGMENTS_DIR), exist_ok=True)
         manifest = StoreManifest(meta=dict(meta or {}))
-        store = cls(path, manifest, StoreIndexes())
+        store = cls(path, manifest, {})
         store.flush()
         return store
 
     @classmethod
     def open(cls, path: str) -> "ProvenanceStore":
-        """Open an existing store directory."""
+        """Open an existing store directory (format version 2 or 3)."""
         manifest_path = os.path.join(path, MANIFEST_NAME)
         if not os.path.exists(manifest_path):
             raise StoreError(f"no provenance store at {path} (missing {MANIFEST_NAME})")
@@ -97,11 +155,46 @@ class ProvenanceStore:
                 manifest = StoreManifest.from_dict(json.load(handle))
             except json.JSONDecodeError as exc:
                 raise StoreError(f"corrupt manifest at {path}: {exc}") from exc
-        indexes = StoreIndexes.load(path)
-        # The manifest is the commit point: a crash mid-flush can leave
-        # index files one segment generation ahead of it.
-        indexes.clamp_to_segments(manifest.segment_count)
-        return cls(path, manifest, indexes)
+        run_indexes: Dict[int, StoreIndexes] = {}
+        store = cls(path, manifest, run_indexes)
+        for run in manifest.runs:
+            if manifest.version == STORE_FORMAT_VERSION_V2:
+                # PR-1 layout: one implicit run, flat index/ directory.
+                index_dir = os.path.join(path, INDEX_DIR)
+            else:
+                index_dir = os.path.join(path, INDEX_DIR, run_index_dir_name(run.run_id))
+            indexes = StoreIndexes.load(index_dir)
+            # The manifest is the commit point: a crash mid-flush can leave
+            # index files a generation ahead of it (appended to, or -- after
+            # a compaction -- rewritten against replacement segments the
+            # manifest never committed).  Whenever the loaded generation
+            # does not match the manifest, rebuild from the committed
+            # segments, which are the ground truth.
+            valid = [info.segment_id for info in manifest.segments_of_run(run.run_id)]
+            if not indexes.is_consistent_with(valid, run.nodes):
+                indexes = store._rebuild_indexes_from_segments(run.run_id)
+            run_indexes[run.run_id] = indexes
+        return store
+
+    def _rebuild_indexes_from_segments(self, run_id: int) -> StoreIndexes:
+        """Reconstruct one run's indexes from its committed segments.
+
+        Recovery path for torn index files (see :meth:`open`).  Exact by
+        construction: a run's segments are appended -- and compaction
+        rewrites them -- in topological order, and every ingest path
+        assigns ranks sequentially from 0, so a node's rank is precisely
+        its position in the run's segment-order traversal.
+        """
+        indexes = StoreIndexes()
+        rank = 0
+        for info in self.manifest.segments_of_run(run_id):
+            payload = self.segment(info.segment_id)
+            for node in payload.nodes.values():  # insertion order = encode order
+                indexes.add_node(info.segment_id, node, rank)
+                rank += 1
+            for edge in payload.edges:
+                indexes.add_edge(info.segment_id, edge)
+        return indexes
 
     @classmethod
     def open_or_create(cls, path: str, meta: Optional[dict] = None) -> "ProvenanceStore":
@@ -111,19 +204,88 @@ class ProvenanceStore:
         return cls.create(path, meta=meta)
 
     def flush(self) -> None:
-        """Write the manifest and every index file to disk.
+        """Write the manifest and every run's index files to disk.
 
         Index files are written first and the manifest last, each through a
         temp-file + atomic rename, so a crash mid-flush leaves the previous
         consistent manifest/index generation in place (the manifest is the
-        commit point: new segments it does not yet reference are ignored).
+        commit point: new segments or runs it does not yet reference are
+        ignored).  Flushing always writes the version-3 layout; a store
+        opened as version 2 is upgraded in place by its first flush.
         """
-        self.indexes.save(self.path)
+        for run_id, indexes in self.run_indexes.items():
+            indexes.save(os.path.join(self.path, INDEX_DIR, run_index_dir_name(run_id)))
         manifest_path = os.path.join(self.path, MANIFEST_NAME)
         scratch = manifest_path + ".tmp"
         with open(scratch, "w", encoding="utf-8") as handle:
             json.dump(self.manifest.to_dict(), handle, sort_keys=True, indent=2)
         os.replace(scratch, manifest_path)
+        self.manifest.version = STORE_FORMAT_VERSION
+
+    # ------------------------------------------------------------------ #
+    # Runs
+    # ------------------------------------------------------------------ #
+
+    def run_ids(self) -> List[int]:
+        """Every run id in the store, in mint order."""
+        return self.manifest.run_ids()
+
+    def new_run(
+        self,
+        workload: str = "",
+        meta: Optional[dict] = None,
+        created_at: Optional[str] = None,
+    ) -> int:
+        """Mint a fresh run (the namespace of one traced execution).
+
+        The run id is recorded in the manifest together with the workload
+        name and wall-clock/config metadata; it becomes durable at the next
+        :meth:`flush`.  Callers can pass their own ``created_at`` timestamp
+        (the session does); it defaults to the current UTC time.
+        """
+        run = self.manifest.mint_run(
+            workload=workload,
+            created_at=created_at if created_at is not None else _utc_now_iso(),
+            meta=meta,
+        )
+        self.run_indexes[run.run_id] = StoreIndexes()
+        return run.run_id
+
+    def resolve_run(self, run: Optional[int] = None) -> int:
+        """Resolve ``run`` to a run id, defaulting to the store's only run.
+
+        Raises:
+            StoreError: If ``run`` is unknown, the store is empty, or the
+                store holds several runs and ``run`` was not given.
+        """
+        if run is not None:
+            self.manifest.run_info(run)  # validates existence
+            return run
+        runs = self.run_ids()
+        if len(runs) == 1:
+            return runs[0]
+        if not runs:
+            raise StoreError(f"store at {self.path} holds no runs yet")
+        raise StoreError(
+            f"store at {self.path} holds {len(runs)} runs ({runs}); "
+            f"pass run=<id> to pick one"
+        )
+
+    def indexes_for(self, run: Optional[int] = None) -> StoreIndexes:
+        """The secondary indexes of ``run`` (default: the store's only run)."""
+        return self.run_indexes[self.resolve_run(run)]
+
+    @property
+    def indexes(self) -> StoreIndexes:
+        """Single-run convenience accessor (empty for an empty store).
+
+        Raises:
+            StoreError: When the store holds several runs -- use
+                :meth:`indexes_for` with an explicit run id instead.
+        """
+        if not self.run_ids():
+            return StoreIndexes()
+        return self.indexes_for(None)
 
     # ------------------------------------------------------------------ #
     # Appending
@@ -133,45 +295,51 @@ class ProvenanceStore:
         self,
         nodes: Sequence[SubComputation],
         edges: Sequence[EdgeTuple],
+        run: Optional[int] = None,
         topo_positions: Optional[Sequence[int]] = None,
     ) -> int:
-        """Seal ``nodes`` + ``edges`` into a new segment and return its id.
+        """Seal ``nodes`` + ``edges`` into a new segment of ``run``.
 
-        Topological ranks default to arrival order (``manifest.next_topo``
+        Topological ranks default to arrival order (the run's ``next_topo``
         onwards); the whole-graph ingest path passes explicit ranks from
         :meth:`ConcurrentProvenanceGraph.topological_order` instead.
 
         The manifest and indexes are only updated in memory; call
         :meth:`flush` once the batch of appends is complete.
         """
+        run_id = self.resolve_run(run)
+        run_info = self.manifest.run_info(run_id)
+        indexes = self.run_indexes[run_id]
         if topo_positions is None:
-            topo_positions = range(self.manifest.next_topo, self.manifest.next_topo + len(nodes))
+            topo_positions = range(run_info.next_topo, run_info.next_topo + len(nodes))
         elif len(topo_positions) != len(nodes):
             raise StoreError(
                 f"got {len(topo_positions)} topological ranks for {len(nodes)} nodes"
             )
-        # Check collisions (against the store and within the batch) before
+        # Check collisions (against the run and within the batch) before
         # any file is written, so a duplicate node cannot leave an orphan
         # segment or a half-updated index behind.
         batch_ids = set()
         for node in nodes:
-            if self.indexes.has_node(node.node_id) or node.node_id in batch_ids:
+            if indexes.has_node(node.node_id) or node.node_id in batch_ids:
                 raise StoreError(
-                    f"node {node_key(node.node_id)} ingested twice -- a store holds one "
-                    f"graph; stream each run into a fresh directory"
+                    f"node {node_key(node.node_id)} ingested twice into run {run_id} -- "
+                    f"each traced run is its own namespace; mint a new run instead"
                 )
             batch_ids.add(node.node_id)
-        segment_id = self.manifest.segment_count + 1
+        segment_id = self.manifest.next_segment_id
         framed, raw_bytes = encode_segment(nodes, edges)
         with open(os.path.join(self.path, SEGMENTS_DIR, segment_file_name(segment_id)), "wb") as handle:
             handle.write(framed)
+        self.manifest.next_segment_id += 1
         for node, topo in zip(nodes, topo_positions):
-            self.indexes.add_node(segment_id, node, topo)
+            indexes.add_node(segment_id, node, topo)
         for edge in edges:
-            self.indexes.add_edge(segment_id, edge)
+            indexes.add_edge(segment_id, edge)
         self.manifest.segments.append(
             SegmentInfo(
                 segment_id=segment_id,
+                run=run_id,
                 nodes=len(nodes),
                 edges=len(edges),
                 raw_bytes=raw_bytes,
@@ -180,12 +348,13 @@ class ProvenanceStore:
         )
         self.manifest.node_count += len(nodes)
         self.manifest.edge_count += len(edges)
-        self.manifest.next_topo = max(
-            self.manifest.next_topo, max(topo_positions, default=self.manifest.next_topo - 1) + 1
+        run_info.nodes += len(nodes)
+        run_info.edges += len(edges)
+        run_info.next_topo = max(
+            run_info.next_topo, max(topo_positions, default=run_info.next_topo - 1) + 1
         )
         self._cache[segment_id] = SegmentPayload.build(nodes, edges)
-        while len(self._cache) > max(1, self.max_cached_segments):
-            self._cache.pop(next(iter(self._cache)))
+        self._evict_cache_overflow()
         return segment_id
 
     def ingest(
@@ -193,23 +362,24 @@ class ProvenanceStore:
         cpg: ConcurrentProvenanceGraph,
         segment_nodes: int = DEFAULT_SEGMENT_NODES,
         run_meta: Optional[dict] = None,
+        workload: str = "",
     ) -> int:
-        """Ingest a finalized CPG and return the number of segments written.
+        """Ingest a finalized CPG as a **new run**; returns segments written.
 
         Nodes are batched in topological order (so segment locality follows
-        causality) and every edge is co-located with its target node.
+        causality) and every edge is co-located with its target node.  The
+        minted run id is ``store.manifest.runs[-1].run_id`` afterwards.
         """
         if segment_nodes <= 0:
             raise StoreError(f"segment_nodes must be positive, got {segment_nodes}")
+        meta = dict(run_meta or {})
+        run_id = self.new_run(
+            workload=workload or str(meta.get("workload", "")),
+            meta=meta,
+            created_at=str(meta["created_at"]) if "created_at" in meta else None,
+        )
         order = cpg.topological_order()
-        collisions = [node_id for node_id in order if self.indexes.has_node(node_id)]
-        if collisions:
-            raise StoreError(
-                f"store at {self.path} already holds {len(collisions)} of these nodes "
-                f"(first: {node_key(collisions[0])}) -- ingest each graph into a fresh store"
-            )
-        base_topo = self.manifest.next_topo
-        topo_by_node = {node_id: base_topo + rank for rank, node_id in enumerate(order)}
+        topo_by_node = {node_id: rank for rank, node_id in enumerate(order)}
         edges_by_target: Dict[object, List[EdgeTuple]] = defaultdict(list)
         for source, target, attrs in cpg.edges():
             kind = attrs["kind"]
@@ -222,10 +392,11 @@ class ProvenanceStore:
             edges: List[EdgeTuple] = []
             for node_id in batch:
                 edges.extend(edges_by_target.get(node_id, ()))
-            self.append_segment(nodes, edges, topo_positions=[topo_by_node[n] for n in batch])
+            self.append_segment(
+                nodes, edges, run=run_id, topo_positions=[topo_by_node[n] for n in batch]
+            )
             segments_written += 1
-        if run_meta is not None:
-            self.manifest.runs.append(dict(run_meta))
+        self.manifest.run_info(run_id).status = RUN_COMPLETE
         self.flush()
         return segments_written
 
@@ -234,13 +405,14 @@ class ProvenanceStore:
         path: str,
         segment_nodes: int = DEFAULT_SEGMENT_NODES,
         run_meta: Optional[dict] = None,
+        workload: str = "",
     ) -> int:
         """Ingest a CPG JSON file (v1 or v2) written with ``write_cpg``."""
         with open(path, "r", encoding="utf-8") as handle:
             cpg = cpg_from_json(handle.read())
         meta = {"source": os.path.basename(path)}
         meta.update(run_meta or {})
-        return self.ingest(cpg, segment_nodes=segment_nodes, run_meta=meta)
+        return self.ingest(cpg, segment_nodes=segment_nodes, run_meta=meta, workload=workload)
 
     # ------------------------------------------------------------------ #
     # Reading
@@ -264,9 +436,12 @@ class ProvenanceStore:
         self.read_stats.segments_read += 1
         self.read_stats.bytes_read += len(data)
         self._cache[segment_id] = payload
+        self._evict_cache_overflow()
+        return payload
+
+    def _evict_cache_overflow(self) -> None:
         while len(self._cache) > max(1, self.max_cached_segments):
             self._cache.pop(next(iter(self._cache)))
-        return payload
 
     def clear_cache(self) -> None:
         """Drop decoded segments (subsequent reads hit the disk again)."""
@@ -276,13 +451,14 @@ class ProvenanceStore:
         """Zero the read counters (used by benchmarks and tests)."""
         self.read_stats = StoreReadStats()
 
-    def load_cpg(self) -> ConcurrentProvenanceGraph:
-        """Materialize the full graph (reads every segment).
+    def load_cpg(self, run: Optional[int] = None) -> ConcurrentProvenanceGraph:
+        """Materialize one run's full graph (reads every segment of the run).
 
         This is the fallback path the query engine exists to avoid; the
         benchmarks use it as the baseline.
         """
-        payloads = [self.segment(segment_id) for segment_id in range(1, self.manifest.segment_count + 1)]
+        run_id = self.resolve_run(run)
+        payloads = [self.segment(info.segment_id) for info in self.manifest.segments_of_run(run_id)]
         cpg = ConcurrentProvenanceGraph()
         for payload in payloads:
             for node in payload.nodes.values():
@@ -293,27 +469,261 @@ class ProvenanceStore:
         return cpg
 
     # ------------------------------------------------------------------ #
+    # Maintenance: compaction and garbage collection
+    # ------------------------------------------------------------------ #
+
+    def compact(
+        self, run: Optional[int] = None, segment_nodes: int = DEFAULT_SEGMENT_NODES
+    ) -> MaintenanceStats:
+        """Merge a run's small segments into dense ``segment_nodes`` batches.
+
+        Streamed ingests leave two kinds of fragmentation behind: epochs
+        shorter than a full segment, and the edge-only tail segments the
+        sink appends for post-run data edges.  Compaction rewrites the
+        run's segments in topological order (ranks are preserved), co-
+        locates every edge with its target node again, and rebuilds the
+        run's indexes.  With ``run=None`` every run is compacted.
+
+        Crash-consistent: the new segments are written under fresh ids, the
+        manifest is committed atomically, and only then are the old segment
+        files deleted.  A crash before the commit leaves the old generation
+        intact (the stray new files are swept by the next maintenance
+        call); a crash after it leaves the new generation intact.
+
+        Note: compacting a run materializes that run's nodes and edges in
+        memory for re-batching (one run at a time, not the whole store).
+        """
+        if segment_nodes <= 0:
+            raise StoreError(f"segment_nodes must be positive, got {segment_nodes}")
+        targets = [self.resolve_run(run)] if run is not None else self.run_ids()
+        stats = MaintenanceStats(segments_before=self.manifest.segment_count)
+        old_ids: List[int] = []
+        for run_id in targets:
+            old_ids.extend(self._compact_run(run_id, segment_nodes))
+        stats.segments_after = self.manifest.segment_count
+        if old_ids:
+            self.flush()
+        stats.bytes_reclaimed = self._delete_segments(old_ids) + self._sweep_orphans()
+        return stats
+
+    def _compact_run(self, run_id: int, segment_nodes: int) -> List[int]:
+        """Rewrite one run's segments; returns the superseded segment ids."""
+        infos = self.manifest.segments_of_run(run_id)
+        run_info = self.manifest.run_info(run_id)
+        wanted = max(1, -(-run_info.nodes // segment_nodes)) if run_info.nodes else 1
+        if len(infos) <= wanted and all(
+            info.nodes >= min(segment_nodes, run_info.nodes) or info is infos[-1]
+            for info in infos
+        ):
+            return []  # already compact (also covers the 0/1-segment runs)
+        old_index = self.run_indexes[run_id]
+        nodes: List[SubComputation] = []
+        edges: List[EdgeTuple] = []
+        for info in infos:
+            payload = self.segment(info.segment_id)
+            nodes.extend(payload.nodes.values())
+            edges.extend(payload.edges)
+        nodes.sort(key=lambda node: old_index.topo_of(node.node_id))
+        batches = [nodes[start : start + segment_nodes] for start in range(0, len(nodes), segment_nodes)]
+        if not batches:
+            batches = [[]]
+        batch_of_node = {
+            node.node_id: position for position, batch in enumerate(batches) for node in batch
+        }
+        edges_by_batch: Dict[int, List[EdgeTuple]] = defaultdict(list)
+        for edge in edges:
+            # Co-locate with the target node; fall back to the source's
+            # batch (then the first) for edges whose target is elsewhere.
+            position = batch_of_node.get(edge[1], batch_of_node.get(edge[0], 0))
+            edges_by_batch[position].append(edge)
+        new_index = StoreIndexes()
+        new_infos: List[SegmentInfo] = []
+        for position, batch in enumerate(batches):
+            segment_id = self.manifest.next_segment_id
+            self.manifest.next_segment_id += 1
+            batch_edges = edges_by_batch.get(position, [])
+            framed, raw_bytes = encode_segment(batch, batch_edges)
+            path = os.path.join(self.path, SEGMENTS_DIR, segment_file_name(segment_id))
+            scratch = path + ".tmp"
+            with open(scratch, "wb") as handle:
+                handle.write(framed)
+            os.replace(scratch, path)
+            for node in batch:
+                new_index.add_node(segment_id, node, old_index.topo_of(node.node_id))
+            for edge in batch_edges:
+                new_index.add_edge(segment_id, edge)
+            new_infos.append(
+                SegmentInfo(
+                    segment_id=segment_id,
+                    run=run_id,
+                    nodes=len(batch),
+                    edges=len(batch_edges),
+                    raw_bytes=raw_bytes,
+                    stored_bytes=len(framed),
+                )
+            )
+        superseded = [info.segment_id for info in infos]
+        self.manifest.segments = [
+            info for info in self.manifest.segments if info.run != run_id
+        ] + new_infos
+        self.run_indexes[run_id] = new_index
+        for segment_id in superseded:
+            self._cache.pop(segment_id, None)
+        return superseded
+
+    def gc(
+        self, keep_last: Optional[int] = None, runs: Optional[Sequence[int]] = None
+    ) -> MaintenanceStats:
+        """Drop superseded runs and reclaim their segments on disk.
+
+        Exactly one selector must be given: ``keep_last=N`` keeps the N
+        most recently minted runs and drops the rest; ``runs=[...]`` drops
+        exactly the listed run ids.
+
+        Crash-consistent like :meth:`compact`: the shrunk manifest is
+        committed first, then the dropped runs' segment files and index
+        directories are deleted; unreferenced files left by an earlier
+        crash are swept as well.
+        """
+        if (keep_last is None) == (runs is None):
+            raise StoreError("gc needs exactly one of keep_last= or runs=")
+        if keep_last is not None:
+            if keep_last < 0:
+                raise StoreError(f"keep_last must be non-negative, got {keep_last}")
+            ordered = self.run_ids()
+            drop = ordered[: max(0, len(ordered) - keep_last)]
+        else:
+            drop = list(dict.fromkeys(runs or ()))  # dedupe, keep order
+            for run_id in drop:
+                self.manifest.run_info(run_id)  # validates existence
+        stats = MaintenanceStats(segments_before=self.manifest.segment_count)
+        if not drop:
+            stats.segments_after = stats.segments_before
+            return stats
+        dropped_segments: List[int] = []
+        for run_id in drop:
+            dropped_segments.extend(
+                info.segment_id for info in self.manifest.remove_run(run_id)
+            )
+            self.run_indexes.pop(run_id, None)
+        dropped_set = set(dropped_segments)
+        for segment_id in list(self._cache):
+            if segment_id in dropped_set:
+                del self._cache[segment_id]
+        stats.runs_dropped = drop
+        stats.segments_after = self.manifest.segment_count
+        self.flush()  # the commit point: dropped runs are gone from here on
+        stats.bytes_reclaimed = self._delete_segments(dropped_segments)
+        for run_id in drop:
+            self._delete_run_index_dir(run_id)
+        stats.bytes_reclaimed += self._sweep_orphans()
+        return stats
+
+    def _delete_segments(self, segment_ids: Sequence[int]) -> int:
+        """Remove segment files; returns the bytes freed (missing files ok)."""
+        freed = 0
+        for segment_id in segment_ids:
+            path = os.path.join(self.path, SEGMENTS_DIR, segment_file_name(segment_id))
+            try:
+                freed += os.path.getsize(path)
+                os.remove(path)
+            except OSError:
+                continue
+        return freed
+
+    def _delete_run_index_dir(self, run_id: int) -> None:
+        run_dir = os.path.join(self.path, INDEX_DIR, run_index_dir_name(run_id))
+        if not os.path.isdir(run_dir):
+            return
+        for name in os.listdir(run_dir):
+            try:
+                os.remove(os.path.join(run_dir, name))
+            except OSError:
+                continue
+        try:
+            os.rmdir(run_dir)
+        except OSError:
+            pass
+
+    def _sweep_orphans(self) -> int:
+        """Delete files the manifest does not reference; returns bytes freed.
+
+        Only maintenance operations sweep (never :meth:`open`): a streaming
+        sink with ``flush_every_epochs > 1`` legitimately leaves committed
+        segment files briefly ahead of the manifest, and sweeping on every
+        open would race it.  Running compact/gc concurrently with an active
+        ingest is documented as unsupported.
+        """
+        freed = 0
+        referenced = set(self.manifest.segment_ids())
+        segments_dir = os.path.join(self.path, SEGMENTS_DIR)
+        if os.path.isdir(segments_dir):
+            for name in os.listdir(segments_dir):
+                match = _SEGMENT_FILE_RE.match(name)
+                if match is None or int(match.group(1)) in referenced:
+                    continue
+                path = os.path.join(segments_dir, name)
+                try:
+                    freed += os.path.getsize(path)
+                    os.remove(path)
+                except OSError:
+                    continue
+        index_dir = os.path.join(self.path, INDEX_DIR)
+        known_runs = set(self.run_ids())
+        if os.path.isdir(index_dir):
+            for name in os.listdir(index_dir):
+                match = _RUN_DIR_RE.match(name)
+                if match is not None and int(match.group(1)) not in known_runs:
+                    self._delete_run_index_dir(int(match.group(1)))
+        return freed
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+
+    def run_summary(self, run_id: int) -> dict:
+        """One run's manifest entry plus its on-disk footprint."""
+        run = self.manifest.run_info(run_id)
+        infos = self.manifest.segments_of_run(run_id)
+        return {
+            "id": run.run_id,
+            "workload": run.workload,
+            "status": run.status,
+            "created_at": run.created_at,
+            "nodes": run.nodes,
+            "edges": run.edges,
+            "segments": len(infos),
+            "stored_bytes": sum(info.stored_bytes for info in infos),
+            "meta": dict(run.meta),
+        }
 
     def info(self) -> dict:
         """Summary of the store (the CLI's ``info`` output)."""
         manifest = self.manifest
         raw = sum(segment.raw_bytes for segment in manifest.segments)
         stored = sum(segment.stored_bytes for segment in manifest.segments)
+        threads = sorted({tid for idx in self.run_indexes.values() for tid in idx.thread_indexes})
+        pages = len(
+            {
+                page
+                for idx in self.run_indexes.values()
+                for page in set(idx.page_writers) | set(idx.page_readers)
+            }
+        )
+        sync_objects = len({obj for idx in self.run_indexes.values() for obj in idx.sync_edges})
         return {
             "path": self.path,
             "format_version": manifest.version,
             "segments": manifest.segment_count,
             "nodes": manifest.node_count,
             "edges": manifest.edge_count,
-            "threads": sorted(self.indexes.thread_indexes),
-            "pages_indexed": len(set(self.indexes.page_writers) | set(self.indexes.page_readers)),
-            "sync_objects": len(self.indexes.sync_edges),
+            "threads": threads,
+            "pages_indexed": pages,
+            "sync_objects": sync_objects,
             "raw_bytes": raw,
             "stored_bytes": stored,
             "compression_ratio": round(raw / stored, 2) if stored else 1.0,
-            "runs": list(manifest.runs),
+            "runs": [self.run_summary(run_id) for run_id in self.run_ids()],
         }
 
     def __len__(self) -> int:

@@ -6,6 +6,8 @@ synchronization points, the POSIX synchronization primitives, and the
 program API workloads are written against.  The policy half (memory
 tracking, PT tracing, provenance) lives in the execution backend plugged
 into the runtime.
+
+Where this package sits in the whole reproduction: ``docs/architecture.md``.
 """
 
 from repro.threads.backend import BackendCounters, DirectBackend, ExecutionBackend

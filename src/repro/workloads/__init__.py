@@ -1,4 +1,7 @@
-"""Re-implementations of the Phoenix 2.0 and PARSEC 3.0 applications evaluated in the paper."""
+"""Re-implementations of the Phoenix 2.0 and PARSEC 3.0 applications evaluated in the paper.
+
+Where this package sits in the whole reproduction: ``docs/architecture.md``.
+"""
 
 from repro.workloads.base import (
     SIZES,

@@ -1,0 +1,61 @@
+"""The docs link checker: the repo's docs must pass, and breakage must fail.
+
+CI runs ``tools/check_docs_links.py`` as its docs job; running it here too
+means a broken relative link fails the tier-1 gate before it ever reaches
+CI.
+"""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs_links", REPO_ROOT / "tools" / "check_docs_links.py"
+)
+check_docs_links = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_docs_links)
+
+
+class TestRepoDocs:
+    def test_repo_docs_have_no_broken_links(self):
+        errors = []
+        for path in check_docs_links.docs_files(REPO_ROOT):
+            errors.extend(check_docs_links.check_file(path))
+        assert errors == []
+
+    def test_readme_and_docs_are_covered(self):
+        covered = {path.name for path in check_docs_links.docs_files(REPO_ROOT)}
+        assert "README.md" in covered
+        assert "store.md" in covered
+        assert "architecture.md" in covered
+
+
+class TestCheckerCatchesBreakage:
+    def test_missing_file_target_reported(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("see [other](missing.md) for details\n")
+        errors = check_docs_links.check_file(page)
+        assert len(errors) == 1 and "missing.md" in errors[0]
+
+    def test_missing_heading_anchor_reported(self, tmp_path):
+        other = tmp_path / "other.md"
+        other.write_text("# Real Heading\n\nbody\n")
+        page = tmp_path / "page.md"
+        page.write_text("see [other](other.md#no-such-heading)\n")
+        errors = check_docs_links.check_file(page)
+        assert len(errors) == 1 and "no-such-heading" in errors[0]
+
+    def test_valid_anchor_and_external_links_pass(self, tmp_path):
+        other = tmp_path / "other.md"
+        other.write_text("## Benchmarks ↔ paper figures\n")
+        page = tmp_path / "page.md"
+        page.write_text(
+            "[ok](other.md#benchmarks--paper-figures) and [ext](https://example.com/x)\n"
+        )
+        assert check_docs_links.check_file(page) == []
+
+    def test_links_inside_code_fences_ignored(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("```\n[not a link](nowhere.md)\n```\n")
+        assert check_docs_links.check_file(page) == []

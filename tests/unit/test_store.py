@@ -197,7 +197,7 @@ class TestStoreRoundTrip:
         store = ProvenanceStore.create(str(tmp_path / "store"))
         store.ingest_json_file(str(json_path), segment_nodes=4)
         assert canonical_edges(store.load_cpg()) == canonical_edges(cpg)
-        assert store.manifest.runs and store.manifest.runs[0]["source"] == "cpg.json"
+        assert store.manifest.runs and store.manifest.runs[0].meta["source"] == "cpg.json"
 
     def test_create_twice_fails(self, tmp_path):
         ProvenanceStore.create(str(tmp_path))
@@ -215,19 +215,32 @@ class TestStoreRoundTrip:
             ProvenanceStore.open(str(tmp_path))
         del store
 
-    def test_double_ingest_of_same_node_rejected(self, tmp_path):
+    def test_double_ingest_mints_two_runs(self, tmp_path):
+        # PR-1 failed fast on a second ingest; runs are namespaces now, so
+        # the same graph ingested twice becomes two independent runs.
         cpg = build_example_cpg()
         store = ProvenanceStore.create(str(tmp_path))
         store.ingest(cpg)
-        with pytest.raises(StoreError, match="already holds"):
-            store.ingest(cpg)
+        store.ingest(cpg)
+        assert store.run_ids() == [1, 2]
+        for run_id in store.run_ids():
+            assert canonical_edges(store.load_cpg(run=run_id)) == canonical_edges(cpg)
+
+    def test_duplicate_node_within_one_run_rejected(self, tmp_path):
+        cpg = build_example_cpg()
+        store = ProvenanceStore.create(str(tmp_path))
+        store.ingest(cpg, segment_nodes=3)
+        node = cpg.subcomputation(cpg.nodes()[0])
+        with pytest.raises(StoreError, match="twice"):
+            store.append_segment([node], [], run=1)
 
     def test_intra_batch_duplicate_rejected_before_any_write(self, tmp_path):
         cpg = build_example_cpg()
         node = cpg.subcomputation(cpg.nodes()[0])
         store = ProvenanceStore.create(str(tmp_path))
+        run_id = store.new_run()
         with pytest.raises(StoreError, match="twice"):
-            store.append_segment([node, node], [])
+            store.append_segment([node, node], [], run=run_id)
         assert store.manifest.segment_count == 0
         assert not store.indexes.has_node(node.node_id)
         assert list((tmp_path / "segments").iterdir()) == []
@@ -324,7 +337,8 @@ class TestStoreSink:
         assert result.store.manifest.node_count == len(result.cpg)
         cold = ProvenanceStore.open(str(tmp_path / "store"))
         assert canonical_edges(cold.load_cpg()) == canonical_edges(result.cpg)
-        assert cold.manifest.runs[0]["workload"] == "histogram"
+        assert cold.manifest.runs[0].workload == "histogram"
+        assert result.store_run_id == cold.manifest.runs[0].run_id
 
     def test_sink_commits_epochs_during_the_run(self, tmp_path):
         from repro.inspector.session import InspectorSession
@@ -332,7 +346,7 @@ class TestStoreSink:
 
         session = InspectorSession(store=str(tmp_path / "store"), store_segment_nodes=4)
         result = session.run(get_workload("histogram"), num_threads=4, size="small")
-        epochs = [run["epochs"] for run in result.store.manifest.runs]
+        epochs = [run.meta["epochs"] for run in result.store.manifest.runs]
         assert epochs and epochs[0] >= 2
 
     def test_sink_query_results_match_in_memory(self, tmp_path):
@@ -375,15 +389,21 @@ class TestStoreSink:
         # Simulates a crash after the index files were renamed but before
         # the manifest (the commit point) was: opening must fall back to
         # the previous consistent generation.
+        import os
+
+        from repro.store.format import INDEX_DIR, run_index_dir_name
+
         cpg = build_example_cpg()
         store = ProvenanceStore.create(str(tmp_path))
+        run_id = store.new_run(workload="example")
         order = cpg.topological_order()
         first = [cpg.subcomputation(node_id) for node_id in order[:6]]
         second = [cpg.subcomputation(node_id) for node_id in order[6:]]
-        store.append_segment(first, [])
+        store.append_segment(first, [], run=run_id)
         store.flush()
-        store.append_segment(second, [])
-        store.indexes.save(str(tmp_path))  # indexes one generation ahead
+        store.append_segment(second, [], run=run_id)
+        # Indexes one generation ahead of the manifest:
+        store.indexes.save(os.path.join(str(tmp_path), INDEX_DIR, run_index_dir_name(run_id)))
         reopened = ProvenanceStore.open(str(tmp_path))
         assert reopened.manifest.segment_count == 1
         assert set(reopened.load_cpg().nodes()) == {node.node_id for node in first}
@@ -395,23 +415,30 @@ class TestStoreSink:
             for key in keys:
                 assert key in reopened.indexes.node_segments
 
-    def test_second_run_into_same_store_fails_before_executing(self, tmp_path):
+    def test_second_run_into_same_store_gets_its_own_namespace(self, tmp_path):
+        # PR-1 failed fast here; a store now holds many runs, each with its
+        # own run id, index namespace, and disjoint segments.
         store_dir = str(tmp_path / "store")
-        run_with_provenance("histogram", num_threads=2, size="small", store_path=store_dir)
-        segments_before = ProvenanceStore.open(store_dir).manifest.segment_count
-        with pytest.raises(StoreError, match="fresh store"):
-            run_with_provenance("histogram", num_threads=2, size="small", store_path=store_dir)
-        # Failing fast must leave the store untouched (no orphan segments).
-        assert ProvenanceStore.open(store_dir).manifest.segment_count == segments_before
+        first = run_with_provenance("histogram", num_threads=2, size="small", store_path=store_dir)
+        second = run_with_provenance("histogram", num_threads=2, size="small", store_path=store_dir)
+        assert first.store_run_id != second.store_run_id
+        cold = ProvenanceStore.open(store_dir)
+        assert cold.run_ids() == [first.store_run_id, second.store_run_id]
+        for result in (first, second):
+            clone = cold.load_cpg(run=result.store_run_id)
+            assert canonical_edges(clone) == canonical_edges(result.cpg)
 
-    def test_ingest_collision_leaves_no_orphan_segments(self, tmp_path):
+    def test_runs_have_disjoint_segments(self, tmp_path):
         store = ProvenanceStore.create(str(tmp_path))
         cpg = build_example_cpg()
         store.ingest(cpg, segment_nodes=3)
-        segment_files = sorted((tmp_path / "segments").iterdir())
-        with pytest.raises(StoreError, match="fresh store"):
-            store.ingest(cpg, segment_nodes=3)
-        assert sorted((tmp_path / "segments").iterdir()) == segment_files
+        store.ingest(cpg, segment_nodes=3)
+        by_run = [
+            {info.segment_id for info in store.manifest.segments_of_run(run_id)}
+            for run_id in store.run_ids()
+        ]
+        assert by_run[0] and by_run[1]
+        assert not (by_run[0] & by_run[1])
 
     def test_segment_cache_is_bounded(self, tmp_path):
         cpg = build_example_cpg()
@@ -512,8 +539,9 @@ class TestStoreCLI:
         _, store_dir = ingested
         assert store_cli(["info", store_dir, "--json"]) == 0
         summary = json.loads(capsys.readouterr().out)
-        assert summary["format_version"] == 2
+        assert summary["format_version"] == 3
         assert summary["nodes"] > 0
+        assert len(summary["runs"]) == 1
 
     def test_slice_node_matches_library(self, ingested, capsys):
         cpg, store_dir = ingested

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in README.md and docs/*.md.
+
+Checks every markdown link ``[text](target)`` whose target is relative:
+
+* the target file must exist (relative to the file containing the link);
+* a ``#fragment`` pointing into a markdown file must match one of that
+  file's headings (GitHub-style slugs).
+
+External links (``http(s)://``, ``mailto:``) are ignored -- CI must not
+depend on the network.  Stdlib only; exits non-zero listing every broken
+link.  Run from anywhere::
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` -- good enough for our docs; images share the syntax.
+_LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def docs_files(root: Path = REPO_ROOT) -> List[Path]:
+    """The files the checker covers: README.md plus everything in docs/."""
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (close enough for our docs)."""
+    # Strip inline code/emphasis markers and links, keep the visible text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", " ").strip().lower()
+    text = "".join(ch for ch in text if ch.isalnum() or ch in " -")
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> Iterable[str]:
+    in_fence = False
+    seen: dict = {}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match is None:
+            continue
+        slug = github_slug(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        yield slug if count == 0 else f"{slug}-{count}"
+
+
+def extract_links(path: Path) -> Iterable[Tuple[int, str]]:
+    in_fence = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            yield number, match.group(1)
+
+
+def _display(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def check_file(path: Path) -> List[str]:
+    """Return one error string per broken link in ``path``."""
+    errors = []
+    for line, target in extract_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = path if not base else (path.parent / base)
+        where = f"{_display(path)}:{line}"
+        if base and not resolved.exists():
+            errors.append(f"{where}: broken link target {target!r} ({base} does not exist)")
+            continue
+        if fragment and resolved.suffix == ".md" and resolved.is_file():
+            if fragment not in set(heading_slugs(resolved)):
+                errors.append(
+                    f"{where}: link {target!r} points at missing heading "
+                    f"#{fragment} in {_display(resolved)}"
+                )
+    return errors
+
+
+def main() -> int:
+    files = docs_files()
+    errors: List[str] = []
+    for path in files:
+        errors.extend(check_file(path))
+    checked = ", ".join(str(path.relative_to(REPO_ROOT)) for path in files)
+    if errors:
+        print(f"checked {checked}", file=sys.stderr)
+        for error in errors:
+            print(error, file=sys.stderr)
+        return 1
+    print(f"docs links ok ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
