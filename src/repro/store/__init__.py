@@ -8,11 +8,14 @@ Provenance is a longitudinal record: one store holds **many traced runs**
 happened in this run", "what happened in every run", and "what changed
 between these two runs".  It provides:
 
-* :class:`~repro.store.store.ProvenanceStore` -- an append-only, segmented,
-  lz-compressed on-disk format with per-run page/thread/sync secondary
-  indexes, plus run-scoped maintenance (``compact`` merges small segments,
-  ``gc`` drops superseded runs), both crash-consistent through the
-  manifest commit protocol;
+* :class:`~repro.store.store.ProvenanceStore` -- an append-only, segmented
+  on-disk format (format 4) whose segment payloads go through a pluggable
+  codec (:mod:`repro.store.codecs`; columnar binary by default, JSON for
+  back-compat), with per-run page/thread/sync secondary indexes flushed as
+  append-only delta files, plus run-scoped maintenance (``compact``
+  stream-rewrites a run's segments and folds its index deltas, ``gc``
+  drops superseded runs), both crash-consistent through the manifest
+  commit protocol;
 * :class:`~repro.store.query.StoreQueryEngine` -- slices, lineage, and
   taint propagation that load only the index-selected subgraph, within a
   run, across all runs, or diffed between two runs
@@ -27,10 +30,12 @@ this package's own design notes are in ``docs/store.md``.
 """
 
 from repro.errors import StoreError
+from repro.store.codecs import CODECS, DEFAULT_CODEC, SegmentCodec
 from repro.store.format import (
     DEFAULT_SEGMENT_NODES,
     STORE_FORMAT_VERSION,
     STORE_FORMAT_VERSION_V2,
+    STORE_FORMAT_VERSION_V3,
     RunInfo,
     SegmentInfo,
     StoreManifest,
@@ -41,10 +46,14 @@ from repro.store.sink import StoreSink
 from repro.store.store import MaintenanceStats, ProvenanceStore, StoreReadStats
 
 __all__ = [
+    "CODECS",
+    "DEFAULT_CODEC",
     "DEFAULT_SEGMENT_NODES",
     "STORE_FORMAT_VERSION",
     "STORE_FORMAT_VERSION_V2",
+    "STORE_FORMAT_VERSION_V3",
     "LineageDiff",
+    "SegmentCodec",
     "MaintenanceStats",
     "ProvenanceStore",
     "RunInfo",

@@ -2,7 +2,8 @@
 
 Usage::
 
-    python -m repro.store ingest <store> <cpg.json> [--segment-nodes N] [--workload NAME]
+    python -m repro.store ingest <store> <cpg.json> [--segment-nodes N] \\
+        [--workload NAME] [--codec binary|json]
     python -m repro.store info <store> [--json]
     python -m repro.store runs <store> [--json]
     python -m repro.store slice <store> (--node TID:IDX | --pages 1,2) \\
@@ -35,6 +36,7 @@ from repro.core.cpg import EdgeKind
 from repro.core.serialization import node_key, parse_node_key
 from repro.errors import InspectorError
 
+from repro.store.codecs import CODECS, DEFAULT_CODEC
 from repro.store.query import StoreQueryEngine
 from repro.store.store import ProvenanceStore
 
@@ -86,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--segment-nodes", type=int, default=None, help="sub-computations per segment"
     )
     ingest.add_argument("--workload", default="", help="workload name recorded for the run")
+    ingest.add_argument(
+        "--codec",
+        choices=sorted(CODECS),
+        default=None,
+        help=f"segment payload codec (default: {DEFAULT_CODEC})",
+    )
 
     info = commands.add_parser("info", help="print the store summary")
     info.add_argument("store", help="store directory")
@@ -152,6 +160,8 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.segment_nodes is not None:
         kwargs["segment_nodes"] = args.segment_nodes
+    if args.codec is not None:
+        kwargs["codec"] = args.codec
     segments = store.ingest_json_file(args.cpg, workload=args.workload, **kwargs)
     run_id = store.manifest.runs[-1].run_id
     print(
@@ -180,10 +190,21 @@ def _cmd_info(args: argparse.Namespace) -> int:
         f"  segment bytes:    {summary['stored_bytes']} on disk "
         f"({summary['raw_bytes']} raw, {summary['compression_ratio']}x)"
     )
+    codecs = " ".join(f"{name}={count}" for name, count in sorted(summary["codecs"].items()))
+    print(f"  segment codecs:   {codecs or 'none'}")
+    print(
+        f"  index deltas:     {summary['index_delta_files']} pending file(s), "
+        f"{summary['index_delta_bytes']} byte(s)"
+    )
     for run in summary["runs"]:
+        run_codecs = " ".join(
+            f"{name}={count}" for name, count in sorted(run["codecs"].items())
+        )
         print(
             f"  run {run['id']:4d}:         {run['workload'] or '?'} "
-            f"[{run['status']}] {run['nodes']} node(s), {run['segments']} segment(s)"
+            f"[{run['status']}] {run['nodes']} node(s), {run['segments']} segment(s) "
+            f"({run_codecs or 'no segments'}; index base gen {run['index_base_gen']}, "
+            f"{run['index_delta_files']} delta(s), {run['index_delta_bytes']} byte(s) pending)"
         )
     return 0
 
@@ -285,7 +306,8 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     scope = f"run {args.run}" if args.run is not None else "every run"
     print(
         f"compacted {scope}: {stats.segments_before} -> {stats.segments_after} segment(s), "
-        f"{stats.bytes_reclaimed} byte(s) reclaimed"
+        f"{stats.bytes_reclaimed} byte(s) reclaimed, "
+        f"{stats.index_delta_files_reclaimed} index delta file(s) folded"
     )
     return 0
 

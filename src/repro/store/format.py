@@ -1,15 +1,13 @@
 """On-disk layout of the persistent provenance store.
 
-A store is a directory::
+A store is a directory (format version 4)::
 
     <store>/
         MANIFEST.json                   # format version, run table, segment table
-        segments/seg-<id>.seg           # immutable, lz-compressed CPG segments
-        index/run-<id>/nodes.json       # node -> owning segment + topological rank
-        index/run-<id>/pages.json       # page -> writer/reader nodes
-        index/run-<id>/threads.json     # thread -> node indexes + segments
-        index/run-<id>/sync.json        # sync object -> recorded release->acquire edges
-        index/run-<id>/edges.json       # node -> segments holding its in-/out-edges
+        segments/seg-<id>.seg           # immutable segments (codec per segment)
+        index/pages_runs.json           # cross-run summary: page -> run ids
+        index/run-<id>/base-<gen>.bin   # folded secondary indexes of the run
+        index/run-<id>/delta-<gen>.bin  # append-only per-flush index deltas
 
 One store holds **many traced runs**.  Every run gets a :class:`RunInfo`
 entry in the manifest (minted at ingest, carrying workload name, config and
@@ -18,23 +16,29 @@ run owns its own index directory -- node ids ``(tid, index)`` are only
 unique *within* a run, so the run id is the namespace that lets two
 executions of the same program coexist.
 
-Segments are immutable once written; ingestion appends new segments and
-rewrites the (small) manifest and index files.  Maintenance rewrites are
-run-scoped: :meth:`~repro.store.store.ProvenanceStore.compact` replaces a
-run's segments with fewer, denser ones and
-:meth:`~repro.store.store.ProvenanceStore.gc` drops whole runs; both commit
-through the manifest (temp file + atomic rename) before any old file is
-deleted, so a crash at any point leaves a consistent store.  Segment ids
-are minted from a monotonic counter and never reused, which is what makes
-"the manifest is the commit point" recovery sound.
+Segments are immutable once written; ingestion appends new segments, one
+small *index delta* file per flush, and rewrites the (small) manifest.
+Maintenance rewrites are run-scoped:
+:meth:`~repro.store.store.ProvenanceStore.compact` replaces a run's
+segments with fewer, denser ones (streaming, segment by segment) and folds
+its index deltas into a fresh base file;
+:meth:`~repro.store.store.ProvenanceStore.gc` drops whole runs.  Both
+commit through the manifest (temp file + atomic rename) before any old
+file is deleted, so a crash at any point leaves a consistent store.
+Segment ids and index generations are minted from monotonic counters and
+never reused, which is what makes "the manifest is the commit point"
+recovery sound.
 
-Segment payloads use the v2 CPG serialization
-(:mod:`repro.core.serialization`) compressed with the
-:mod:`repro.compression.lz` codec behind a tiny framed header -- the
-payload format is unchanged from store format version 2; version 3 only
-adds the run dimension to the manifest and index layout.  Version-2 stores
-(one implicit run) remain readable: they are mapped to a single run with
-id 1 on open.
+Segment payloads are produced by a pluggable codec
+(:mod:`repro.store.codecs`): ``"json"`` is the lz-compressed v2 CPG
+serialization every store version up to 3 wrote; ``"binary"`` is the
+columnar struct-packed encoding new (v4) writes default to.  The manifest
+records each segment's codec, so mixed stores decode correctly.  Older
+layouts remain readable: a version-2 store (one implicit run, flat
+``index/*.json``) is mapped to a single run with id 1 on open, and a
+version-3 store (per-run ``index/run-<id>/*.json`` rewritten wholesale per
+flush) loads its JSON indexes as each run's starting point.  Either is
+upgraded to the version-4 layout in place by its first flush.
 """
 
 from __future__ import annotations
@@ -44,14 +48,21 @@ from typing import Dict, List, Optional
 
 from repro.errors import StoreError
 
-#: Version of the store directory layout (3 = multi-run).
-STORE_FORMAT_VERSION = 3
+#: Version of the store directory layout (4 = codecs + index deltas).
+STORE_FORMAT_VERSION = 4
+
+#: The PR-2 multi-run layout (whole-index JSON rewrites per flush).
+STORE_FORMAT_VERSION_V3 = 3
 
 #: The PR-1 single-run layout; still readable, mapped to one run on open.
 STORE_FORMAT_VERSION_V2 = 2
 
 #: Every manifest version :meth:`StoreManifest.from_dict` understands.
-SUPPORTED_STORE_VERSIONS = (STORE_FORMAT_VERSION_V2, STORE_FORMAT_VERSION)
+SUPPORTED_STORE_VERSIONS = (
+    STORE_FORMAT_VERSION_V2,
+    STORE_FORMAT_VERSION_V3,
+    STORE_FORMAT_VERSION,
+)
 
 #: Identifies a manifest as belonging to this subsystem.
 STORE_KIND = "inspector-provenance-store"
@@ -60,8 +71,22 @@ MANIFEST_NAME = "MANIFEST.json"
 SEGMENTS_DIR = "segments"
 INDEX_DIR = "index"
 
-#: Framing magic of a segment file: "ISEG" + payload format version byte.
-SEGMENT_MAGIC = b"ISEG\x02"
+#: Cross-run page summary (page -> run ids that touched it), inside
+#: :data:`INDEX_DIR`; lets ``*_across_runs`` queries skip runs without
+#: opening their per-run indexes.
+PAGES_RUNS_FILE = "pages_runs.json"
+
+#: Common prefix of every segment frame; the byte that follows identifies
+#: the payload codec (see :mod:`repro.store.codecs`).
+SEGMENT_MAGIC_PREFIX = b"ISEG"
+
+#: The full frame magic of a JSON-codec segment (every pre-v4 segment);
+#: kept for back-compat with callers that framed segments by hand.
+SEGMENT_MAGIC = SEGMENT_MAGIC_PREFIX + b"\x02"
+
+#: The codec every pre-v4 segment was written with (manifest entries
+#: without a ``codec`` column decode as this).
+LEGACY_SEGMENT_CODEC = "json"
 
 #: Number of sub-computations per segment unless the caller overrides it;
 #: also the epoch length of the incremental ingest sink.
@@ -81,6 +106,16 @@ def run_index_dir_name(run_id: int) -> str:
     return f"run-{run_id:08d}"
 
 
+def index_base_file_name(generation: int) -> str:
+    """File name of a run's folded index base at ``generation``."""
+    return f"base-{generation:08d}.bin"
+
+
+def index_delta_file_name(generation: int) -> str:
+    """File name of one append-only index delta at ``generation``."""
+    return f"delta-{generation:08d}.bin"
+
+
 @dataclass
 class SegmentInfo:
     """Manifest entry describing one sealed segment.
@@ -92,8 +127,10 @@ class SegmentInfo:
         run: Id of the run the segment belongs to.
         nodes: Number of sub-computations stored in the segment.
         edges: Number of edges stored in the segment.
-        raw_bytes: Size of the uncompressed JSON payload.
-        stored_bytes: Size of the segment file on disk (header + lz data).
+        raw_bytes: Size of the uncompressed payload.
+        stored_bytes: Size of the segment file on disk (frame + body).
+        codec: Name of the payload codec the segment was encoded with
+            (pre-v4 manifest entries default to :data:`LEGACY_SEGMENT_CODEC`).
     """
 
     segment_id: int
@@ -102,6 +139,7 @@ class SegmentInfo:
     edges: int
     raw_bytes: int
     stored_bytes: int
+    codec: str = LEGACY_SEGMENT_CODEC
 
     @property
     def file_name(self) -> str:
@@ -116,6 +154,7 @@ class SegmentInfo:
             "edges": self.edges,
             "raw_bytes": self.raw_bytes,
             "stored_bytes": self.stored_bytes,
+            "codec": self.codec,
         }
 
     @classmethod
@@ -130,6 +169,7 @@ class SegmentInfo:
             edges=int(data["edges"]),
             raw_bytes=int(data.get("raw_bytes", 0)),
             stored_bytes=int(data.get("stored_bytes", 0)),
+            codec=str(data.get("codec", LEGACY_SEGMENT_CODEC)),
         )
 
 
@@ -157,6 +197,12 @@ class RunInfo:
         next_topo: Next topological rank to hand out within the run; ranks
             are assigned in ingest order, which every ingest path keeps a
             linear extension of the run's happens-before order.
+        index_base: Generation of the run's folded index base file
+            (``base-<gen>.bin``); 0 while no base has been written.
+        index_deltas: Generations of the append-only index delta files
+            pending on top of the base, in flush order.
+        next_index_gen: Next index generation to mint (monotonic, never
+            reused -- the same recovery argument as segment ids).
         meta: Free-form run metadata (thread count, config, input size...).
     """
 
@@ -167,6 +213,9 @@ class RunInfo:
     nodes: int = 0
     edges: int = 0
     next_topo: int = 0
+    index_base: int = 0
+    index_deltas: List[int] = field(default_factory=list)
+    next_index_gen: int = 1
     meta: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -178,6 +227,9 @@ class RunInfo:
             "nodes": self.nodes,
             "edges": self.edges,
             "next_topo": self.next_topo,
+            "index_base": self.index_base,
+            "index_deltas": list(self.index_deltas),
+            "next_index_gen": self.next_index_gen,
             "meta": dict(self.meta),
         }
 
@@ -193,6 +245,9 @@ class RunInfo:
             nodes=int(data.get("nodes", 0)),
             edges=int(data.get("edges", 0)),
             next_topo=int(data.get("next_topo", 0)),
+            index_base=int(data.get("index_base", 0)),
+            index_deltas=[int(gen) for gen in data.get("index_deltas", ())],
+            next_index_gen=int(data.get("next_index_gen", 1)),
             meta=dict(data.get("meta", {})),
         )
 
@@ -208,8 +263,8 @@ class StoreManifest:
     the next maintenance operation.
 
     Attributes:
-        version: Store format version the manifest was **loaded** as (2 or
-            3); writing always emits version 3.
+        version: Store format version the manifest was **loaded** as (2,
+            3, or 4); writing always emits version 4.
         segments: Sealed segments in append order (per run this is
             topological order).
         runs: One entry per ingested run, in mint order.

@@ -1,15 +1,12 @@
 """Secondary indexes of the persistent provenance store.
 
 The indexes are the in-memory part of the out-of-core design: they are
-small (node ids and page numbers, no read/write sets, no thunks), they are
-rewritten wholesale on flush, and every query starts here to decide which
-segments are worth loading.
+small (node ids and page numbers, no read/write sets, no thunks), and
+every query starts here to decide which segments are worth loading.
 
 One :class:`StoreIndexes` instance covers one **run**: node ids
 ``(tid, index)`` are only unique within a run, so the store keeps a
-separate index namespace per run, persisted under
-``index/run-<id>/`` (format v3; the v2 layout had a single flat
-``index/`` directory, which the store loads as the legacy run's indexes).
+separate index namespace per run, persisted under ``index/run-<id>/``.
 
 Five index families exist:
 
@@ -22,19 +19,44 @@ Five index families exist:
 * **threads** -- thread id -> its sub-computation indexes and segments.
 * **sync** -- synchronization object id -> recorded release->acquire edges.
 * **edges** -- node id -> segments holding its incoming / outgoing edges.
+
+Persistence (store format 4) is **append-only**: every
+:meth:`~StoreIndexes.add_node` / :meth:`~StoreIndexes.add_edge` call is
+journalled as a pending *op*, and a flush writes just the ops since the
+previous flush as one binary ``delta-<gen>.bin`` file -- O(epoch), not
+O(index).  Opening a run loads its folded ``base-<gen>.bin`` (if any) and
+replays the pending deltas in generation order; compaction folds the
+deltas back into a fresh base.  The v2/v3 whole-index JSON files
+(``nodes.json``, ``pages.json``, ...) remain readable through
+:meth:`StoreIndexes.load` / writable through :meth:`StoreIndexes.save`,
+which is both the back-compat path and the baseline the flush benchmark
+compares against.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cpg import EdgeKind
 from repro.core.serialization import node_key, parse_node_key
 from repro.core.thunk import NodeId, SubComputation
 from repro.errors import StoreError
 
+from repro.store.codecs import (
+    CODE_TO_KIND,
+    KIND_TO_CODE,
+    read_string_table,
+    read_svarint,
+    read_uvarint,
+    write_string_table,
+    write_svarint,
+    write_uvarint,
+    StringInterner,
+    deref,
+)
+from repro.store.format import index_base_file_name, index_delta_file_name
 from repro.store.segment import EdgeTuple
 
 _NODES_FILE = "nodes.json"
@@ -43,9 +65,57 @@ _THREADS_FILE = "threads.json"
 _SYNC_FILE = "sync.json"
 _EDGES_FILE = "edges.json"
 
+#: The v2/v3 whole-index JSON files (swept once a run has a v4 base).
+LEGACY_INDEX_FILES = (_NODES_FILE, _PAGES_FILE, _THREADS_FILE, _SYNC_FILE, _EDGES_FILE)
+
+_INDEX_MAGIC = b"IIDX"
+_INDEX_VERSION = 1
+_FILE_KIND_BASE = 0
+_FILE_KIND_DELTA = 1
+
+_OP_NODE = 0
+_OP_EDGE = 1
+
+
+def _write_sorted_ints(out: bytearray, values: Sequence[int]) -> None:
+    """Append a sorted int list as first-value + non-negative deltas."""
+    write_uvarint(out, len(values))
+    previous: Optional[int] = None
+    for value in values:
+        if previous is None:
+            write_svarint(out, value)
+        else:
+            write_uvarint(out, value - previous)
+        previous = value
+
+
+def _read_sorted_ints(data, pos: int) -> Tuple[List[int], int]:
+    count, pos = read_uvarint(data, pos)
+    values: List[int] = []
+    previous = 0
+    for position in range(count):
+        if position == 0:
+            previous, pos = read_svarint(data, pos)
+        else:
+            delta, pos = read_uvarint(data, pos)
+            previous += delta
+        values.append(previous)
+    return values, pos
+
+
+def _write_node_id(out: bytearray, node_id: NodeId) -> None:
+    write_svarint(out, node_id[0])
+    write_uvarint(out, node_id[1])
+
+
+def _read_node_id(data, pos: int) -> Tuple[NodeId, int]:
+    tid, pos = read_svarint(data, pos)
+    index, pos = read_uvarint(data, pos)
+    return (tid, index), pos
+
 
 class StoreIndexes:
-    """All secondary indexes of one store, with load/save and query helpers."""
+    """All secondary indexes of one run, with load/save and query helpers."""
 
     def __init__(self) -> None:
         #: node key -> segment id
@@ -66,31 +136,70 @@ class StoreIndexes:
         self.in_edge_segments: Dict[str, List[int]] = {}
         #: node key -> segments holding edges that start at the node
         self.out_edge_segments: Dict[str, List[int]] = {}
+        #: Ops journalled since the last persisted generation (the next
+        #: delta file's content).
+        self._pending: List[tuple] = []
+        #: Whether the in-memory state is not reproducible from the
+        #: on-disk base+deltas (legacy load, rebuild from segments) and
+        #: the next flush must therefore write a full base file.
+        self.needs_base = False
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
 
     def add_node(self, segment_id: int, node: SubComputation, topo: int) -> None:
-        """Register one stored sub-computation."""
-        key = node_key(node.node_id)
+        """Register one stored sub-computation (journalled for the next delta)."""
+        reads = sorted(node.read_set)
+        writes = sorted(node.write_set)
+        self._apply_node(segment_id, node.tid, node.index, topo, reads, writes)
+        self._pending.append((_OP_NODE, segment_id, node.tid, node.index, topo, reads, writes))
+
+    def add_edge(self, segment_id: int, edge: EdgeTuple) -> None:
+        """Register one stored edge (journalled for the next delta)."""
+        source, target, kind, attrs = edge
+        object_id = attrs.get("object_id") if kind is EdgeKind.SYNC else None
+        operation = str(attrs.get("operation", "")) if kind is EdgeKind.SYNC else None
+        if object_id is not None:
+            object_id = int(object_id)
+        self._apply_edge(segment_id, source, target, kind, object_id, operation)
+        self._pending.append(
+            (_OP_EDGE, segment_id, source, target, KIND_TO_CODE[kind], object_id, operation)
+        )
+
+    def _apply_node(
+        self,
+        segment_id: int,
+        tid: int,
+        index: int,
+        topo: int,
+        read_pages: Sequence[int],
+        write_pages: Sequence[int],
+    ) -> None:
+        key = node_key((tid, index))
         if key in self.node_segments:
             raise StoreError(f"node {key} ingested twice")
         self.node_segments[key] = segment_id
         self.node_topo[key] = topo
-        for page in node.write_set:
+        for page in write_pages:
             self.page_writers.setdefault(page, []).append(key)
-        for page in node.read_set:
+        for page in read_pages:
             self.page_readers.setdefault(page, []).append(key)
-        indexes = self.thread_indexes.setdefault(node.tid, [])
-        indexes.append(node.index)
-        segments = self.thread_segments.setdefault(node.tid, [])
+        indexes = self.thread_indexes.setdefault(tid, [])
+        indexes.append(index)
+        segments = self.thread_segments.setdefault(tid, [])
         if not segments or segments[-1] != segment_id:
             segments.append(segment_id)
 
-    def add_edge(self, segment_id: int, edge: EdgeTuple) -> None:
-        """Register one stored edge."""
-        source, target, kind, attrs = edge
+    def _apply_edge(
+        self,
+        segment_id: int,
+        source: NodeId,
+        target: NodeId,
+        kind: EdgeKind,
+        object_id: Optional[int],
+        operation: Optional[str],
+    ) -> None:
         source_key, target_key = node_key(source), node_key(target)
         incoming = self.in_edge_segments.setdefault(target_key, [])
         if not incoming or incoming[-1] != segment_id:
@@ -98,17 +207,15 @@ class StoreIndexes:
         outgoing = self.out_edge_segments.setdefault(source_key, [])
         if not outgoing or outgoing[-1] != segment_id:
             outgoing.append(segment_id)
-        if kind is EdgeKind.SYNC:
-            object_id = attrs.get("object_id")
-            if object_id is not None:
-                self.sync_edges.setdefault(int(object_id), []).append(
-                    {
-                        "source": source_key,
-                        "target": target_key,
-                        "operation": attrs.get("operation", ""),
-                        "segment": segment_id,
-                    }
-                )
+        if kind is EdgeKind.SYNC and object_id is not None:
+            self.sync_edges.setdefault(object_id, []).append(
+                {
+                    "source": source_key,
+                    "target": target_key,
+                    "operation": operation or "",
+                    "segment": segment_id,
+                }
+            )
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -148,6 +255,10 @@ class StoreIndexes:
                 written.setdefault(parse_node_key(key), set()).add(page)
         return written
 
+    def pages_touched(self) -> Set[int]:
+        """Every page some stored node read or wrote (the cross-run summary)."""
+        return set(self.page_writers) | set(self.page_readers)
+
     def thread_nodes_from(self, tid: int, index: int) -> List[NodeId]:
         """Node ids ``(tid, i)`` with ``i >= index``, in execution order."""
         return [(tid, i) for i in self.thread_indexes.get(tid, ()) if i >= index]
@@ -167,14 +278,12 @@ class StoreIndexes:
     def is_consistent_with(self, valid_segments: Iterable[int], expected_nodes: int) -> bool:
         """Whether this index generation matches a manifest generation.
 
-        The manifest is the store's commit point: a crash between the
-        per-file atomic renames of a flush can leave index files a
-        generation *ahead* of the manifest -- referencing segments it does
-        not list (appends), or rewritten wholesale against replacement
-        segments (compaction).  This check is how :meth:`ProvenanceStore.open`
-        detects every such tear, after which the run's indexes are rebuilt
-        from its (committed, ground-truth) segments.  Cheap: in-memory set
-        membership only, no segment I/O.
+        The manifest is the store's commit point; this check detects index
+        state that references segments the manifest never committed (the
+        v2/v3 torn-flush window, or corrupt/stray v4 generation files),
+        after which the run's indexes are rebuilt from its (committed,
+        ground-truth) segments.  Cheap: in-memory set membership only, no
+        segment I/O.
         """
         valid = set(valid_segments)
         if len(self.node_segments) != expected_nodes:
@@ -194,11 +303,288 @@ class StoreIndexes:
         return True
 
     # ------------------------------------------------------------------ #
-    # Persistence
+    # Persistence: v4 append-only deltas + folded base
+    # ------------------------------------------------------------------ #
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether ops were journalled since the last persisted generation."""
+        return bool(self._pending)
+
+    def clear_pending(self) -> None:
+        """Drop the journal (after the ops were persisted or folded)."""
+        self._pending = []
+
+    def save_delta(self, run_dir: str, generation: int) -> int:
+        """Write the pending ops as ``delta-<generation>.bin``; returns bytes.
+
+        O(ops since the last flush), independent of the index size -- this
+        is what turns a streaming sink's flush cost from O(run so far)
+        into O(epoch).
+        """
+        interner = StringInterner()
+        body = bytearray()
+        write_uvarint(body, len(self._pending))
+        for op in self._pending:
+            body.append(op[0])
+            if op[0] == _OP_NODE:
+                _tag, segment_id, tid, index, topo, reads, writes = op
+                write_uvarint(body, segment_id)
+                write_svarint(body, tid)
+                write_uvarint(body, index)
+                write_uvarint(body, topo)
+                _write_sorted_ints(body, reads)
+                _write_sorted_ints(body, writes)
+            else:
+                _tag, segment_id, source, target, kind_code, object_id, operation = op
+                write_uvarint(body, segment_id)
+                _write_node_id(body, source)
+                _write_node_id(body, target)
+                body.append(kind_code)
+                if kind_code == KIND_TO_CODE[EdgeKind.SYNC]:
+                    if object_id is None:
+                        body.append(0)
+                    else:
+                        body.append(1)
+                        write_svarint(body, object_id)
+                    write_uvarint(body, interner.ref(operation))
+        return self._write_binary(
+            run_dir, index_delta_file_name(generation), _FILE_KIND_DELTA, interner.strings, body
+        )
+
+    def save_base(self, run_dir: str, generation: int) -> int:
+        """Write the full in-memory state as ``base-<generation>.bin``.
+
+        Written when deltas are folded (compaction), after a rebuild, and
+        by the in-place upgrade of a v2/v3 store's JSON indexes.
+        """
+        interner = StringInterner()
+        body = bytearray()
+        write_uvarint(body, len(self.node_segments))
+        for key, segment_id in self.node_segments.items():
+            _write_node_id(body, parse_node_key(key))
+            write_uvarint(body, segment_id)
+            write_uvarint(body, self.node_topo[key])
+        for family in (self.page_writers, self.page_readers):
+            write_uvarint(body, len(family))
+            for page, keys in family.items():
+                write_svarint(body, page)
+                write_uvarint(body, len(keys))
+                for key in keys:
+                    _write_node_id(body, parse_node_key(key))
+        write_uvarint(body, len(self.thread_indexes))
+        for tid, indexes in self.thread_indexes.items():
+            write_svarint(body, tid)
+            write_uvarint(body, len(indexes))
+            for index in indexes:
+                write_uvarint(body, index)
+            segments = self.thread_segments.get(tid, [])
+            write_uvarint(body, len(segments))
+            for segment_id in segments:
+                write_uvarint(body, segment_id)
+        write_uvarint(body, len(self.sync_edges))
+        for object_id, edges in self.sync_edges.items():
+            write_svarint(body, object_id)
+            write_uvarint(body, len(edges))
+            for edge in edges:
+                _write_node_id(body, parse_node_key(edge["source"]))
+                _write_node_id(body, parse_node_key(edge["target"]))
+                write_uvarint(body, interner.ref(edge.get("operation", "")))
+                write_uvarint(body, int(edge.get("segment", 0)))
+        for family in (self.in_edge_segments, self.out_edge_segments):
+            write_uvarint(body, len(family))
+            for key, segments in family.items():
+                _write_node_id(body, parse_node_key(key))
+                write_uvarint(body, len(segments))
+                for segment_id in segments:
+                    write_uvarint(body, segment_id)
+        return self._write_binary(
+            run_dir, index_base_file_name(generation), _FILE_KIND_BASE, interner.strings, body
+        )
+
+    @staticmethod
+    def _write_binary(
+        run_dir: str, name: str, file_kind: int, strings: Sequence[str], body: bytes
+    ) -> int:
+        os.makedirs(run_dir, exist_ok=True)
+        out = bytearray(_INDEX_MAGIC)
+        out.append(_INDEX_VERSION)
+        out.append(file_kind)
+        write_string_table(out, strings)
+        out += body
+        path = os.path.join(run_dir, name)
+        scratch = path + ".tmp"
+        with open(scratch, "wb") as handle:
+            handle.write(out)
+        os.replace(scratch, path)
+        return len(out)
+
+    @staticmethod
+    def _read_binary(run_dir: str, name: str, expect_kind: int) -> Tuple[List[str], bytes, int]:
+        path = os.path.join(run_dir, name)
+        if not os.path.exists(path):
+            raise StoreError(f"missing index file {name}")
+        with open(path, "rb") as handle:
+            data = handle.read()
+        if len(data) < 6 or not data.startswith(_INDEX_MAGIC):
+            raise StoreError(f"corrupt index file {name} (bad magic)")
+        if data[4] != _INDEX_VERSION:
+            raise StoreError(f"unsupported index file version {data[4]} in {name}")
+        if data[5] != expect_kind:
+            raise StoreError(f"index file {name} has kind {data[5]}, expected {expect_kind}")
+        strings, pos = read_string_table(data, 6)
+        return strings, data, pos
+
+    @classmethod
+    def load_v4(
+        cls, run_dir: str, base_generation: int, delta_generations: Sequence[int]
+    ) -> "StoreIndexes":
+        """Load the base (if any) and replay the deltas in generation order.
+
+        Raises:
+            StoreError: For a missing, truncated, or corrupt generation
+                file -- the caller's signal to rebuild from segments.
+        """
+        indexes = cls()
+        if base_generation:
+            indexes._load_base(run_dir, base_generation)
+        for generation in delta_generations:
+            indexes._apply_delta_file(run_dir, generation)
+        indexes.clear_pending()
+        return indexes
+
+    def _load_base(self, run_dir: str, generation: int) -> None:
+        strings, data, pos = self._read_binary(
+            run_dir, index_base_file_name(generation), _FILE_KIND_BASE
+        )
+        try:
+            count, pos = read_uvarint(data, pos)
+            for _ in range(count):
+                node_id, pos = _read_node_id(data, pos)
+                segment_id, pos = read_uvarint(data, pos)
+                topo, pos = read_uvarint(data, pos)
+                key = node_key(node_id)
+                self.node_segments[key] = segment_id
+                self.node_topo[key] = topo
+            for family in (self.page_writers, self.page_readers):
+                pages, pos = read_uvarint(data, pos)
+                for _ in range(pages):
+                    page, pos = read_svarint(data, pos)
+                    entries, pos = read_uvarint(data, pos)
+                    keys: List[str] = []
+                    for _ in range(entries):
+                        node_id, pos = _read_node_id(data, pos)
+                        keys.append(node_key(node_id))
+                    family[page] = keys
+            threads, pos = read_uvarint(data, pos)
+            for _ in range(threads):
+                tid, pos = read_svarint(data, pos)
+                entries, pos = read_uvarint(data, pos)
+                values: List[int] = []
+                for _ in range(entries):
+                    value, pos = read_uvarint(data, pos)
+                    values.append(value)
+                self.thread_indexes[tid] = values
+                entries, pos = read_uvarint(data, pos)
+                segments: List[int] = []
+                for _ in range(entries):
+                    value, pos = read_uvarint(data, pos)
+                    segments.append(value)
+                self.thread_segments[tid] = segments
+            objects, pos = read_uvarint(data, pos)
+            for _ in range(objects):
+                object_id, pos = read_svarint(data, pos)
+                entries, pos = read_uvarint(data, pos)
+                edges: List[dict] = []
+                for _ in range(entries):
+                    source, pos = _read_node_id(data, pos)
+                    target, pos = _read_node_id(data, pos)
+                    ref, pos = read_uvarint(data, pos)
+                    segment_id, pos = read_uvarint(data, pos)
+                    operation = deref(strings, ref)
+                    edges.append(
+                        {
+                            "source": node_key(source),
+                            "target": node_key(target),
+                            "operation": operation if operation is not None else "",
+                            "segment": segment_id,
+                        }
+                    )
+                self.sync_edges[object_id] = edges
+            for family in (self.in_edge_segments, self.out_edge_segments):
+                count, pos = read_uvarint(data, pos)
+                for _ in range(count):
+                    node_id, pos = _read_node_id(data, pos)
+                    entries, pos = read_uvarint(data, pos)
+                    segments = []
+                    for _ in range(entries):
+                        value, pos = read_uvarint(data, pos)
+                        segments.append(value)
+                    family[node_key(node_id)] = segments
+        except (IndexError, ValueError) as exc:
+            raise StoreError(
+                f"corrupt index base generation {generation}: {exc}"
+            ) from exc
+
+    def _apply_delta_file(self, run_dir: str, generation: int) -> None:
+        strings, data, pos = self._read_binary(
+            run_dir, index_delta_file_name(generation), _FILE_KIND_DELTA
+        )
+        try:
+            ops, pos = read_uvarint(data, pos)
+            for _ in range(ops):
+                if pos >= len(data):
+                    raise StoreError("truncated op stream")
+                tag = data[pos]
+                pos += 1
+                if tag == _OP_NODE:
+                    segment_id, pos = read_uvarint(data, pos)
+                    tid, pos = read_svarint(data, pos)
+                    index, pos = read_uvarint(data, pos)
+                    topo, pos = read_uvarint(data, pos)
+                    reads, pos = _read_sorted_ints(data, pos)
+                    writes, pos = _read_sorted_ints(data, pos)
+                    self._apply_node(segment_id, tid, index, topo, reads, writes)
+                elif tag == _OP_EDGE:
+                    segment_id, pos = read_uvarint(data, pos)
+                    source, pos = _read_node_id(data, pos)
+                    target, pos = _read_node_id(data, pos)
+                    if pos >= len(data):
+                        raise StoreError("truncated edge op")
+                    kind = CODE_TO_KIND.get(data[pos])
+                    if kind is None:
+                        raise StoreError(f"unknown edge kind code {data[pos]}")
+                    pos += 1
+                    object_id: Optional[int] = None
+                    operation: Optional[str] = None
+                    if kind is EdgeKind.SYNC:
+                        if pos >= len(data):
+                            raise StoreError("truncated sync edge op")
+                        has_object = data[pos]
+                        pos += 1
+                        if has_object:
+                            object_id, pos = read_svarint(data, pos)
+                        ref, pos = read_uvarint(data, pos)
+                        operation = deref(strings, ref)
+                    self._apply_edge(segment_id, source, target, kind, object_id, operation)
+                else:
+                    raise StoreError(f"unknown index op tag {tag}")
+        except (IndexError, ValueError) as exc:
+            raise StoreError(
+                f"corrupt index delta generation {generation}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # Persistence: the v2/v3 whole-index JSON layout (back-compat)
     # ------------------------------------------------------------------ #
 
     def save(self, index_dir: str) -> None:
-        """Write every index file under ``index_dir`` (one run's directory)."""
+        """Write the v2/v3 whole-index JSON files under ``index_dir``.
+
+        O(index) per call -- the cost profile store format 4 exists to
+        avoid; kept as the upgrade source, for tests, and as the baseline
+        of the flush benchmark.
+        """
         os.makedirs(index_dir, exist_ok=True)
         self._write(index_dir, _NODES_FILE, {"segments": self.node_segments, "topo": self.node_topo})
         self._write(
@@ -229,7 +615,7 @@ class StoreIndexes:
 
     @classmethod
     def load(cls, index_dir: str) -> "StoreIndexes":
-        """Read every index file of one run's index directory."""
+        """Read the v2/v3 whole-index JSON files of one run's directory."""
         indexes = cls()
         nodes = cls._read(index_dir, _NODES_FILE)
         indexes.node_segments = {key: int(seg) for key, seg in nodes.get("segments", {}).items()}

@@ -209,21 +209,42 @@ class StoreQueryEngine:
         }
 
     def lineage_across_runs(self, pages: Iterable[int]) -> Dict[int, Set[NodeId]]:
-        """:meth:`lineage_of_pages` in every run of the store."""
+        """:meth:`lineage_of_pages` in every run of the store.
+
+        Runs the cross-run page summary (``index/pages_runs.json``) proves
+        never touched any of ``pages`` are answered with an empty lineage
+        without opening their per-run indexes.
+        """
         wanted = list(pages)
+        touched = self.store.runs_touching_pages(wanted)
         return {
-            run_id: self.lineage_of_pages(wanted, run=run_id) for run_id in self.store.run_ids()
+            run_id: self.lineage_of_pages(wanted, run=run_id) if run_id in touched else set()
+            for run_id in self.store.run_ids()
         }
 
     def taint_across_runs(
         self, source_pages: Iterable[int], through_thread_state: bool = False
     ) -> Dict[int, TaintResult]:
-        """:meth:`propagate_taint` in every run of the store."""
+        """:meth:`propagate_taint` in every run of the store.
+
+        A run that never read or wrote any source page cannot taint a
+        node or another page (taint only spreads through reads of tainted
+        pages), so the cross-run page summary lets those runs be answered
+        -- exactly -- without opening their indexes or segments.
+        """
         sources = list(source_pages)
-        return {
-            run_id: self.propagate_taint(sources, through_thread_state=through_thread_state, run=run_id)
-            for run_id in self.store.run_ids()
-        }
+        touched = self.store.runs_touching_pages(sources)
+        results: Dict[int, TaintResult] = {}
+        for run_id in self.store.run_ids():
+            if run_id in touched:
+                results[run_id] = self.propagate_taint(
+                    sources, through_thread_state=through_thread_state, run=run_id
+                )
+            else:
+                results[run_id] = TaintResult(
+                    source_pages=set(sources), tainted_pages=set(sources)
+                )
+        return results
 
     def compare_lineage(self, run_a: int, run_b: int, pages) -> LineageDiff:
         """Diff the lineage of ``pages`` between two runs.

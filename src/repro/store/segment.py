@@ -1,41 +1,42 @@
-"""Segment encoding and decoding.
+"""Segment framing: how an encoded payload becomes a segment file.
 
 A segment is the unit of disk I/O of the store: a batch of sub-computations
 plus the edges co-located with them (an edge lives in the segment of its
 *target* node whenever possible, so a backward expansion of a node finds
-its incoming edges in the segment it just loaded).  The payload is the v2
-CPG serialization compressed with :mod:`repro.compression.lz` behind a
-small framed header::
+its incoming edges in the segment it just loaded).  The bytes inside the
+frame are produced by a pluggable :class:`~repro.store.codecs.SegmentCodec`
+(store format 4); the frame itself is common to every codec::
 
-    +---------+----------------------+---------------------+
-    | "ISEG"2 | raw length (8B LE)   | lz-compressed JSON  |
-    +---------+----------------------+---------------------+
+    +--------+------------+----------------------+------------------+
+    | "ISEG" | frame byte | raw length (8B LE)   | codec payload    |
+    +--------+------------+----------------------+------------------+
+
+The frame byte identifies the codec (``0x02`` = lz-compressed JSON, the
+v2/v3 encoding; ``0x03`` = columnar binary, the v4 default), so a mixed
+store decodes every segment correctly even before consulting the
+manifest's per-segment codec column.  ``raw length`` is the size of the
+uncompressed payload and feeds the manifest's compression accounting.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.compression.lz import compress, decompress
-from repro.core.cpg import EdgeKind
-from repro.core.serialization import (
-    FORMAT_VERSION_V2,
-    edge_from_dict,
-    edge_to_dict,
-    subcomputation_from_dict,
-    subcomputation_to_dict,
-)
 from repro.core.thunk import NodeId, SubComputation
 from repro.errors import StoreError
 
-from repro.store.format import SEGMENT_MAGIC
+from repro.store.codecs import (
+    DEFAULT_CODEC,
+    EdgeTuple,
+    SegmentCodec,
+    codec_by_frame_byte,
+    codec_by_name,
+)
+from repro.store.format import SEGMENT_MAGIC_PREFIX
 
-#: An edge as the store passes it around: ``(source, target, kind, attrs)``.
-EdgeTuple = Tuple[NodeId, NodeId, EdgeKind, dict]
-
-_HEADER_SIZE = len(SEGMENT_MAGIC) + 8
+_HEADER_SIZE = len(SEGMENT_MAGIC_PREFIX) + 1 + 8
 
 
 @dataclass
@@ -64,53 +65,56 @@ class SegmentPayload:
 
 
 def encode_segment(
-    nodes: Iterable[SubComputation], edges: Iterable[EdgeTuple]
+    nodes: Iterable[SubComputation],
+    edges: Iterable[EdgeTuple],
+    codec: Optional[str] = None,
 ) -> Tuple[bytes, int]:
-    """Serialize one segment.
+    """Serialize one segment with ``codec`` (default: the v4 binary codec).
 
     Returns:
         ``(framed bytes, raw payload size)`` -- the raw size feeds the
         manifest's compression accounting.
     """
-    document = {
-        "format_version": FORMAT_VERSION_V2,
-        "kind": "cpg-segment",
-        "nodes": [subcomputation_to_dict(node) for node in nodes],
-        "edges": [
-            edge_to_dict(source, target, {"kind": kind, **attrs}, version=FORMAT_VERSION_V2)
-            for source, target, kind, attrs in edges
-        ],
-    }
-    raw = json.dumps(document, sort_keys=True).encode("utf-8")
-    framed = SEGMENT_MAGIC + len(raw).to_bytes(8, "little") + compress(raw)
+    chosen: SegmentCodec = codec_by_name(codec if codec is not None else DEFAULT_CODEC)
+    raw = chosen.encode_payload(list(nodes), list(edges))
+    body = compress(raw) if chosen.framed_lz else raw
+    framed = (
+        SEGMENT_MAGIC_PREFIX
+        + bytes((chosen.frame_byte,))
+        + len(raw).to_bytes(8, "little")
+        + body
+    )
     return framed, len(raw)
 
 
+def segment_codec_name(data: bytes) -> str:
+    """Name of the codec that encoded the framed segment ``data``."""
+    if len(data) < _HEADER_SIZE or not data.startswith(SEGMENT_MAGIC_PREFIX):
+        raise StoreError("not a provenance-store segment (bad magic)")
+    return codec_by_frame_byte(data[len(SEGMENT_MAGIC_PREFIX)]).name
+
+
 def decode_segment(data: bytes) -> SegmentPayload:
-    """Invert :func:`encode_segment`.
+    """Invert :func:`encode_segment` (any codec; dispatch on the frame byte).
 
     Raises:
         StoreError: If the framing, compression, or payload is corrupt.
     """
-    if len(data) < _HEADER_SIZE or not data.startswith(SEGMENT_MAGIC):
+    if len(data) < _HEADER_SIZE or not data.startswith(SEGMENT_MAGIC_PREFIX):
         raise StoreError("not a provenance-store segment (bad magic)")
-    raw_length = int.from_bytes(data[len(SEGMENT_MAGIC) : _HEADER_SIZE], "little")
-    try:
-        raw = decompress(data[_HEADER_SIZE:])
-    except ValueError as exc:
-        raise StoreError(f"corrupt segment payload: {exc}") from exc
+    chosen = codec_by_frame_byte(data[len(SEGMENT_MAGIC_PREFIX)])
+    raw_length = int.from_bytes(data[len(SEGMENT_MAGIC_PREFIX) + 1 : _HEADER_SIZE], "little")
+    body = data[_HEADER_SIZE:]
+    if chosen.framed_lz:
+        try:
+            raw = decompress(body)
+        except ValueError as exc:
+            raise StoreError(f"corrupt segment payload: {exc}") from exc
+    else:
+        raw = body
     if len(raw) != raw_length:
         raise StoreError(
             f"segment length mismatch: header says {raw_length} bytes, got {len(raw)}"
         )
-    try:
-        document = json.loads(raw.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise StoreError(f"segment payload is not valid JSON: {exc}") from exc
-    if document.get("format_version") != FORMAT_VERSION_V2:
-        raise StoreError(
-            f"unsupported segment format version {document.get('format_version')!r}"
-        )
-    nodes = [subcomputation_from_dict(entry) for entry in document.get("nodes", ())]
-    edges = [edge_from_dict(entry) for entry in document.get("edges", ())]
+    nodes, edges = chosen.decode_payload(raw)
     return SegmentPayload.build(nodes, edges)

@@ -42,12 +42,14 @@ class StoreSink:
     Args:
         store: The destination store (may already hold other runs).
         segment_nodes: Epoch length -- sub-computations per sealed segment.
-        flush_every_epochs: How often the manifest and index files are
-            rewritten.  1 (the default) makes every committed epoch durable
-            but rewrites the whole (growing) index each time -- O(n^2/epoch)
-            over very long runs; raise it to amortize when mid-run
-            durability matters less than ingest throughput.  ``finish``
-            always flushes.
+        flush_every_epochs: How often the manifest and index generation
+            are committed.  1 (the default) makes every committed epoch
+            durable; since store format 4 a flush appends one O(epoch)
+            index delta file instead of rewriting the whole index, so the
+            per-flush cost no longer grows with the run.  Raising it still
+            amortizes the (small) manifest rewrite when mid-run durability
+            matters less than ingest throughput.  ``finish`` always
+            flushes.
         workload: Workload name recorded in the minted run's manifest entry.
         run_meta: Initial run metadata (config, wall-clock args, ...);
             merged with whatever ``finish`` supplies.

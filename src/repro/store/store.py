@@ -1,7 +1,7 @@
 """The persistent provenance store.
 
 :class:`ProvenanceStore` owns one store directory: an append-only sequence
-of compressed CPG segments plus per-run secondary indexes and the
+of codec-encoded CPG segments plus per-run secondary indexes and the
 manifest.  One store holds **many traced runs** -- each run is its own
 node-id namespace (node ids ``(tid, index)`` are only unique within a
 run).  Whole graphs are ingested with :meth:`ProvenanceStore.ingest`
@@ -10,15 +10,24 @@ store through :class:`repro.store.sink.StoreSink`; queries that only touch
 the index-selected subgraph are served by
 :class:`repro.store.query.StoreQueryEngine`.
 
+Store format 4 keeps the write path incremental end to end: segment
+payloads go through a pluggable codec (:mod:`repro.store.codecs`; the
+columnar binary codec is the default, the JSON codec remains readable and
+writable), per-run indexes are loaded lazily and flushed as append-only
+**delta files** (O(epoch), not O(index)), and a cross-run page summary
+(``index/pages_runs.json``) lets ``*_across_runs`` queries skip runs
+without opening their indexes.
+
 Maintenance is run-scoped: :meth:`ProvenanceStore.compact` rewrites a
-run's segments into fewer, denser ones (folding in the edge-only tail
-segments a streamed ingest leaves behind) and :meth:`ProvenanceStore.gc`
-drops superseded runs and reclaims their disk space.  Both are
-crash-consistent through the store's single commit protocol: new files
-first, manifest last (temp file + atomic rename), old files deleted only
-after the manifest commit -- a crash at any point leaves the previous
-consistent generation in place, and unreferenced files are swept by the
-next maintenance operation.
+run's segments **streaming, segment by segment** into fewer, denser ones
+(folding in the edge-only tail segments a streamed ingest leaves behind,
+and folding the run's index deltas into a fresh base file) and
+:meth:`ProvenanceStore.gc` drops superseded runs and reclaims their disk
+space.  Both are crash-consistent through the store's single commit
+protocol: new files first, manifest last (temp file + atomic rename), old
+files deleted only after the manifest commit -- a crash at any point
+leaves the previous consistent generation in place, and unreferenced
+files are swept by the next maintenance operation.
 """
 
 from __future__ import annotations
@@ -29,33 +38,48 @@ import os
 import re
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cpg import ConcurrentProvenanceGraph
-from repro.core.serialization import apply_edge, cpg_from_json, node_key
+from repro.core.serialization import (
+    apply_edge,
+    cpg_from_json,
+    edge_from_dict,
+    edge_to_dict,
+    node_key,
+    parse_node_key,
+    FORMAT_VERSION_V2,
+)
 from repro.core.thunk import SubComputation
 from repro.errors import StoreError
 
+from repro.store.codecs import DEFAULT_CODEC, codec_by_name
 from repro.store.format import (
     DEFAULT_SEGMENT_NODES,
     INDEX_DIR,
-    LEGACY_RUN_ID,
     MANIFEST_NAME,
+    PAGES_RUNS_FILE,
     RUN_COMPLETE,
     SEGMENTS_DIR,
     STORE_FORMAT_VERSION,
     STORE_FORMAT_VERSION_V2,
-    RunInfo,
     SegmentInfo,
     StoreManifest,
+    index_delta_file_name,
     run_index_dir_name,
     segment_file_name,
 )
-from repro.store.indexes import StoreIndexes
+from repro.store.indexes import LEGACY_INDEX_FILES, StoreIndexes
 from repro.store.segment import EdgeTuple, SegmentPayload, decode_segment, encode_segment
 
 _SEGMENT_FILE_RE = re.compile(r"^seg-(\d{8})\.seg$")
 _RUN_DIR_RE = re.compile(r"^run-(\d{8})$")
+_INDEX_BASE_RE = re.compile(r"^base-(\d{8})\.bin$")
+_INDEX_DELTA_RE = re.compile(r"^delta-(\d{8})\.bin$")
+
+#: Scratch directory compaction spills per-batch edges into (inside the
+#: store, so a crash leaves it visible to the next maintenance sweep).
+_COMPACT_SPILL_DIR = "tmp-compact"
 
 
 def _utc_now_iso() -> str:
@@ -84,13 +108,20 @@ class MaintenanceStats:
         runs_dropped: Run ids removed from the store (gc only).
         segments_before: Referenced segments before the operation.
         segments_after: Referenced segments after the operation.
-        bytes_reclaimed: Segment bytes deleted from disk.
+        bytes_reclaimed: Segment + index bytes deleted from disk.
+        index_delta_files_reclaimed: Pending index delta files folded into
+            a fresh base (compact only).
+        peak_resident_nodes: Most node records the streaming compaction
+            path held in memory at once (compact only) -- the acceptance
+            metric that it no longer materializes whole runs.
     """
 
     runs_dropped: List[int] = field(default_factory=list)
     segments_before: int = 0
     segments_after: int = 0
     bytes_reclaimed: int = 0
+    index_delta_files_reclaimed: int = 0
+    peak_resident_nodes: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -98,12 +129,32 @@ class MaintenanceStats:
             "segments_before": self.segments_before,
             "segments_after": self.segments_after,
             "bytes_reclaimed": self.bytes_reclaimed,
+            "index_delta_files_reclaimed": self.index_delta_files_reclaimed,
+            "peak_resident_nodes": self.peak_resident_nodes,
         }
 
 
 #: Decoded segments kept in memory at once (LRU); queries over stores
 #: larger than this stay out-of-core in memory, not just in I/O counts.
 DEFAULT_CACHE_SEGMENTS = 64
+
+
+class _RunIndexMap(dict):
+    """Run id -> :class:`StoreIndexes`, loading lazily on first access.
+
+    Queries that never touch a run never pay for loading (or rebuilding)
+    its indexes; the cross-run page summary relies on this to make
+    ``*_across_runs`` skips worthwhile.
+    """
+
+    def __init__(self, store: "ProvenanceStore") -> None:
+        super().__init__()
+        self._store = store
+
+    def __missing__(self, run_id: int) -> StoreIndexes:
+        indexes = self._store._load_run_indexes(run_id)
+        self[run_id] = indexes
+        return indexes
 
 
 class ProvenanceStore:
@@ -116,17 +167,35 @@ class ProvenanceStore:
 
     Use :meth:`create`, :meth:`open`, or :meth:`open_or_create` instead of
     the constructor.
+
+    Attributes:
+        default_codec: Codec name new segments are encoded with
+            (``"binary"`` unless changed; see :mod:`repro.store.codecs`).
+        index_full_rewrite: Benchmark/back-compat knob: when true, every
+            flush folds the whole index instead of appending a delta --
+            the v3 write-path cost profile.  Stores written this way stay
+            correct (a reopen rebuilds their indexes from segments).
     """
 
-    def __init__(
-        self, path: str, manifest: StoreManifest, run_indexes: Dict[int, StoreIndexes]
-    ) -> None:
+    def __init__(self, path: str, manifest: StoreManifest) -> None:
         self.path = path
         self.manifest = manifest
-        self.run_indexes = run_indexes
+        self.run_indexes: Dict[int, StoreIndexes] = _RunIndexMap(self)
         self.read_stats = StoreReadStats()
         self.max_cached_segments = DEFAULT_CACHE_SEGMENTS
+        self.default_codec = DEFAULT_CODEC
+        self.index_full_rewrite = False
         self._cache: Dict[int, SegmentPayload] = {}
+        #: Format version of the manifest currently on disk; < 4 until the
+        #: first flush upgrades the layout in place.
+        self._disk_version = manifest.version
+        self._pages_runs: Optional[Dict[int, Set[int]]] = None
+        self._pages_runs_covered: Set[int] = set()
+        #: Runs the on-disk summary file covers (always complete runs).
+        self._pages_runs_disk: Set[int] = set()
+        #: A disk-covered run's pages changed (a rare post-completion
+        #: append); forces a summary rewrite at the next flush.
+        self._pages_runs_force = False
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -140,13 +209,21 @@ class ProvenanceStore:
             raise StoreError(f"a provenance store already exists at {path}")
         os.makedirs(os.path.join(path, SEGMENTS_DIR), exist_ok=True)
         manifest = StoreManifest(meta=dict(meta or {}))
-        store = cls(path, manifest, {})
+        store = cls(path, manifest)
         store.flush()
         return store
 
     @classmethod
     def open(cls, path: str) -> "ProvenanceStore":
-        """Open an existing store directory (format version 2 or 3)."""
+        """Open an existing store directory (format version 2, 3, or 4).
+
+        Opening reads the manifest (and the small cross-run page summary
+        on demand) only; each run's secondary indexes are loaded lazily on
+        first access, merging the run's index base with its pending delta
+        files.  A run whose index generation files are missing, torn, or
+        inconsistent with the manifest is rebuilt from its (committed,
+        ground-truth) segments at that point.
+        """
         manifest_path = os.path.join(path, MANIFEST_NAME)
         if not os.path.exists(manifest_path):
             raise StoreError(f"no provenance store at {path} (missing {MANIFEST_NAME})")
@@ -155,31 +232,37 @@ class ProvenanceStore:
                 manifest = StoreManifest.from_dict(json.load(handle))
             except json.JSONDecodeError as exc:
                 raise StoreError(f"corrupt manifest at {path}: {exc}") from exc
-        run_indexes: Dict[int, StoreIndexes] = {}
-        store = cls(path, manifest, run_indexes)
-        for run in manifest.runs:
-            if manifest.version == STORE_FORMAT_VERSION_V2:
-                # PR-1 layout: one implicit run, flat index/ directory.
-                index_dir = os.path.join(path, INDEX_DIR)
+        return cls(path, manifest)
+
+    def _run_index_dir(self, run_id: int) -> str:
+        if self._disk_version == STORE_FORMAT_VERSION_V2:
+            # PR-1 layout: one implicit run, flat index/ directory.
+            return os.path.join(self.path, INDEX_DIR)
+        return os.path.join(self.path, INDEX_DIR, run_index_dir_name(run_id))
+
+    def _load_run_indexes(self, run_id: int) -> StoreIndexes:
+        """Load (or rebuild) one run's indexes; the lazy-map miss path."""
+        run = self.manifest.run_info(run_id)
+        run_dir = self._run_index_dir(run_id)
+        try:
+            if self._disk_version >= STORE_FORMAT_VERSION:
+                indexes = StoreIndexes.load_v4(run_dir, run.index_base, run.index_deltas)
             else:
-                index_dir = os.path.join(path, INDEX_DIR, run_index_dir_name(run.run_id))
-            indexes = StoreIndexes.load(index_dir)
-            # The manifest is the commit point: a crash mid-flush can leave
-            # index files a generation ahead of it (appended to, or -- after
-            # a compaction -- rewritten against replacement segments the
-            # manifest never committed).  Whenever the loaded generation
-            # does not match the manifest, rebuild from the committed
-            # segments, which are the ground truth.
-            valid = [info.segment_id for info in manifest.segments_of_run(run.run_id)]
-            if not indexes.is_consistent_with(valid, run.nodes):
-                indexes = store._rebuild_indexes_from_segments(run.run_id)
-            run_indexes[run.run_id] = indexes
-        return store
+                indexes = StoreIndexes.load(run_dir)
+                # Loaded from the legacy JSON layout: not reproducible from
+                # v4 generation files, so the next flush must write a base.
+                indexes.needs_base = True
+        except StoreError:
+            return self._rebuild_indexes_from_segments(run_id)
+        valid = [info.segment_id for info in self.manifest.segments_of_run(run_id)]
+        if not indexes.is_consistent_with(valid, run.nodes):
+            return self._rebuild_indexes_from_segments(run_id)
+        return indexes
 
     def _rebuild_indexes_from_segments(self, run_id: int) -> StoreIndexes:
         """Reconstruct one run's indexes from its committed segments.
 
-        Recovery path for torn index files (see :meth:`open`).  Exact by
+        Recovery path for torn or missing index generations.  Exact by
         construction: a run's segments are appended -- and compaction
         rewrites them -- in topological order, and every ingest path
         assigns ranks sequentially from 0, so a node's rank is precisely
@@ -194,6 +277,10 @@ class ProvenanceStore:
                 rank += 1
             for edge in payload.edges:
                 indexes.add_edge(info.segment_id, edge)
+        # The rebuilt state is not reproducible from any on-disk
+        # generation files; fold it into a base at the next flush.
+        indexes.clear_pending()
+        indexes.needs_base = True
         return indexes
 
     @classmethod
@@ -204,23 +291,166 @@ class ProvenanceStore:
         return cls.create(path, meta=meta)
 
     def flush(self) -> None:
-        """Write the manifest and every run's index files to disk.
+        """Commit the in-memory state: index generations first, manifest last.
 
-        Index files are written first and the manifest last, each through a
-        temp-file + atomic rename, so a crash mid-flush leaves the previous
-        consistent manifest/index generation in place (the manifest is the
-        commit point: new segments or runs it does not yet reference are
-        ignored).  Flushing always writes the version-3 layout; a store
-        opened as version 2 is upgraded in place by its first flush.
+        Each loaded run persists **only what changed**: the ops journalled
+        since its last flush become one append-only ``delta-<gen>.bin``
+        file (O(epoch)); a run whose state is not reproducible from its
+        on-disk generations (legacy load, rebuild, compaction fold) writes
+        a full ``base-<gen>.bin`` instead.  Every file goes through a
+        temp-file + atomic rename and the manifest -- the commit point --
+        is written last, so a crash mid-flush leaves the previous
+        consistent generation in place.
+
+        Flushing always writes the version-4 layout; a store opened as
+        version 2 or 3 is upgraded in place by its first flush (every
+        run's legacy JSON indexes are folded into v4 base files).
         """
+        if self._disk_version < STORE_FORMAT_VERSION:
+            # In-place upgrade: fold every run's legacy indexes into v4
+            # bases now, so the version-4 manifest never references a run
+            # without generation files.
+            for run_id in self.run_ids():
+                self.run_indexes[run_id]  # force the lazy load
         for run_id, indexes in self.run_indexes.items():
-            indexes.save(os.path.join(self.path, INDEX_DIR, run_index_dir_name(run_id)))
+            run_info = self.manifest.run_info(run_id)
+            run_dir = os.path.join(self.path, INDEX_DIR, run_index_dir_name(run_id))
+            if self.index_full_rewrite:
+                # v3 cost-profile emulation (see the class docstring).
+                indexes.save(run_dir)
+                indexes.clear_pending()
+            elif indexes.needs_base:
+                generation = run_info.next_index_gen
+                run_info.next_index_gen += 1
+                indexes.save_base(run_dir, generation)
+                run_info.index_base = generation
+                run_info.index_deltas = []
+                indexes.needs_base = False
+                indexes.clear_pending()
+            elif indexes.has_pending:
+                generation = run_info.next_index_gen
+                run_info.next_index_gen += 1
+                indexes.save_delta(run_dir, generation)
+                run_info.index_deltas.append(generation)
+                indexes.clear_pending()
+        self._cover_loaded_runs_in_pages_summary()
+        self._write_pages_runs_if_dirty()
         manifest_path = os.path.join(self.path, MANIFEST_NAME)
         scratch = manifest_path + ".tmp"
         with open(scratch, "w", encoding="utf-8") as handle:
             json.dump(self.manifest.to_dict(), handle, sort_keys=True, indent=2)
         os.replace(scratch, manifest_path)
         self.manifest.version = STORE_FORMAT_VERSION
+        self._disk_version = STORE_FORMAT_VERSION
+
+    # ------------------------------------------------------------------ #
+    # Cross-run page summary (index/pages_runs.json)
+    # ------------------------------------------------------------------ #
+
+    def _load_pages_runs_once(self) -> Dict[int, Set[int]]:
+        """Parse the on-disk summary (cheap: no per-run index loading).
+
+        Entries for runs the manifest does not know (a crash left the
+        summary a generation ahead) are dropped; runs the summary does not
+        cover are merged lazily from their indexes when needed.  For a
+        covered run the summary is always a superset of the committed
+        state (pages only ever grow within a run), so skipping based on it
+        never loses results.
+        """
+        if self._pages_runs is not None:
+            return self._pages_runs
+        pages: Dict[int, Set[int]] = {}
+        covered: Set[int] = set()
+        known = set(self.run_ids())
+        path = os.path.join(self.path, INDEX_DIR, PAGES_RUNS_FILE)
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+                covered = {int(run_id) for run_id in data.get("runs", ())} & known
+                for page_text, run_list in data.get("pages", {}).items():
+                    runs = {int(run_id) for run_id in run_list} & covered
+                    if runs:
+                        pages[int(page_text)] = runs
+            except (ValueError, OSError, AttributeError, TypeError):
+                # The summary is a non-authoritative cache: any malformed
+                # shape (torn write, hand edit) degrades to "covers
+                # nothing" and runs are merged from their own indexes.
+                pages, covered = {}, set()
+        self._pages_runs = pages
+        self._pages_runs_covered = covered
+        self._pages_runs_disk = set(covered)
+        self._pages_runs_force = False
+        return pages
+
+    def _cover_run_in_pages_summary(self, run_id: int) -> None:
+        """Merge one run's touched pages into the summary (from its indexes)."""
+        pages = self._load_pages_runs_once()
+        if run_id in self._pages_runs_covered:
+            return
+        for page in self.run_indexes[run_id].pages_touched():
+            pages.setdefault(page, set()).add(run_id)
+        self._pages_runs_covered.add(run_id)
+
+    def _cover_loaded_runs_in_pages_summary(self) -> None:
+        # Only runs whose indexes are already in memory: flushing must not
+        # force-load every run of a large store.
+        self._load_pages_runs_once()
+        for run_id in list(self.run_indexes.keys()):
+            self._cover_run_in_pages_summary(run_id)
+
+    def _write_pages_runs_if_dirty(self) -> None:
+        """Rewrite the on-disk summary only when its content would change.
+
+        The file covers **complete** runs only: a streaming run's pages
+        keep growing, and rewriting the (whole-store-sized) summary per
+        epoch flush would defeat the O(epoch) flush path.  A run enters
+        the file with the first flush after it completes; until then --
+        and after any crash -- uncovered runs are merged lazily from
+        their own indexes, so skipping is always sound.
+        """
+        if self._pages_runs is None:
+            return
+        complete = {
+            run.run_id for run in self.manifest.runs if run.status == RUN_COMPLETE
+        }
+        want = self._pages_runs_covered & complete
+        if want == self._pages_runs_disk and not self._pages_runs_force:
+            return
+        document = {
+            "kind": "inspector-pages-runs",
+            "runs": sorted(want),
+            "pages": {
+                str(page): sorted(runs & want)
+                for page, runs in sorted(self._pages_runs.items())
+                if runs & want
+            },
+        }
+        index_dir = os.path.join(self.path, INDEX_DIR)
+        os.makedirs(index_dir, exist_ok=True)
+        path = os.path.join(index_dir, PAGES_RUNS_FILE)
+        scratch = path + ".tmp"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+        os.replace(scratch, path)
+        self._pages_runs_disk = want
+        self._pages_runs_force = False
+
+    def runs_touching_pages(self, pages: Iterable[int]) -> Set[int]:
+        """Run ids whose stored graph read or wrote any of ``pages``.
+
+        Served from the cross-run summary: runs the summary covers are
+        answered without touching their per-run indexes, which is what
+        lets ``*_across_runs`` queries skip irrelevant runs entirely.
+        """
+        summary = self._load_pages_runs_once()
+        for run_id in self.run_ids():
+            if run_id not in self._pages_runs_covered:
+                self._cover_run_in_pages_summary(run_id)
+        touched: Set[int] = set()
+        for page in pages:
+            touched |= summary.get(int(page), set())
+        return touched & set(self.run_ids())
 
     # ------------------------------------------------------------------ #
     # Runs
@@ -297,11 +527,14 @@ class ProvenanceStore:
         edges: Sequence[EdgeTuple],
         run: Optional[int] = None,
         topo_positions: Optional[Sequence[int]] = None,
+        codec: Optional[str] = None,
     ) -> int:
         """Seal ``nodes`` + ``edges`` into a new segment of ``run``.
 
-        Topological ranks default to arrival order (the run's ``next_topo``
-        onwards); the whole-graph ingest path passes explicit ranks from
+        The payload is encoded with ``codec`` (default: the store's
+        ``default_codec``).  Topological ranks default to arrival order
+        (the run's ``next_topo`` onwards); the whole-graph ingest path
+        passes explicit ranks from
         :meth:`ConcurrentProvenanceGraph.topological_order` instead.
 
         The manifest and indexes are only updated in memory; call
@@ -310,6 +543,8 @@ class ProvenanceStore:
         run_id = self.resolve_run(run)
         run_info = self.manifest.run_info(run_id)
         indexes = self.run_indexes[run_id]
+        codec_name = codec if codec is not None else self.default_codec
+        codec_by_name(codec_name)  # validates before any file is written
         if topo_positions is None:
             topo_positions = range(run_info.next_topo, run_info.next_topo + len(nodes))
         elif len(topo_positions) != len(nodes):
@@ -328,7 +563,7 @@ class ProvenanceStore:
                 )
             batch_ids.add(node.node_id)
         segment_id = self.manifest.next_segment_id
-        framed, raw_bytes = encode_segment(nodes, edges)
+        framed, raw_bytes = encode_segment(nodes, edges, codec=codec_name)
         with open(os.path.join(self.path, SEGMENTS_DIR, segment_file_name(segment_id)), "wb") as handle:
             handle.write(framed)
         self.manifest.next_segment_id += 1
@@ -344,6 +579,7 @@ class ProvenanceStore:
                 edges=len(edges),
                 raw_bytes=raw_bytes,
                 stored_bytes=len(framed),
+                codec=codec_name,
             )
         )
         self.manifest.node_count += len(nodes)
@@ -353,6 +589,18 @@ class ProvenanceStore:
         run_info.next_topo = max(
             run_info.next_topo, max(topo_positions, default=run_info.next_topo - 1) + 1
         )
+        # Keep the in-memory cross-run page summary current (O(batch)).
+        # Appends to a *complete* run must force a summary rewrite: the
+        # on-disk file already covers the run and would under-report it.
+        self._cover_run_in_pages_summary(run_id)
+        pages_runs = self._load_pages_runs_once()
+        for node in nodes:
+            for page in node.read_set | node.write_set:
+                runs = pages_runs.setdefault(page, set())
+                if run_id not in runs:
+                    runs.add(run_id)
+                    if run_id in self._pages_runs_disk:
+                        self._pages_runs_force = True
         self._cache[segment_id] = SegmentPayload.build(nodes, edges)
         self._evict_cache_overflow()
         return segment_id
@@ -363,6 +611,7 @@ class ProvenanceStore:
         segment_nodes: int = DEFAULT_SEGMENT_NODES,
         run_meta: Optional[dict] = None,
         workload: str = "",
+        codec: Optional[str] = None,
     ) -> int:
         """Ingest a finalized CPG as a **new run**; returns segments written.
 
@@ -393,7 +642,11 @@ class ProvenanceStore:
             for node_id in batch:
                 edges.extend(edges_by_target.get(node_id, ()))
             self.append_segment(
-                nodes, edges, run=run_id, topo_positions=[topo_by_node[n] for n in batch]
+                nodes,
+                edges,
+                run=run_id,
+                topo_positions=[topo_by_node[n] for n in batch],
+                codec=codec,
             )
             segments_written += 1
         self.manifest.run_info(run_id).status = RUN_COMPLETE
@@ -406,17 +659,31 @@ class ProvenanceStore:
         segment_nodes: int = DEFAULT_SEGMENT_NODES,
         run_meta: Optional[dict] = None,
         workload: str = "",
+        codec: Optional[str] = None,
     ) -> int:
         """Ingest a CPG JSON file (v1 or v2) written with ``write_cpg``."""
         with open(path, "r", encoding="utf-8") as handle:
             cpg = cpg_from_json(handle.read())
         meta = {"source": os.path.basename(path)}
         meta.update(run_meta or {})
-        return self.ingest(cpg, segment_nodes=segment_nodes, run_meta=meta, workload=workload)
+        return self.ingest(
+            cpg, segment_nodes=segment_nodes, run_meta=meta, workload=workload, codec=codec
+        )
 
     # ------------------------------------------------------------------ #
     # Reading
     # ------------------------------------------------------------------ #
+
+    def _read_segment_file(self, segment_id: int) -> bytes:
+        info = self.manifest.segment_info(segment_id)
+        path = os.path.join(self.path, SEGMENTS_DIR, info.file_name)
+        if not os.path.exists(path):
+            raise StoreError(f"segment file {info.file_name} is missing from {self.path}")
+        with open(path, "rb") as handle:
+            data = handle.read()
+        self.read_stats.segments_read += 1
+        self.read_stats.bytes_read += len(data)
+        return data
 
     def segment(self, segment_id: int) -> SegmentPayload:
         """Load one segment (LRU-cached up to ``max_cached_segments``)."""
@@ -426,18 +693,22 @@ class ProvenanceStore:
             del self._cache[segment_id]
             self._cache[segment_id] = cached
             return cached
-        info = self.manifest.segment_info(segment_id)
-        path = os.path.join(self.path, SEGMENTS_DIR, info.file_name)
-        if not os.path.exists(path):
-            raise StoreError(f"segment file {info.file_name} is missing from {self.path}")
-        with open(path, "rb") as handle:
-            data = handle.read()
-        payload = decode_segment(data)
-        self.read_stats.segments_read += 1
-        self.read_stats.bytes_read += len(data)
+        payload = decode_segment(self._read_segment_file(segment_id))
         self._cache[segment_id] = payload
         self._evict_cache_overflow()
         return payload
+
+    def _segment_uncached(self, segment_id: int) -> SegmentPayload:
+        """Decode one segment without touching the LRU cache.
+
+        The streaming compaction path reads every old segment exactly
+        once (twice across its two passes) and must not evict the cache's
+        working set -- nor keep a whole run resident through it.
+        """
+        cached = self._cache.get(segment_id)
+        if cached is not None:
+            return cached
+        return decode_segment(self._read_segment_file(segment_id))
 
     def _evict_cache_overflow(self) -> None:
         while len(self._cache) > max(1, self.max_cached_segments):
@@ -481,87 +752,176 @@ class ProvenanceStore:
         shorter than a full segment, and the edge-only tail segments the
         sink appends for post-run data edges.  Compaction rewrites the
         run's segments in topological order (ranks are preserved), co-
-        locates every edge with its target node again, and rebuilds the
-        run's indexes.  With ``run=None`` every run is compacted.
+        locates every edge with its target node again, re-encodes every
+        segment with the store's ``default_codec``, and **folds the run's
+        pending index deltas into a fresh base file**.  With ``run=None``
+        every run is compacted.
 
-        Crash-consistent: the new segments are written under fresh ids, the
-        manifest is committed atomically, and only then are the old segment
-        files deleted.  A crash before the commit leaves the old generation
-        intact (the stray new files are swept by the next maintenance
-        call); a crash after it leaves the new generation intact.
+        The rewrite is *streaming*: old segments are decoded one at a time
+        through the codec layer, edges are spilled to per-batch scratch
+        files, and each new segment is sealed as soon as its nodes have
+        arrived -- peak memory is one old segment plus one output batch
+        (``MaintenanceStats.peak_resident_nodes`` reports the observed
+        peak), not the whole run.
 
-        Note: compacting a run materializes that run's nodes and edges in
-        memory for re-batching (one run at a time, not the whole store).
+        Crash-consistent: the new segments and the folded index base are
+        written under fresh ids/generations, the manifest is committed
+        atomically, and only then are the old files deleted.  A crash
+        before the commit leaves the old generation intact (the stray new
+        files are swept by the next maintenance call); a crash after it
+        leaves the new generation intact.
         """
         if segment_nodes <= 0:
             raise StoreError(f"segment_nodes must be positive, got {segment_nodes}")
         targets = [self.resolve_run(run)] if run is not None else self.run_ids()
         stats = MaintenanceStats(segments_before=self.manifest.segment_count)
         old_ids: List[int] = []
+        dirty = False
         for run_id in targets:
-            old_ids.extend(self._compact_run(run_id, segment_nodes))
+            superseded, peak = self._compact_run(run_id, segment_nodes)
+            old_ids.extend(superseded)
+            stats.peak_resident_nodes = max(stats.peak_resident_nodes, peak)
+            run_info = self.manifest.run_info(run_id)
+            loaded = dict.get(self.run_indexes, run_id)
+            if superseded or run_info.index_deltas or (loaded is not None and loaded.needs_base):
+                # Fold the run's pending deltas (and any legacy/rebuilt
+                # state) into a fresh base at the flush below.
+                stats.index_delta_files_reclaimed += len(run_info.index_deltas)
+                self.run_indexes[run_id].needs_base = True
+                dirty = True
         stats.segments_after = self.manifest.segment_count
-        if old_ids:
+        if dirty or self._disk_version < STORE_FORMAT_VERSION:
             self.flush()
         stats.bytes_reclaimed = self._delete_segments(old_ids) + self._sweep_orphans()
         return stats
 
-    def _compact_run(self, run_id: int, segment_nodes: int) -> List[int]:
-        """Rewrite one run's segments; returns the superseded segment ids."""
+    def _compact_run(self, run_id: int, segment_nodes: int) -> Tuple[List[int], int]:
+        """Stream-rewrite one run's segments.
+
+        Returns:
+            ``(superseded segment ids, peak resident node records)``.
+        """
         infos = self.manifest.segments_of_run(run_id)
         run_info = self.manifest.run_info(run_id)
         wanted = max(1, -(-run_info.nodes // segment_nodes)) if run_info.nodes else 1
-        if len(infos) <= wanted and all(
-            info.nodes >= min(segment_nodes, run_info.nodes) or info is infos[-1]
-            for info in infos
-        ):
-            return []  # already compact (also covers the 0/1-segment runs)
-        old_index = self.run_indexes[run_id]
-        nodes: List[SubComputation] = []
-        edges: List[EdgeTuple] = []
-        for info in infos:
-            payload = self.segment(info.segment_id)
-            nodes.extend(payload.nodes.values())
-            edges.extend(payload.edges)
-        nodes.sort(key=lambda node: old_index.topo_of(node.node_id))
-        batches = [nodes[start : start + segment_nodes] for start in range(0, len(nodes), segment_nodes)]
-        if not batches:
-            batches = [[]]
-        batch_of_node = {
-            node.node_id: position for position, batch in enumerate(batches) for node in batch
-        }
-        edges_by_batch: Dict[int, List[EdgeTuple]] = defaultdict(list)
-        for edge in edges:
-            # Co-locate with the target node; fall back to the source's
-            # batch (then the first) for edges whose target is elsewhere.
-            position = batch_of_node.get(edge[1], batch_of_node.get(edge[0], 0))
-            edges_by_batch[position].append(edge)
-        new_index = StoreIndexes()
-        new_infos: List[SegmentInfo] = []
-        for position, batch in enumerate(batches):
-            segment_id = self.manifest.next_segment_id
-            self.manifest.next_segment_id += 1
-            batch_edges = edges_by_batch.get(position, [])
-            framed, raw_bytes = encode_segment(batch, batch_edges)
-            path = os.path.join(self.path, SEGMENTS_DIR, segment_file_name(segment_id))
-            scratch = path + ".tmp"
-            with open(scratch, "wb") as handle:
-                handle.write(framed)
-            os.replace(scratch, path)
-            for node in batch:
-                new_index.add_node(segment_id, node, old_index.topo_of(node.node_id))
-            for edge in batch_edges:
-                new_index.add_edge(segment_id, edge)
-            new_infos.append(
-                SegmentInfo(
-                    segment_id=segment_id,
-                    run=run_id,
-                    nodes=len(batch),
-                    edges=len(batch_edges),
-                    raw_bytes=raw_bytes,
-                    stored_bytes=len(framed),
-                )
+        if (
+            len(infos) <= wanted
+            and all(
+                info.nodes >= min(segment_nodes, run_info.nodes) or info is infos[-1]
+                for info in infos
             )
+            and all(info.codec == self.default_codec for info in infos)
+        ):
+            return [], 0  # already compact (also covers the 0/1-segment runs)
+        old_index = self.run_indexes[run_id]
+        # Batch assignment from the (small, in-memory) node index alone:
+        # node payloads are never materialized run-wide.
+        in_topo_order = sorted(old_index.node_topo.items(), key=lambda item: item[1])
+        batch_of_node = {
+            parse_node_key(key): position // segment_nodes
+            for position, (key, _) in enumerate(in_topo_order)
+        }
+        batch_count = max(1, -(-len(in_topo_order) // segment_nodes))
+        batch_sizes = [
+            min(segment_nodes, len(in_topo_order) - position * segment_nodes)
+            for position in range(batch_count)
+        ]
+        spill_dir = os.path.join(self.path, _COMPACT_SPILL_DIR)
+        self._remove_spill_dir()
+        os.makedirs(spill_dir, exist_ok=True)
+        peak = 0
+        try:
+            # Pass 1: scatter every edge to its destination batch's spill
+            # file (an edge is co-located with its target node; edges whose
+            # target lives elsewhere fall back to the source's batch, then
+            # the first).
+            for info in infos:
+                payload = self._segment_uncached(info.segment_id)
+                peak = max(peak, len(payload.nodes))
+                lines_by_batch: Dict[int, List[str]] = defaultdict(list)
+                for edge in payload.edges:
+                    position = batch_of_node.get(edge[1], batch_of_node.get(edge[0], 0))
+                    lines_by_batch[position].append(
+                        json.dumps(
+                            edge_to_dict(
+                                edge[0], edge[1], {"kind": edge[2], **edge[3]},
+                                version=FORMAT_VERSION_V2,
+                            ),
+                            sort_keys=True,
+                        )
+                    )
+                for position, lines in lines_by_batch.items():
+                    with open(
+                        os.path.join(spill_dir, f"batch-{position:08d}.jsonl"),
+                        "a",
+                        encoding="utf-8",
+                    ) as handle:
+                        handle.write("\n".join(lines) + "\n")
+            # Pass 2: stream nodes in topological order, sealing each new
+            # segment as soon as its batch is complete.
+            new_index = StoreIndexes()
+            new_infos: List[SegmentInfo] = []
+            buffers: Dict[int, List[SubComputation]] = defaultdict(list)
+            emitted: Set[int] = set()
+
+            def emit(position: int) -> None:
+                batch = sorted(
+                    buffers.pop(position, []), key=lambda node: old_index.topo_of(node.node_id)
+                )
+                batch_edges: List[EdgeTuple] = []
+                spill_path = os.path.join(spill_dir, f"batch-{position:08d}.jsonl")
+                if os.path.exists(spill_path):
+                    with open(spill_path, "r", encoding="utf-8") as handle:
+                        for line in handle:
+                            if line.strip():
+                                batch_edges.append(edge_from_dict(json.loads(line)))
+                segment_id = self.manifest.next_segment_id
+                self.manifest.next_segment_id += 1
+                framed, raw_bytes = encode_segment(batch, batch_edges, codec=self.default_codec)
+                path = os.path.join(self.path, SEGMENTS_DIR, segment_file_name(segment_id))
+                scratch = path + ".tmp"
+                with open(scratch, "wb") as handle:
+                    handle.write(framed)
+                os.replace(scratch, path)
+                for node in batch:
+                    new_index.add_node(segment_id, node, old_index.topo_of(node.node_id))
+                for edge in batch_edges:
+                    new_index.add_edge(segment_id, edge)
+                new_infos.append(
+                    SegmentInfo(
+                        segment_id=segment_id,
+                        run=run_id,
+                        nodes=len(batch),
+                        edges=len(batch_edges),
+                        raw_bytes=raw_bytes,
+                        stored_bytes=len(framed),
+                        codec=self.default_codec,
+                    )
+                )
+                emitted.add(position)
+
+            for info in infos:
+                payload = self._segment_uncached(info.segment_id)
+                for node in payload.nodes.values():
+                    buffers[batch_of_node[node.node_id]].append(node)
+                # The decoded payload's nodes now live in the buffers, so
+                # the buffered total *is* the resident node count.
+                peak = max(peak, sum(len(pending) for pending in buffers.values()))
+                for position in [
+                    position
+                    for position, pending in buffers.items()
+                    if len(pending) >= batch_sizes[position]
+                ]:
+                    emit(position)
+            for position in sorted(buffers):
+                emit(position)
+            for position in range(batch_count):
+                if position not in emitted:
+                    emit(position)  # nodeless batch (edge-only runs)
+        finally:
+            self._remove_spill_dir()
+        new_index.clear_pending()
+        new_index.needs_base = True
         superseded = [info.segment_id for info in infos]
         self.manifest.segments = [
             info for info in self.manifest.segments if info.run != run_id
@@ -569,7 +929,21 @@ class ProvenanceStore:
         self.run_indexes[run_id] = new_index
         for segment_id in superseded:
             self._cache.pop(segment_id, None)
-        return superseded
+        return superseded, peak
+
+    def _remove_spill_dir(self) -> None:
+        spill_dir = os.path.join(self.path, _COMPACT_SPILL_DIR)
+        if not os.path.isdir(spill_dir):
+            return
+        for name in os.listdir(spill_dir):
+            try:
+                os.remove(os.path.join(spill_dir, name))
+            except OSError:
+                continue
+        try:
+            os.rmdir(spill_dir)
+        except OSError:
+            pass
 
     def gc(
         self, keep_last: Optional[int] = None, runs: Optional[Sequence[int]] = None
@@ -601,11 +975,22 @@ class ProvenanceStore:
             stats.segments_after = stats.segments_before
             return stats
         dropped_segments: List[int] = []
+        self._load_pages_runs_once()
         for run_id in drop:
             dropped_segments.extend(
                 info.segment_id for info in self.manifest.remove_run(run_id)
             )
             self.run_indexes.pop(run_id, None)
+            self._pages_runs_covered.discard(run_id)
+        if self._pages_runs:
+            dropped_set_runs = set(drop)
+            for page in list(self._pages_runs):
+                remaining = self._pages_runs[page] - dropped_set_runs
+                if remaining != self._pages_runs[page]:
+                    if remaining:
+                        self._pages_runs[page] = remaining
+                    else:
+                        del self._pages_runs[page]
         dropped_set = set(dropped_segments)
         for segment_id in list(self._cache):
             if segment_id in dropped_set:
@@ -648,43 +1033,111 @@ class ProvenanceStore:
     def _sweep_orphans(self) -> int:
         """Delete files the manifest does not reference; returns bytes freed.
 
-        Only maintenance operations sweep (never :meth:`open`): a streaming
-        sink with ``flush_every_epochs > 1`` legitimately leaves committed
-        segment files briefly ahead of the manifest, and sweeping on every
-        open would race it.  Running compact/gc concurrently with an active
+        Covers segment files, index base/delta generations no run
+        references (superseded by a fold, or strays from a crashed
+        flush/compaction), the legacy JSON index files of runs that have a
+        v4 base, and stale compaction spill directories.  Only maintenance
+        operations sweep (never :meth:`open`): a streaming sink with
+        ``flush_every_epochs > 1`` legitimately leaves committed segment
+        files briefly ahead of the manifest, and sweeping on every open
+        would race it.  Running compact/gc concurrently with an active
         ingest is documented as unsupported.
         """
         freed = 0
+
+        def remove(path: str) -> int:
+            try:
+                size = os.path.getsize(path)
+                os.remove(path)
+                return size
+            except OSError:
+                return 0
+
         referenced = set(self.manifest.segment_ids())
         segments_dir = os.path.join(self.path, SEGMENTS_DIR)
         if os.path.isdir(segments_dir):
             for name in os.listdir(segments_dir):
+                if name.endswith(".tmp"):
+                    # Scratch left by a crash between write and rename;
+                    # maintenance is single-writer, so nothing races this.
+                    freed += remove(os.path.join(segments_dir, name))
+                    continue
                 match = _SEGMENT_FILE_RE.match(name)
                 if match is None or int(match.group(1)) in referenced:
                     continue
-                path = os.path.join(segments_dir, name)
-                try:
-                    freed += os.path.getsize(path)
-                    os.remove(path)
-                except OSError:
-                    continue
+                freed += remove(os.path.join(segments_dir, name))
         index_dir = os.path.join(self.path, INDEX_DIR)
         known_runs = set(self.run_ids())
         if os.path.isdir(index_dir):
             for name in os.listdir(index_dir):
                 match = _RUN_DIR_RE.match(name)
-                if match is not None and int(match.group(1)) not in known_runs:
-                    self._delete_run_index_dir(int(match.group(1)))
+                if match is None:
+                    # v2 leftovers: the flat index files of an upgraded
+                    # single-run store (never the cross-run summary) --
+                    # and crashed-rename scratch files.
+                    stray = name.endswith(".tmp") or (
+                        name in LEGACY_INDEX_FILES
+                        and self._disk_version >= STORE_FORMAT_VERSION
+                    )
+                    if stray:
+                        freed += remove(os.path.join(index_dir, name))
+                    continue
+                run_id = int(match.group(1))
+                if run_id not in known_runs:
+                    self._delete_run_index_dir(run_id)
+                    continue
+                freed += self._sweep_run_index_dir(run_id, os.path.join(index_dir, name))
+        self._remove_spill_dir()
+        return freed
+
+    def _sweep_run_index_dir(self, run_id: int, run_dir: str) -> int:
+        """Drop index generations (and superseded legacy files) of one run."""
+        run_info = self.manifest.run_info(run_id)
+        freed = 0
+        for name in os.listdir(run_dir):
+            path = os.path.join(run_dir, name)
+            base_match = _INDEX_BASE_RE.match(name)
+            delta_match = _INDEX_DELTA_RE.match(name)
+            stale = name.endswith(".tmp")  # crashed-rename scratch
+            if base_match is not None:
+                stale = int(base_match.group(1)) != run_info.index_base
+            elif delta_match is not None:
+                stale = int(delta_match.group(1)) not in run_info.index_deltas
+            elif name in LEGACY_INDEX_FILES and run_info.index_base > 0:
+                # The run's state lives in v4 generation files now; the
+                # JSON files it was upgraded from are superseded.
+                stale = True
+            if stale:
+                try:
+                    freed += os.path.getsize(path)
+                    os.remove(path)
+                except OSError:
+                    continue
         return freed
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
 
+    def run_index_delta_bytes(self, run_id: int) -> int:
+        """On-disk size of the run's pending (un-folded) index delta files."""
+        run_info = self.manifest.run_info(run_id)
+        run_dir = os.path.join(self.path, INDEX_DIR, run_index_dir_name(run_id))
+        total = 0
+        for generation in run_info.index_deltas:
+            try:
+                total += os.path.getsize(os.path.join(run_dir, index_delta_file_name(generation)))
+            except OSError:
+                continue
+        return total
+
     def run_summary(self, run_id: int) -> dict:
         """One run's manifest entry plus its on-disk footprint."""
         run = self.manifest.run_info(run_id)
         infos = self.manifest.segments_of_run(run_id)
+        codecs: Dict[str, int] = {}
+        for info in infos:
+            codecs[info.codec] = codecs.get(info.codec, 0) + 1
         return {
             "id": run.run_id,
             "workload": run.workload,
@@ -694,6 +1147,10 @@ class ProvenanceStore:
             "edges": run.edges,
             "segments": len(infos),
             "stored_bytes": sum(info.stored_bytes for info in infos),
+            "codecs": codecs,
+            "index_base_gen": run.index_base,
+            "index_delta_files": len(run.index_deltas),
+            "index_delta_bytes": self.run_index_delta_bytes(run_id),
             "meta": dict(run.meta),
         }
 
@@ -702,19 +1159,26 @@ class ProvenanceStore:
         manifest = self.manifest
         raw = sum(segment.raw_bytes for segment in manifest.segments)
         stored = sum(segment.stored_bytes for segment in manifest.segments)
+        codecs: Dict[str, int] = {}
+        for segment in manifest.segments:
+            codecs[segment.codec] = codecs.get(segment.codec, 0) + 1
+        for run_id in self.run_ids():
+            self.indexes_for(run_id)  # info is the diagnostic full view
         threads = sorted({tid for idx in self.run_indexes.values() for tid in idx.thread_indexes})
         pages = len(
             {
                 page
                 for idx in self.run_indexes.values()
-                for page in set(idx.page_writers) | set(idx.page_readers)
+                for page in idx.pages_touched()
             }
         )
         sync_objects = len({obj for idx in self.run_indexes.values() for obj in idx.sync_edges})
+        runs = [self.run_summary(run_id) for run_id in self.run_ids()]
         return {
             "path": self.path,
             "format_version": manifest.version,
             "segments": manifest.segment_count,
+            "codecs": codecs,
             "nodes": manifest.node_count,
             "edges": manifest.edge_count,
             "threads": threads,
@@ -723,7 +1187,9 @@ class ProvenanceStore:
             "raw_bytes": raw,
             "stored_bytes": stored,
             "compression_ratio": round(raw / stored, 2) if stored else 1.0,
-            "runs": [self.run_summary(run_id) for run_id in self.run_ids()],
+            "index_delta_files": sum(len(run.index_deltas) for run in manifest.runs),
+            "index_delta_bytes": sum(self.run_index_delta_bytes(run_id) for run_id in self.run_ids()),
+            "runs": runs,
         }
 
     def __len__(self) -> int:

@@ -1,0 +1,198 @@
+"""Property tests: the segment codecs are interchangeable.
+
+Random segments -- arbitrary sub-computations (clocks, page sets, thunks,
+branch records, sync metadata) plus arbitrary edges of every kind -- must
+survive a round trip through **both** codecs with identical content: the
+binary codec is only allowed to change the bytes, never the graph.  A
+second property checks the equivalence end to end through a store: the
+same CPG ingested once per codec answers every query identically.
+"""
+
+import os
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cpg import EdgeKind
+from repro.core.thunk import BranchRecord, SubComputation, Thunk
+from repro.core.vector_clock import VectorClock
+from repro.store import ProvenanceStore, StoreQueryEngine
+from repro.store.codecs import CODECS
+from repro.store.segment import decode_segment, encode_segment
+
+_pages = st.integers(min_value=0, max_value=2**40)
+_small = st.integers(min_value=0, max_value=12)
+_names = st.one_of(
+    st.none(), st.sampled_from(["mutex_lock", "mutex_unlock", "barrier_wait", "thread_exit", ""])
+)
+
+
+@st.composite
+def subcomputations(draw):
+    """A batch of distinct sub-computations with rich payloads."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    nodes = []
+    identities = draw(
+        st.lists(
+            st.tuples(st.integers(min_value=-1, max_value=5), _small),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    for tid, index in identities:
+        node = SubComputation(
+            tid=tid,
+            index=index,
+            clock=VectorClock(
+                draw(
+                    st.dictionaries(
+                        st.integers(min_value=-1, max_value=5),
+                        st.integers(min_value=0, max_value=2**33),
+                        max_size=4,
+                    )
+                )
+            ),
+            started_by=draw(_names),
+            ended_by=draw(_names),
+            faults=draw(_small),
+        )
+        node.read_set.update(draw(st.sets(_pages, max_size=5)))
+        node.write_set.update(draw(st.sets(_pages, max_size=5)))
+        for position in range(draw(st.integers(min_value=0, max_value=3))):
+            branch = None
+            if draw(st.booleans()):
+                branch = BranchRecord(
+                    site=draw(st.integers(min_value=0, max_value=2**45)),
+                    taken=draw(st.booleans()),
+                    is_indirect=draw(st.booleans()),
+                )
+            node.thunks.append(
+                Thunk(
+                    index=position,
+                    start_branch=branch,
+                    instructions=draw(st.integers(min_value=0, max_value=10**6)),
+                )
+            )
+        nodes.append(node)
+    return nodes
+
+
+@st.composite
+def edges_over(draw, nodes):
+    """Edges whose endpoints mix in-segment and out-of-segment node ids."""
+    ids = [node.node_id for node in nodes] + [(9, 999)]
+    count = draw(st.integers(min_value=0, max_value=10))
+    edges = []
+    for _ in range(count):
+        source = draw(st.sampled_from(ids))
+        target = draw(st.sampled_from(ids))
+        kind = draw(st.sampled_from([EdgeKind.CONTROL, EdgeKind.SYNC, EdgeKind.DATA]))
+        if kind is EdgeKind.SYNC:
+            attrs = {
+                "object_id": draw(
+                    st.one_of(st.none(), st.integers(min_value=-8, max_value=2**34))
+                ),
+                "operation": draw(_names) or "",
+            }
+        elif kind is EdgeKind.DATA:
+            attrs = {"pages": frozenset(draw(st.sets(_pages, max_size=5)))}
+        else:
+            attrs = {}
+        edges.append((source, target, kind, attrs))
+    return edges
+
+
+def canonical_nodes(payload):
+    out = {}
+    for node_id, node in payload.nodes.items():
+        out[node_id] = (
+            node.tid,
+            node.index,
+            tuple(sorted(node.clock.as_dict().items())),
+            tuple(sorted(node.read_set)),
+            tuple(sorted(node.write_set)),
+            node.started_by,
+            node.ended_by,
+            node.faults,
+            tuple(
+                (
+                    thunk.index,
+                    thunk.instructions,
+                    (
+                        (thunk.start_branch.site, thunk.start_branch.taken, thunk.start_branch.is_indirect)
+                        if thunk.start_branch is not None
+                        else None
+                    ),
+                )
+                for thunk in node.thunks
+            ),
+        )
+    return out
+
+
+def canonical_edges(payload):
+    entries = []
+    for source, target, kind, attrs in payload.edges:
+        if kind is EdgeKind.SYNC:
+            extra = (attrs.get("object_id"), attrs.get("operation", ""))
+        elif kind is EdgeKind.DATA:
+            extra = (tuple(sorted(attrs.get("pages", ()))),)
+        else:
+            extra = ()
+        entries.append((source, target, kind.value, extra))
+    return sorted(entries, key=repr)  # object_id may be None (unorderable)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_codecs_round_trip_identically(data):
+    nodes = data.draw(subcomputations())
+    edges = data.draw(edges_over(nodes))
+    decoded = {}
+    for codec in sorted(CODECS):
+        framed, raw_bytes = encode_segment(nodes, edges, codec=codec)
+        assert raw_bytes > 0
+        decoded[codec] = decode_segment(framed)
+    reference = decoded["json"]
+    for codec, payload in decoded.items():
+        assert canonical_nodes(payload) == canonical_nodes(reference), codec
+        assert canonical_edges(payload) == canonical_edges(reference), codec
+    # And both match the original, not merely each other.
+    from repro.store.segment import SegmentPayload
+
+    original = SegmentPayload.build(nodes, edges)
+    assert canonical_nodes(reference) == canonical_nodes(original)
+    assert canonical_edges(reference) == canonical_edges(original)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_stores_built_with_either_codec_answer_identically(data):
+    nodes = data.draw(subcomputations())
+    # A store run needs edges between *stored* nodes only.
+    ids = [node.node_id for node in nodes]
+    edges = [edge for edge in data.draw(edges_over(nodes)) if edge[0] in ids and edge[1] in ids]
+    engines = {}
+    with tempfile.TemporaryDirectory(prefix="inspector-codec-prop-") as tmp:
+        for codec in sorted(CODECS):
+            store = ProvenanceStore.create(os.path.join(tmp, codec))
+            run_id = store.new_run(workload=f"prop-{codec}")
+            store.append_segment(nodes, edges, run=run_id, codec=codec)
+            store.flush()
+            engines[codec] = StoreQueryEngine(ProvenanceStore.open(os.path.join(tmp, codec)))
+        reference = engines["json"]
+        pages = sorted({page for node in nodes for page in node.read_set | node.write_set})[:3]
+        for codec, engine in engines.items():
+            for node in nodes:
+                assert engine.backward_slice(node.node_id, run=1) == reference.backward_slice(
+                    node.node_id, run=1
+                ), codec
+            assert engine.lineage_of_pages(pages, run=1) == reference.lineage_of_pages(
+                pages, run=1
+            ), codec
+            mine = engine.propagate_taint(pages, run=1)
+            theirs = reference.propagate_taint(pages, run=1)
+            assert mine.tainted_nodes == theirs.tainted_nodes, codec
+            assert mine.tainted_pages == theirs.tainted_pages, codec

@@ -28,7 +28,7 @@ from repro.core.serialization import (
 )
 from repro.errors import ProvenanceError, StoreError
 from repro.inspector.api import run_with_provenance
-from repro.store import ProvenanceStore, StoreQueryEngine, StoreSink
+from repro.store import STORE_FORMAT_VERSION, ProvenanceStore, StoreQueryEngine, StoreSink
 from repro.store.__main__ import main as store_cli
 from repro.store.segment import decode_segment, encode_segment
 
@@ -539,7 +539,7 @@ class TestStoreCLI:
         _, store_dir = ingested
         assert store_cli(["info", store_dir, "--json"]) == 0
         summary = json.loads(capsys.readouterr().out)
-        assert summary["format_version"] == 3
+        assert summary["format_version"] == STORE_FORMAT_VERSION
         assert summary["nodes"] > 0
         assert len(summary["runs"]) == 1
 

@@ -16,7 +16,13 @@ from repro.core.queries import backward_slice, lineage_of_pages, propagate_taint
 from repro.core.serialization import node_key
 from repro.errors import StoreError
 from repro.inspector.api import run_with_provenance
-from repro.store import ProvenanceStore, StoreIndexes, StoreQueryEngine, StoreSink
+from repro.store import (
+    STORE_FORMAT_VERSION,
+    ProvenanceStore,
+    StoreIndexes,
+    StoreQueryEngine,
+    StoreSink,
+)
 from repro.store.__main__ import main as store_cli
 from repro.store.format import (
     INDEX_DIR,
@@ -402,7 +408,7 @@ class TestV2BackCompat:
         store.ingest(build_example_cpg(racy=True), workload="fresh")
         assert store.run_ids() == [1, 2]
         reopened = ProvenanceStore.open(store_dir)
-        assert reopened.manifest.version == 3  # rewritten by the flush
+        assert reopened.manifest.version == STORE_FORMAT_VERSION  # rewritten by the flush
         assert [run.workload for run in reopened.manifest.runs] == ["legacy-example", "fresh"]
         assert canonical_edges(reopened.load_cpg(run=1)) == canonical_edges(cpg)
         # Legacy run maintenance works too: gc away the v2 run.
