@@ -248,12 +248,19 @@ def find_racy_pairs(cpg: ConcurrentProvenanceGraph) -> List[tuple]:
     Instead of testing every node pair (quadratic in the graph size, with a
     reachability test per pair), candidate pairs are generated from the
     page -> accessors inverted index: only pairs that actually share a page
-    with at least one writer are checked for concurrency.
+    with at least one writer are checked for concurrency.  The accessor set
+    is built once per page (not per writer), and pages that cannot yield a
+    pair -- a single accessor, or all real accessors on one thread -- are
+    skipped before any pairing work.
     """
     index = build_page_index(cpg)
     candidates: Set[Tuple[NodeId, NodeId]] = set()
     for page, writers in index.writers.items():
+        if len(writers) == 1 and not index.readers_of(page):
+            continue  # the lone accessor cannot race with itself
         accessors = index.accessors_of(page)
+        if len({node[0] for node in accessors if node[0] >= 0}) < 2:
+            continue  # a race needs two distinct real threads on the page
         for writer in writers:
             if writer[0] < 0:
                 continue

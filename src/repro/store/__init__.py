@@ -22,14 +22,30 @@ between these two runs".  It provides:
   (:meth:`~repro.store.query.StoreQueryEngine.compare_lineage`);
 * :class:`~repro.store.sink.StoreSink` -- incremental ingestion of a
   running execution, one segment per epoch, one run per sink;
+* :mod:`repro.store.cache` -- the hot read path: a byte-budgeted LRU of
+  decoded segments (:class:`~repro.store.cache.SegmentCache`) and pinned
+  per-run index generations (:class:`~repro.store.cache.IndexPinner`);
+* :class:`~repro.store.server.StoreServer` /
+  :class:`~repro.store.server.StoreClient` -- a long-lived warm query
+  server (snapshot-at-open, concurrent read-only queries, per-query
+  stats) and its client;
 * ``python -m repro.store`` -- the ``ingest`` / ``info`` / ``runs`` /
-  ``slice`` / ``taint`` / ``compact`` / ``gc`` command-line surface.
+  ``slice`` / ``lineage`` / ``taint`` / ``compact`` / ``gc`` / ``serve``
+  command-line surface.
 
 The whole reproduction's module map lives in ``docs/architecture.md``;
 this package's own design notes are in ``docs/store.md``.
 """
 
 from repro.errors import StoreError
+from repro.store.cache import (
+    DEFAULT_CACHE_BYTES,
+    CacheStats,
+    IndexPinner,
+    PinnerStats,
+    ReadScope,
+    SegmentCache,
+)
 from repro.store.codecs import CODECS, DEFAULT_CODEC, SegmentCodec
 from repro.store.format import (
     DEFAULT_SEGMENT_NODES,
@@ -42,26 +58,35 @@ from repro.store.format import (
 )
 from repro.store.indexes import StoreIndexes
 from repro.store.query import LineageDiff, StoreQueryEngine
+from repro.store.server import StoreClient, StoreServer
 from repro.store.sink import StoreSink
 from repro.store.store import MaintenanceStats, ProvenanceStore, StoreReadStats
 
 __all__ = [
     "CODECS",
+    "DEFAULT_CACHE_BYTES",
     "DEFAULT_CODEC",
     "DEFAULT_SEGMENT_NODES",
     "STORE_FORMAT_VERSION",
     "STORE_FORMAT_VERSION_V2",
     "STORE_FORMAT_VERSION_V3",
+    "CacheStats",
+    "IndexPinner",
     "LineageDiff",
+    "PinnerStats",
+    "ReadScope",
+    "SegmentCache",
     "SegmentCodec",
     "MaintenanceStats",
     "ProvenanceStore",
     "RunInfo",
     "SegmentInfo",
+    "StoreClient",
     "StoreError",
     "StoreIndexes",
     "StoreManifest",
     "StoreQueryEngine",
     "StoreReadStats",
+    "StoreServer",
     "StoreSink",
 ]

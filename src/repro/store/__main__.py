@@ -4,24 +4,33 @@ Usage::
 
     python -m repro.store ingest <store> <cpg.json> [--segment-nodes N] \\
         [--workload NAME] [--codec binary|json]
-    python -m repro.store info <store> [--json]
+    python -m repro.store info <store> [--stats] [--json]
     python -m repro.store runs <store> [--json]
     python -m repro.store slice <store> (--node TID:IDX | --pages 1,2) \\
-        [--run R] [--forward] [--kinds data,control,sync] [--json]
+        [--run R] [--forward] [--kinds data,control,sync] [--parallelism N] [--json]
+    python -m repro.store lineage <store> --pages 1,2 [--run R] \\
+        [--parallelism N] [--json]
     python -m repro.store taint <store> --pages 1,2 \\
-        [--run R] [--through-thread-state] [--json]
+        [--run R] [--through-thread-state] [--parallelism N] [--json]
     python -m repro.store compact <store> [--run R] [--segment-nodes N] [--json]
     python -m repro.store gc <store> (--keep-last N | --runs 1,2) [--json]
+    python -m repro.store serve <store> [--host H] [--port P] \\
+        [--cache-bytes N] [--parallelism N]
 
 ``slice --node`` answers "what does this sub-computation depend on" (or,
-with ``--forward``, "what did it influence"); ``slice --pages`` answers the
-debugging case study's "why is this page in that state" as the lineage of
-the pages.  A store holds many runs: ``runs`` lists them, ``--run`` scopes
-a query to one (optional while the store holds exactly one run),
-``compact`` merges a run's small segments, and ``gc`` drops superseded
-runs and reclaims their disk space.  Every query prints how many segments
-it read out of how many the store holds, making the out-of-core behaviour
-visible.
+with ``--forward``, "what did it influence"); ``lineage --pages`` (and its
+older spelling ``slice --pages``) answers the debugging case study's "why
+is this page in that state" as the lineage of the pages.  A store holds
+many runs: ``runs`` lists them, ``--run`` scopes a query to one (optional
+while the store holds exactly one run), ``compact`` merges a run's small
+segments, and ``gc`` drops superseded runs and reclaims their disk space.
+Every query prints how many segments it read out of how many the store
+holds, making the out-of-core behaviour visible; ``--parallelism`` fans
+multi-segment scans out over a thread pool.  ``serve`` keeps one warm
+decoded-segment cache + pinned indexes resident and answers the same
+queries over newline-delimited JSON on TCP
+(:mod:`repro.store.server`), and ``info --stats`` reports the read-path
+cache configuration.
 """
 
 from __future__ import annotations
@@ -36,9 +45,30 @@ from repro.core.cpg import EdgeKind
 from repro.core.serialization import node_key, parse_node_key
 from repro.errors import InspectorError
 
+from repro.store.cache import DEFAULT_CACHE_BYTES
 from repro.store.codecs import CODECS, DEFAULT_CODEC
 from repro.store.query import StoreQueryEngine
-from repro.store.store import ProvenanceStore
+from repro.store.server import StoreServer
+from repro.store.store import DEFAULT_CACHE_SEGMENTS, ProvenanceStore
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from exc
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_parallelism(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallelism",
+        type=_positive_int,
+        default=1,
+        help="worker threads for multi-segment scans (default: 1, sequential)",
+    )
 
 
 def _parse_pages(text: str) -> List[int]:
@@ -97,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = commands.add_parser("info", help="print the store summary")
     info.add_argument("store", help="store directory")
+    info.add_argument(
+        "--stats",
+        action="store_true",
+        help="also report read-path cache configuration and counters",
+    )
     info.add_argument("--json", action="store_true", help="machine-readable output")
 
     runs = commands.add_parser("runs", help="list the store's runs")
@@ -117,7 +152,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=[EdgeKind.DATA],
         help="edge kinds to follow (default: data)",
     )
+    _add_parallelism(slice_cmd)
     slice_cmd.add_argument("--json", action="store_true", help="machine-readable output")
+
+    lineage = commands.add_parser("lineage", help="lineage of pages (alias of slice --pages)")
+    lineage.add_argument("store", help="store directory")
+    lineage.add_argument(
+        "--pages", type=_parse_pages, required=True, help="comma-separated page list"
+    )
+    lineage.add_argument(
+        "--run", type=int, default=None, help="run to query (optional for single-run stores)"
+    )
+    _add_parallelism(lineage)
+    lineage.add_argument("--json", action="store_true", help="machine-readable output")
 
     taint = commands.add_parser("taint", help="propagate page-granularity taint")
     taint.add_argument("store", help="store directory")
@@ -130,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="conservative mode: a tainted thread stays tainted",
     )
+    _add_parallelism(taint)
     taint.add_argument("--json", action="store_true", help="machine-readable output")
 
     compact = commands.add_parser("compact", help="merge a run's small segments")
@@ -147,6 +195,20 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--keep-last", type=int, default=None, help="keep the N most recent runs")
     gc.add_argument("--runs", type=_parse_runs, default=None, help="drop exactly these run ids")
     gc.add_argument("--json", action="store_true", help="machine-readable output")
+
+    serve = commands.add_parser(
+        "serve", help="serve read-only queries from one warm cache (JSON lines over TCP)"
+    )
+    serve.add_argument("store", help="store directory")
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind (default: loopback)")
+    serve.add_argument("--port", type=int, default=0, help="TCP port (default: pick a free one)")
+    serve.add_argument(
+        "--cache-bytes",
+        type=_positive_int,
+        default=DEFAULT_CACHE_BYTES,
+        help=f"decoded-segment cache byte budget (default: {DEFAULT_CACHE_BYTES})",
+    )
+    _add_parallelism(serve)
     return parser
 
 
@@ -171,9 +233,39 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cache_stats(store: ProvenanceStore) -> None:
+    cache_info = store.cache_info()
+    cache = cache_info["segment_cache"]
+    print("  read-path cache:")
+    print(
+        f"    segment cache:  {cache['max_bytes']} byte budget "
+        f"(default {DEFAULT_CACHE_BYTES}), "
+        f"{cache['max_entries'] if cache['max_entries'] is not None else 'unbounded'} "
+        f"entry cap (default {DEFAULT_CACHE_SEGMENTS})"
+    )
+    print(
+        f"    resident:       {cache['entries']} segment(s), {cache['total_bytes']} byte(s) "
+        f"(peak {cache['peak_bytes']})"
+    )
+    print(
+        f"    traffic:        {cache['hits']} hit(s), {cache['misses']} miss(es), "
+        f"{cache['evictions']} eviction(s)"
+    )
+    pinner = cache_info["index_pinner"]
+    if pinner is None:
+        print("    index pinner:   none attached (one-shot CLI queries merge per open)")
+    else:
+        print(
+            f"    index pinner:   {pinner['pinned_runs']} run(s) pinned, "
+            f"{pinner['hits']} hit(s), {pinner['misses']} miss(es)"
+        )
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     store = ProvenanceStore.open(args.store)
     summary = store.info()
+    if args.stats:
+        summary["cache"] = store.cache_info()
     if args.json:
         print(json.dumps(summary, sort_keys=True, indent=2))
         return 0
@@ -206,6 +298,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
             f"({run_codecs or 'no segments'}; index base gen {run['index_base_gen']}, "
             f"{run['index_delta_files']} delta(s), {run['index_delta_bytes']} byte(s) pending)"
         )
+    if args.stats:
+        _print_cache_stats(store)
     return 0
 
 
@@ -239,7 +333,7 @@ def _cmd_slice(args: argparse.Namespace) -> int:
         return 2
     store = ProvenanceStore.open(args.store)
     run_id = store.resolve_run(args.run)
-    engine = StoreQueryEngine(store)
+    engine = StoreQueryEngine(store, parallelism=args.parallelism)
     if args.node is not None:
         origin = parse_node_key(args.node)
         if args.forward:
@@ -266,10 +360,19 @@ def _cmd_slice(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lineage(args: argparse.Namespace) -> int:
+    # `lineage` is the first-class spelling of `slice --pages`; delegate so
+    # the two subcommands cannot drift apart.
+    args.node = None
+    args.forward = False
+    args.kinds = [EdgeKind.DATA]
+    return _cmd_slice(args)
+
+
 def _cmd_taint(args: argparse.Namespace) -> int:
     store = ProvenanceStore.open(args.store)
     run_id = store.resolve_run(args.run)
-    engine = StoreQueryEngine(store)
+    engine = StoreQueryEngine(store, parallelism=args.parallelism)
     result = engine.propagate_taint(
         args.pages, through_thread_state=args.through_thread_state, run=run_id
     )
@@ -329,14 +432,38 @@ def _cmd_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    server = StoreServer(
+        args.store,
+        host=args.host,
+        port=args.port,
+        cache_bytes=args.cache_bytes,
+        parallelism=args.parallelism,
+    )
+    host, port = server.address
+    print(
+        f"serving {args.store} on {host}:{port} "
+        f"(cache budget {args.cache_bytes} bytes, parallelism {args.parallelism}); "
+        f"Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.close()
+        print("stopped")
+    return 0
+
+
 _COMMANDS = {
     "ingest": _cmd_ingest,
     "info": _cmd_info,
     "runs": _cmd_runs,
     "slice": _cmd_slice,
+    "lineage": _cmd_lineage,
     "taint": _cmd_taint,
     "compact": _cmd_compact,
     "gc": _cmd_gc,
+    "serve": _cmd_serve,
 }
 
 

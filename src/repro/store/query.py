@@ -32,12 +32,21 @@ replay preserves the result bit for bit.  When the closure floods (the
 frontier touches a majority of the run's *read* pages -- write-only pages
 never spread taint further) the engine stops
 expanding it and falls back to one sequential sweep of the run's segments
-in topological order: each segment is decoded exactly once, which is the
-optimal access pattern for a query whose answer genuinely spans the run.
+in topological order: each segment is processed exactly once, which is
+the optimal access pattern for a query whose answer genuinely spans the
+run.
+
+Every segment read goes through the store's byte-budgeted decoded-segment
+cache (:mod:`repro.store.cache`), so repeated queries on a warm engine --
+the profile :class:`~repro.store.server.StoreServer` serves -- cost no
+decode at all, and the ``parallelism=`` knob fans multi-segment scans
+(taint prefetch, flood sweep, ``*_across_runs``) out over a thread pool
+with a sequential fallback at ``parallelism=1``.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -45,6 +54,7 @@ from repro.core.cpg import EdgeKind
 from repro.core.queries import TaintResult, replay_taint
 from repro.core.thunk import NodeId, SubComputation
 
+from repro.store.cache import ReadScope
 from repro.store.segment import EdgeTuple
 from repro.store.store import ProvenanceStore
 
@@ -85,12 +95,36 @@ class LineageDiff:
 
 
 class StoreQueryEngine:
-    """Indexed queries over one provenance store (any number of runs)."""
+    """Indexed queries over one provenance store (any number of runs).
 
-    def __init__(self, store: ProvenanceStore) -> None:
+    Args:
+        store: The store to query (may share a warm
+            :class:`~repro.store.cache.SegmentCache` with other handles).
+        parallelism: Worker threads for multi-segment scans (the taint
+            candidate prefetch, the sequential sweep, and the
+            ``*_across_runs`` fan-out).  ``1`` (the default) keeps every
+            path sequential.
+        scope: Optional :class:`~repro.store.cache.ReadScope` collecting
+            this engine's per-query read accounting (the server attaches
+            one per request).
+    """
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        parallelism: int = 1,
+        scope: Optional[ReadScope] = None,
+    ) -> None:
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
         self.store = store
+        self.parallelism = parallelism
+        self.scope = scope
         #: How the last ``propagate_taint`` ran: ``"indexed"`` (closure
-        #: from the indexes) or ``"sweep"`` (sequential flood fallback).
+        #: from the indexes) or ``"sweep"`` (segment-scan flood
+        #: fallback).  Meaningful after a single-run query; after a
+        #: parallel ``taint_across_runs`` fan-out it reflects whichever
+        #: run finished last and is effectively unspecified.
         self.last_taint_mode: Optional[str] = None
 
     @property
@@ -102,9 +136,39 @@ class StoreQueryEngine:
     # Node access
     # ------------------------------------------------------------------ #
 
+    def _segment(self, segment_id: int):
+        return self.store.segment(segment_id, scope=self.scope)
+
+    def _iter_payloads(self, segment_ids: Sequence[int]):
+        """Yield ``(segment_id, payload)`` decoding bounded chunks at a time.
+
+        With ``parallelism > 1`` each chunk's cache misses decode
+        concurrently; only one chunk of payloads is referenced from this
+        frame at any moment, so a scan's resident set stays bounded by
+        the chunk width (plus whatever the byte-budgeted cache retains)
+        even when the scanned segments exceed the cache budget -- and
+        every segment is decoded at most once per scan either way.
+        """
+        ids = list(dict.fromkeys(segment_ids))
+        if self.parallelism <= 1 or len(ids) <= 1:
+            for segment_id in ids:
+                yield segment_id, self._segment(segment_id)
+            return
+        width = self.parallelism * 2
+        # One pool for the whole scan: chunking bounds residency, not
+        # thread churn.
+        with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
+            for start in range(0, len(ids), width):
+                chunk = ids[start : start + width]
+                payloads = self.store.segment_many(
+                    chunk, parallelism=self.parallelism, scope=self.scope, executor=pool
+                )
+                for segment_id in chunk:
+                    yield segment_id, payloads[segment_id]
+
     def subcomputation(self, node_id: NodeId, run: Optional[int] = None) -> SubComputation:
         """Load the sub-computation stored at ``node_id`` of ``run``."""
-        payload = self.store.segment(self.store.indexes_for(run).segment_of(node_id))
+        payload = self._segment(self.store.indexes_for(run).segment_of(node_id))
         return payload.nodes[node_id]
 
     def _edges_at(self, node_id: NodeId, forward: bool, run: int) -> List[EdgeTuple]:
@@ -112,7 +176,7 @@ class StoreQueryEngine:
         segments = indexes.out_segments(node_id) if forward else indexes.in_segments(node_id)
         edges: List[EdgeTuple] = []
         for segment_id in segments:
-            payload = self.store.segment(segment_id)
+            payload = self._segment(segment_id)
             grouped = payload.edges_by_source if forward else payload.edges_by_target
             edges.extend(grouped.get(node_id, ()))
         return edges
@@ -176,10 +240,24 @@ class StoreQueryEngine:
     def lineage_of_pages(self, pages: Iterable[int], run: Optional[int] = None) -> Set[NodeId]:
         """Writers of ``pages`` plus everything they depend on through data edges."""
         run_id = self.store.resolve_run(run)
+        indexes = self.store.indexes_for(run_id)
         result: Set[NodeId] = set()
         writers: Set[NodeId] = set()
         for page in pages:
-            writers.update(self.store.indexes_for(run_id).writers_of_page(page))
+            writers.update(indexes.writers_of_page(page))
+        if self.parallelism > 1:
+            # Warm the first expansion hop of every writer concurrently;
+            # the closure walk below then finds those segments cached
+            # (when the first hop exceeds the cache budget the tail of the
+            # prefetch evicts its head and those segments decode twice --
+            # a bounded heuristic, never a correctness issue).  Payloads
+            # are dropped as each chunk is consumed -- only the cache
+            # retains them.
+            first_hop = [
+                segment_id for writer in writers for segment_id in indexes.in_segments(writer)
+            ]
+            for _ in self._iter_payloads(first_hop):
+                pass
         for writer in writers:
             result |= self.backward_slice(writer, kinds=(EdgeKind.DATA,), run=run_id)
         return result
@@ -208,18 +286,36 @@ class StoreQueryEngine:
             for run_id in self.runs_containing(node_id)
         }
 
+    def _fan_out_runs(self, run_ids: Sequence[int], query) -> Dict[int, object]:
+        """Run one per-run query over ``run_ids``, pooled when parallel.
+
+        The per-run queries are independent (each touches only its run's
+        indexes and segments), so an across-runs question parallelises at
+        run granularity on top of whatever the shared segment cache
+        already holds.
+        """
+        if self.parallelism > 1 and len(run_ids) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(self.parallelism, len(run_ids))
+            ) as pool:
+                return dict(zip(run_ids, pool.map(query, run_ids)))
+        return {run_id: query(run_id) for run_id in run_ids}
+
     def lineage_across_runs(self, pages: Iterable[int]) -> Dict[int, Set[NodeId]]:
         """:meth:`lineage_of_pages` in every run of the store.
 
         Runs the cross-run page summary (``index/pages_runs.json``) proves
         never touched any of ``pages`` are answered with an empty lineage
-        without opening their per-run indexes.
+        without opening their per-run indexes.  Touched runs are queried
+        concurrently when the engine's ``parallelism`` allows.
         """
         wanted = list(pages)
-        touched = self.store.runs_touching_pages(wanted)
+        touched = sorted(self.store.runs_touching_pages(wanted))
+        answered = self._fan_out_runs(
+            touched, lambda run_id: self.lineage_of_pages(wanted, run=run_id)
+        )
         return {
-            run_id: self.lineage_of_pages(wanted, run=run_id) if run_id in touched else set()
-            for run_id in self.store.run_ids()
+            run_id: answered.get(run_id, set()) for run_id in self.store.run_ids()
         }
 
     def taint_across_runs(
@@ -230,16 +326,21 @@ class StoreQueryEngine:
         A run that never read or wrote any source page cannot taint a
         node or another page (taint only spreads through reads of tainted
         pages), so the cross-run page summary lets those runs be answered
-        -- exactly -- without opening their indexes or segments.
+        -- exactly -- without opening their indexes or segments.  Touched
+        runs are queried concurrently when ``parallelism`` allows.
         """
         sources = list(source_pages)
-        touched = self.store.runs_touching_pages(sources)
+        touched = sorted(self.store.runs_touching_pages(sources))
+        answered = self._fan_out_runs(
+            touched,
+            lambda run_id: self.propagate_taint(
+                sources, through_thread_state=through_thread_state, run=run_id
+            ),
+        )
         results: Dict[int, TaintResult] = {}
         for run_id in self.store.run_ids():
-            if run_id in touched:
-                results[run_id] = self.propagate_taint(
-                    sources, through_thread_state=through_thread_state, run=run_id
-                )
+            if run_id in answered:
+                results[run_id] = answered[run_id]
             else:
                 results[run_id] = TaintResult(
                     source_pages=set(sources), tainted_pages=set(sources)
@@ -296,7 +397,20 @@ class StoreQueryEngine:
         self.last_taint_mode = "indexed"
         indexes = self.store.indexes_for(run_id)
         order = sorted(candidates, key=indexes.topo_of)
-        ordered = ((node_id, self.subcomputation(node_id, run=run_id)) for node_id in order)
+        # The segments the replay needs are known up front from the node
+        # index; scan them once in chunks (concurrently when parallel)
+        # and keep only the candidate *node records* -- the replay needs
+        # them all anyway, while the payloads' edge maps are dropped with
+        # each chunk, so each segment is decoded at most once per query
+        # even when the closure outgrows the cache budget.
+        wanted: Dict[int, List[NodeId]] = {}
+        for node_id in order:
+            wanted.setdefault(indexes.segment_of(node_id), []).append(node_id)
+        records: Dict[NodeId, SubComputation] = {}
+        for segment_id, payload in self._iter_payloads(list(wanted)):
+            for node_id in wanted[segment_id]:
+                records[node_id] = payload.nodes[node_id]
+        ordered = ((node_id, records[node_id]) for node_id in order)
         return replay_taint(ordered, sources, through_thread_state=through_thread_state)
 
     def _taint_candidates(
@@ -353,18 +467,21 @@ class StoreQueryEngine:
     def _sweep_taint(
         self, source_pages: Set[int], through_thread_state: bool, run: int
     ) -> TaintResult:
-        """Replay the taint policy over one sequential pass of the run.
+        """Replay the taint policy over one scan of the run's segments.
 
         Segments of a run are appended in topological order and compaction
         preserves that order, but nodes are still sorted by their stored
         rank (an index lookup, no extra I/O) so the replay is a guaranteed
-        linear extension of happens-before.  Every segment is decoded
-        exactly once -- the optimal pattern when the answer spans the run.
+        linear extension of happens-before.  The scan goes through the
+        decoded-segment cache -- on a warm engine the flood fallback costs
+        no decode at all -- and cache misses decode in parallel when the
+        engine's ``parallelism`` allows; each segment is processed exactly
+        once either way.
         """
         indexes = self.store.indexes_for(run)
+        segment_ids = [info.segment_id for info in self.store.manifest.segments_of_run(run)]
         entries: List[Tuple[int, NodeId, SubComputation]] = []
-        for info in self.store.manifest.segments_of_run(run):
-            payload = self.store.segment(info.segment_id)
+        for _, payload in self._iter_payloads(segment_ids):
             for node_id, node in payload.nodes.items():
                 entries.append((indexes.topo_of(node_id), node_id, node))
         entries.sort(key=lambda entry: entry[0])

@@ -1,0 +1,509 @@
+"""A long-lived, warm query server over one provenance store.
+
+The paper's case studies (debugging slices, DIFT taint, §VIII) hammer the
+same provenance graph with many queries; re-opening the store per query
+re-parses the manifest, re-merges index deltas, and re-decodes segments
+every time.  :class:`StoreServer` amortizes all of that once: a single
+process holds one :class:`~repro.store.cache.SegmentCache` and one
+:class:`~repro.store.cache.IndexPinner` across any number of concurrent
+read-only queries, so repeated questions are answered at memory speed.
+
+**Consistency model: snapshot at open.**  The server opens the store once
+and serves every query against that manifest generation -- a consistent,
+immutable view (segments are immutable and ids never reused, so the
+snapshot cannot be torn by later appends).  Writes that land after the
+open become visible only through an explicit ``refresh``, which atomically
+swaps in a new snapshot while keeping the warm cache (still-referenced
+segments stay hot; superseded ones are unreachable by id).  Maintenance
+(``compact``/``gc``) concurrent with a serving snapshot follows the
+store's existing single-writer stance: run it between snapshots and
+``refresh`` afterwards.
+
+**Protocol.**  Newline-delimited JSON over TCP -- one request object per
+line, one response object per line, no dependencies beyond the standard
+library.  Requests are ``{"op": ..., <params>}``; responses are
+``{"ok": true, "result": ..., "stats": {...}}`` or ``{"ok": false,
+"error": ...}``.  Node ids travel as ``"tid:index"`` strings (the
+serialization module's ``node_key`` form).  Every query response carries
+per-query stats: wall time plus the segments read, bytes read, and cache
+hits/misses attributable to that query alone (collected through a
+:class:`~repro.store.cache.ReadScope`, so concurrent queries do not bleed
+into each other's numbers).
+
+Use :class:`StoreClient` from Python, or ``python -m repro.store serve``
+from the command line.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.cpg import EdgeKind
+from repro.core.serialization import node_key, parse_node_key
+from repro.errors import InspectorError, StoreError
+
+from repro.store.cache import DEFAULT_CACHE_BYTES, IndexPinner, ReadScope, SegmentCache
+from repro.store.query import StoreQueryEngine
+from repro.store.store import ProvenanceStore
+
+#: Ops the server answers (the protocol surface).
+SERVER_OPS = (
+    "ping",
+    "info",
+    "runs",
+    "slice",
+    "lineage",
+    "taint",
+    "lineage_across_runs",
+    "taint_across_runs",
+    "compare_lineage",
+    "stats",
+    "refresh",
+    "shutdown",
+)
+
+
+def _parse_kinds(kinds: Optional[Iterable[str]]) -> Tuple[EdgeKind, ...]:
+    if kinds is None:
+        return (EdgeKind.DATA,)
+    parsed = []
+    for kind in kinds:
+        try:
+            parsed.append(EdgeKind(kind))
+        except ValueError as exc:
+            known = ", ".join(sorted(member.value for member in EdgeKind))
+            raise StoreError(f"unknown edge kind {kind!r} (known kinds: {known})") from exc
+    if not parsed:
+        raise StoreError("at least one edge kind is required")
+    return tuple(parsed)
+
+
+def _node_list(nodes: Iterable[tuple]) -> List[str]:
+    return [node_key(node) for node in sorted(nodes)]
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One connection: any number of newline-delimited JSON requests."""
+
+    def handle(self) -> None:
+        server: "StoreServer" = self.server.store_server  # type: ignore[attr-defined]
+        for line in self.rfile:
+            text = line.decode("utf-8").strip()
+            if not text:
+                continue
+            try:
+                request = json.loads(text)
+            except ValueError:
+                response = {"ok": False, "error": "malformed request (not JSON)"}
+            else:
+                response = server.handle_request(request)
+            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+            self.wfile.flush()
+            if response.get("bye"):
+                # The acknowledgement is flushed *before* the listener
+                # stops, so a CLI client never loses the shutdown reply to
+                # the process exiting first.  Closing from this handler
+                # thread is safe: block_on_close is off, so server_close
+                # does not try to join the current thread.
+                server.close()
+                break
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    # The shutdown op closes the server from inside a handler thread;
+    # joining handler threads there would mean joining ourselves.
+    block_on_close = False
+
+
+class StoreServer:
+    """Serves concurrent read-only store queries from one warm cache.
+
+    Args:
+        store_path: Store directory to serve.
+        host: Interface to bind (loopback by default; provenance data is
+            not something to expose casually).
+        port: TCP port; 0 picks a free one (see :attr:`address`).
+        cache_bytes: Byte budget of the shared decoded-segment cache.
+        parallelism: Per-query multi-segment scan workers (each query gets
+            its own :class:`StoreQueryEngine` with this knob).
+    """
+
+    def __init__(
+        self,
+        store_path: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        parallelism: int = 1,
+    ) -> None:
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        self.cache = SegmentCache(max_bytes=cache_bytes)
+        # Bounded: a pin re-admitted by an in-flight query racing a
+        # gc+refresh would otherwise linger forever (pins have no byte
+        # budget); the LRU bound turns that worst case into eventual
+        # eviction while still pinning every run of any realistic store.
+        self.pinner = IndexPinner(max_runs=256)
+        self.parallelism = parallelism
+        self._store = ProvenanceStore.open(
+            store_path, segment_cache=self.cache, index_pinner=self.pinner
+        )
+        self.store_path = store_path
+        self._started = time.time()
+        self._opened_at = time.time()
+        self._counter_lock = threading.Lock()
+        self.queries_served = 0
+        self.refreshes = 0
+        self._namespace_epoch = 0
+        self._tcp = _TCPServer((host, port), _RequestHandler)
+        self._tcp.store_server = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (the real port when 0 was asked)."""
+        return self._tcp.server_address[:2]
+
+    @property
+    def store(self) -> ProvenanceStore:
+        """The current snapshot (swapped atomically by ``refresh``)."""
+        return self._store
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> Tuple[str, int]:
+        """Serve in a daemon thread; returns the bound address."""
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name="store-server", daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (the CLI path)."""
+        self._tcp.serve_forever()
+
+    def close(self) -> None:
+        """Stop accepting connections and release the socket."""
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def refresh(self) -> dict:
+        """Swap in a fresh snapshot of the store directory.
+
+        The warm cache and pinned indexes normally carry over: within one
+        store's history segment ids are never reused, so every
+        still-referenced entry stays valid, and a run whose index
+        generations did not change re-pins without touching disk.  The
+        one case where ids *can* collide is a store that was deleted and
+        recreated at the same path (counters restart); the manifest
+        carries no identity token, so refresh detects it structurally --
+        the old snapshot's segment and run tables must still be present
+        verbatim in the new manifest -- and drops the warm state when the
+        check fails.  Returns the new snapshot's run/segment counts.
+        """
+        old = self._store
+        fresh = ProvenanceStore.open(
+            self.store_path, segment_cache=self.cache, index_pinner=self.pinner
+        )
+        if not self._same_store_lineage(old, fresh):
+            # Move the fresh handle to a namespace no old handle writes:
+            # an in-flight query against the dead snapshot may still
+            # cache.put()/pinner.put() *after* any invalidate we issue,
+            # and the recreated store's restarted ids could collide with
+            # those entries.  A fresh namespace makes them unreachable by
+            # construction; invalidating the old one just frees memory.
+            with self._counter_lock:
+                self._namespace_epoch += 1
+                fresh.cache_namespace = f"{self.store_path}#recreated-{self._namespace_epoch}"
+            self.cache.invalidate(old.cache_namespace)
+            self.pinner.invalidate(old.cache_namespace)
+        else:
+            fresh.cache_namespace = old.cache_namespace
+            # Same lineage, but runs an external gc dropped would leak
+            # their pins forever (the pinner has no byte budget and their
+            # generations are never requested again) -- release them.
+            gone = set(old.run_ids()) - set(fresh.run_ids())
+            for run_id in gone:
+                self.pinner.invalidate(old.cache_namespace, run_id)
+        self._store = fresh
+        self._opened_at = time.time()
+        with self._counter_lock:
+            self.refreshes += 1
+        return {
+            "runs": len(fresh.run_ids()),
+            "segments": fresh.manifest.segment_count,
+            "nodes": fresh.manifest.node_count,
+        }
+
+    @staticmethod
+    def _same_store_lineage(old: ProvenanceStore, fresh: ProvenanceStore) -> bool:
+        """Whether ``fresh`` is the same store ``old`` was, grown append-only.
+
+        True when every segment and run the old snapshot served is still
+        described identically by the new manifest and the id counters
+        never went backwards -- the only histories one store directory
+        can legally have.  A recreated store restarts its counters and
+        tables, so anything cached under the old snapshot must go.
+        """
+        if fresh.manifest.next_segment_id < old.manifest.next_segment_id:
+            return False
+        if fresh.manifest.next_run_id < old.manifest.next_run_id:
+            return False
+        new_segments = {
+            info.segment_id: (info.run, info.nodes, info.edges, info.stored_bytes, info.codec)
+            for info in fresh.manifest.segments
+        }
+        for info in old.manifest.segments:
+            described = new_segments.get(info.segment_id)
+            if described is not None and described != (
+                info.run, info.nodes, info.edges, info.stored_bytes, info.codec
+            ):
+                return False  # same id, different content: not our lineage
+        new_runs = {run.run_id: run.created_at for run in fresh.manifest.runs}
+        for run in old.manifest.runs:
+            if run.run_id in new_runs and new_runs[run.run_id] != run.created_at:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Request dispatch
+    # ------------------------------------------------------------------ #
+
+    def handle_request(self, request: dict) -> dict:
+        """Answer one protocol request (also the in-process test surface)."""
+        if not isinstance(request, dict) or "op" not in request:
+            return {"ok": False, "error": "request must be an object with an 'op'"}
+        op = request.get("op")
+        if op not in SERVER_OPS:
+            return {"ok": False, "error": f"unknown op {op!r} (known: {', '.join(SERVER_OPS)})"}
+        store = self._store  # one snapshot per request
+        scope = ReadScope()
+        start = time.perf_counter()
+        try:
+            result, extra = self._dispatch(op, request, store, scope)
+        except InspectorError as exc:
+            # StoreError, ProvenanceError (malformed node keys), ...
+            return {"ok": False, "error": str(exc)}
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": f"bad request parameters: {exc}"}
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        with self._counter_lock:
+            self.queries_served += 1
+        response = {
+            "ok": True,
+            "result": result,
+            "stats": {"elapsed_ms": round(elapsed_ms, 3), **scope.to_dict()},
+        }
+        response.update(extra)
+        return response
+
+    def _engine(self, store: ProvenanceStore, scope: ReadScope) -> StoreQueryEngine:
+        return StoreQueryEngine(store, parallelism=self.parallelism, scope=scope)
+
+    def _dispatch(
+        self, op: str, request: dict, store: ProvenanceStore, scope: ReadScope
+    ) -> Tuple[object, dict]:
+        if op == "ping":
+            return {"pong": True}, {}
+        if op == "info":
+            return store.info(), {}
+        if op == "runs":
+            return [store.run_summary(run_id) for run_id in store.run_ids()], {}
+        if op == "stats":
+            return self.server_stats(), {}
+        if op == "refresh":
+            return self.refresh(), {}
+        if op == "shutdown":
+            # The transport layer closes the listener *after* writing the
+            # acknowledgement (see _RequestHandler.handle).
+            return {"stopping": True}, {"bye": True}
+
+        engine = self._engine(store, scope)
+        run = request.get("run")
+        if op == "slice":
+            origin = parse_node_key(str(request["node"]))
+            kinds = _parse_kinds(request.get("kinds"))
+            if request.get("forward", False):
+                nodes = engine.forward_slice(origin, kinds=kinds, run=run)
+            else:
+                nodes = engine.backward_slice(origin, kinds=kinds, run=run)
+            return {"run": store.resolve_run(run), "nodes": _node_list(nodes)}, {}
+        if op == "lineage":
+            nodes = engine.lineage_of_pages([int(p) for p in request["pages"]], run=run)
+            return {"run": store.resolve_run(run), "nodes": _node_list(nodes)}, {}
+        if op == "taint":
+            result = engine.propagate_taint(
+                [int(p) for p in request["pages"]],
+                through_thread_state=bool(request.get("through_thread_state", False)),
+                run=run,
+            )
+            return {
+                "run": store.resolve_run(run),
+                "source_pages": sorted(result.source_pages),
+                "tainted_pages": sorted(result.tainted_pages),
+                "tainted_nodes": _node_list(result.tainted_nodes),
+                "mode": engine.last_taint_mode,
+            }, {}
+        if op == "lineage_across_runs":
+            by_run = engine.lineage_across_runs([int(p) for p in request["pages"]])
+            return {str(run_id): _node_list(nodes) for run_id, nodes in by_run.items()}, {}
+        if op == "taint_across_runs":
+            by_run = engine.taint_across_runs(
+                [int(p) for p in request["pages"]],
+                through_thread_state=bool(request.get("through_thread_state", False)),
+            )
+            return {
+                str(run_id): {
+                    "source_pages": sorted(result.source_pages),
+                    "tainted_pages": sorted(result.tainted_pages),
+                    "tainted_nodes": _node_list(result.tainted_nodes),
+                }
+                for run_id, result in by_run.items()
+            }, {}
+        if op == "compare_lineage":
+            pages = request["pages"]
+            diff = engine.compare_lineage(
+                int(request["run_a"]),
+                int(request["run_b"]),
+                [int(p) for p in pages] if isinstance(pages, list) else int(pages),
+            )
+            return {
+                "run_a": diff.run_a,
+                "run_b": diff.run_b,
+                "pages": list(diff.pages),
+                "only_a": _node_list(diff.only_a),
+                "only_b": _node_list(diff.only_b),
+                "common": _node_list(diff.common),
+                "identical": diff.identical,
+            }, {}
+        raise StoreError(f"unhandled op {op!r}")  # unreachable: SERVER_OPS gates
+
+    def server_stats(self) -> dict:
+        """Server-wide counters: uptime, snapshot, cache, pinned indexes."""
+        store = self._store
+        return {
+            "store": self.store_path,
+            "uptime_s": round(time.time() - self._started, 3),
+            "snapshot_age_s": round(time.time() - self._opened_at, 3),
+            "queries_served": self.queries_served,
+            "refreshes": self.refreshes,
+            "runs": len(store.run_ids()),
+            "segments": store.manifest.segment_count,
+            "parallelism": self.parallelism,
+            "segment_cache": self.cache.to_dict(),
+            "index_pinner": self.pinner.to_dict(),
+        }
+
+
+class StoreClient:
+    """Small blocking client for :class:`StoreServer`'s JSON-line protocol.
+
+    Each request opens its own connection, so one client instance may be
+    shared across threads (the hammer test does).  Responses with
+    ``ok: false`` raise :class:`~repro.errors.StoreError`; node lists come
+    back as ``(tid, index)`` tuples.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(self, op: str, **params) -> dict:
+        """Send one request; returns the raw response object."""
+        payload = json.dumps({"op": op, **params}).encode("utf-8") + b"\n"
+        with socket.create_connection((self.host, self.port), timeout=self.timeout) as conn:
+            conn.sendall(payload)
+            with conn.makefile("rb") as reader:
+                line = reader.readline()
+        if not line:
+            raise StoreError(f"store server at {self.host}:{self.port} closed the connection")
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except ValueError as exc:
+            raise StoreError(f"malformed server response: {exc}") from exc
+        if not response.get("ok"):
+            raise StoreError(str(response.get("error", "unknown server error")))
+        return response
+
+    def result(self, op: str, **params):
+        """Send one request; returns just the ``result`` payload."""
+        return self.request(op, **params)["result"]
+
+    # ------------------------------------------------------------------ #
+    # Convenience wrappers (typed results)
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> bool:
+        return bool(self.result("ping")["pong"])
+
+    def info(self) -> dict:
+        return self.result("info")
+
+    def runs(self) -> List[dict]:
+        return self.result("runs")
+
+    def backward_slice(
+        self,
+        node: tuple,
+        run: Optional[int] = None,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> set:
+        result = self.result("slice", node=node_key(node), run=run, kinds=kinds)
+        return {parse_node_key(key) for key in result["nodes"]}
+
+    def forward_slice(
+        self,
+        node: tuple,
+        run: Optional[int] = None,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> set:
+        result = self.result(
+            "slice", node=node_key(node), run=run, kinds=kinds, forward=True
+        )
+        return {parse_node_key(key) for key in result["nodes"]}
+
+    def lineage(self, pages: Iterable[int], run: Optional[int] = None) -> set:
+        result = self.result("lineage", pages=list(pages), run=run)
+        return {parse_node_key(key) for key in result["nodes"]}
+
+    def taint(
+        self,
+        pages: Iterable[int],
+        run: Optional[int] = None,
+        through_thread_state: bool = False,
+    ) -> dict:
+        result = self.result(
+            "taint", pages=list(pages), run=run, through_thread_state=through_thread_state
+        )
+        result["tainted_nodes"] = {parse_node_key(key) for key in result["tainted_nodes"]}
+        return result
+
+    def lineage_across_runs(self, pages: Iterable[int]) -> Dict[int, set]:
+        result = self.result("lineage_across_runs", pages=list(pages))
+        return {
+            int(run_id): {parse_node_key(key) for key in nodes}
+            for run_id, nodes in result.items()
+        }
+
+    def stats(self) -> dict:
+        return self.result("stats")
+
+    def refresh(self) -> dict:
+        return self.result("refresh")
+
+    def shutdown(self) -> dict:
+        return self.result("shutdown")

@@ -16,7 +16,11 @@ columnar binary codec is the default, the JSON codec remains readable and
 writable), per-run indexes are loaded lazily and flushed as append-only
 **delta files** (O(epoch), not O(index)), and a cross-run page summary
 (``index/pages_runs.json``) lets ``*_across_runs`` queries skip runs
-without opening their indexes.
+without opening their indexes.  The read path is cached: decoded segments
+live in a byte-budgeted LRU (:mod:`repro.store.cache`) that can be shared
+across handles, merged index generations can be pinned resident, and
+:meth:`ProvenanceStore.segment_many` decodes cache misses on a thread
+pool for the query engine's parallel scans.
 
 Maintenance is run-scoped: :meth:`ProvenanceStore.compact` rewrites a
 run's segments **streaming, segment by segment** into fewer, denser ones
@@ -36,7 +40,9 @@ import datetime as _datetime
 import json
 import os
 import re
+import threading
 from collections import defaultdict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -53,6 +59,7 @@ from repro.core.serialization import (
 from repro.core.thunk import SubComputation
 from repro.errors import StoreError
 
+from repro.store.cache import IndexPinner, ReadScope, SegmentCache
 from repro.store.codecs import DEFAULT_CODEC, codec_by_name
 from repro.store.format import (
     DEFAULT_SEGMENT_NODES,
@@ -144,7 +151,8 @@ class _RunIndexMap(dict):
 
     Queries that never touch a run never pay for loading (or rebuilding)
     its indexes; the cross-run page summary relies on this to make
-    ``*_across_runs`` skips worthwhile.
+    ``*_across_runs`` skips worthwhile.  Loading is serialized per store
+    so concurrent readers (the server) merge a run's generations once.
     """
 
     def __init__(self, store: "ProvenanceStore") -> None:
@@ -152,8 +160,11 @@ class _RunIndexMap(dict):
         self._store = store
 
     def __missing__(self, run_id: int) -> StoreIndexes:
-        indexes = self._store._load_run_indexes(run_id)
-        self[run_id] = indexes
+        with self._store._index_lock:
+            if run_id in self:  # a concurrent reader won the race
+                return self[run_id]
+            indexes = self._store._load_run_indexes(run_id)
+            self[run_id] = indexes
         return indexes
 
 
@@ -175,17 +186,43 @@ class ProvenanceStore:
             flush folds the whole index instead of appending a delta --
             the v3 write-path cost profile.  Stores written this way stay
             correct (a reopen rebuilds their indexes from segments).
+        cache: The decoded-segment :class:`SegmentCache`.  Owned by this
+            handle unless one was passed in (the warm server shares one
+            across snapshot reopens).
+        manifest_generation: In-memory generation of this handle's view;
+            bumped by ``compact``/``gc`` so the cache cannot serve
+            entries from before the maintenance rewrite.
     """
 
-    def __init__(self, path: str, manifest: StoreManifest) -> None:
+    def __init__(
+        self,
+        path: str,
+        manifest: StoreManifest,
+        segment_cache: Optional[SegmentCache] = None,
+        index_pinner: Optional[IndexPinner] = None,
+    ) -> None:
         self.path = path
         self.manifest = manifest
         self.run_indexes: Dict[int, StoreIndexes] = _RunIndexMap(self)
         self.read_stats = StoreReadStats()
-        self.max_cached_segments = DEFAULT_CACHE_SEGMENTS
         self.default_codec = DEFAULT_CODEC
         self.index_full_rewrite = False
-        self._cache: Dict[int, SegmentPayload] = {}
+        self.cache = (
+            segment_cache
+            if segment_cache is not None
+            else SegmentCache(max_entries=DEFAULT_CACHE_SEGMENTS)
+        )
+        self.pinner = index_pinner
+        #: Namespace of this handle's cache and pinner keys.  Defaults to
+        #: the store path; the server moves a handle to a fresh namespace
+        #: when it detects the directory was deleted and recreated, so
+        #: entries admitted by in-flight queries against the dead store
+        #: can never be served to the new one.
+        self.cache_namespace = path
+        self.manifest_generation = 0
+        self._index_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._summary_lock = threading.Lock()
         #: Format version of the manifest currently on disk; < 4 until the
         #: first flush upgrades the layout in place.
         self._disk_version = manifest.version
@@ -214,7 +251,12 @@ class ProvenanceStore:
         return store
 
     @classmethod
-    def open(cls, path: str) -> "ProvenanceStore":
+    def open(
+        cls,
+        path: str,
+        segment_cache: Optional[SegmentCache] = None,
+        index_pinner: Optional[IndexPinner] = None,
+    ) -> "ProvenanceStore":
         """Open an existing store directory (format version 2, 3, or 4).
 
         Opening reads the manifest (and the small cross-run page summary
@@ -223,6 +265,10 @@ class ProvenanceStore:
         files.  A run whose index generation files are missing, torn, or
         inconsistent with the manifest is rebuilt from its (committed,
         ground-truth) segments at that point.
+
+        ``segment_cache`` / ``index_pinner`` share a warm read path
+        between handles (see :mod:`repro.store.cache`); sharing is for
+        read-only serving.
         """
         manifest_path = os.path.join(path, MANIFEST_NAME)
         if not os.path.exists(manifest_path):
@@ -232,7 +278,7 @@ class ProvenanceStore:
                 manifest = StoreManifest.from_dict(json.load(handle))
             except json.JSONDecodeError as exc:
                 raise StoreError(f"corrupt manifest at {path}: {exc}") from exc
-        return cls(path, manifest)
+        return cls(path, manifest, segment_cache=segment_cache, index_pinner=index_pinner)
 
     def _run_index_dir(self, run_id: int) -> str:
         if self._disk_version == STORE_FORMAT_VERSION_V2:
@@ -241,11 +287,26 @@ class ProvenanceStore:
         return os.path.join(self.path, INDEX_DIR, run_index_dir_name(run_id))
 
     def _load_run_indexes(self, run_id: int) -> StoreIndexes:
-        """Load (or rebuild) one run's indexes; the lazy-map miss path."""
+        """Load (or rebuild) one run's indexes; the lazy-map miss path.
+
+        With an :class:`IndexPinner` attached, a generation that was
+        merged before -- by this handle or any other handle sharing the
+        pinner -- is returned resident instead of re-merging its base +
+        delta files; only v4 generation state is pinned (legacy JSON
+        loads and rebuilds are not reproducible from named generations).
+        """
         run = self.manifest.run_info(run_id)
         run_dir = self._run_index_dir(run_id)
+        pinnable = self._disk_version >= STORE_FORMAT_VERSION
+        valid = [info.segment_id for info in self.manifest.segments_of_run(run_id)]
+        if self.pinner is not None and pinnable:
+            pinned = self.pinner.get(
+                self.cache_namespace, run_id, run.index_base, run.index_deltas, run.nodes
+            )
+            if pinned is not None and pinned.is_consistent_with(valid, run.nodes):
+                return pinned
         try:
-            if self._disk_version >= STORE_FORMAT_VERSION:
+            if pinnable:
                 indexes = StoreIndexes.load_v4(run_dir, run.index_base, run.index_deltas)
             else:
                 indexes = StoreIndexes.load(run_dir)
@@ -254,9 +315,12 @@ class ProvenanceStore:
                 indexes.needs_base = True
         except StoreError:
             return self._rebuild_indexes_from_segments(run_id)
-        valid = [info.segment_id for info in self.manifest.segments_of_run(run_id)]
         if not indexes.is_consistent_with(valid, run.nodes):
             return self._rebuild_indexes_from_segments(run_id)
+        if self.pinner is not None and pinnable:
+            self.pinner.put(
+                self.cache_namespace, run_id, run.index_base, run.index_deltas, run.nodes, indexes
+            )
         return indexes
 
     def _rebuild_indexes_from_segments(self, run_id: int) -> StoreIndexes:
@@ -443,13 +507,17 @@ class ProvenanceStore:
         answered without touching their per-run indexes, which is what
         lets ``*_across_runs`` queries skip irrelevant runs entirely.
         """
-        summary = self._load_pages_runs_once()
-        for run_id in self.run_ids():
-            if run_id not in self._pages_runs_covered:
-                self._cover_run_in_pages_summary(run_id)
-        touched: Set[int] = set()
-        for page in pages:
-            touched |= summary.get(int(page), set())
+        with self._summary_lock:
+            # Serialized: concurrent readers (the server) must not merge
+            # uncovered runs into the summary dicts while another query
+            # iterates them.
+            summary = self._load_pages_runs_once()
+            for run_id in self.run_ids():
+                if run_id not in self._pages_runs_covered:
+                    self._cover_run_in_pages_summary(run_id)
+            touched: Set[int] = set()
+            for page in pages:
+                touched |= set(summary.get(int(page), ()))
         return touched & set(self.run_ids())
 
     # ------------------------------------------------------------------ #
@@ -601,8 +669,9 @@ class ProvenanceStore:
                     runs.add(run_id)
                     if run_id in self._pages_runs_disk:
                         self._pages_runs_force = True
-        self._cache[segment_id] = SegmentPayload.build(nodes, edges)
-        self._evict_cache_overflow()
+        self.cache.put(
+            self.cache_namespace, self.manifest_generation, segment_id, SegmentPayload.build(nodes, edges)
+        )
         return segment_id
 
     def ingest(
@@ -674,6 +743,25 @@ class ProvenanceStore:
     # Reading
     # ------------------------------------------------------------------ #
 
+    @property
+    def max_cached_segments(self) -> Optional[int]:
+        """Entry-count bound of the segment cache (back-compat knob).
+
+        The byte budget (``store.cache.max_bytes``) is the primary limit;
+        this mirrors the cache's additional entry bound for callers of the
+        pre-cache API.
+        """
+        return self.cache.max_entries
+
+    @max_cached_segments.setter
+    def max_cached_segments(self, value: Optional[int]) -> None:
+        self.cache.max_entries = value
+
+    @property
+    def _cache(self) -> Dict[int, SegmentPayload]:
+        """This handle's cached payloads by segment id (back-compat view)."""
+        return self.cache.cached_segments(self.cache_namespace, self.manifest_generation)
+
     def _read_segment_file(self, segment_id: int) -> bytes:
         info = self.manifest.segment_info(segment_id)
         path = os.path.join(self.path, SEGMENTS_DIR, info.file_name)
@@ -681,55 +769,116 @@ class ProvenanceStore:
             raise StoreError(f"segment file {info.file_name} is missing from {self.path}")
         with open(path, "rb") as handle:
             data = handle.read()
-        self.read_stats.segments_read += 1
-        self.read_stats.bytes_read += len(data)
+        with self._stats_lock:
+            self.read_stats.segments_read += 1
+            self.read_stats.bytes_read += len(data)
         return data
 
-    def segment(self, segment_id: int) -> SegmentPayload:
-        """Load one segment (LRU-cached up to ``max_cached_segments``)."""
-        cached = self._cache.get(segment_id)
+    def segment(self, segment_id: int, scope: Optional[ReadScope] = None) -> SegmentPayload:
+        """Load one segment through the byte-budgeted decoded-segment cache.
+
+        ``scope`` collects per-query read accounting (the server's
+        per-query stats); the store-wide :attr:`read_stats` is updated
+        either way.
+        """
+        cached = self.cache.get(self.cache_namespace, self.manifest_generation, segment_id)
         if cached is not None:
-            # Re-insert to refresh recency (dicts preserve insertion order).
-            del self._cache[segment_id]
-            self._cache[segment_id] = cached
+            if scope is not None:
+                scope.record_hit()
             return cached
-        payload = decode_segment(self._read_segment_file(segment_id))
-        self._cache[segment_id] = payload
-        self._evict_cache_overflow()
+        data = self._read_segment_file(segment_id)
+        payload = decode_segment(data)
+        if scope is not None:
+            scope.record_miss(len(data))
+        self.cache.put(self.cache_namespace, self.manifest_generation, segment_id, payload)
         return payload
 
+    def segment_many(
+        self,
+        segment_ids: Sequence[int],
+        parallelism: int = 1,
+        scope: Optional[ReadScope] = None,
+        executor: Optional[ThreadPoolExecutor] = None,
+    ) -> Dict[int, SegmentPayload]:
+        """Load many segments, decoding cache misses concurrently.
+
+        Cache lookups happen up front, then the misses are read + decoded
+        on a thread pool of ``parallelism`` workers (the pool overlaps
+        the file reads; the pure-Python decode itself holds the GIL, so
+        the win is I/O overlap -- see the ROADMAP's native-codec
+        follow-up) and admitted to the cache.  ``parallelism <= 1``, or a
+        single miss, degrades to the plain sequential path; pass
+        ``executor`` to reuse one pool across calls (the query engine's
+        chunked scans do).  Returns ``{segment_id: payload}`` -- **all**
+        requested payloads at once, so the caller's resident set is the
+        request size regardless of the cache budget; callers that scan
+        more than they can hold (the query engine) iterate bounded chunks
+        instead of passing the whole list here.
+        """
+        wanted = list(dict.fromkeys(segment_ids))
+        payloads: Dict[int, SegmentPayload] = {}
+        misses: List[int] = []
+        for segment_id in wanted:
+            cached = self.cache.get(self.cache_namespace, self.manifest_generation, segment_id)
+            if cached is not None:
+                payloads[segment_id] = cached
+            else:
+                misses.append(segment_id)
+        if scope is not None and len(payloads):
+            scope.record_hit(len(payloads))
+
+        def load(segment_id: int) -> Tuple[int, SegmentPayload]:
+            data = self._read_segment_file(segment_id)
+            payload = decode_segment(data)
+            if scope is not None:
+                scope.record_miss(len(data))
+            return len(data), payload
+
+        if executor is not None and len(misses) > 1:
+            decoded = list(executor.map(load, misses))
+        elif parallelism > 1 and len(misses) > 1:
+            with ThreadPoolExecutor(max_workers=min(parallelism, len(misses))) as pool:
+                decoded = list(pool.map(load, misses))
+        else:
+            decoded = [load(segment_id) for segment_id in misses]
+        for segment_id, (_, payload) in zip(misses, decoded):
+            self.cache.put(self.cache_namespace, self.manifest_generation, segment_id, payload)
+            payloads[segment_id] = payload
+        return payloads
+
     def _segment_uncached(self, segment_id: int) -> SegmentPayload:
-        """Decode one segment without touching the LRU cache.
+        """Decode one segment without touching the cache.
 
         The streaming compaction path reads every old segment exactly
         once (twice across its two passes) and must not evict the cache's
         working set -- nor keep a whole run resident through it.
         """
-        cached = self._cache.get(segment_id)
+        cached = self.cache.peek(self.cache_namespace, self.manifest_generation, segment_id)
         if cached is not None:
             return cached
         return decode_segment(self._read_segment_file(segment_id))
 
-    def _evict_cache_overflow(self) -> None:
-        while len(self._cache) > max(1, self.max_cached_segments):
-            self._cache.pop(next(iter(self._cache)))
-
     def clear_cache(self) -> None:
-        """Drop decoded segments (subsequent reads hit the disk again)."""
-        self._cache.clear()
+        """Drop this store's decoded segments (reads hit the disk again)."""
+        self.cache.invalidate(self.cache_namespace)
 
     def reset_read_stats(self) -> None:
         """Zero the read counters (used by benchmarks and tests)."""
         self.read_stats = StoreReadStats()
 
-    def load_cpg(self, run: Optional[int] = None) -> ConcurrentProvenanceGraph:
+    def load_cpg(
+        self, run: Optional[int] = None, parallelism: int = 1
+    ) -> ConcurrentProvenanceGraph:
         """Materialize one run's full graph (reads every segment of the run).
 
         This is the fallback path the query engine exists to avoid; the
-        benchmarks use it as the baseline.
+        benchmarks use it as the baseline.  ``parallelism`` fans the
+        segment decode out over a thread pool.
         """
         run_id = self.resolve_run(run)
-        payloads = [self.segment(info.segment_id) for info in self.manifest.segments_of_run(run_id)]
+        ordered = [info.segment_id for info in self.manifest.segments_of_run(run_id)]
+        by_id = self.segment_many(ordered, parallelism=parallelism)
+        payloads = [by_id[segment_id] for segment_id in ordered]
         cpg = ConcurrentProvenanceGraph()
         for payload in payloads:
             for node in payload.nodes.values():
@@ -788,12 +937,28 @@ class ProvenanceStore:
                 # state) into a fresh base at the flush below.
                 stats.index_delta_files_reclaimed += len(run_info.index_deltas)
                 self.run_indexes[run_id].needs_base = True
+                if self.pinner is not None:
+                    self.pinner.invalidate(self.cache_namespace, run_id)
                 dirty = True
         stats.segments_after = self.manifest.segment_count
         if dirty or self._disk_version < STORE_FORMAT_VERSION:
             self.flush()
+        if dirty:
+            self._bump_generation()
         stats.bytes_reclaimed = self._delete_segments(old_ids) + self._sweep_orphans()
         return stats
+
+    def _bump_generation(self) -> None:
+        """Advance the cache generation after a maintenance rewrite.
+
+        Every decoded-segment cache key carries the generation, so no
+        entry cached before the rewrite can be served after it -- the
+        whole namespace is dropped as well, which is what frees the
+        superseded payloads (the old keys would otherwise just be
+        unreachable).
+        """
+        self.manifest_generation += 1
+        self.cache.invalidate(self.cache_namespace)
 
     def _compact_run(self, run_id: int, segment_nodes: int) -> Tuple[List[int], int]:
         """Stream-rewrite one run's segments.
@@ -927,8 +1092,8 @@ class ProvenanceStore:
             info for info in self.manifest.segments if info.run != run_id
         ] + new_infos
         self.run_indexes[run_id] = new_index
-        for segment_id in superseded:
-            self._cache.pop(segment_id, None)
+        # The superseded payloads are dropped by the generation bump in
+        # compact() once the new manifest generation is committed.
         return superseded, peak
 
     def _remove_spill_dir(self) -> None:
@@ -991,13 +1156,13 @@ class ProvenanceStore:
                         self._pages_runs[page] = remaining
                     else:
                         del self._pages_runs[page]
-        dropped_set = set(dropped_segments)
-        for segment_id in list(self._cache):
-            if segment_id in dropped_set:
-                del self._cache[segment_id]
+        if self.pinner is not None:
+            for run_id in drop:
+                self.pinner.invalidate(self.cache_namespace, run_id)
         stats.runs_dropped = drop
         stats.segments_after = self.manifest.segment_count
         self.flush()  # the commit point: dropped runs are gone from here on
+        self._bump_generation()
         stats.bytes_reclaimed = self._delete_segments(dropped_segments)
         for run_id in drop:
             self._delete_run_index_dir(run_id)
@@ -1164,15 +1329,10 @@ class ProvenanceStore:
             codecs[segment.codec] = codecs.get(segment.codec, 0) + 1
         for run_id in self.run_ids():
             self.indexes_for(run_id)  # info is the diagnostic full view
-        threads = sorted({tid for idx in self.run_indexes.values() for tid in idx.thread_indexes})
-        pages = len(
-            {
-                page
-                for idx in self.run_indexes.values()
-                for page in idx.pages_touched()
-            }
-        )
-        sync_objects = len({obj for idx in self.run_indexes.values() for obj in idx.sync_edges})
+        loaded = list(self.run_indexes.values())
+        threads = sorted({tid for idx in loaded for tid in idx.thread_indexes})
+        pages = len({page for idx in loaded for page in idx.pages_touched()})
+        sync_objects = len({obj for idx in loaded for obj in idx.sync_edges})
         runs = [self.run_summary(run_id) for run_id in self.run_ids()]
         return {
             "path": self.path,
@@ -1191,6 +1351,15 @@ class ProvenanceStore:
             "index_delta_bytes": sum(self.run_index_delta_bytes(run_id) for run_id in self.run_ids()),
             "runs": runs,
         }
+
+    def cache_info(self) -> dict:
+        """Read-path cache configuration + counters (``info --stats``)."""
+        report = {
+            "segment_cache": self.cache.to_dict(),
+            "manifest_generation": self.manifest_generation,
+            "index_pinner": self.pinner.to_dict() if self.pinner is not None else None,
+        }
+        return report
 
     def __len__(self) -> int:
         return self.manifest.node_count

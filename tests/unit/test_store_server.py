@@ -1,0 +1,235 @@
+"""Tests for the warm query server (:mod:`repro.store.server`).
+
+The server holds one decoded-segment cache and one index pinner across
+many concurrent read-only queries; these tests check protocol round-trips
+against the direct engine, per-query stats, snapshot refresh, and a
+multithreaded reader hammer over one warm cache.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.algorithm import ProvenanceTracker
+from repro.core.dependencies import derive_data_edges
+from repro.core.queries import (
+    backward_slice,
+    forward_slice,
+    lineage_of_pages,
+    propagate_taint,
+)
+from repro.errors import StoreError
+from repro.store import ProvenanceStore, StoreClient, StoreServer
+
+
+def build_cpg(threads: int = 3, steps: int = 3):
+    tracker = ProvenanceTracker()
+    tracker.register_input_pages({500, 501})
+    lock = 9
+    for tid in range(1, threads + 1):
+        tracker.on_thread_start(tid)
+    page = 0
+    for step in range(steps):
+        for tid in range(1, threads + 1):
+            tracker.on_sync_boundary(tid, "mutex_lock")
+            tracker.on_acquire(tid, lock)
+            tracker.begin_next(tid)
+            tracker.on_memory_access(tid, 500 if step == 0 else page - 1, is_write=False)
+            tracker.on_memory_access(tid, page, is_write=True)
+            page += 1
+            tracker.on_sync_boundary(tid, "mutex_unlock")
+            tracker.on_release(tid, lock)
+            tracker.begin_next(tid)
+    for tid in range(1, threads + 1):
+        tracker.on_thread_end(tid)
+    cpg = tracker.finalize()
+    derive_data_edges(cpg)
+    return cpg
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A two-run store with a running server; yields (cpg, dir, server, client)."""
+    cpg = build_cpg()
+    store_dir = str(tmp_path / "store")
+    store = ProvenanceStore.create(store_dir)
+    store.ingest(cpg, segment_nodes=3)
+    store.ingest(cpg, segment_nodes=3)
+    server = StoreServer(store_dir, parallelism=2)
+    host, port = server.start()
+    client = StoreClient(host, port, timeout=10.0)
+    yield cpg, store_dir, server, client
+    server.close()
+
+
+class TestProtocol:
+    def test_ping_info_runs(self, served):
+        _, store_dir, _, client = served
+        assert client.ping() is True
+        info = client.info()
+        assert info["segments"] == ProvenanceStore.open(store_dir).manifest.segment_count
+        assert [run["id"] for run in client.runs()] == [1, 2]
+
+    def test_queries_match_direct_engine(self, served):
+        cpg, _, _, client = served
+        origin = [
+            n
+            for n in cpg.nodes()
+            if n[0] >= 0 and cpg.subcomputation(n).write_set
+        ][-1]
+        pages = sorted(cpg.subcomputation(origin).write_set)[:1]
+        assert client.backward_slice(origin, run=1) == backward_slice(cpg, origin)
+        assert client.forward_slice((1, 0), run=2) == forward_slice(cpg, (1, 0))
+        assert client.lineage(pages, run=1) == lineage_of_pages(cpg, pages)
+        taint = client.taint(pages, run=2)
+        expected = propagate_taint(cpg, pages)
+        assert taint["tainted_nodes"] == expected.tainted_nodes
+        assert set(taint["tainted_pages"]) == expected.tainted_pages
+        across = client.lineage_across_runs(pages)
+        assert across == {1: lineage_of_pages(cpg, pages), 2: lineage_of_pages(cpg, pages)}
+
+    def test_compare_lineage_roundtrip(self, served):
+        cpg, _, _, client = served
+        origin = [
+            n
+            for n in cpg.nodes()
+            if n[0] >= 0 and cpg.subcomputation(n).write_set
+        ][-1]
+        page = sorted(cpg.subcomputation(origin).write_set)[0]
+        diff = client.result("compare_lineage", run_a=1, run_b=2, pages=page)
+        assert diff["identical"] is True
+        assert diff["only_a"] == [] and diff["only_b"] == []
+
+    def test_per_query_stats_show_warm_hits(self, served):
+        cpg, _, _, client = served
+        origin = [
+            n
+            for n in cpg.nodes()
+            if n[0] >= 0 and cpg.subcomputation(n).write_set
+        ][-1]
+        pages = sorted(cpg.subcomputation(origin).write_set)[:1]
+        cold = client.request("lineage", pages=pages, run=1)["stats"]
+        assert cold["cache_misses"] > 0 and cold["segments_read"] == cold["cache_misses"]
+        warm = client.request("lineage", pages=pages, run=1)["stats"]
+        assert warm["segments_read"] == 0
+        assert warm["cache_hits"] > 0
+        assert warm["elapsed_ms"] >= 0
+
+    def test_bad_requests_are_errors_not_disconnects(self, served):
+        _, _, _, client = served
+        with pytest.raises(StoreError, match="unknown op"):
+            client.request("frobnicate")
+        with pytest.raises(StoreError, match="bad request parameters"):
+            client.request("lineage")  # pages missing
+        with pytest.raises(StoreError, match="no run"):
+            client.request("lineage", pages=[1], run=99)
+        with pytest.raises(StoreError, match="malformed node key"):
+            client.request("slice", node="garbage", run=1)
+        assert client.ping() is True  # the server survived all of it
+
+    def test_server_stats_and_shutdown(self, served):
+        _, _, server, client = served
+        client.ping()
+        stats = client.stats()
+        assert stats["queries_served"] >= 1
+        assert stats["runs"] == 2
+        assert stats["segment_cache"]["max_bytes"] > 0
+        assert client.shutdown()["stopping"] is True
+
+
+class TestSnapshotRefresh:
+    def test_refresh_picks_up_new_runs_and_keeps_the_cache_warm(self, served):
+        cpg, store_dir, server, client = served
+        origin = [
+            n
+            for n in cpg.nodes()
+            if n[0] >= 0 and cpg.subcomputation(n).write_set
+        ][-1]
+        pages = sorted(cpg.subcomputation(origin).write_set)[:1]
+        client.lineage(pages, run=1)  # warm the cache
+        assert len(server.cache) > 0
+        # A writer lands a third run between snapshots...
+        writer = ProvenanceStore.open(store_dir)
+        writer.ingest(cpg, segment_nodes=3)
+        assert [run["id"] for run in client.runs()] == [1, 2]  # snapshot: unchanged
+        refreshed = client.refresh()
+        assert refreshed["runs"] == 3
+        assert [run["id"] for run in client.runs()] == [1, 2, 3]
+        # ...and the warm entries survived the snapshot swap.
+        assert len(server.cache) > 0
+        warm = client.request("lineage", pages=pages, run=1)["stats"]
+        assert warm["segments_read"] == 0 and warm["cache_hits"] > 0
+        assert client.lineage(pages, run=3) == lineage_of_pages(cpg, pages)
+
+    def test_refresh_drops_warm_state_for_a_recreated_store(self, served, tmp_path):
+        """Deleting + recreating the store directory must not serve stale bytes."""
+        import shutil
+
+        cpg, store_dir, server, client = served
+        origin = [
+            n
+            for n in cpg.nodes()
+            if n[0] >= 0 and cpg.subcomputation(n).write_set
+        ][-1]
+        pages = sorted(cpg.subcomputation(origin).write_set)[:1]
+        client.lineage(pages, run=1)  # warm the cache against the old store
+        assert len(server.cache) > 0
+        # Recreate the directory: a *different* graph, counters restarted.
+        shutil.rmtree(store_dir)
+        different = build_cpg(threads=2, steps=2)
+        recreated = ProvenanceStore.create(store_dir)
+        recreated.ingest(different, segment_nodes=3)
+        client.refresh()
+        assert [run["id"] for run in client.runs()] == [1]
+        # Answers come from the recreated store, not the stale warm state:
+        # a page both graphs touched gets the new graph's lineage, and the
+        # old graph's origin node (absent from the new one) is an error,
+        # not a cached payload.
+        assert client.lineage([0], run=1) == lineage_of_pages(different, [0])
+        with pytest.raises(StoreError, match="no sub-computation"):
+            client.backward_slice(origin, run=1)
+
+
+class TestHammer:
+    def test_concurrent_readers_over_one_warm_cache(self, served):
+        cpg, _, server, client = served
+        origin = [
+            n
+            for n in cpg.nodes()
+            if n[0] >= 0 and cpg.subcomputation(n).write_set
+        ][-1]
+        pages = sorted(cpg.subcomputation(origin).write_set)[:1]
+        seed = sorted(cpg.subcomputation(cpg.input_node).write_set)
+        expected_slice = backward_slice(cpg, origin)
+        expected_lineage = lineage_of_pages(cpg, pages)
+        expected_flood = propagate_taint(cpg, seed).tainted_nodes
+        errors = []
+        rounds = 8
+
+        def reader(tid: int) -> None:
+            try:
+                for round_no in range(rounds):
+                    run = 1 + (tid + round_no) % 2
+                    assert client.backward_slice(origin, run=run) == expected_slice
+                    assert client.lineage(pages, run=run) == expected_lineage
+                    taint = client.taint(seed, run=run)
+                    assert taint["tainted_nodes"] == expected_flood
+                    assert client.lineage_across_runs(pages) == {
+                        1: expected_lineage,
+                        2: expected_lineage,
+                    }
+            except Exception as exc:  # noqa: BLE001 - reported via the main thread
+                errors.append((tid, exc))
+
+        threads = [threading.Thread(target=reader, args=(tid,)) for tid in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, f"hammer readers failed: {errors[:3]}"
+        stats = server.server_stats()
+        assert stats["queries_served"] >= 6 * rounds * 4
+        assert stats["segment_cache"]["hits"] > 0
+        # The byte budget held under concurrency as well.
+        assert server.cache.total_bytes <= server.cache.max_bytes
+        assert server.cache.peak_bytes <= server.cache.max_bytes
