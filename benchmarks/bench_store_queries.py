@@ -2,7 +2,7 @@
 
 The persistent store exists so post-run provenance queries (the paper's
 case studies) do not need the whole CPG in memory, and so ingest overhead
-stays bounded as runs grow.  Five scenarios keep those claims honest:
+stays bounded as runs grow.  Seven scenarios keep those claims honest:
 
 * **queries** -- backward slices, page lineage, and taint propagation,
   comparing a full serialized-CPG reload against the
@@ -15,6 +15,15 @@ stays bounded as runs grow.  Five scenarios keep those claims honest:
   flush, via ``index_full_rewrite``) against the v4 default (binary
   segments + O(epoch) index deltas): the v3 per-flush cost grows with the
   run, the v4 cost must not;
+* **flush_scaling** -- the same streamed run committed through the v4
+  commit mechanism (whole-manifest rewrite per flush, via
+  ``manifest_full_rewrite``) and the v5 one (one framed record appended
+  to ``segments.log``): the rewrite cost grows with the store's segment
+  count, the log append must stay flat;
+* **remote_ingest** -- a run streamed over TCP into a writable
+  :class:`~repro.store.server.StoreServer` (``begin_run`` /
+  ``append_epoch`` / ``commit_run``), reporting epochs/s and nodes/s
+  with every epoch durable before its reply;
 * **query_warm_vs_cold** -- the same repeated query served cold (fresh
   open, empty cache, index merge per query -- the one-shot CLI profile)
   and warm (one long-lived engine over a shared
@@ -324,6 +333,107 @@ def bench_ingest_flush(
 
 
 # ---------------------------------------------------------------------- #
+# Scenario: commit mechanism (v4 manifest rewrite vs v5 log append)
+# ---------------------------------------------------------------------- #
+
+
+def bench_flush_scaling(
+    base_dir: str, epochs: int, nodes_per_epoch: int, window: int = 10
+) -> dict:
+    """Time just the commit (flush) as the store's segment count grows.
+
+    Both stores take the identical v4 index-delta write path; the only
+    difference is the commit mechanism -- ``manifest_full_rewrite`` makes
+    every flush rewrite the whole manifest (the v4 cost profile, O(total
+    segments)), while the v5 default appends one framed record to
+    ``segments.log`` (O(epoch)).  The v5 store's checkpoint interval is
+    raised past the run so every timed flush is a pure append.
+    """
+    import statistics
+
+    window = min(window, max(1, epochs // 2))
+    results: Dict[str, dict] = {}
+    for style in ("v4_manifest_rewrite", "v5_log_append"):
+        store_dir = os.path.join(base_dir, f"flush-{style}")
+        store = ProvenanceStore.create(store_dir)
+        if style == "v4_manifest_rewrite":
+            store.manifest_full_rewrite = True
+        else:
+            store.checkpoint_interval = epochs * 2
+        run_id = store.new_run(workload="synthetic")
+        flush_ms: List[float] = []
+        for epoch in range(epochs):
+            nodes, edge_lists = _synthetic_epoch(epoch, nodes_per_epoch)
+            store.append_segment(
+                nodes, [edge for edges in edge_lists for edge in edges], run=run_id
+            )
+            start = time.perf_counter()
+            store.flush()
+            flush_ms.append((time.perf_counter() - start) * 1e3)
+        early = statistics.median(flush_ms[:window])
+        late = statistics.median(flush_ms[-window:])
+        reopened = ProvenanceStore.open(store_dir)
+        results[style] = {
+            "early_flush_ms": early,
+            "late_flush_ms": late,
+            "growth": late / early if early else float("inf"),
+            "segments": reopened.manifest.segment_count,
+            "log_records": reopened.log_state()["records"],
+        }
+    results["epochs"] = epochs
+    results["nodes_per_epoch"] = nodes_per_epoch
+    results["window"] = window
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# Scenario: remote ingest throughput (epochs over TCP)
+# ---------------------------------------------------------------------- #
+
+
+def bench_remote_ingest(base_dir: str, epochs: int, nodes_per_epoch: int) -> dict:
+    """Stream a synthetic run into a writable server; report epochs/s.
+
+    Every ``append_epoch`` reply arrives only after the server flushed
+    the epoch (one log record), so the measured rate includes the full
+    durability round-trip -- the back-pressure contract, not just socket
+    throughput.
+    """
+    from repro.store import StoreClient, StoreServer
+
+    store_dir = os.path.join(base_dir, "remote-ingest")
+    ProvenanceStore.create(store_dir)
+    server = StoreServer(store_dir, writable=True)
+    host, port = server.start()
+    try:
+        client = StoreClient(host, port, timeout=30.0)
+        run_id = client.begin_run(workload="synthetic")
+        total_nodes = 0
+        start = time.perf_counter()
+        for epoch in range(epochs):
+            nodes, edge_lists = _synthetic_epoch(epoch, nodes_per_epoch)
+            client.append_epoch(
+                run_id, nodes, [edge for edges in edge_lists for edge in edges]
+            )
+            total_nodes += len(nodes)
+        elapsed = time.perf_counter() - start
+        committed = client.commit_run(run_id)
+        stats = server.server_stats()
+    finally:
+        server.close()
+    return {
+        "epochs": epochs,
+        "nodes_per_epoch": nodes_per_epoch,
+        "elapsed_s": elapsed,
+        "epochs_per_s": epochs / elapsed if elapsed else float("inf"),
+        "nodes_per_s": total_nodes / elapsed if elapsed else float("inf"),
+        "run_status": committed["status"],
+        "segments_ingested": committed["segments"],
+        "server_epochs_ingested": stats["epochs_ingested"],
+    }
+
+
+# ---------------------------------------------------------------------- #
 # Scenario: warm (cached engine) vs cold (fresh open per query) reads
 # ---------------------------------------------------------------------- #
 
@@ -478,6 +588,52 @@ def test_ingest_flush_cost_does_not_grow_with_run_length(benchmark, tmp_path):
     assert v4["late_flush_ms"] < v3["late_flush_ms"] / 2
 
 
+def test_flush_cost_does_not_grow_with_segment_count(benchmark, tmp_path):
+    """Acceptance: the v5 log-append commit stays flat as segments pile up."""
+    results = benchmark.pedantic(
+        lambda: bench_flush_scaling(str(tmp_path), epochs=120, nodes_per_epoch=8),
+        rounds=1,
+        iterations=1,
+    )
+    results["smoke"] = False
+    path = update_bench_json("flush_scaling", results)
+    v4, v5 = results["v4_manifest_rewrite"], results["v5_log_append"]
+    print(
+        f"flush over {results['epochs']} epochs: "
+        f"v4-rewrite {v4['early_flush_ms']:.2f} -> {v4['late_flush_ms']:.2f} ms "
+        f"({v4['growth']:.2f}x), "
+        f"v5-append {v5['early_flush_ms']:.2f} -> {v5['late_flush_ms']:.2f} ms "
+        f"({v5['growth']:.2f}x) [written to {path}]"
+    )
+    # The log-append commit must not grow with segment count (small
+    # absolute slack shrugs off sub-ms scheduler noise in the medians)...
+    assert v5["late_flush_ms"] <= 2 * v5["early_flush_ms"] + 0.5, (
+        f"v5 log-append flush grew with the store: "
+        f"{v5['early_flush_ms']:.3f} -> {v5['late_flush_ms']:.3f} ms"
+    )
+    # ...and must beat the whole-manifest rewrite once the store is large.
+    assert v5["late_flush_ms"] < v4["late_flush_ms"]
+
+
+def test_remote_ingest_throughput(benchmark, tmp_path):
+    """Remote ingest commits every epoch durably and reports its rate."""
+    results = benchmark.pedantic(
+        lambda: bench_remote_ingest(str(tmp_path), epochs=40, nodes_per_epoch=8),
+        rounds=1,
+        iterations=1,
+    )
+    results["smoke"] = False
+    path = update_bench_json("remote_ingest", results)
+    print(
+        f"remote ingest: {results['epochs_per_s']:.0f} epochs/s "
+        f"({results['nodes_per_s']:.0f} nodes/s, every epoch durable before its "
+        f"reply) [written to {path}]"
+    )
+    assert results["run_status"] == "complete"
+    assert results["server_epochs_ingested"] == results["epochs"]
+    assert results["epochs_per_s"] > 0
+
+
 def test_store_queries_report(benchmark, tmp_path):
     """Write the store-query comparison table and assert the indexed win."""
     from benchmarks.conftest import inspector_run, write_report
@@ -620,6 +776,12 @@ def main(argv=None) -> None:
         flush = bench_ingest_flush(tmp, epochs=epochs, nodes_per_epoch=nodes_per_epoch)
         flush["smoke"] = args.smoke
         update_bench_json("ingest_flush", flush)
+        scaling = bench_flush_scaling(tmp, epochs=30 if args.smoke else 120, nodes_per_epoch=8)
+        scaling["smoke"] = args.smoke
+        update_bench_json("flush_scaling", scaling)
+        remote = bench_remote_ingest(tmp, epochs=15 if args.smoke else 40, nodes_per_epoch=8)
+        remote["smoke"] = args.smoke
+        update_bench_json("remote_ingest", remote)
         warm = bench_warm_vs_cold(store_dir, cpg, repeats=2 if args.smoke else REPEATS)
         warm["smoke"] = args.smoke
         update_bench_json("query_warm_vs_cold", warm)
@@ -639,6 +801,18 @@ def main(argv=None) -> None:
         f"v4 {v4['early_flush_ms']:.2f} -> {v4['late_flush_ms']:.2f} ms "
         f"({v4['growth']:.2f}x growth)"
     )
+    rewrite, append = scaling["v4_manifest_rewrite"], scaling["v5_log_append"]
+    print(
+        f"commit over {scaling['epochs']} epochs: "
+        f"v4-rewrite {rewrite['early_flush_ms']:.2f} -> {rewrite['late_flush_ms']:.2f} ms "
+        f"({rewrite['growth']:.2f}x growth); "
+        f"v5-append {append['early_flush_ms']:.2f} -> {append['late_flush_ms']:.2f} ms "
+        f"({append['growth']:.2f}x growth)"
+    )
+    print(
+        f"remote ingest: {remote['epochs_per_s']:.0f} epochs/s "
+        f"({remote['nodes_per_s']:.0f} nodes/s, run {remote['run_status']})"
+    )
     print(
         f"warm vs cold query: cold {warm['cold_ms']:.2f} ms, warm {warm['warm_ms']:.2f} ms "
         f"({warm['speedup']:.1f}x, {warm['cache_hits']} cache hit(s))"
@@ -656,6 +830,12 @@ def main(argv=None) -> None:
         )
         assert v4["late_flush_ms"] < v3["late_flush_ms"], (
             "v4 flush cost grew like a whole-index rewrite"
+        )
+        assert append["late_flush_ms"] <= 2 * append["early_flush_ms"] + 0.5, (
+            "v5 log-append flush cost grew with segment count"
+        )
+        assert remote["server_epochs_ingested"] == remote["epochs"], (
+            "remote ingest dropped epochs"
         )
         assert warm["cache_hits"] > 0, "warm engine reported no segment-cache hits"
         assert warm["warm_ms"] <= warm["cold_ms"], (

@@ -43,6 +43,7 @@ def run_with_provenance(
     cost_params: Optional[CostParameters] = None,
     seed: int = 42,
     store_path: Optional[Union[str, ProvenanceStore]] = None,
+    store_url: Optional[str] = None,
     run_meta: Optional[dict] = None,
 ) -> InspectorRunResult:
     """Run a workload under the INSPECTOR library and return its CPG and stats.
@@ -63,10 +64,19 @@ def run_with_provenance(
             each mint their own run id.  The returned result carries the
             store as ``result.store`` and the minted run id as
             ``result.store_run_id``.
+        store_url: Address of a writable store server (``host:port`` or
+            ``store://host:port``, started with
+            ``python -m repro.store serve --writable``) to stream the run
+            to over TCP instead -- epochs travel through
+            :class:`~repro.store.sink.RemoteStoreSink`, and the traced
+            process needs no filesystem access to the store.  Mutually
+            exclusive with ``store_path``.
         run_meta: Extra metadata recorded with the store's run entry (e.g.
             ``created_at`` wall-clock, experiment labels).
     """
-    session = InspectorSession(config=config, cost_params=cost_params, store=store_path)
+    session = InspectorSession(
+        config=config, cost_params=cost_params, store=store_path, store_url=store_url
+    )
     return session.run(
         _resolve(workload),
         num_threads=num_threads,

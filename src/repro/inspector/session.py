@@ -20,7 +20,7 @@ from repro.inspector.interpose import InspectorBackend, OutputRecord
 from repro.inspector.stats import RunStats
 from repro.perf.events import PerfData
 from repro.store.format import DEFAULT_SEGMENT_NODES
-from repro.store.sink import StoreSink
+from repro.store.sink import RemoteStoreSink, StoreSink
 from repro.store.store import ProvenanceStore
 from repro.threads.program import ProgramAPI
 from repro.threads.runtime import SimRuntime
@@ -86,6 +86,11 @@ class InspectorSession:
             number of runs of any workloads; query them individually or
             compare them with
             :meth:`repro.store.StoreQueryEngine.compare_lineage`.
+        store_url: Address of a **writable store server**
+            (``host:port`` or ``store://host:port``) to stream runs to
+            over TCP instead of a local store directory -- the traced
+            process never touches the store's filesystem.  Mutually
+            exclusive with ``store``.
         store_segment_nodes: Sub-computations per ingest epoch.
     """
 
@@ -94,14 +99,18 @@ class InspectorSession:
         config: Optional[InspectorConfig] = None,
         cost_params: Optional[CostParameters] = None,
         store: Optional[Union[str, ProvenanceStore]] = None,
+        store_url: Optional[str] = None,
         store_segment_nodes: int = DEFAULT_SEGMENT_NODES,
     ) -> None:
         self.config = config if config is not None else InspectorConfig()
         self.config.validate()
         self.cost_model = CostModel(cost_params)
+        if store is not None and store_url is not None:
+            raise ValueError("store and store_url are mutually exclusive; pass one")
         if isinstance(store, str):
             store = ProvenanceStore.open_or_create(store)
         self.store = store
+        self.store_url = store_url
         self.store_segment_nodes = store_segment_nodes
 
     def run(
@@ -133,10 +142,18 @@ class InspectorSession:
         base = backend.load_input(spec.payload)
         descriptor = InputDescriptor(base=base, size=len(spec.payload), meta=spec.meta)
         runtime = SimRuntime(scheduler=make_scheduler(self.config), backend=backend)
-        sink: Optional[StoreSink] = None
+        sink: Optional[Union[StoreSink, RemoteStoreSink]] = None
         if self.store is not None:
             sink = StoreSink(
                 self.store,
+                segment_nodes=self.store_segment_nodes,
+                workload=workload.name,
+                run_meta=dict(run_meta or {}),
+            )
+            sink.attach(backend.tracker)
+        elif self.store_url is not None:
+            sink = RemoteStoreSink(
+                self.store_url,
                 segment_nodes=self.store_segment_nodes,
                 workload=workload.name,
                 run_meta=dict(run_meta or {}),

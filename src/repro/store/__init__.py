@@ -9,29 +9,34 @@ happened in this run", "what happened in every run", and "what changed
 between these two runs".  It provides:
 
 * :class:`~repro.store.store.ProvenanceStore` -- an append-only, segmented
-  on-disk format (format 4) whose segment payloads go through a pluggable
+  on-disk format (format 5) whose segment payloads go through a pluggable
   codec (:mod:`repro.store.codecs`; columnar binary by default, JSON for
   back-compat), with per-run page/thread/sync secondary indexes flushed as
-  append-only delta files, plus run-scoped maintenance (``compact``
-  stream-rewrites a run's segments and folds its index deltas, ``gc``
-  drops superseded runs), both crash-consistent through the manifest
-  commit protocol;
+  append-only delta files and every flush committed as one O(epoch)
+  record appended to the segment log (:mod:`repro.store.log`; the
+  manifest is a periodic checkpoint replayed over on open), plus
+  run-scoped maintenance (``compact`` stream-rewrites a run's segments
+  and folds its index deltas, ``gc`` drops superseded runs), all
+  crash-consistent through the checkpoint + log-replay commit protocol;
 * :class:`~repro.store.query.StoreQueryEngine` -- slices, lineage, and
   taint propagation that load only the index-selected subgraph, within a
   run, across all runs, or diffed between two runs
   (:meth:`~repro.store.query.StoreQueryEngine.compare_lineage`);
-* :class:`~repro.store.sink.StoreSink` -- incremental ingestion of a
-  running execution, one segment per epoch, one run per sink;
+* :class:`~repro.store.sink.StoreSink` /
+  :class:`~repro.store.sink.RemoteStoreSink` -- incremental ingestion of
+  a running execution, one segment per epoch, one run per sink, into a
+  local directory or over TCP to a writable server;
 * :mod:`repro.store.cache` -- the hot read path: a byte-budgeted LRU of
   decoded segments (:class:`~repro.store.cache.SegmentCache`) and pinned
   per-run index generations (:class:`~repro.store.cache.IndexPinner`);
 * :class:`~repro.store.server.StoreServer` /
   :class:`~repro.store.server.StoreClient` -- a long-lived warm query
-  server (snapshot-at-open, concurrent read-only queries, per-query
-  stats) and its client;
+  server (snapshot-at-open with opt-in follow-mode bounded staleness,
+  concurrent read-only queries, per-query stats, optional remote ingest,
+  live-tail ``watch`` streams) and its retrying client;
 * ``python -m repro.store`` -- the ``ingest`` / ``info`` / ``runs`` /
   ``slice`` / ``lineage`` / ``taint`` / ``compact`` / ``gc`` / ``serve``
-  command-line surface.
+  / ``watch`` command-line surface.
 
 The whole reproduction's module map lives in ``docs/architecture.md``;
 this package's own design notes are in ``docs/store.md``.
@@ -48,28 +53,35 @@ from repro.store.cache import (
 )
 from repro.store.codecs import CODECS, DEFAULT_CODEC, SegmentCodec
 from repro.store.format import (
+    DEFAULT_CHECKPOINT_INTERVAL,
     DEFAULT_SEGMENT_NODES,
+    SEGMENT_LOG_NAME,
     STORE_FORMAT_VERSION,
     STORE_FORMAT_VERSION_V2,
     STORE_FORMAT_VERSION_V3,
+    STORE_FORMAT_VERSION_V4,
     RunInfo,
     SegmentInfo,
     StoreManifest,
 )
 from repro.store.indexes import StoreIndexes
+from repro.store.log import SegmentLog
 from repro.store.query import LineageDiff, StoreQueryEngine
 from repro.store.server import StoreClient, StoreServer
-from repro.store.sink import StoreSink
+from repro.store.sink import RemoteStoreSink, StoreSink
 from repro.store.store import MaintenanceStats, ProvenanceStore, StoreReadStats
 
 __all__ = [
     "CODECS",
     "DEFAULT_CACHE_BYTES",
+    "DEFAULT_CHECKPOINT_INTERVAL",
     "DEFAULT_CODEC",
     "DEFAULT_SEGMENT_NODES",
+    "SEGMENT_LOG_NAME",
     "STORE_FORMAT_VERSION",
     "STORE_FORMAT_VERSION_V2",
     "STORE_FORMAT_VERSION_V3",
+    "STORE_FORMAT_VERSION_V4",
     "CacheStats",
     "IndexPinner",
     "LineageDiff",
@@ -77,8 +89,10 @@ __all__ = [
     "ReadScope",
     "SegmentCache",
     "SegmentCodec",
+    "SegmentLog",
     "MaintenanceStats",
     "ProvenanceStore",
+    "RemoteStoreSink",
     "RunInfo",
     "SegmentInfo",
     "StoreClient",

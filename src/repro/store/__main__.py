@@ -15,7 +15,9 @@ Usage::
     python -m repro.store compact <store> [--run R] [--segment-nodes N] [--json]
     python -m repro.store gc <store> (--keep-last N | --runs 1,2) [--json]
     python -m repro.store serve <store> [--host H] [--port P] \\
-        [--cache-bytes N] [--parallelism N]
+        [--cache-bytes N] [--parallelism N] [--writable]
+    python -m repro.store watch <host:port> --pages 1,2 [--run R] \\
+        [--interval S] [--timeout S] [--json]
 
 ``slice --node`` answers "what does this sub-computation depend on" (or,
 with ``--forward``, "what did it influence"); ``lineage --pages`` (and its
@@ -29,8 +31,13 @@ holds, making the out-of-core behaviour visible; ``--parallelism`` fans
 multi-segment scans out over a thread pool.  ``serve`` keeps one warm
 decoded-segment cache + pinned indexes resident and answers the same
 queries over newline-delimited JSON on TCP
-(:mod:`repro.store.server`), and ``info --stats`` reports the read-path
-cache configuration.
+(:mod:`repro.store.server`); with ``--writable`` it additionally accepts
+remote ingest (``begin_run``/``append_epoch``/``commit_run`` -- what
+:class:`~repro.store.sink.RemoteStoreSink` speaks).  ``watch`` tails a
+page set's lineage against a running server, printing an update whenever
+the watched run grows.  ``info --stats`` reports the read-path cache
+configuration, and plain ``info`` includes the v5 segment-log state (log
+records and bytes, last checkpoint sequence, uncheckpointed records).
 """
 
 from __future__ import annotations
@@ -48,7 +55,7 @@ from repro.errors import InspectorError
 from repro.store.cache import DEFAULT_CACHE_BYTES
 from repro.store.codecs import CODECS, DEFAULT_CODEC
 from repro.store.query import StoreQueryEngine
-from repro.store.server import StoreServer
+from repro.store.server import StoreClient, StoreServer
 from repro.store.store import DEFAULT_CACHE_SEGMENTS, ProvenanceStore
 
 
@@ -208,7 +215,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_CACHE_BYTES,
         help=f"decoded-segment cache byte budget (default: {DEFAULT_CACHE_BYTES})",
     )
+    serve.add_argument(
+        "--writable",
+        action="store_true",
+        help="accept remote ingest ops (begin_run/append_epoch/commit_run)",
+    )
     _add_parallelism(serve)
+
+    watch = commands.add_parser(
+        "watch", help="tail a page set's lineage against a running store server"
+    )
+    watch.add_argument("server", help="server address as host:port (or store://host:port)")
+    watch.add_argument(
+        "--pages", type=_parse_pages, required=True, help="comma-separated page list"
+    )
+    watch.add_argument(
+        "--run", type=int, default=None, help="run to watch (optional for single-run stores)"
+    )
+    watch.add_argument(
+        "--interval", type=float, default=0.2, help="seconds between observations (default: 0.2)"
+    )
+    watch.add_argument(
+        "--timeout", type=float, default=60.0, help="give up after this many seconds (default: 60)"
+    )
+    watch.add_argument("--json", action="store_true", help="machine-readable output (JSON lines)")
     return parser
 
 
@@ -287,6 +317,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(
         f"  index deltas:     {summary['index_delta_files']} pending file(s), "
         f"{summary['index_delta_bytes']} byte(s)"
+    )
+    log = summary["segment_log"]
+    print(
+        f"  segment log:      {log['records']} record(s), {log['bytes']} byte(s) "
+        f"(checkpoint seq {log['checkpoint_seq']}, last seq {log['last_seq']}, "
+        f"{log['uncheckpointed_records']} uncheckpointed)"
     )
     for run in summary["runs"]:
         run_codecs = " ".join(
@@ -439,11 +475,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         cache_bytes=args.cache_bytes,
         parallelism=args.parallelism,
+        writable=args.writable,
     )
     host, port = server.address
+    mode = "read-write" if args.writable else "read-only"
     print(
-        f"serving {args.store} on {host}:{port} "
-        f"(cache budget {args.cache_bytes} bytes, parallelism {args.parallelism}); "
+        f"serving {args.store} on {host}:{port} ({mode}; "
+        f"cache budget {args.cache_bytes} bytes, parallelism {args.parallelism}); "
         f"Ctrl-C to stop"
     )
     try:
@@ -451,6 +489,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         server.close()
         print("stopped")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    client = StoreClient.from_url(args.server, refresh_mode="follow")
+    for update in client.watch(
+        args.pages, run=args.run, interval=args.interval, timeout=args.timeout
+    ):
+        if args.json:
+            printable = dict(update)
+            printable["nodes"] = [node_key(node) for node in update["nodes"]]
+            print(json.dumps(printable, sort_keys=True), flush=True)
+        else:
+            progress = update["progress"]
+            tail = " [complete]" if update.get("done") and not update.get("timed_out") else ""
+            tail = " [timed out]" if update.get("timed_out") else tail
+            print(
+                f"run {update['run']} [{progress['status']}]: "
+                f"{progress['nodes']} node(s), {progress['edges']} edge(s), "
+                f"{progress['segments']} segment(s); lineage of {args.pages}: "
+                f"{len(update['nodes'])} sub-computation(s){tail}",
+                flush=True,
+            )
     return 0
 
 
@@ -464,6 +525,7 @@ _COMMANDS = {
     "compact": _cmd_compact,
     "gc": _cmd_gc,
     "serve": _cmd_serve,
+    "watch": _cmd_watch,
 }
 
 

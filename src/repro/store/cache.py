@@ -437,6 +437,9 @@ class ReadScope:
     bytes_read: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Snapshot refreshes this query triggered (``follow`` mode readers
+    #: picking up newly logged segments before answering).
+    snapshot_refreshes: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_hit(self, count: int = 1) -> None:
@@ -449,10 +452,15 @@ class ReadScope:
             self.segments_read += 1
             self.bytes_read += data_bytes
 
+    def record_refresh(self) -> None:
+        with self._lock:
+            self.snapshot_refreshes += 1
+
     def to_dict(self) -> dict:
         return {
             "segments_read": self.segments_read,
             "bytes_read": self.bytes_read,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "snapshot_refreshes": self.snapshot_refreshes,
         }

@@ -1,9 +1,10 @@
 """On-disk layout of the persistent provenance store.
 
-A store is a directory (format version 4)::
+A store is a directory (format version 5)::
 
     <store>/
-        MANIFEST.json                   # format version, run table, segment table
+        MANIFEST.json                   # periodic checkpoint: run table, segment table
+        segments.log                    # append-only per-flush commit records
         segments/seg-<id>.seg           # immutable segments (codec per segment)
         index/pages_runs.json           # cross-run summary: page -> run ids
         index/run-<id>/base-<gen>.bin   # folded secondary indexes of the run
@@ -17,7 +18,15 @@ unique *within* a run, so the run id is the namespace that lets two
 executions of the same program coexist.
 
 Segments are immutable once written; ingestion appends new segments, one
-small *index delta* file per flush, and rewrites the (small) manifest.
+small *index delta* file per flush, and -- since format 5 -- one framed
+commit record to the append-only **segment log** (``segments.log``, see
+:mod:`repro.store.log`), so the per-flush cost is O(epoch) instead of the
+O(#segments) whole-manifest rewrite format 4 paid.  The manifest is
+demoted to a periodic *checkpoint*: it carries ``log_seq``, the sequence
+number of the last log record folded into it, and opening a store replays
+the committed log tail (records with a higher sequence number) on top of
+the checkpoint.  A torn tail record -- the crash window of an append --
+is detected by the log's framing and simply truncated.
 Maintenance rewrites are run-scoped:
 :meth:`~repro.store.store.ProvenanceStore.compact` replaces a run's
 segments with fewer, denser ones (streaming, segment by segment) and folds
@@ -37,8 +46,10 @@ records each segment's codec, so mixed stores decode correctly.  Older
 layouts remain readable: a version-2 store (one implicit run, flat
 ``index/*.json``) is mapped to a single run with id 1 on open, and a
 version-3 store (per-run ``index/run-<id>/*.json`` rewritten wholesale per
-flush) loads its JSON indexes as each run's starting point.  Either is
-upgraded to the version-4 layout in place by its first flush.
+flush) loads its JSON indexes as each run's starting point.  A version-4
+store opens unchanged (its manifest simply has no ``log_seq`` and no
+``segments.log`` exists).  Any older layout is upgraded to the version-5
+layout in place by its first flush, which always writes a checkpoint.
 """
 
 from __future__ import annotations
@@ -48,8 +59,12 @@ from typing import Dict, List, Optional
 
 from repro.errors import StoreError
 
-#: Version of the store directory layout (4 = codecs + index deltas).
-STORE_FORMAT_VERSION = 4
+#: Version of the store directory layout (5 = append-only segment log;
+#: the manifest is a periodic checkpoint).
+STORE_FORMAT_VERSION = 5
+
+#: The PR-3 layout (codecs + index deltas, whole-manifest rewrite per flush).
+STORE_FORMAT_VERSION_V4 = 4
 
 #: The PR-2 multi-run layout (whole-index JSON rewrites per flush).
 STORE_FORMAT_VERSION_V3 = 3
@@ -61,6 +76,7 @@ STORE_FORMAT_VERSION_V2 = 2
 SUPPORTED_STORE_VERSIONS = (
     STORE_FORMAT_VERSION_V2,
     STORE_FORMAT_VERSION_V3,
+    STORE_FORMAT_VERSION_V4,
     STORE_FORMAT_VERSION,
 )
 
@@ -70,6 +86,16 @@ STORE_KIND = "inspector-provenance-store"
 MANIFEST_NAME = "MANIFEST.json"
 SEGMENTS_DIR = "segments"
 INDEX_DIR = "index"
+
+#: The append-only segment log (format 5): one framed commit record per
+#: flush, replayed on top of the manifest checkpoint at open.
+SEGMENT_LOG_NAME = "segments.log"
+
+#: How many log records accumulate before a flush folds them into a fresh
+#: manifest checkpoint (and resets the log).  Bounds both replay work at
+#: open and the log's disk footprint; maintenance and run completion
+#: checkpoint eagerly regardless.
+DEFAULT_CHECKPOINT_INTERVAL = 64
 
 #: Cross-run page summary (page -> run ids that touched it), inside
 #: :data:`INDEX_DIR`; lets ``*_across_runs`` queries skip runs without
@@ -256,15 +282,20 @@ class RunInfo:
 class StoreManifest:
     """The store's root metadata document (``MANIFEST.json``).
 
-    The manifest is the store's *commit point*: segment and index files are
-    written first, the manifest last (each through a temp-file + atomic
-    rename), so whatever generation the manifest describes is the store's
-    content -- files it does not reference are ignored on open and swept by
-    the next maintenance operation.
+    Up to format 4 the manifest was the store's sole *commit point*:
+    segment and index files are written first, the manifest last (each
+    through a temp-file + atomic rename), so whatever generation the
+    manifest describes is the store's content.  Format 5 splits that role:
+    ordinary flushes commit through an appended segment-log record and the
+    manifest becomes a periodic **checkpoint** of the replayed state --
+    still the commit point for maintenance rewrites (compact/gc), which
+    always write one.  Either way, files neither the checkpoint nor the
+    committed log tail reference are ignored on open and swept by the next
+    maintenance operation.
 
     Attributes:
         version: Store format version the manifest was **loaded** as (2,
-            3, or 4); writing always emits version 4.
+            3, 4, or 5); writing always emits version 5.
         segments: Sealed segments in append order (per run this is
             topological order).
         runs: One entry per ingested run, in mint order.
@@ -272,6 +303,9 @@ class StoreManifest:
         next_run_id: Next run id to mint (monotonic, never reused).
         node_count: Total sub-computations across every run.
         edge_count: Total edges across every run.
+        log_seq: Sequence number of the last segment-log record folded
+            into this checkpoint (format 5); records with a higher
+            sequence number are replayed on open, lower ones skipped.
         meta: Free-form store metadata supplied at creation time.
     """
 
@@ -282,6 +316,7 @@ class StoreManifest:
     next_run_id: int = 1
     node_count: int = 0
     edge_count: int = 0
+    log_seq: int = 0
     meta: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -348,6 +383,7 @@ class StoreManifest:
             "next_run_id": self.next_run_id,
             "node_count": self.node_count,
             "edge_count": self.edge_count,
+            "log_seq": self.log_seq,
             "meta": dict(self.meta),
         }
 
@@ -373,6 +409,7 @@ class StoreManifest:
             manifest.runs = [RunInfo.from_dict(entry) for entry in data.get("runs", ())]
             manifest.next_segment_id = int(data.get("next_segment_id", 1))
             manifest.next_run_id = int(data.get("next_run_id", 1))
+            manifest.log_seq = int(data.get("log_seq", 0))
         ids = manifest.segment_ids()
         if sorted(set(ids)) != ids:
             raise StoreError(f"segment table is not strictly increasing: {ids}")

@@ -266,6 +266,24 @@ class StoreQueryEngine:
     # Cross-run queries
     # ------------------------------------------------------------------ #
 
+    def run_progress(self, run: Optional[int] = None) -> dict:
+        """How far one run has grown, from the manifest alone (no I/O).
+
+        The ``watch`` op polls this between lineage observations: a
+        follow-mode engine's numbers advance as a live writer's flushes
+        land, and ``status`` flipping to complete is the end-of-stream
+        signal.
+        """
+        run_id = self.store.resolve_run(run)
+        info = self.store.manifest.run_info(run_id)
+        return {
+            "run": run_id,
+            "status": info.status,
+            "nodes": info.nodes,
+            "edges": info.edges,
+            "segments": len(self.store.manifest.segments_of_run(run_id)),
+        }
+
     def runs_containing(self, node_id: NodeId) -> List[int]:
         """Every run that recorded a sub-computation named ``node_id``."""
         return [

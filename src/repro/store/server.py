@@ -14,10 +14,30 @@ immutable view (segments are immutable and ids never reused, so the
 snapshot cannot be torn by later appends).  Writes that land after the
 open become visible only through an explicit ``refresh``, which atomically
 swaps in a new snapshot while keeping the warm cache (still-referenced
-segments stay hot; superseded ones are unreachable by id).  Maintenance
-(``compact``/``gc``) concurrent with a serving snapshot follows the
-store's existing single-writer stance: run it between snapshots and
-``refresh`` afterwards.
+segments stay hot; superseded ones are unreachable by id).  Requests that
+carry ``"follow": true`` (what ``StoreClient(refresh_mode="follow")``
+sends) opt into a **bounded-staleness view** instead: before answering,
+the server compares a cheap disk token (manifest + segment-log stat) and
+refreshes the snapshot only when a writer's flush actually landed --
+append-only growth keeps the cache namespace, so the warm entries
+survive every follow refresh.  Maintenance (``compact``/``gc``)
+concurrent with a serving snapshot follows the store's existing
+single-writer stance: run it between snapshots and ``refresh`` afterwards.
+
+**Remote ingest.**  A server started ``writable`` additionally accepts
+``begin_run`` / ``append_epoch`` / ``commit_run``: epochs arrive as
+base64-framed segment payloads (the store's own codec frames), are
+appended through one writer handle, and each append is flushed -- one
+O(epoch) record to the v5 segment log -- before the reply is written, so
+the synchronous protocol *is* the back-pressure on slow flushes.  One
+writer per run is structural (``begin_run`` mints the run id), and the
+writer shares the readers' segment cache, so a follow-mode reader's
+first query over a freshly ingested epoch is already warm.
+
+**Live tails.**  The ``watch`` op streams a page set's lineage as its run
+grows: one request, many response lines -- an observation whenever the
+run's progress changes, a final one flagged ``done`` when the run
+commits (or the watch times out).
 
 **Protocol.**  Newline-delimited JSON over TCP -- one request object per
 line, one response object per line, no dependencies beyond the standard
@@ -36,19 +56,25 @@ from the command line.
 
 from __future__ import annotations
 
+import base64
+import binascii
 import json
+import os
 import socket
 import socketserver
 import threading
 import time
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.cpg import EdgeKind
 from repro.core.serialization import node_key, parse_node_key
+from repro.core.thunk import SubComputation
 from repro.errors import InspectorError, StoreError
 
 from repro.store.cache import DEFAULT_CACHE_BYTES, IndexPinner, ReadScope, SegmentCache
+from repro.store.format import MANIFEST_NAME, RUN_COMPLETE, SEGMENT_LOG_NAME
 from repro.store.query import StoreQueryEngine
+from repro.store.segment import EdgeTuple, decode_segment, encode_segment
 from repro.store.store import ProvenanceStore
 
 #: Ops the server answers (the protocol surface).
@@ -62,10 +88,22 @@ SERVER_OPS = (
     "lineage_across_runs",
     "taint_across_runs",
     "compare_lineage",
+    "watch",
+    "begin_run",
+    "append_epoch",
+    "commit_run",
     "stats",
     "refresh",
     "shutdown",
 )
+
+#: Ops that mutate the store; a server accepts them only when writable.
+INGEST_OPS = ("begin_run", "append_epoch", "commit_run")
+
+#: Ops a client must not blindly resend after the request may have been
+#: received: ingest ops mutate state and shutdown stops the server, so a
+#: retry could apply them twice.  Read queries are idempotent.
+_NON_RETRYABLE_AFTER_SEND = frozenset(INGEST_OPS) | {"shutdown"}
 
 
 def _parse_kinds(kinds: Optional[Iterable[str]]) -> Tuple[EdgeKind, ...]:
@@ -101,6 +139,17 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             except ValueError:
                 response = {"ok": False, "error": "malformed request (not JSON)"}
             else:
+                if isinstance(request, dict) and request.get("op") == "watch" and request.get("stream"):
+                    # The one streaming op: one request line, many response
+                    # lines, the last flagged done -- then the connection
+                    # goes back to request/response.
+                    try:
+                        for update in server.watch_responses(request):
+                            self.wfile.write(json.dumps(update).encode("utf-8") + b"\n")
+                            self.wfile.flush()
+                    except (BrokenPipeError, ConnectionResetError):
+                        return  # the watcher hung up mid-stream
+                    continue
                 response = server.handle_request(request)
             self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
             self.wfile.flush()
@@ -133,6 +182,10 @@ class StoreServer:
         cache_bytes: Byte budget of the shared decoded-segment cache.
         parallelism: Per-query multi-segment scan workers (each query gets
             its own :class:`StoreQueryEngine` with this knob).
+        writable: Accept the remote-ingest ops (``begin_run`` /
+            ``append_epoch`` / ``commit_run``) through a single writer
+            handle.  Off by default: a query server should not be a write
+            path by accident.
     """
 
     def __init__(
@@ -142,6 +195,7 @@ class StoreServer:
         port: int = 0,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         parallelism: int = 1,
+        writable: bool = False,
     ) -> None:
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
@@ -159,9 +213,26 @@ class StoreServer:
         self._started = time.time()
         self._opened_at = time.time()
         self._counter_lock = threading.Lock()
+        self._refresh_lock = threading.Lock()
         self.queries_served = 0
         self.refreshes = 0
+        self.follow_refreshes = 0
+        self.epochs_ingested = 0
+        self.runs_ingested = 0
         self._namespace_epoch = 0
+        self._snapshot_token = self._disk_token()
+        #: The single writer handle (writable servers only).  It shares
+        #: the readers' segment cache -- same namespace, generation 0 --
+        #: so appended payloads are warm for the very first follow query;
+        #: it does NOT share the pinner (its in-memory indexes mutate,
+        #: pinned objects are read-only-shared).
+        self._writer: Optional[ProvenanceStore] = (
+            ProvenanceStore.open(store_path, segment_cache=self.cache) if writable else None
+        )
+        self._write_lock = threading.Lock()
+        #: Active remote ingests by run id (single writer per run: the
+        #: run id is minted by begin_run and retired by commit_run).
+        self._ingests: Dict[int, dict] = {}
         self._tcp = _TCPServer((host, port), _RequestHandler)
         self._tcp.store_server = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
@@ -215,6 +286,10 @@ class StoreServer:
         check fails.  Returns the new snapshot's run/segment counts.
         """
         old = self._store
+        # Token before open: a write landing in between is covered by the
+        # snapshot but keeps the token stale, so the next follow query
+        # refreshes once more -- the safe direction.
+        token = self._disk_token()
         fresh = ProvenanceStore.open(
             self.store_path, segment_cache=self.cache, index_pinner=self.pinner
         )
@@ -239,6 +314,7 @@ class StoreServer:
             for run_id in gone:
                 self.pinner.invalidate(old.cache_namespace, run_id)
         self._store = fresh
+        self._snapshot_token = token
         self._opened_at = time.time()
         with self._counter_lock:
             self.refreshes += 1
@@ -247,6 +323,39 @@ class StoreServer:
             "segments": fresh.manifest.segment_count,
             "nodes": fresh.manifest.node_count,
         }
+
+    def _disk_token(self) -> Tuple:
+        """Cheap change detector: stat of the manifest + segment log.
+
+        Every committed write path touches one of the two files (a log
+        append or a checkpoint rename), so an unchanged token proves the
+        snapshot is current without opening anything.
+        """
+        token = []
+        for name in (MANIFEST_NAME, SEGMENT_LOG_NAME):
+            try:
+                stat = os.stat(os.path.join(self.store_path, name))
+                token.append((name, stat.st_mtime_ns, stat.st_size))
+            except OSError:
+                token.append((name, 0, 0))
+        return tuple(token)
+
+    def _maybe_follow_refresh(self, scope: Optional[ReadScope] = None) -> None:
+        """The follow-mode staleness bound: refresh iff the disk moved on.
+
+        Double-checked under the refresh lock so a burst of follow
+        queries behind one writer flush pays for a single reopen.
+        """
+        if self._disk_token() == self._snapshot_token:
+            return
+        with self._refresh_lock:
+            if self._disk_token() == self._snapshot_token:
+                return  # another follow query refreshed while we waited
+            self.refresh()
+        if scope is not None:
+            scope.record_refresh()
+        with self._counter_lock:
+            self.follow_refreshes += 1
 
     @staticmethod
     def _same_store_lineage(old: ProvenanceStore, fresh: ProvenanceStore) -> bool:
@@ -289,10 +398,14 @@ class StoreServer:
         op = request.get("op")
         if op not in SERVER_OPS:
             return {"ok": False, "error": f"unknown op {op!r} (known: {', '.join(SERVER_OPS)})"}
-        store = self._store  # one snapshot per request
         scope = ReadScope()
         start = time.perf_counter()
         try:
+            if request.get("follow"):
+                # Bounded staleness: catch up with the disk before taking
+                # the snapshot this request will be answered from.
+                self._maybe_follow_refresh(scope)
+            store = self._store  # one snapshot per request
             result, extra = self._dispatch(op, request, store, scope)
         except InspectorError as exc:
             # StoreError, ProvenanceError (malformed node keys), ...
@@ -330,9 +443,22 @@ class StoreServer:
             # The transport layer closes the listener *after* writing the
             # acknowledgement (see _RequestHandler.handle).
             return {"stopping": True}, {"bye": True}
+        if op in INGEST_OPS:
+            return self._handle_ingest(op, request), {}
 
         engine = self._engine(store, scope)
         run = request.get("run")
+        if op == "watch":
+            # One observation of the stream (watch_responses loops this).
+            run_id = store.resolve_run(run)
+            progress = engine.run_progress(run_id)
+            nodes = engine.lineage_of_pages([int(p) for p in request["pages"]], run=run_id)
+            return {
+                "run": run_id,
+                "progress": progress,
+                "nodes": _node_list(nodes),
+                "done": progress["status"] == RUN_COMPLETE,
+            }, {}
         if op == "slice":
             origin = parse_node_key(str(request["node"]))
             kinds = _parse_kinds(request.get("kinds"))
@@ -391,6 +517,121 @@ class StoreServer:
             }, {}
         raise StoreError(f"unhandled op {op!r}")  # unreachable: SERVER_OPS gates
 
+    # ------------------------------------------------------------------ #
+    # Remote ingest (writable servers)
+    # ------------------------------------------------------------------ #
+
+    def _handle_ingest(self, op: str, request: dict) -> dict:
+        """Apply one write op through the single writer handle.
+
+        All three ops run under one lock: writes are serialized, and the
+        reply is only written after the flush committed -- a slow flush
+        stalls exactly the client that caused it (back-pressure), never a
+        concurrent reader.
+        """
+        if self._writer is None:
+            raise StoreError(
+                "this store server is read-only (start it with serve --writable "
+                "to accept remote ingest)"
+            )
+        with self._write_lock:
+            writer = self._writer
+            if op == "begin_run":
+                run_id = writer.new_run(
+                    workload=str(request.get("workload", "")),
+                    meta=dict(request.get("meta") or {}),
+                )
+                writer.flush()  # the run is durable before any epoch lands
+                self._ingests[run_id] = {"epochs": 0}
+                with self._counter_lock:
+                    self.runs_ingested += 1
+                return {"run": run_id}
+            run_id = int(request["run"])
+            if run_id not in self._ingests:
+                raise StoreError(
+                    f"run {run_id} has no active remote ingest on this server "
+                    f"(begin_run mints the id; commit_run retires it)"
+                )
+            if op == "append_epoch":
+                try:
+                    data = base64.b64decode(str(request["segment"]), validate=True)
+                except (binascii.Error, ValueError) as exc:
+                    raise StoreError(f"append_epoch segment is not valid base64: {exc}") from exc
+                payload = decode_segment(data)
+                segment_id = writer.append_segment(
+                    list(payload.nodes.values()),  # insertion order = encode order
+                    payload.edges,
+                    run=run_id,
+                    codec=request.get("codec"),
+                )
+                writer.flush()  # one O(epoch) log record; the reply waits on it
+                self._ingests[run_id]["epochs"] += 1
+                with self._counter_lock:
+                    self.epochs_ingested += 1
+                return {
+                    "run": run_id,
+                    "segment": segment_id,
+                    "nodes": len(payload.nodes),
+                    "edges": len(payload.edges),
+                }
+            # commit_run
+            info = writer.manifest.run_info(run_id)
+            info.meta.update(dict(request.get("meta") or {}))
+            info.meta.setdefault("epochs", self._ingests[run_id]["epochs"])
+            info.status = RUN_COMPLETE
+            # Run completion checkpoints (same policy as a local ingest).
+            writer.flush(checkpoint=True)
+            del self._ingests[run_id]
+            return {
+                "run": run_id,
+                "status": info.status,
+                "nodes": info.nodes,
+                "edges": info.edges,
+                "segments": len(writer.manifest.segments_of_run(run_id)),
+            }
+
+    # ------------------------------------------------------------------ #
+    # Live tail (watch)
+    # ------------------------------------------------------------------ #
+
+    def watch_responses(self, request: dict) -> Iterator[dict]:
+        """Stream observations of a page set's lineage as its run grows.
+
+        Yields a response line whenever the watched run's progress
+        changed since the last observation, and a final one (``done``)
+        when the run completes or ``timeout`` elapses.  Each observation
+        is an ordinary follow-mode request, so the stream rides the same
+        snapshot/refresh machinery as every other query.
+        """
+        interval = max(0.005, float(request.get("interval", 0.05)))
+        deadline = time.time() + float(request.get("timeout", 30.0))
+        single = {key: value for key, value in request.items() if key != "stream"}
+        single["follow"] = True
+        last = None
+        while True:
+            response = self.handle_request(single)
+            if not response.get("ok"):
+                yield response
+                return
+            result = response["result"]
+            progress = result["progress"]
+            observed = (
+                progress["status"],
+                progress["nodes"],
+                progress["edges"],
+                progress["segments"],
+            )
+            timed_out = time.time() >= deadline
+            if timed_out and not result["done"]:
+                result["done"] = True
+                result["timed_out"] = True
+            if observed != last or result["done"]:
+                last = observed
+                yield response
+            if result["done"]:
+                return
+            time.sleep(interval)
+
     def server_stats(self) -> dict:
         """Server-wide counters: uptime, snapshot, cache, pinned indexes."""
         store = self._store
@@ -400,12 +641,21 @@ class StoreServer:
             "snapshot_age_s": round(time.time() - self._opened_at, 3),
             "queries_served": self.queries_served,
             "refreshes": self.refreshes,
+            "follow_refreshes": self.follow_refreshes,
+            "writable": self._writer is not None,
+            "active_ingests": len(self._ingests),
+            "runs_ingested": self.runs_ingested,
+            "epochs_ingested": self.epochs_ingested,
             "runs": len(store.run_ids()),
             "segments": store.manifest.segment_count,
             "parallelism": self.parallelism,
             "segment_cache": self.cache.to_dict(),
             "index_pinner": self.pinner.to_dict(),
         }
+
+
+class _SentRequestFailed(OSError):
+    """The connection broke *after* the request may have reached the server."""
 
 
 class StoreClient:
@@ -415,29 +665,130 @@ class StoreClient:
     shared across threads (the hammer test does).  Responses with
     ``ok: false`` raise :class:`~repro.errors.StoreError`; node lists come
     back as ``(tid, index)`` tuples.
+
+    Transient socket errors (refused/reset/timeout/closed-without-reply)
+    are retried with capped exponential backoff; once ``retries`` are
+    exhausted the failure surfaces as a :class:`StoreError` naming the
+    endpoint, never a raw ``OSError``.  Non-idempotent ops (the ingest
+    ops, ``shutdown``) are only retried while the *connection* fails --
+    after the request may have reached the server, a blind resend could
+    apply it twice, so those fail fast instead.
+
+    Args:
+        host: Server host.
+        port: Server port.
+        timeout: Per-connection socket timeout in seconds.
+        retries: Extra attempts after the first failed one.
+        backoff: Initial retry delay in seconds (doubles per retry).
+        backoff_cap: Upper bound on the retry delay.
+        refresh_mode: ``"snapshot"`` (default) queries the server's
+            current snapshot as-is; ``"follow"`` tags every request so
+            the server catches up with the disk first (bounded
+            staleness -- the live-tail reader mode).
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        backoff_cap: float = 1.0,
+        refresh_mode: str = "snapshot",
+    ) -> None:
+        if refresh_mode not in ("snapshot", "follow"):
+            raise StoreError(
+                f"unknown refresh_mode {refresh_mode!r} (known: snapshot, follow)"
+            )
+        if retries < 0:
+            raise StoreError(f"retries must be non-negative, got {retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.refresh_mode = refresh_mode
+
+    @classmethod
+    def from_url(cls, url: str, **kwargs) -> "StoreClient":
+        """Build a client from ``host:port`` / ``store://host:port``.
+
+        The URL form is what ``run_with_provenance(store_url=...)``
+        accepts; extra keyword arguments pass through to the constructor.
+        """
+        text = url
+        if "://" in text:
+            scheme, _, text = text.partition("://")
+            if scheme not in ("store", "tcp"):
+                raise StoreError(
+                    f"unsupported store url scheme {scheme!r} in {url!r} "
+                    f"(use store://host:port)"
+                )
+        host, _, port_text = text.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise StoreError(f"malformed store url {url!r} (expected host:port)")
+        return cls(host, int(port_text), **kwargs)
+
+    def _exchange(self, payload: bytes) -> bytes:
+        """One connection, one request, one reply line.
+
+        Connect-phase failures propagate as plain ``OSError`` (nothing
+        was sent; always safe to retry); failures after the send are
+        wrapped in :class:`_SentRequestFailed` so the retry policy can
+        refuse to resend non-idempotent ops.
+        """
+        conn = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        with conn:
+            try:
+                conn.sendall(payload)
+                with conn.makefile("rb") as reader:
+                    line = reader.readline()
+            except OSError as exc:
+                raise _SentRequestFailed(str(exc)) from exc
+        if not line:
+            raise _SentRequestFailed("server closed the connection without replying")
+        return line
 
     def request(self, op: str, **params) -> dict:
         """Send one request; returns the raw response object."""
+        if self.refresh_mode == "follow":
+            params.setdefault("follow", True)
         payload = json.dumps({"op": op, **params}).encode("utf-8") + b"\n"
-        with socket.create_connection((self.host, self.port), timeout=self.timeout) as conn:
-            conn.sendall(payload)
-            with conn.makefile("rb") as reader:
-                line = reader.readline()
-        if not line:
-            raise StoreError(f"store server at {self.host}:{self.port} closed the connection")
-        try:
-            response = json.loads(line.decode("utf-8"))
-        except ValueError as exc:
-            raise StoreError(f"malformed server response: {exc}") from exc
-        if not response.get("ok"):
-            raise StoreError(str(response.get("error", "unknown server error")))
-        return response
+        attempts = self.retries + 1
+        delay = self.backoff
+        last_error: Optional[OSError] = None
+        for attempt in range(attempts):
+            try:
+                line = self._exchange(payload)
+            except _SentRequestFailed as exc:
+                # The request was sent: retrying a non-idempotent op could
+                # apply it twice -- surface the ambiguity immediately.
+                if op in _NON_RETRYABLE_AFTER_SEND:
+                    raise StoreError(
+                        f"store server at {self.host}:{self.port} dropped the "
+                        f"connection after {op!r} was sent ({exc}); not retrying "
+                        f"a non-idempotent op (it may already have been applied)"
+                    ) from exc
+                last_error = exc
+            except OSError as exc:
+                last_error = exc  # connect-phase: nothing sent, retry freely
+            else:
+                try:
+                    response = json.loads(line.decode("utf-8"))
+                except ValueError as exc:
+                    raise StoreError(f"malformed server response: {exc}") from exc
+                if not response.get("ok"):
+                    raise StoreError(str(response.get("error", "unknown server error")))
+                return response
+            if attempt + 1 < attempts:
+                time.sleep(delay)
+                delay = min(delay * 2, self.backoff_cap)
+        raise StoreError(
+            f"store server at {self.host}:{self.port} unreachable after "
+            f"{attempts} attempt{'s' if attempts != 1 else ''}: {last_error}"
+        ) from last_error
 
     def result(self, op: str, **params):
         """Send one request; returns just the ``result`` payload."""
@@ -507,3 +858,85 @@ class StoreClient:
 
     def shutdown(self) -> dict:
         return self.result("shutdown")
+
+    # ------------------------------------------------------------------ #
+    # Remote ingest (writable servers)
+    # ------------------------------------------------------------------ #
+
+    def begin_run(self, workload: str = "", meta: Optional[dict] = None) -> int:
+        """Mint a run on the server; returns its id (the write handle)."""
+        return int(self.result("begin_run", workload=workload, meta=meta)["run"])
+
+    def append_epoch(
+        self,
+        run: int,
+        nodes: Sequence[SubComputation],
+        edges: Sequence[EdgeTuple] = (),
+        codec: Optional[str] = None,
+    ) -> dict:
+        """Ship one epoch (nodes + edges) as a segment of ``run``.
+
+        The payload travels as the store's own codec frame (base64 over
+        the JSON line); the call returns only after the server flushed
+        the epoch durably -- the synchronous reply is the back-pressure.
+        """
+        framed, _ = encode_segment(nodes, edges, codec=codec)
+        return self.result(
+            "append_epoch",
+            run=run,
+            segment=base64.b64encode(framed).decode("ascii"),
+            codec=codec,
+        )
+
+    def commit_run(self, run: int, meta: Optional[dict] = None) -> dict:
+        """Mark ``run`` complete; the server checkpoints the manifest."""
+        return self.result("commit_run", run=run, meta=meta)
+
+    # ------------------------------------------------------------------ #
+    # Live tail (watch)
+    # ------------------------------------------------------------------ #
+
+    def watch(
+        self,
+        pages: Iterable[int],
+        run: Optional[int] = None,
+        interval: float = 0.05,
+        timeout: float = 30.0,
+    ) -> Iterator[dict]:
+        """Stream lineage observations of ``pages`` as ``run`` grows.
+
+        Yields one dict per server observation (``nodes`` as ``(tid,
+        index)`` tuples plus the run's ``progress``); the final one has
+        ``done`` set -- the run completed or the watch timed out.
+        """
+        request = {
+            "op": "watch",
+            "pages": [int(p) for p in pages],
+            "run": run,
+            "stream": True,
+            "interval": interval,
+            "timeout": timeout,
+        }
+        payload = json.dumps(request).encode("utf-8") + b"\n"
+        # The stream only emits on change: the socket must outlive quiet
+        # stretches up to the server-side watch timeout.
+        with socket.create_connection(
+            (self.host, self.port), timeout=max(self.timeout, timeout + 5.0)
+        ) as conn:
+            conn.sendall(payload)
+            with conn.makefile("rb") as reader:
+                for line in reader:
+                    try:
+                        response = json.loads(line.decode("utf-8"))
+                    except ValueError as exc:
+                        raise StoreError(f"malformed watch update: {exc}") from exc
+                    if not response.get("ok"):
+                        raise StoreError(str(response.get("error", "unknown server error")))
+                    result = response["result"]
+                    result["nodes"] = [parse_node_key(key) for key in result["nodes"]]
+                    yield result
+                    if result.get("done"):
+                        return
+        raise StoreError(
+            f"store server at {self.host}:{self.port} closed the watch stream early"
+        )

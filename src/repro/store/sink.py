@@ -21,15 +21,23 @@ by the segment of their target node to preserve the locality the query
 engine expects.  (These edge-only tail segments are what
 :meth:`~repro.store.store.ProvenanceStore.compact` later folds back into
 the node segments.)
+
+:class:`RemoteStoreSink` is the same listener protocol pointed at a
+**writable store server** instead of a local directory: epochs travel as
+codec-framed segments over the server's JSON-line protocol
+(``begin_run`` / ``append_epoch`` / ``commit_run``), so the traced
+process needs no filesystem access to the store at all -- and each
+``append_epoch`` reply arrives only after the server flushed the epoch,
+so a slow store back-pressures the sink instead of silently lagging it.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.core.cpg import ConcurrentProvenanceGraph, EdgeKind
-from repro.core.thunk import SubComputation
+from repro.core.thunk import NodeId, SubComputation
 
 from repro.store.format import DEFAULT_SEGMENT_NODES, RUN_COMPLETE
 from repro.store.segment import EdgeTuple
@@ -42,14 +50,15 @@ class StoreSink:
     Args:
         store: The destination store (may already hold other runs).
         segment_nodes: Epoch length -- sub-computations per sealed segment.
-        flush_every_epochs: How often the manifest and index generation
-            are committed.  1 (the default) makes every committed epoch
-            durable; since store format 4 a flush appends one O(epoch)
-            index delta file instead of rewriting the whole index, so the
-            per-flush cost no longer grows with the run.  Raising it still
-            amortizes the (small) manifest rewrite when mid-run durability
-            matters less than ingest throughput.  ``finish`` always
-            flushes.
+        flush_every_epochs: How often the store state is committed.  1
+            (the default) makes every committed epoch durable; since
+            store format 4 a flush appends one O(epoch) index delta file
+            instead of rewriting the whole index, and since format 5 the
+            commit itself is one O(epoch) record appended to the segment
+            log -- the flush cost no longer grows with the run or the
+            store at all.  Raising it still amortizes the per-record
+            overhead when mid-run durability matters less than ingest
+            throughput.  ``finish`` always flushes.
         workload: Workload name recorded in the minted run's manifest entry.
         run_meta: Initial run metadata (config, wall-clock args, ...);
             merged with whatever ``finish`` supplies.
@@ -156,5 +165,118 @@ class StoreSink:
                 run_info.workload = str(run_meta["workload"])
         run_info.meta.setdefault("epochs", self.epochs_committed)
         run_info.status = RUN_COMPLETE
-        self.store.flush()
+        # Run completion is a checkpoint: the manifest alone then names
+        # every segment of the finished run (no replay needed to read it).
+        self.store.flush(checkpoint=True)
+        self._finished = True
+
+
+class RemoteStoreSink:
+    """Streams a run into a **writable store server** over TCP.
+
+    Same listener protocol as :class:`StoreSink` (``attach`` /
+    ``subcomputation_published`` / ``finish``), but the destination is a
+    :class:`~repro.store.server.StoreClient` instead of a local store
+    handle -- the traced process never touches the store directory.
+
+    Args:
+        client: A ``StoreClient`` pointed at a writable server, or a
+            ``host:port`` / ``store://host:port`` URL string.
+        segment_nodes: Epoch length -- sub-computations per shipped segment.
+        workload: Workload name recorded with the minted run.
+        run_meta: Initial run metadata sent with ``begin_run``.
+        codec: Codec name epochs are encoded with on the wire (and stored
+            with server-side); ``None`` uses the defaults on both ends.
+    """
+
+    def __init__(
+        self,
+        client: Union["StoreClient", str],
+        segment_nodes: int = DEFAULT_SEGMENT_NODES,
+        workload: str = "",
+        run_meta: Optional[dict] = None,
+        codec: Optional[str] = None,
+    ) -> None:
+        from repro.store.server import StoreClient  # cycle: server imports store
+
+        if segment_nodes <= 0:
+            raise ValueError(f"segment_nodes must be positive, got {segment_nodes}")
+        self.client = StoreClient.from_url(client) if isinstance(client, str) else client
+        self.segment_nodes = segment_nodes
+        self.workload = workload
+        self.run_meta = dict(run_meta or {})
+        self.codec = codec
+        self.epochs_committed = 0
+        self.run_id: Optional[int] = None
+        self._nodes: List[SubComputation] = []
+        self._edges: List[EdgeTuple] = []
+        #: Which shipped segment holds each published node -- what lets
+        #: ``finish`` group the derived data edges by their target's
+        #: segment exactly like the local sink does.
+        self._segment_of: Dict[NodeId, int] = {}
+        self._finished = False
+
+    def attach(self, tracker) -> None:
+        """Subscribe to ``tracker`` and mint the remote run up front."""
+        self._ensure_run()
+        tracker.add_listener(self)
+
+    def _ensure_run(self) -> int:
+        if self.run_id is None:
+            self.run_id = self.client.begin_run(workload=self.workload, meta=self.run_meta)
+        return self.run_id
+
+    # Called by the tracker (listener protocol).
+    def subcomputation_published(self, node: SubComputation, edges: List[EdgeTuple]) -> None:
+        """Buffer one published sub-computation and its recorded edges."""
+        self._nodes.append(node)
+        self._edges.extend(edges)
+        if len(self._nodes) >= self.segment_nodes:
+            self.commit_epoch()
+
+    def commit_epoch(self) -> Optional[int]:
+        """Ship the current buffer as one epoch; returns its segment id.
+
+        Synchronous: returns only once the server flushed the epoch
+        durably, so the traced run can never get more than one buffered
+        epoch ahead of the store.
+        """
+        if not self._nodes and not self._edges:
+            return None
+        run_id = self._ensure_run()
+        reply = self.client.append_epoch(run_id, self._nodes, self._edges, codec=self.codec)
+        segment_id = int(reply["segment"])
+        for node in self._nodes:
+            self._segment_of[node.node_id] = segment_id
+        self._nodes = []
+        self._edges = []
+        self.epochs_committed += 1
+        return segment_id
+
+    def finish(
+        self, cpg: Optional[ConcurrentProvenanceGraph] = None, run_meta: Optional[dict] = None
+    ) -> None:
+        """Ship the final epoch and derived data edges, then commit the run.
+
+        Mirrors :meth:`StoreSink.finish`: the finalized graph's data edges
+        go out as edge-only epochs grouped by the segment of their target
+        node (tracked client-side from the ``append_epoch`` replies), and
+        ``commit_run`` marks the run complete -- the server checkpoints.
+        """
+        if self._finished:
+            return
+        run_id = self._ensure_run()
+        self.commit_epoch()
+        if cpg is not None:
+            by_segment: Dict[int, List[EdgeTuple]] = defaultdict(list)
+            for source, target, attrs in cpg.edges(EdgeKind.DATA):
+                segment_id = self._segment_of.get(target, self._segment_of.get(source, -1))
+                by_segment[segment_id].append(
+                    (source, target, EdgeKind.DATA, {"pages": attrs.get("pages", frozenset())})
+                )
+            for segment_id in sorted(by_segment):
+                self.client.append_epoch(run_id, [], by_segment[segment_id], codec=self.codec)
+        meta = dict(run_meta or {})
+        meta.setdefault("epochs", self.epochs_committed)
+        self.client.commit_run(run_id, meta=meta)
         self._finished = True

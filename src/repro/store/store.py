@@ -10,13 +10,16 @@ store through :class:`repro.store.sink.StoreSink`; queries that only touch
 the index-selected subgraph are served by
 :class:`repro.store.query.StoreQueryEngine`.
 
-Store format 4 keeps the write path incremental end to end: segment
+Store format 5 keeps the write path incremental end to end: segment
 payloads go through a pluggable codec (:mod:`repro.store.codecs`; the
 columnar binary codec is the default, the JSON codec remains readable and
 writable), per-run indexes are loaded lazily and flushed as append-only
-**delta files** (O(epoch), not O(index)), and a cross-run page summary
-(``index/pages_runs.json``) lets ``*_across_runs`` queries skip runs
-without opening their indexes.  The read path is cached: decoded segments
+**delta files** (O(epoch), not O(index)), and the flush commit itself is
+one framed record appended to ``segments.log`` (:mod:`repro.store.log`)
+-- the manifest is a periodic *checkpoint* replayed over on open, so a
+flush no longer pays an O(#segments) manifest rewrite.  A cross-run page
+summary (``index/pages_runs.json``) lets ``*_across_runs`` queries skip
+runs without opening their indexes.  The read path is cached: decoded segments
 live in a byte-budgeted LRU (:mod:`repro.store.cache`) that can be shared
 across handles, merged index generations can be pinned resident, and
 :meth:`ProvenanceStore.segment_many` decodes cache misses on a thread
@@ -28,10 +31,11 @@ run's segments **streaming, segment by segment** into fewer, denser ones
 and folding the run's index deltas into a fresh base file) and
 :meth:`ProvenanceStore.gc` drops superseded runs and reclaims their disk
 space.  Both are crash-consistent through the store's single commit
-protocol: new files first, manifest last (temp file + atomic rename), old
-files deleted only after the manifest commit -- a crash at any point
-leaves the previous consistent generation in place, and unreferenced
-files are swept by the next maintenance operation.
+protocol: new files first, commit record last (temp file + atomic rename;
+maintenance always commits as a full manifest checkpoint), old files
+deleted only after the commit -- a crash at any point leaves the previous
+consistent generation in place, and unreferenced files are swept by the
+next maintenance operation.
 """
 
 from __future__ import annotations
@@ -62,14 +66,18 @@ from repro.errors import StoreError
 from repro.store.cache import IndexPinner, ReadScope, SegmentCache
 from repro.store.codecs import DEFAULT_CODEC, codec_by_name
 from repro.store.format import (
+    DEFAULT_CHECKPOINT_INTERVAL,
     DEFAULT_SEGMENT_NODES,
     INDEX_DIR,
     MANIFEST_NAME,
     PAGES_RUNS_FILE,
     RUN_COMPLETE,
+    SEGMENT_LOG_NAME,
     SEGMENTS_DIR,
     STORE_FORMAT_VERSION,
     STORE_FORMAT_VERSION_V2,
+    STORE_FORMAT_VERSION_V4,
+    RunInfo,
     SegmentInfo,
     StoreManifest,
     index_delta_file_name,
@@ -77,6 +85,7 @@ from repro.store.format import (
     segment_file_name,
 )
 from repro.store.indexes import LEGACY_INDEX_FILES, StoreIndexes
+from repro.store.log import SegmentLog
 from repro.store.segment import EdgeTuple, SegmentPayload, decode_segment, encode_segment
 
 _SEGMENT_FILE_RE = re.compile(r"^seg-(\d{8})\.seg$")
@@ -186,6 +195,11 @@ class ProvenanceStore:
             flush folds the whole index instead of appending a delta --
             the v3 write-path cost profile.  Stores written this way stay
             correct (a reopen rebuilds their indexes from segments).
+        manifest_full_rewrite: Benchmark knob: when true, every flush
+            writes a full manifest checkpoint instead of a log record --
+            the v4 write-path cost profile (O(#segments) per flush).
+        checkpoint_interval: Log-append flushes between automatic
+            manifest checkpoints (bounds open-time replay work).
         cache: The decoded-segment :class:`SegmentCache`.  Owned by this
             handle unless one was passed in (the warm server shares one
             across snapshot reopens).
@@ -223,9 +237,28 @@ class ProvenanceStore:
         self._index_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._summary_lock = threading.Lock()
-        #: Format version of the manifest currently on disk; < 4 until the
-        #: first flush upgrades the layout in place.
+        #: Format version of the manifest currently on disk; < 5 until the
+        #: first flush (or checkpoint) upgrades the layout in place.
         self._disk_version = manifest.version
+        #: Log-append flushes between manifest checkpoints (v5); lower it
+        #: to bound replay work, raise it to amortize checkpoints further.
+        self.checkpoint_interval = DEFAULT_CHECKPOINT_INTERVAL
+        #: Benchmark knob: when true every flush writes a full manifest
+        #: checkpoint -- the v4 cost profile (O(#segments) per flush).
+        self.manifest_full_rewrite = False
+        self._log = SegmentLog(os.path.join(path, SEGMENT_LOG_NAME))
+        #: Next log record sequence number (monotonic, never reused).
+        self._log_next_seq = manifest.log_seq + 1
+        #: Segments already durable (checkpointed or logged); the next log
+        #: record carries ``manifest.segments[self._logged_segment_count:]``.
+        self._logged_segment_count = len(manifest.segments)
+        self._uncheckpointed_records = 0
+        #: Set when only a checkpoint can represent the in-memory state
+        #: (maintenance rewrote tables, or replay stopped at a bad record).
+        self._needs_checkpoint = False
+        #: Whether MANIFEST.json exists on disk (False for a store being
+        #: created; forces the first flush to checkpoint).
+        self._manifest_on_disk = False
         self._pages_runs: Optional[Dict[int, Set[int]]] = None
         self._pages_runs_covered: Set[int] = set()
         #: Runs the on-disk summary file covers (always complete runs).
@@ -257,14 +290,18 @@ class ProvenanceStore:
         segment_cache: Optional[SegmentCache] = None,
         index_pinner: Optional[IndexPinner] = None,
     ) -> "ProvenanceStore":
-        """Open an existing store directory (format version 2, 3, or 4).
+        """Open an existing store directory (format version 2 through 5).
 
-        Opening reads the manifest (and the small cross-run page summary
-        on demand) only; each run's secondary indexes are loaded lazily on
-        first access, merging the run's index base with its pending delta
-        files.  A run whose index generation files are missing, torn, or
-        inconsistent with the manifest is rebuilt from its (committed,
-        ground-truth) segments at that point.
+        Opening reads the manifest checkpoint, then (format 5) replays the
+        committed tail of ``segments.log`` on top of it -- each record
+        appends the segments one flush sealed; a torn or invalid tail
+        record stops the replay there, recovering exactly the flushes that
+        committed.  The small cross-run page summary is read on demand and
+        each run's secondary indexes are loaded lazily on first access,
+        merging the run's index base with its pending delta files.  A run
+        whose index generation files are missing, torn, or inconsistent
+        with the manifest is rebuilt from its (committed, ground-truth)
+        segments at that point.
 
         ``segment_cache`` / ``index_pinner`` share a warm read path
         between handles (see :mod:`repro.store.cache`); sharing is for
@@ -278,7 +315,76 @@ class ProvenanceStore:
                 manifest = StoreManifest.from_dict(json.load(handle))
             except json.JSONDecodeError as exc:
                 raise StoreError(f"corrupt manifest at {path}: {exc}") from exc
-        return cls(path, manifest, segment_cache=segment_cache, index_pinner=index_pinner)
+        store = cls(path, manifest, segment_cache=segment_cache, index_pinner=index_pinner)
+        store._manifest_on_disk = True
+        if manifest.version >= STORE_FORMAT_VERSION:
+            store._replay_segment_log()
+        return store
+
+    def _replay_segment_log(self) -> None:
+        """Apply the committed tail of ``segments.log`` to the manifest.
+
+        Records whose ``seq`` the manifest checkpoint already covers are
+        skipped (a crash between the checkpoint rename and the log reset
+        leaves them behind); the rest are applied in order.  Replay stops
+        at the first record that fails validation -- framing tears are
+        already cut by :meth:`SegmentLog.scan`, and a CRC-valid record
+        with inconsistent content forces the next flush to checkpoint, so
+        the bad record can never shadow live appends.
+        """
+        if not self._log.exists():
+            return
+        applied = 0
+        for record in self._log.replay():
+            try:
+                seq = int(record.get("seq", 0))
+            except (TypeError, ValueError):
+                self._needs_checkpoint = True
+                break
+            if seq < self._log_next_seq:
+                continue  # folded into the checkpoint already
+            if not self._apply_log_record(record):
+                self._needs_checkpoint = True
+                break
+            self._log_next_seq = seq + 1
+            applied += 1
+        self._logged_segment_count = len(self.manifest.segments)
+        self._uncheckpointed_records = applied
+
+    def _apply_log_record(self, record: dict) -> bool:
+        """Fold one log record into the manifest; False rejects it whole.
+
+        Validates everything before mutating, so a rejected record leaves
+        the manifest exactly as the previous record committed it.
+        """
+        try:
+            segments = [SegmentInfo.from_dict(entry) for entry in record.get("segments", ())]
+            runs = [RunInfo.from_dict(entry) for entry in record.get("runs", ())]
+            next_segment_id = int(record["next_segment_id"])
+            next_run_id = int(record["next_run_id"])
+            node_count = int(record["node_count"])
+            edge_count = int(record["edge_count"])
+        except (StoreError, KeyError, TypeError, ValueError, AttributeError):
+            return False
+        last = self.manifest.segments[-1].segment_id if self.manifest.segments else 0
+        for info in segments:
+            if info.segment_id <= last:  # ids are minted strictly increasing
+                return False
+            last = info.segment_id
+        run_ids = {run.run_id for run in runs}
+        if len(run_ids) != len(runs):
+            return False
+        if any(info.run not in run_ids for info in self.manifest.segments):
+            return False
+        if any(info.run not in run_ids for info in segments):
+            return False
+        self.manifest.segments.extend(segments)
+        self.manifest.runs = runs
+        self.manifest.next_segment_id = max(next_segment_id, last + 1)
+        self.manifest.next_run_id = max(next_run_id, self.manifest.next_run_id)
+        self.manifest.node_count = node_count
+        self.manifest.edge_count = edge_count
+        return True
 
     def _run_index_dir(self, run_id: int) -> str:
         if self._disk_version == STORE_FORMAT_VERSION_V2:
@@ -297,7 +403,7 @@ class ProvenanceStore:
         """
         run = self.manifest.run_info(run_id)
         run_dir = self._run_index_dir(run_id)
-        pinnable = self._disk_version >= STORE_FORMAT_VERSION
+        pinnable = self._disk_version >= STORE_FORMAT_VERSION_V4
         valid = [info.segment_id for info in self.manifest.segments_of_run(run_id)]
         if self.pinner is not None and pinnable:
             pinned = self.pinner.get(
@@ -354,25 +460,31 @@ class ProvenanceStore:
             return cls.open(path)
         return cls.create(path, meta=meta)
 
-    def flush(self) -> None:
-        """Commit the in-memory state: index generations first, manifest last.
+    def flush(self, checkpoint: Optional[bool] = None) -> None:
+        """Commit the in-memory state: index generations first, commit last.
 
         Each loaded run persists **only what changed**: the ops journalled
         since its last flush become one append-only ``delta-<gen>.bin``
-        file (O(epoch)); a run whose state is not reproducible from its
-        on-disk generations (legacy load, rebuild, compaction fold) writes
-        a full ``base-<gen>.bin`` instead.  Every file goes through a
-        temp-file + atomic rename and the manifest -- the commit point --
-        is written last, so a crash mid-flush leaves the previous
-        consistent generation in place.
+        file (O(epoch)).  The commit point is then **one framed record
+        appended to** ``segments.log`` -- the segments sealed since the
+        last durable point plus the (small) run table -- so a flush costs
+        O(epoch) regardless of how many segments the store holds.  Every
+        ``checkpoint_interval`` appends (and whenever the in-memory state
+        cannot be expressed as an append: store creation, a format
+        upgrade, after compact/gc) the manifest is rewritten as a fresh
+        checkpoint and the log is reset instead; pass ``checkpoint=True``
+        / ``False`` to force either path.  Every file goes through a
+        temp-file + atomic rename, so a crash mid-flush leaves the
+        previous consistent generation in place.
 
-        Flushing always writes the version-4 layout; a store opened as
-        version 2 or 3 is upgraded in place by its first flush (every
-        run's legacy JSON indexes are folded into v4 base files).
+        Flushing always writes the version-5 layout; a store opened as
+        version 2, 3, or 4 is upgraded in place by its first flush (legacy
+        JSON indexes are folded into v4 base files; the v5 manifest
+        checkpoint and segment log appear alongside the v4 files).
         """
-        if self._disk_version < STORE_FORMAT_VERSION:
+        if self._disk_version < STORE_FORMAT_VERSION_V4:
             # In-place upgrade: fold every run's legacy indexes into v4
-            # bases now, so the version-4 manifest never references a run
+            # bases now, so the upgraded manifest never references a run
             # without generation files.
             for run_id in self.run_ids():
                 self.run_indexes[run_id]  # force the lazy load
@@ -399,6 +511,50 @@ class ProvenanceStore:
                 indexes.clear_pending()
         self._cover_loaded_runs_in_pages_summary()
         self._write_pages_runs_if_dirty()
+        if checkpoint is None:
+            checkpoint = (
+                self._needs_checkpoint
+                or self.manifest_full_rewrite
+                or not self._manifest_on_disk
+                or self._disk_version != STORE_FORMAT_VERSION
+                or self._uncheckpointed_records >= self.checkpoint_interval
+            )
+        if checkpoint:
+            self._write_checkpoint()
+        else:
+            self._append_log_record()
+
+    def _append_log_record(self) -> None:
+        """The O(epoch) commit: one record to ``segments.log``.
+
+        Carries only the segment entries sealed since the last durable
+        point -- plus the full run table and store counters, which are
+        small and make every record self-validating on replay.
+        """
+        record = {
+            "seq": self._log_next_seq,
+            "segments": [
+                info.to_dict() for info in self.manifest.segments[self._logged_segment_count:]
+            ],
+            "runs": [run.to_dict() for run in self.manifest.runs],
+            "next_segment_id": self.manifest.next_segment_id,
+            "next_run_id": self.manifest.next_run_id,
+            "node_count": self.manifest.node_count,
+            "edge_count": self.manifest.edge_count,
+        }
+        self._log.append(record)
+        self._log_next_seq += 1
+        self._logged_segment_count = len(self.manifest.segments)
+        self._uncheckpointed_records += 1
+
+    def _write_checkpoint(self) -> None:
+        """Fold everything into a fresh manifest, then reset the log.
+
+        The manifest rename is the commit point; a crash between it and
+        the log reset is harmless (replay skips records whose ``seq`` the
+        checkpoint's ``log_seq`` covers).
+        """
+        self.manifest.log_seq = self._log_next_seq - 1
         manifest_path = os.path.join(self.path, MANIFEST_NAME)
         scratch = manifest_path + ".tmp"
         with open(scratch, "w", encoding="utf-8") as handle:
@@ -406,6 +562,11 @@ class ProvenanceStore:
         os.replace(scratch, manifest_path)
         self.manifest.version = STORE_FORMAT_VERSION
         self._disk_version = STORE_FORMAT_VERSION
+        self._manifest_on_disk = True
+        self._logged_segment_count = len(self.manifest.segments)
+        self._uncheckpointed_records = 0
+        self._needs_checkpoint = False
+        self._log.reset()
 
     # ------------------------------------------------------------------ #
     # Cross-run page summary (index/pages_runs.json)
@@ -719,7 +880,9 @@ class ProvenanceStore:
             )
             segments_written += 1
         self.manifest.run_info(run_id).status = RUN_COMPLETE
-        self.flush()
+        # Run completion is a natural checkpoint: the manifest on disk
+        # names every segment of the finished run without a replay.
+        self.flush(checkpoint=True)
         return segments_written
 
     def ingest_json_file(
@@ -942,7 +1105,9 @@ class ProvenanceStore:
                 dirty = True
         stats.segments_after = self.manifest.segment_count
         if dirty or self._disk_version < STORE_FORMAT_VERSION:
-            self.flush()
+            # Compaction rewrote the segment table: only a checkpoint can
+            # express that (the log is append-only).
+            self.flush(checkpoint=True)
         if dirty:
             self._bump_generation()
         stats.bytes_reclaimed = self._delete_segments(old_ids) + self._sweep_orphans()
@@ -1161,7 +1326,9 @@ class ProvenanceStore:
                 self.pinner.invalidate(self.cache_namespace, run_id)
         stats.runs_dropped = drop
         stats.segments_after = self.manifest.segment_count
-        self.flush()  # the commit point: dropped runs are gone from here on
+        # The commit point: dropped runs are gone from here on.  Removal
+        # shrinks the segment table, so it must be a checkpoint.
+        self.flush(checkpoint=True)
         self._bump_generation()
         stats.bytes_reclaimed = self._delete_segments(dropped_segments)
         for run_id in drop:
@@ -1242,7 +1409,7 @@ class ProvenanceStore:
                     # and crashed-rename scratch files.
                     stray = name.endswith(".tmp") or (
                         name in LEGACY_INDEX_FILES
-                        and self._disk_version >= STORE_FORMAT_VERSION
+                        and self._disk_version >= STORE_FORMAT_VERSION_V4
                     )
                     if stray:
                         freed += remove(os.path.join(index_dir, name))
@@ -1319,6 +1486,23 @@ class ProvenanceStore:
             "meta": dict(run.meta),
         }
 
+    def log_state(self) -> dict:
+        """Segment-log state (the CLI's ``info`` segment-log block).
+
+        ``checkpoint_seq`` is the last record the manifest checkpoint
+        folded in; ``last_seq`` the last record this handle committed
+        (checkpointed or logged); their gap is the replay a cold open of
+        the current on-disk state would perform.
+        """
+        return {
+            "records": self._log.record_count if self._log.exists() else 0,
+            "bytes": self._log.size_bytes(),
+            "checkpoint_seq": self.manifest.log_seq,
+            "last_seq": self._log_next_seq - 1,
+            "uncheckpointed_records": self._uncheckpointed_records,
+            "checkpoint_interval": self.checkpoint_interval,
+        }
+
     def info(self) -> dict:
         """Summary of the store (the CLI's ``info`` output)."""
         manifest = self.manifest
@@ -1349,6 +1533,7 @@ class ProvenanceStore:
             "compression_ratio": round(raw / stored, 2) if stored else 1.0,
             "index_delta_files": sum(len(run.index_deltas) for run in manifest.runs),
             "index_delta_bytes": sum(self.run_index_delta_bytes(run_id) for run_id in self.run_ids()),
+            "segment_log": self.log_state(),
             "runs": runs,
         }
 

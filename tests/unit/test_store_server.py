@@ -3,14 +3,20 @@
 The server holds one decoded-segment cache and one index pinner across
 many concurrent read-only queries; these tests check protocol round-trips
 against the direct engine, per-query stats, snapshot refresh, and a
-multithreaded reader hammer over one warm cache.
+multithreaded reader hammer over one warm cache -- plus the full-duplex
+surface: remote ingest through a writable server, follow-mode bounded
+staleness, live-tail ``watch`` streams, and the client's retry policy.
 """
 
+import socket
 import threading
+import time
+from collections import defaultdict
 
 import pytest
 
 from repro.core.algorithm import ProvenanceTracker
+from repro.core.cpg import EdgeKind
 from repro.core.dependencies import derive_data_edges
 from repro.core.queries import (
     backward_slice,
@@ -19,7 +25,15 @@ from repro.core.queries import (
     propagate_taint,
 )
 from repro.errors import StoreError
-from repro.store import ProvenanceStore, StoreClient, StoreServer
+from repro.inspector.api import run_with_provenance
+from repro.store import (
+    ProvenanceStore,
+    RemoteStoreSink,
+    StoreClient,
+    StoreQueryEngine,
+    StoreServer,
+    StoreSink,
+)
 
 
 def build_cpg(threads: int = 3, steps: int = 3):
@@ -233,3 +247,317 @@ class TestHammer:
         # The byte budget held under concurrency as well.
         assert server.cache.total_bytes <= server.cache.max_bytes
         assert server.cache.peak_bytes <= server.cache.max_bytes
+
+
+# ---------------------------------------------------------------------- #
+# Client retry policy
+# ---------------------------------------------------------------------- #
+
+
+def flaky_listener():
+    """A listener that accepts and immediately drops every connection."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(8)
+    accepted = []
+
+    def loop():
+        while True:
+            try:
+                conn, _ = sock.accept()
+            except OSError:
+                return
+            accepted.append(1)
+            conn.close()
+
+    threading.Thread(target=loop, daemon=True).start()
+    return sock, accepted
+
+
+class TestClientRetry:
+    def test_dead_server_surfaces_store_error_after_retries(self):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = StoreClient("127.0.0.1", port, timeout=2.0, retries=1, backoff=0.001)
+        with pytest.raises(StoreError, match="unreachable after 2 attempts"):
+            client.ping()
+
+    def test_idempotent_ops_retry_but_sent_ingest_ops_fail_fast(self):
+        sock, accepted = flaky_listener()
+        host, port = sock.getsockname()
+        try:
+            client = StoreClient(host, port, timeout=2.0, retries=2, backoff=0.001)
+            # Read op: the dropped reply is retried until retries exhaust.
+            with pytest.raises(StoreError, match="unreachable after 3 attempts"):
+                client.request("ping")
+            assert len(accepted) == 3
+            # Ingest op: once sent, a blind resend could double-apply.
+            accepted.clear()
+            with pytest.raises(StoreError, match="non-idempotent"):
+                client.request("begin_run", workload="x")
+            assert len(accepted) == 1
+        finally:
+            sock.close()
+
+    def test_from_url_forms(self):
+        assert StoreClient.from_url("localhost:7000").port == 7000
+        assert StoreClient.from_url("store://box:7001").host == "box"
+        assert StoreClient.from_url("tcp://box:7002").port == 7002
+        with pytest.raises(StoreError, match="unsupported store url scheme"):
+            StoreClient.from_url("http://box:80")
+        with pytest.raises(StoreError, match="malformed store url"):
+            StoreClient.from_url("no-port-here")
+
+
+# ---------------------------------------------------------------------- #
+# Remote ingest + live tail
+# ---------------------------------------------------------------------- #
+
+
+def publish_run(sink, cpg, pause_every=0, pause=0.0):
+    """Feed ``cpg`` through ``sink`` exactly as a live tracker would.
+
+    Nodes go out in topological order with the control/sync edges
+    recorded at their publication; the derived data edges ship in
+    ``finish`` (they need the full happens-before order), same as a real
+    traced run.
+    """
+    edges_by_target = defaultdict(list)
+    for source, target, attrs in cpg.edges():
+        kind = attrs["kind"]
+        if kind is EdgeKind.DATA:
+            continue
+        extra = {key: value for key, value in attrs.items() if key != "kind"}
+        edges_by_target[target].append((source, target, kind, extra))
+    for position, node_id in enumerate(cpg.topological_order()):
+        sink.subcomputation_published(
+            cpg.subcomputation(node_id), edges_by_target.get(node_id, [])
+        )
+        if pause_every and position % pause_every == pause_every - 1:
+            time.sleep(pause)
+    sink.finish(cpg)
+
+
+def canonical_edges(cpg):
+    entries = []
+    for source, target, attrs in cpg.edges():
+        kind = attrs["kind"]
+        if kind is EdgeKind.SYNC:
+            extra = (attrs.get("object_id"), attrs.get("operation", ""))
+        elif kind is EdgeKind.DATA:
+            extra = (tuple(sorted(attrs.get("pages", ()))),)
+        else:
+            extra = ()
+        entries.append((source, target, kind.value, extra))
+    return sorted(entries)
+
+
+@pytest.fixture()
+def writable(tmp_path):
+    """An empty writable server; yields (dir, server, host, port)."""
+    store_dir = str(tmp_path / "remote")
+    ProvenanceStore.create(store_dir)
+    server = StoreServer(store_dir, parallelism=2, writable=True)
+    host, port = server.start()
+    yield store_dir, server, host, port
+    server.close()
+
+
+class TestRemoteIngest:
+    def test_read_only_server_rejects_ingest_ops(self, served):
+        _, _, _, client = served
+        for op, params in (
+            ("begin_run", {"workload": "x"}),
+            ("append_epoch", {"run": 1, "segment": ""}),
+            ("commit_run", {"run": 1}),
+        ):
+            with pytest.raises(StoreError, match="read-only"):
+                client.request(op, **params)
+        assert client.ping() is True
+
+    def test_ingest_ops_require_an_active_run(self, writable):
+        _, _, host, port = writable
+        client = StoreClient(host, port, timeout=10.0)
+        with pytest.raises(StoreError, match="no active remote ingest"):
+            client.commit_run(99)
+        with pytest.raises(StoreError, match="not valid base64"):
+            run_id = client.begin_run(workload="x")
+            client.request("append_epoch", run=run_id, segment="!!!not base64!!!")
+
+    def test_remote_run_matches_local_reference_and_feeds_live_tail(self, writable, tmp_path):
+        cpg = build_cpg()
+        seed_page = sorted(cpg.subcomputation(cpg.input_node).write_set)[:1]
+        expected_lineage = lineage_of_pages(cpg, seed_page)
+
+        # The reference: the identical publication stream into a local sink.
+        reference_dir = str(tmp_path / "reference")
+        reference_store = ProvenanceStore.create(reference_dir)
+        local_sink = StoreSink(reference_store, segment_nodes=3, workload="e2e")
+        publish_run(local_sink, cpg)
+
+        store_dir, server, host, port = writable
+        sink = RemoteStoreSink(f"store://{host}:{port}", segment_nodes=3, workload="e2e")
+        sink.attach(ProvenanceTracker())  # mints the remote run up front
+        run_id = sink.run_id
+
+        # A live-tail watcher streams the seed page's lineage as it grows.
+        updates = []
+
+        def stream():
+            watcher = StoreClient(host, port, timeout=15.0)
+            for update in watcher.watch(seed_page, run=run_id, interval=0.01, timeout=30.0):
+                updates.append(update)
+
+        watcher_thread = threading.Thread(target=stream, daemon=True)
+        watcher_thread.start()
+        # A follow-mode reader samples progress between epochs.
+        follow = StoreClient(host, port, timeout=10.0, refresh_mode="follow")
+        observed = []
+
+        class SamplingSink:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+            def subcomputation_published(self, node, edges):
+                self.inner.subcomputation_published(node, edges)
+                observed.append(follow.result("watch", pages=seed_page, run=run_id))
+
+        publish_run(SamplingSink(sink), cpg, pause_every=3, pause=0.02)
+        observed.append(follow.result("watch", pages=seed_page, run=run_id))
+        watcher_thread.join(timeout=30)
+        assert not watcher_thread.is_alive()
+
+        # The follow reader saw the run grow: node counts are
+        # non-decreasing and more than one distinct value appeared.
+        counts = [obs["progress"]["nodes"] for obs in observed]
+        assert counts == sorted(counts)
+        assert len(set(counts)) > 1
+        assert counts[-1] == len(cpg)
+        # The watch stream ended because the run completed, and its final
+        # observation is the full in-memory lineage.
+        assert updates, "the watch stream never emitted"
+        assert updates[-1]["done"] is True
+        assert "timed_out" not in updates[-1]
+        assert updates[-1]["progress"]["status"] == "complete"
+        assert set(updates[-1]["nodes"]) == expected_lineage
+        lineage_sizes = [len(update["nodes"]) for update in updates]
+        assert lineage_sizes == sorted(lineage_sizes)
+
+        # Cold reopen: the remote store answers exactly like the local
+        # reference run and the in-memory graph.
+        remote = ProvenanceStore.open(store_dir)
+        reference = ProvenanceStore.open(reference_dir)
+        assert remote.manifest.node_count == reference.manifest.node_count
+        assert canonical_edges(remote.load_cpg(run=run_id)) == canonical_edges(
+            reference.load_cpg(run=local_sink.run_id)
+        )
+        origin = [
+            n for n in cpg.nodes() if n[0] >= 0 and cpg.subcomputation(n).write_set
+        ][-1]
+        engine = StoreQueryEngine(remote)
+        assert engine.backward_slice(origin, run=run_id) == backward_slice(cpg, origin)
+        assert engine.lineage_of_pages(seed_page, run=run_id) == expected_lineage
+        taint = engine.propagate_taint(seed_page, run=run_id)
+        expected_taint = propagate_taint(cpg, seed_page)
+        assert taint.tainted_nodes == expected_taint.tainted_nodes
+        assert taint.tainted_pages == expected_taint.tainted_pages
+        # Epoch accounting matches the local sink's.
+        remote_meta = remote.manifest.run_info(run_id).meta
+        reference_meta = reference.manifest.run_info(local_sink.run_id).meta
+        assert remote_meta["epochs"] == reference_meta["epochs"]
+        assert server.server_stats()["epochs_ingested"] > 0
+        assert server.server_stats()["active_ingests"] == 0
+
+    def test_run_with_provenance_streams_over_store_url(self, writable, tmp_path):
+        store_dir, _, host, port = writable
+        reference = run_with_provenance(
+            "histogram", num_threads=2, size="small", store_path=str(tmp_path / "reference")
+        )
+        traced = run_with_provenance(
+            "histogram", num_threads=2, size="small", store_url=f"store://{host}:{port}"
+        )
+        assert traced.store is None  # the run never touched the directory
+        assert traced.store_run_id == 1
+        remote = ProvenanceStore.open(store_dir)
+        info = remote.manifest.run_info(traced.store_run_id)
+        assert info.status == "complete"
+        assert info.workload == "histogram"
+        assert info.nodes == len(traced.cpg)
+        # Identical deterministic runs: the remote store's answers equal
+        # the locally ingested reference store's.
+        page = sorted(reference.cpg.subcomputation(reference.cpg.input_node).write_set)[0]
+        remote_engine = StoreQueryEngine(remote)
+        reference_engine = StoreQueryEngine(reference.store)
+        assert remote_engine.lineage_of_pages([page], run=1) == reference_engine.lineage_of_pages(
+            [page], run=reference.store_run_id
+        )
+
+    def test_store_and_store_url_are_mutually_exclusive(self, tmp_path):
+        from repro.inspector.session import InspectorSession
+
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            InspectorSession(store=str(tmp_path / "s"), store_url="localhost:1")
+
+
+class TestFollowHammer:
+    def test_one_remote_writer_many_follow_readers(self, tmp_path):
+        cpg = build_cpg()
+        store_dir = str(tmp_path / "store")
+        store = ProvenanceStore.create(store_dir)
+        store.ingest(cpg, segment_nodes=3, workload="base")
+        server = StoreServer(store_dir, parallelism=4, writable=True)
+        host, port = server.start()
+        try:
+            origin = [
+                n for n in cpg.nodes() if n[0] >= 0 and cpg.subcomputation(n).write_set
+            ][-1]
+            pages = sorted(cpg.subcomputation(origin).write_set)[:1]
+            expected_slice = backward_slice(cpg, origin)
+            expected_lineage = lineage_of_pages(cpg, pages)
+            errors = []
+            growth = []
+            stop = threading.Event()
+
+            def reader(tid: int) -> None:
+                client = StoreClient(host, port, timeout=10.0, refresh_mode="follow")
+                try:
+                    while not stop.is_set():
+                        # The committed run answers identically throughout.
+                        assert client.backward_slice(origin, run=1) == expected_slice
+                        assert client.lineage(pages, run=1) == expected_lineage
+                        runs = client.runs()
+                        if len(runs) > 1:
+                            growth.append(runs[-1]["nodes"])
+                except Exception as exc:  # noqa: BLE001 - reported via main thread
+                    errors.append((tid, exc))
+
+            threads = [threading.Thread(target=reader, args=(tid,)) for tid in range(4)]
+            for thread in threads:
+                thread.start()
+            sink = RemoteStoreSink(f"{host}:{port}", segment_nodes=3, workload="remote")
+            publish_run(sink, cpg, pause_every=3, pause=0.01)
+            time.sleep(0.05)  # let the readers observe the committed run
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors, f"follow readers failed: {errors[:3]}"
+            # The readers watched the remote run grow mid-ingest.
+            assert growth and growth[-1] == len(cpg)
+            # The freshly committed run answers like the base run.
+            follow = StoreClient(host, port, timeout=10.0, refresh_mode="follow")
+            assert follow.backward_slice(origin, run=2) == expected_slice
+            assert follow.lineage(pages, run=2) == expected_lineage
+            stats = server.server_stats()
+            assert stats["follow_refreshes"] > 0
+            assert stats["epochs_ingested"] > 0
+            assert stats["writable"] is True
+            # The shared cache budget held with a writer in the mix.
+            assert server.cache.total_bytes <= server.cache.max_bytes
+            assert server.cache.peak_bytes <= server.cache.max_bytes
+        finally:
+            server.close()
