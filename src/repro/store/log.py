@@ -184,8 +184,10 @@ class SegmentLog:
         The first append after opening (or after a crash) truncates any
         torn tail back to the last valid record, so the new record lands
         on the commit horizon.  The frame is written with a single
-        ``write`` call and flushed before returning -- the record is
-        either wholly in the file or wholly absent.
+        ``write`` call and fsynced before returning -- the record is
+        either wholly in the file or wholly absent, and it survives a
+        power loss once this method returns (the durability barrier the
+        remote-ingest reply is documented to be).
         """
         if self._valid_bytes is None:
             self.scan()
@@ -204,6 +206,7 @@ class SegmentLog:
         with open(self.path, "ab") as handle:
             handle.write(frame)
             handle.flush()
+            os.fsync(handle.fileno())
         self._valid_bytes = valid + len(frame)
         self._records += 1
         return self._valid_bytes

@@ -213,7 +213,10 @@ class StoreServer:
         self._started = time.time()
         self._opened_at = time.time()
         self._counter_lock = threading.Lock()
-        self._refresh_lock = threading.Lock()
+        # Reentrant: refresh() locks itself so the explicit ``refresh``
+        # op serializes with follow-mode refreshes, which call it while
+        # already holding the lock (the double-checked fast path).
+        self._refresh_lock = threading.RLock()
         self.queries_served = 0
         self.refreshes = 0
         self.follow_refreshes = 0
@@ -284,38 +287,47 @@ class StoreServer:
         the old snapshot's segment and run tables must still be present
         verbatim in the new manifest -- and drops the warm state when the
         check fails.  Returns the new snapshot's run/segment counts.
+
+        Serialized through the refresh lock with every other caller (the
+        explicit ``refresh`` op, follow-mode queries, watch loops): two
+        interleaved refreshes could otherwise install the older of two
+        freshly opened snapshots last, briefly regressing the served view.
         """
-        old = self._store
-        # Token before open: a write landing in between is covered by the
-        # snapshot but keeps the token stale, so the next follow query
-        # refreshes once more -- the safe direction.
-        token = self._disk_token()
-        fresh = ProvenanceStore.open(
-            self.store_path, segment_cache=self.cache, index_pinner=self.pinner
-        )
-        if not self._same_store_lineage(old, fresh):
-            # Move the fresh handle to a namespace no old handle writes:
-            # an in-flight query against the dead snapshot may still
-            # cache.put()/pinner.put() *after* any invalidate we issue,
-            # and the recreated store's restarted ids could collide with
-            # those entries.  A fresh namespace makes them unreachable by
-            # construction; invalidating the old one just frees memory.
-            with self._counter_lock:
-                self._namespace_epoch += 1
-                fresh.cache_namespace = f"{self.store_path}#recreated-{self._namespace_epoch}"
-            self.cache.invalidate(old.cache_namespace)
-            self.pinner.invalidate(old.cache_namespace)
-        else:
-            fresh.cache_namespace = old.cache_namespace
-            # Same lineage, but runs an external gc dropped would leak
-            # their pins forever (the pinner has no byte budget and their
-            # generations are never requested again) -- release them.
-            gone = set(old.run_ids()) - set(fresh.run_ids())
-            for run_id in gone:
-                self.pinner.invalidate(old.cache_namespace, run_id)
-        self._store = fresh
-        self._snapshot_token = token
-        self._opened_at = time.time()
+        with self._refresh_lock:
+            old = self._store
+            # Token before open: a write landing in between is covered by
+            # the snapshot but keeps the token stale, so the next follow
+            # query refreshes once more -- the safe direction.
+            token = self._disk_token()
+            fresh = ProvenanceStore.open(
+                self.store_path, segment_cache=self.cache, index_pinner=self.pinner
+            )
+            if not self._same_store_lineage(old, fresh):
+                # Move the fresh handle to a namespace no old handle
+                # writes: an in-flight query against the dead snapshot may
+                # still cache.put()/pinner.put() *after* any invalidate we
+                # issue, and the recreated store's restarted ids could
+                # collide with those entries.  A fresh namespace makes
+                # them unreachable by construction; invalidating the old
+                # one just frees memory.
+                with self._counter_lock:
+                    self._namespace_epoch += 1
+                    fresh.cache_namespace = (
+                        f"{self.store_path}#recreated-{self._namespace_epoch}"
+                    )
+                self.cache.invalidate(old.cache_namespace)
+                self.pinner.invalidate(old.cache_namespace)
+            else:
+                fresh.cache_namespace = old.cache_namespace
+                # Same lineage, but runs an external gc dropped would leak
+                # their pins forever (the pinner has no byte budget and
+                # their generations are never requested again).
+                gone = set(old.run_ids()) - set(fresh.run_ids())
+                for run_id in gone:
+                    self.pinner.invalidate(old.cache_namespace, run_id)
+            self._store = fresh
+            self._snapshot_token = token
+            self._opened_at = time.time()
         with self._counter_lock:
             self.refreshes += 1
         return {
@@ -599,9 +611,14 @@ class StoreServer:
 
         Yields a response line whenever the watched run's progress
         changed since the last observation, and a final one (``done``)
-        when the run completes or ``timeout`` elapses.  Each observation
-        is an ordinary follow-mode request, so the stream rides the same
-        snapshot/refresh machinery as every other query.
+        when the run completes or ``timeout`` elapses.  Each poll tick is
+        a cheap probe -- the follow-mode staleness check (a stat compare
+        when nothing changed) plus manifest-only progress; the lineage
+        query runs only when the progress tuple actually moved or the
+        deadline forces the final observation, so an idle watch over a
+        large run burns no query per tick.  Observations themselves are
+        ordinary follow-mode requests, riding the same snapshot/refresh
+        machinery as every other query.
         """
         interval = max(0.005, float(request.get("interval", 0.05)))
         deadline = time.time() + float(request.get("timeout", 30.0))
@@ -609,6 +626,24 @@ class StoreServer:
         single["follow"] = True
         last = None
         while True:
+            try:
+                self._maybe_follow_refresh()
+                store = self._store
+                run_id = store.resolve_run(single.get("run"))
+                info = store.manifest.run_info(run_id)
+                probe = (
+                    info.status,
+                    info.nodes,
+                    info.edges,
+                    len(store.manifest.segments_of_run(run_id)),
+                )
+            except (InspectorError, KeyError, TypeError, ValueError) as exc:
+                yield {"ok": False, "error": str(exc)}
+                return
+            timed_out = time.time() >= deadline
+            if probe == last and not timed_out:
+                time.sleep(interval)
+                continue
             response = self.handle_request(single)
             if not response.get("ok"):
                 yield response
@@ -621,7 +656,6 @@ class StoreServer:
                 progress["edges"],
                 progress["segments"],
             )
-            timed_out = time.time() >= deadline
             if timed_out and not result["done"]:
                 result["done"] = True
                 result["timed_out"] = True

@@ -307,34 +307,58 @@ class ProvenanceStore:
         between handles (see :mod:`repro.store.cache`); sharing is for
         read-only serving.
         """
+        manifest = cls._read_manifest(path)
+        attempts = 3
+        for attempt in range(attempts):
+            store = cls(path, manifest, segment_cache=segment_cache, index_pinner=index_pinner)
+            store._manifest_on_disk = True
+            if manifest.version < STORE_FORMAT_VERSION:
+                return store
+            if store._replay_segment_log() or attempt == attempts - 1:
+                # A persistent gap after retries still leaves a consistent
+                # view: the checkpoint plus the contiguous log prefix.
+                return store
+            # The log's sequence numbers jumped past this manifest: a
+            # concurrent writer checkpointed (folding those records into
+            # a newer manifest) and re-appended after the reset, between
+            # our manifest read and the log scan.  Re-read and replay.
+            manifest = cls._read_manifest(path)
+        raise AssertionError("unreachable")  # the loop always returns
+
+    @staticmethod
+    def _read_manifest(path: str) -> StoreManifest:
         manifest_path = os.path.join(path, MANIFEST_NAME)
         if not os.path.exists(manifest_path):
             raise StoreError(f"no provenance store at {path} (missing {MANIFEST_NAME})")
         with open(manifest_path, "r", encoding="utf-8") as handle:
             try:
-                manifest = StoreManifest.from_dict(json.load(handle))
+                return StoreManifest.from_dict(json.load(handle))
             except json.JSONDecodeError as exc:
                 raise StoreError(f"corrupt manifest at {path}: {exc}") from exc
-        store = cls(path, manifest, segment_cache=segment_cache, index_pinner=index_pinner)
-        store._manifest_on_disk = True
-        if manifest.version >= STORE_FORMAT_VERSION:
-            store._replay_segment_log()
-        return store
 
-    def _replay_segment_log(self) -> None:
+    def _replay_segment_log(self) -> bool:
         """Apply the committed tail of ``segments.log`` to the manifest.
 
         Records whose ``seq`` the manifest checkpoint already covers are
         skipped (a crash between the checkpoint rename and the log reset
-        leaves them behind); the rest are applied in order.  Replay stops
+        leaves them behind); the rest must be contiguous from the
+        checkpoint's ``log_seq`` and are applied in order.  Replay stops
         at the first record that fails validation -- framing tears are
         already cut by :meth:`SegmentLog.scan`, and a CRC-valid record
         with inconsistent content forces the next flush to checkpoint, so
         the bad record can never shadow live appends.
+
+        Returns False when a record's ``seq`` jumped *past* the next
+        expected one.  Applying across the gap would stack post-checkpoint
+        records on a pre-checkpoint manifest, silently dropping every
+        segment the checkpoint folded in -- so the gapped record and
+        everything after it are refused, leaving the consistent prefix,
+        and the caller re-reads the (newer) manifest and replays again.
         """
         if not self._log.exists():
-            return
+            return True
         applied = 0
+        contiguous = True
         for record in self._log.replay():
             try:
                 seq = int(record.get("seq", 0))
@@ -343,6 +367,9 @@ class ProvenanceStore:
                 break
             if seq < self._log_next_seq:
                 continue  # folded into the checkpoint already
+            if seq > self._log_next_seq:
+                contiguous = False  # a newer checkpoint reset the log
+                break
             if not self._apply_log_record(record):
                 self._needs_checkpoint = True
                 break
@@ -350,6 +377,7 @@ class ProvenanceStore:
             applied += 1
         self._logged_segment_count = len(self.manifest.segments)
         self._uncheckpointed_records = applied
+        return contiguous
 
     def _apply_log_record(self, record: dict) -> bool:
         """Fold one log record into the manifest; False rejects it whole.
@@ -559,6 +587,11 @@ class ProvenanceStore:
         scratch = manifest_path + ".tmp"
         with open(scratch, "w", encoding="utf-8") as handle:
             json.dump(self.manifest.to_dict(), handle, sort_keys=True, indent=2)
+            handle.flush()
+            # The rename below resets the log: without this fsync a power
+            # loss could durably empty the log while the checkpoint that
+            # folded it in evaporates from the page cache.
+            os.fsync(handle.fileno())
         os.replace(scratch, manifest_path)
         self.manifest.version = STORE_FORMAT_VERSION
         self._disk_version = STORE_FORMAT_VERSION

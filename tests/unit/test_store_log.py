@@ -297,6 +297,35 @@ class TestCrashRecovery:
         reopened.flush()
         assert ProvenanceStore.open(store_dir).manifest.node_count == 17
 
+    def test_reader_racing_a_checkpoint_refuses_the_gapped_tail(self, tmp_path):
+        # Race window (a concurrent reader, not a crash): the reader
+        # loads MANIFEST.json, then the writer checkpoints -- folding
+        # every log record into a newer manifest and resetting the log --
+        # and appends a fresh record before the reader scans
+        # segments.log.  That record's seq jumps past everything the
+        # stale manifest covers; applying it across the gap would
+        # silently drop the folded-in segments while node_count still
+        # claims they exist.
+        store_dir = str(tmp_path / "stream")
+        store, sink = stream_epochs(store_dir, epochs=4)
+        stale = ProvenanceStore._read_manifest(store_dir)  # reader's manifest read
+        store.flush(checkpoint=True)
+        store.append_segment([make_node(5, 0, writes={777})], [], run=sink.run_id)
+        store.flush()  # one post-checkpoint record, seq past the stale view
+        reader = ProvenanceStore(store_dir, stale)
+        reader._manifest_on_disk = True
+        assert reader._replay_segment_log() is False  # gap detected
+        # The refused tail leaves a consistent (if stale) view: counters
+        # agree with the segment table instead of advertising segments
+        # the gapped record dropped.
+        assert reader.manifest.node_count == sum(
+            info.nodes for info in reader.manifest.segments
+        )
+        assert reader.log_state()["uncheckpointed_records"] == 0
+        # A full open re-reads the newer manifest on the gap and replays
+        # cleanly, seeing the checkpoint plus the fresh record.
+        assert ProvenanceStore.open(store_dir).manifest.node_count == 17
+
     def test_semantically_invalid_record_stops_replay_and_forces_checkpoint(self, tmp_path):
         # A CRC-valid record whose content contradicts the manifest (here:
         # a segment id that was already committed) must be rejected whole,

@@ -203,6 +203,44 @@ class TestSnapshotRefresh:
         with pytest.raises(StoreError, match="no sub-computation"):
             client.backward_slice(origin, run=1)
 
+    def test_explicit_refreshes_serialize_with_follow_refreshes(self, served):
+        # refresh() takes the refresh lock itself, so the explicit op can
+        # never interleave with a follow-mode refresh and install the
+        # older of two freshly opened snapshots last: a follow reader's
+        # view of the store only ever moves forward, even while explicit
+        # refreshes hammer the server and a writer checkpoints under it.
+        cpg, store_dir, server, _ = served
+        errors = []
+        stop = threading.Event()
+
+        def explicit():
+            try:
+                while not stop.is_set():
+                    server.refresh()
+                    time.sleep(0.001)
+            except Exception as exc:  # noqa: BLE001 - reported via the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=explicit) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            host, port = server.address
+            follow = StoreClient(host, port, timeout=10.0, refresh_mode="follow")
+            writer = ProvenanceStore.open(store_dir)
+            seen = 0
+            for _ in range(5):
+                writer.ingest(cpg, segment_nodes=3)
+                count = len(follow.runs())
+                assert count >= seen, "the served view went backwards"
+                seen = count
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors, f"explicit refreshes failed: {errors[:3]}"
+        assert len(follow.runs()) == 7
+
 
 class TestHammer:
     def test_concurrent_readers_over_one_warm_cache(self, served):
@@ -502,6 +540,45 @@ class TestRemoteIngest:
 
         with pytest.raises(ValueError, match="mutually exclusive"):
             InspectorSession(store=str(tmp_path / "s"), store_url="localhost:1")
+
+
+class TestWatchPolling:
+    def test_idle_watch_skips_the_lineage_query_between_changes(self, tmp_path):
+        # An idle watch (run in progress, writer quiet) polls
+        # manifest-only progress per tick; the full lineage query runs
+        # only when the progress tuple moves or the deadline forces the
+        # final observation.  Here nothing changes, so across ~25 ticks
+        # exactly two queries are served: the initial observation and
+        # the timed-out final one.
+        cpg = build_cpg(threads=2, steps=2)
+        store_dir = str(tmp_path / "store")
+        store = ProvenanceStore.create(store_dir)
+        run_id = store.new_run(workload="idle")
+        nodes = [n for n in cpg.topological_order() if n[0] >= 0]
+        store.append_segment([cpg.subcomputation(n) for n in nodes], [], run=run_id)
+        store.flush()  # the run stays "running": the watch never sees done
+        pages = sorted(cpg.subcomputation(nodes[-1]).write_set)[:1]
+        server = StoreServer(store_dir)
+        server.start()  # close() joins the serve loop, so it must run
+        try:
+            updates = list(
+                server.watch_responses(
+                    {
+                        "op": "watch",
+                        "pages": pages,
+                        "run": run_id,
+                        "stream": True,
+                        "interval": 0.01,
+                        "timeout": 0.25,
+                    }
+                )
+            )
+        finally:
+            server.close()
+        assert [update["ok"] for update in updates] == [True, True]
+        assert updates[0]["result"]["done"] is False
+        assert updates[-1]["result"]["done"] and updates[-1]["result"]["timed_out"]
+        assert server.queries_served == 2
 
 
 class TestFollowHammer:
