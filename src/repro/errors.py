@@ -81,6 +81,16 @@ class StoreError(ProvenanceError):
     missing manifests, or queries against nodes the store never ingested)."""
 
 
+class StoreUnreachableError(StoreError):
+    """A store server could not be reached after exhausting every retry.
+
+    Raised only for transport-level failure (connect refused, connection
+    dropped without a reply); a server that *answered* with an error keeps
+    raising plain :class:`StoreError`.  The distinction is what lets a
+    cluster router treat a dead shard as a routing event (fail over to a
+    replica, report a degraded read) instead of a query error."""
+
+
 class SnapshotError(InspectorError):
     """Errors raised by the consistent-snapshot facility."""
 

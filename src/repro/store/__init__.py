@@ -34,15 +34,22 @@ between these two runs".  It provides:
   server (snapshot-at-open with opt-in follow-mode bounded staleness,
   concurrent read-only queries, per-query stats, optional remote ingest,
   live-tail ``watch`` streams) and its retrying client;
+* :class:`~repro.store.cluster.StoreCluster` /
+  :class:`~repro.store.shard.ClusterManifest` -- horizontal reads: a
+  scatter-gather router mapping runs onto shards (each an ordinary
+  store server, with read replicas) behind a ``cluster.json`` manifest,
+  answering every engine query identically to the unsharded engine,
+  with per-shard fan-out telemetry and a configurable degraded-read
+  policy when a shard is down;
 * ``python -m repro.store`` -- the ``ingest`` / ``info`` / ``runs`` /
   ``slice`` / ``lineage`` / ``taint`` / ``compact`` / ``gc`` / ``serve``
-  / ``watch`` command-line surface.
+  / ``watch`` / ``cluster serve|query|status`` command-line surface.
 
 The whole reproduction's module map lives in ``docs/architecture.md``;
 this package's own design notes are in ``docs/store.md``.
 """
 
-from repro.errors import StoreError
+from repro.errors import StoreError, StoreUnreachableError
 from repro.store.cache import (
     DEFAULT_CACHE_BYTES,
     CacheStats,
@@ -50,6 +57,12 @@ from repro.store.cache import (
     PinnerStats,
     ReadScope,
     SegmentCache,
+)
+from repro.store.cluster import (
+    ClusterService,
+    InProcessShardClient,
+    ShardDownError,
+    StoreCluster,
 )
 from repro.store.codecs import CODECS, DEFAULT_CODEC, SegmentCodec
 from repro.store.format import (
@@ -68,6 +81,7 @@ from repro.store.indexes import StoreIndexes
 from repro.store.log import SegmentLog
 from repro.store.query import LineageDiff, StoreQueryEngine
 from repro.store.server import StoreClient, StoreServer
+from repro.store.shard import PAGE_HASH_BUCKETS, ClusterManifest, Endpoint, ShardInfo, page_bucket
 from repro.store.sink import RemoteStoreSink, StoreSink
 from repro.store.store import MaintenanceStats, ProvenanceStore, StoreReadStats
 
@@ -82,8 +96,13 @@ __all__ = [
     "STORE_FORMAT_VERSION_V2",
     "STORE_FORMAT_VERSION_V3",
     "STORE_FORMAT_VERSION_V4",
+    "PAGE_HASH_BUCKETS",
     "CacheStats",
+    "ClusterManifest",
+    "ClusterService",
+    "Endpoint",
     "IndexPinner",
+    "InProcessShardClient",
     "LineageDiff",
     "PinnerStats",
     "ReadScope",
@@ -95,7 +114,10 @@ __all__ = [
     "RemoteStoreSink",
     "RunInfo",
     "SegmentInfo",
+    "ShardDownError",
+    "ShardInfo",
     "StoreClient",
+    "StoreCluster",
     "StoreError",
     "StoreIndexes",
     "StoreManifest",
@@ -103,4 +125,6 @@ __all__ = [
     "StoreReadStats",
     "StoreServer",
     "StoreSink",
+    "StoreUnreachableError",
+    "page_bucket",
 ]

@@ -456,6 +456,23 @@ class ReadScope:
         with self._lock:
             self.snapshot_refreshes += 1
 
+    def absorb(self, stats: dict) -> None:
+        """Fold another scope's counters into this one.
+
+        ``stats`` is a :meth:`to_dict`-shaped mapping -- typically the
+        per-query ``stats`` object a store server attached to a response.
+        A cluster router folds every shard's numbers into one scope so a
+        scatter-gathered query reports cluster-wide read accounting in
+        the same shape a single-store query does; unknown keys are
+        ignored so older servers stay absorbable.
+        """
+        with self._lock:
+            self.segments_read += int(stats.get("segments_read", 0))
+            self.bytes_read += int(stats.get("bytes_read", 0))
+            self.cache_hits += int(stats.get("cache_hits", 0))
+            self.cache_misses += int(stats.get("cache_misses", 0))
+            self.snapshot_refreshes += int(stats.get("snapshot_refreshes", 0))
+
     def to_dict(self) -> dict:
         return {
             "segments_read": self.segments_read,

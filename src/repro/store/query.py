@@ -63,6 +63,66 @@ from repro.store.store import ProvenanceStore
 TAINT_FLOOD_FRACTION = 0.5
 
 
+# ---------------------------------------------------------------------- #
+# Merge helpers
+#
+# The pieces of the cross-run query semantics that are pure set/ordering
+# logic live here as free functions so the sharded cluster router
+# (:mod:`repro.store.cluster`) merges scattered per-shard answers through
+# the *same* code the single-store engine uses -- the two cannot drift.
+# ---------------------------------------------------------------------- #
+
+
+def normalize_pages(pages) -> Tuple[int, ...]:
+    """The ``pages`` argument of ``compare_lineage``: one page or many."""
+    return (pages,) if isinstance(pages, int) else tuple(pages)
+
+
+def untouched_taint(source_pages: Iterable[int]) -> "TaintResult":
+    """The exact taint result of a run that never saw any source page.
+
+    Taint only spreads through reads of tainted pages, so a run the
+    cross-run page summary proves untouched reports the sources and
+    nothing else -- without opening its indexes or segments.
+    """
+    sources = set(source_pages)
+    return TaintResult(source_pages=sources, tainted_pages=set(sources))
+
+
+def order_across_runs(answered: Dict[int, object], run_ids: Iterable[int], default) -> Dict[int, object]:
+    """Assemble one ``*_across_runs`` result dict in run-id order.
+
+    Every run in ``run_ids`` gets an entry -- the answered value, or
+    ``default(run_id)`` for runs that were skipped (proven untouched) --
+    and the dict enumerates runs in exactly the order given, which is the
+    store's mint order.  Merge order is part of the documented result
+    shape (the server serializes it as-is), so the cluster router feeds
+    this the same mint-ordered id list a single store would.
+    """
+    return {
+        run_id: answered[run_id] if run_id in answered else default(run_id)
+        for run_id in run_ids
+    }
+
+
+def diff_lineage(
+    run_a: int,
+    run_b: int,
+    pages: Tuple[int, ...],
+    lineage_a: Set[NodeId],
+    lineage_b: Set[NodeId],
+) -> LineageDiff:
+    """Partition two runs' lineages into the :class:`LineageDiff` shape."""
+    return LineageDiff(
+        run_a=run_a,
+        run_b=run_b,
+        pages=pages,
+        only_a=lineage_a - lineage_b,
+        only_b=lineage_b - lineage_a,
+        common=lineage_a & lineage_b,
+    )
+
+
 @dataclass
 class LineageDiff:
     """Result of :meth:`StoreQueryEngine.compare_lineage`.
@@ -332,9 +392,7 @@ class StoreQueryEngine:
         answered = self._fan_out_runs(
             touched, lambda run_id: self.lineage_of_pages(wanted, run=run_id)
         )
-        return {
-            run_id: answered.get(run_id, set()) for run_id in self.store.run_ids()
-        }
+        return order_across_runs(answered, self.store.run_ids(), lambda _: set())
 
     def taint_across_runs(
         self, source_pages: Iterable[int], through_thread_state: bool = False
@@ -355,15 +413,9 @@ class StoreQueryEngine:
                 sources, through_thread_state=through_thread_state, run=run_id
             ),
         )
-        results: Dict[int, TaintResult] = {}
-        for run_id in self.store.run_ids():
-            if run_id in answered:
-                results[run_id] = answered[run_id]
-            else:
-                results[run_id] = TaintResult(
-                    source_pages=set(sources), tainted_pages=set(sources)
-                )
-        return results
+        return order_across_runs(
+            answered, self.store.run_ids(), lambda _: untouched_taint(sources)
+        )
 
     def compare_lineage(self, run_a: int, run_b: int, pages) -> LineageDiff:
         """Diff the lineage of ``pages`` between two runs.
@@ -373,17 +425,10 @@ class StoreQueryEngine:
         run and nodes common to both -- empty exclusives mean the two
         executions produced those pages through the same history.
         """
-        wanted = (pages,) if isinstance(pages, int) else tuple(pages)
+        wanted = normalize_pages(pages)
         lineage_a = self.lineage_of_pages(wanted, run=run_a)
         lineage_b = self.lineage_of_pages(wanted, run=run_b)
-        return LineageDiff(
-            run_a=run_a,
-            run_b=run_b,
-            pages=wanted,
-            only_a=lineage_a - lineage_b,
-            only_b=lineage_b - lineage_a,
-            common=lineage_a & lineage_b,
-        )
+        return diff_lineage(run_a, run_b, wanted, lineage_a, lineage_b)
 
     # ------------------------------------------------------------------ #
     # Taint propagation

@@ -69,7 +69,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.core.cpg import EdgeKind
 from repro.core.serialization import node_key, parse_node_key
 from repro.core.thunk import SubComputation
-from repro.errors import InspectorError, StoreError
+from repro.errors import InspectorError, StoreError, StoreUnreachableError
 
 from repro.store.cache import DEFAULT_CACHE_BYTES, IndexPinner, ReadScope, SegmentCache
 from repro.store.format import MANIFEST_NAME, RUN_COMPLETE, SEGMENT_LOG_NAME
@@ -239,6 +239,7 @@ class StoreServer:
         self._tcp = _TCPServer((host, port), _RequestHandler)
         self._tcp.store_server = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._serving = False
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -256,6 +257,7 @@ class StoreServer:
 
     def start(self) -> Tuple[str, int]:
         """Serve in a daemon thread; returns the bound address."""
+        self._serving = True
         self._thread = threading.Thread(
             target=self._tcp.serve_forever, name="store-server", daemon=True
         )
@@ -264,11 +266,18 @@ class StoreServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`close` (the CLI path)."""
+        self._serving = True
         self._tcp.serve_forever()
 
     def close(self) -> None:
-        """Stop accepting connections and release the socket."""
-        self._tcp.shutdown()
+        """Stop accepting connections and release the socket.
+
+        Safe on a server whose serve loop never ran (an in-process-only
+        server driven through :meth:`handle_request`): ``shutdown`` waits
+        on an event only ``serve_forever`` sets, so it is skipped then.
+        """
+        if self._serving:
+            self._tcp.shutdown()
         self._tcp.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
@@ -794,6 +803,13 @@ class StoreClient:
         delay = self.backoff
         last_error: Optional[OSError] = None
         for attempt in range(attempts):
+            if attempt:
+                # Backoff is paid only *between* attempts -- once the last
+                # attempt failed there is no next one to wait for, so
+                # exhaustion raises immediately instead of sleeping one
+                # final full backoff first.
+                time.sleep(delay)
+                delay = min(delay * 2, self.backoff_cap)
             try:
                 line = self._exchange(payload)
             except _SentRequestFailed as exc:
@@ -816,10 +832,7 @@ class StoreClient:
                 if not response.get("ok"):
                     raise StoreError(str(response.get("error", "unknown server error")))
                 return response
-            if attempt + 1 < attempts:
-                time.sleep(delay)
-                delay = min(delay * 2, self.backoff_cap)
-        raise StoreError(
+        raise StoreUnreachableError(
             f"store server at {self.host}:{self.port} unreachable after "
             f"{attempts} attempt{'s' if attempts != 1 else ''}: {last_error}"
         ) from last_error
@@ -883,6 +896,29 @@ class StoreClient:
             int(run_id): {parse_node_key(key) for key in nodes}
             for run_id, nodes in result.items()
         }
+
+    def taint_across_runs(
+        self, pages: Iterable[int], through_thread_state: bool = False
+    ) -> Dict[int, dict]:
+        result = self.result(
+            "taint_across_runs",
+            pages=list(pages),
+            through_thread_state=through_thread_state,
+        )
+        return {
+            int(run_id): {
+                "source_pages": list(entry["source_pages"]),
+                "tainted_pages": list(entry["tainted_pages"]),
+                "tainted_nodes": {parse_node_key(key) for key in entry["tainted_nodes"]},
+            }
+            for run_id, entry in result.items()
+        }
+
+    def compare_lineage(self, run_a: int, run_b: int, pages) -> dict:
+        result = self.result("compare_lineage", run_a=run_a, run_b=run_b, pages=pages)
+        for side in ("only_a", "only_b", "common"):
+            result[side] = {parse_node_key(key) for key in result[side]}
+        return result
 
     def stats(self) -> dict:
         return self.result("stats")

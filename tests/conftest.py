@@ -1,0 +1,15 @@
+"""Test-suite path setup: make ``tests/helpers`` importable everywhere.
+
+The test tree has no package ``__init__`` files (pytest rootdir-relative
+imports), so shared fixtures live in ``tests/helpers`` and this conftest
+puts the tests directory itself on ``sys.path`` -- every test file can
+``from helpers.faults import ChaosProxy`` regardless of which directory
+pytest was pointed at.
+"""
+
+import os
+import sys
+
+_TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)

@@ -1,0 +1,2 @@
+"""Shared test fixtures: fault injection (:mod:`helpers.faults`) and
+cluster builders (:mod:`helpers.clusters`)."""

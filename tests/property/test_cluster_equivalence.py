@@ -1,0 +1,129 @@
+"""Property: any sharding of any store answers exactly like no sharding.
+
+For random CPGs ingested as runs of one store and a *random* run-to-shard
+assignment, every query through the :class:`~repro.store.cluster.
+StoreCluster` router must equal the single-store
+:class:`~repro.store.query.StoreQueryEngine` answer -- the sets, the
+``*_across_runs`` dict *enumeration order* (mint order is part of the
+result shape), and the ``compare_lineage`` diff, including its
+single-page ``pages=int`` spelling.  Shards are in-process servers
+(:class:`~repro.store.cluster.InProcessShardClient`), so every example
+exercises the full wire dispatch without socket overhead.
+"""
+
+import os
+import shutil
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from helpers.clusters import InProcessCluster, build_multirun_store, hash_partition
+
+from repro.store import StoreQueryEngine
+
+
+def sharded_example(draw_runs, shard_of):
+    """(seeds, owned_runs) for len(shard_of) runs over max(shard_of)+1 shards."""
+    n_shards = max(shard_of) + 1
+    owned = [[] for _ in range(n_shards)]
+    for run_index, shard_index in enumerate(shard_of):
+        owned[shard_index].append(run_index + 1)  # run ids mint 1..N
+    return owned
+
+
+class TestClusterEquivalenceProperties:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None, max_examples=10)
+    @given(
+        seeds=st.lists(st.integers(0, 10_000), min_size=2, max_size=4),
+        assignment=st.data(),
+        pages=st.sets(st.integers(0, 7), min_size=1, max_size=3),
+    )
+    def test_manual_sharding_matches_single_store(self, seeds, assignment, pages):
+        shard_of = assignment.draw(
+            st.lists(
+                st.integers(0, 2), min_size=len(seeds), max_size=len(seeds)
+            ).filter(lambda shards: 0 in shards),
+            label="run->shard",
+        )
+        base = tempfile.mkdtemp(prefix="inspector-cluster-")
+        try:
+            whole = os.path.join(base, "whole")
+            store, runs = build_multirun_store(whole, seeds)
+            engine = StoreQueryEngine(store)
+            owned = sharded_example(seeds, shard_of)
+            # Drop empty shards: a manifest shard with no runs is legal
+            # but uninteresting; keeping some empty sometimes is covered
+            # by assignments that skip an index.
+            owned = [runs_of for runs_of in owned if runs_of] or [runs]
+            with InProcessCluster(whole, os.path.join(base, "shards"), owned) as built:
+                cluster = built.cluster
+                assert cluster.run_ids() == runs
+
+                wanted = sorted(pages)
+                lineage_c = cluster.lineage_across_runs(wanted)
+                lineage_e = engine.lineage_across_runs(wanted)
+                assert lineage_c == lineage_e
+                assert list(lineage_c) == list(lineage_e)
+
+                taint_c = cluster.taint_across_runs(wanted)
+                taint_e = engine.taint_across_runs(wanted)
+                assert list(taint_c) == list(taint_e)
+                for run in runs:
+                    assert taint_c[run].tainted_nodes == taint_e[run].tainted_nodes
+                    assert taint_c[run].tainted_pages == taint_e[run].tainted_pages
+                    assert taint_c[run].source_pages == taint_e[run].source_pages
+
+                for run in runs:
+                    assert cluster.lineage(wanted, run=run) == engine.lineage_of_pages(
+                        wanted, run=run
+                    )
+
+                run_a, run_b = runs[0], runs[-1]
+                diff_c = cluster.compare_lineage(run_a, run_b, wanted)
+                diff_e = engine.compare_lineage(run_a, run_b, wanted)
+                assert diff_c.pages == diff_e.pages
+                assert diff_c.only_a == diff_e.only_a
+                assert diff_c.only_b == diff_e.only_b
+                assert diff_c.common == diff_e.common
+                assert diff_c.identical == diff_e.identical
+
+                single = wanted[0]  # the pages=int spelling
+                diff_c1 = cluster.compare_lineage(run_a, run_b, single)
+                diff_e1 = engine.compare_lineage(run_a, run_b, single)
+                assert diff_c1.pages == diff_e1.pages == (single,)
+                assert diff_c1.only_a == diff_e1.only_a
+                assert diff_c1.only_b == diff_e1.only_b
+                assert diff_c1.common == diff_e1.common
+        finally:
+            shutil.rmtree(base, ignore_errors=True)
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None, max_examples=6)
+    @given(
+        seeds=st.lists(st.integers(0, 10_000), min_size=2, max_size=4),
+        n_shards=st.integers(1, 3),
+        pages=st.sets(st.integers(0, 7), min_size=1, max_size=3),
+    )
+    def test_run_hash_sharding_matches_single_store(self, seeds, n_shards, pages):
+        base = tempfile.mkdtemp(prefix="inspector-cluster-")
+        try:
+            whole = os.path.join(base, "whole")
+            store, runs = build_multirun_store(whole, seeds)
+            engine = StoreQueryEngine(store)
+            owned = hash_partition(runs, n_shards)
+            with InProcessCluster(
+                whole, os.path.join(base, "shards"), owned, policy="run-hash"
+            ) as built:
+                cluster = built.cluster
+                assert cluster.run_ids() == runs
+                wanted = sorted(pages)
+                lineage_c = cluster.lineage_across_runs(wanted)
+                lineage_e = engine.lineage_across_runs(wanted)
+                assert lineage_c == lineage_e
+                assert list(lineage_c) == list(lineage_e)
+                for run in runs:
+                    assert cluster.lineage(wanted, run=run) == engine.lineage_of_pages(
+                        wanted, run=run
+                    )
+        finally:
+            shutil.rmtree(base, ignore_errors=True)

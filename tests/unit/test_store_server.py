@@ -8,12 +8,16 @@ surface: remote ingest through a writable server, follow-mode bounded
 staleness, live-tail ``watch`` streams, and the client's retry policy.
 """
 
+import os
 import socket
+import tempfile
 import threading
 import time
 from collections import defaultdict
 
 import pytest
+
+from helpers.faults import ChaosProxy
 
 from repro.core.algorithm import ProvenanceTracker
 from repro.core.cpg import EdgeKind
@@ -24,7 +28,7 @@ from repro.core.queries import (
     lineage_of_pages,
     propagate_taint,
 )
-from repro.errors import StoreError
+from repro.errors import StoreError, StoreUnreachableError
 from repro.inspector.api import run_with_provenance
 from repro.store import (
     ProvenanceStore,
@@ -292,26 +296,6 @@ class TestHammer:
 # ---------------------------------------------------------------------- #
 
 
-def flaky_listener():
-    """A listener that accepts and immediately drops every connection."""
-    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    sock.bind(("127.0.0.1", 0))
-    sock.listen(8)
-    accepted = []
-
-    def loop():
-        while True:
-            try:
-                conn, _ = sock.accept()
-            except OSError:
-                return
-            accepted.append(1)
-            conn.close()
-
-    threading.Thread(target=loop, daemon=True).start()
-    return sock, accepted
-
-
 class TestClientRetry:
     def test_dead_server_surfaces_store_error_after_retries(self):
         probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -319,25 +303,67 @@ class TestClientRetry:
         port = probe.getsockname()[1]
         probe.close()
         client = StoreClient("127.0.0.1", port, timeout=2.0, retries=1, backoff=0.001)
-        with pytest.raises(StoreError, match="unreachable after 2 attempts"):
+        with pytest.raises(StoreUnreachableError, match="unreachable after 2 attempts"):
             client.ping()
 
     def test_idempotent_ops_retry_but_sent_ingest_ops_fail_fast(self):
-        sock, accepted = flaky_listener()
-        host, port = sock.getsockname()
-        try:
+        # ChaosProxy in drop mode: accepts and immediately closes, the
+        # "listener up, service dead" shape the old ad-hoc socket loop
+        # here used to hand-roll.
+        with ChaosProxy(mode="drop") as proxy:
+            host, port = proxy.address
             client = StoreClient(host, port, timeout=2.0, retries=2, backoff=0.001)
             # Read op: the dropped reply is retried until retries exhaust.
             with pytest.raises(StoreError, match="unreachable after 3 attempts"):
                 client.request("ping")
-            assert len(accepted) == 3
+            assert proxy.connections == 3
             # Ingest op: once sent, a blind resend could double-apply.
-            accepted.clear()
+            proxy.connections = 0
             with pytest.raises(StoreError, match="non-idempotent"):
                 client.request("begin_run", workload="x")
-            assert len(accepted) == 1
-        finally:
-            sock.close()
+            assert proxy.connections == 1
+
+    def test_exhaustion_raises_immediately_without_trailing_backoff(self):
+        # Regression guard: backoff must only be paid *between* attempts.
+        # With retries=2 the sleeps are 0.2 + 0.4 = 0.6s; a buggy loop
+        # that also sleeps the next doubled delay (0.8s) after the final
+        # failure would push well past the 1.1s bound asserted here.
+        with ChaosProxy(mode="drop") as proxy:
+            host, port = proxy.address
+            client = StoreClient(host, port, timeout=2.0, retries=2, backoff=0.2)
+            start = time.monotonic()
+            with pytest.raises(StoreUnreachableError, match="unreachable after 3 attempts"):
+                client.request("ping")
+            elapsed = time.monotonic() - start
+        assert proxy.connections == 3
+        assert 0.6 <= elapsed < 1.1, (
+            f"exhaustion took {elapsed:.3f}s; the inter-attempt sleeps total "
+            f"0.6s, so anything near 1.4s means a trailing backoff slipped back in"
+        )
+
+    def test_reset_and_half_close_faults_are_retried_through(self):
+        # A real server behind the proxy: the first connection dies with
+        # a hard RST (or a half-delivered response); the retry passes
+        # through and must return the real answer.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "store")
+            ProvenanceStore.create(path).ingest(build_cpg(), workload="chaos")
+            server = StoreServer(path)
+            server.start()
+            try:
+                for mode in ("reset", "half_close"):
+                    with ChaosProxy(
+                        target=server.address, mode=mode, fault_budget=1
+                    ) as proxy:
+                        host, port = proxy.address
+                        client = StoreClient(
+                            host, port, timeout=5.0, retries=3, backoff=0.01
+                        )
+                        assert client.ping() is True
+                        assert proxy.faulted == 1
+                        assert proxy.connections >= 2
+            finally:
+                server.close()
 
     def test_from_url_forms(self):
         assert StoreClient.from_url("localhost:7000").port == 7000
