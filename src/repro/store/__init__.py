@@ -9,9 +9,10 @@ happened in this run", "what happened in every run", and "what changed
 between these two runs".  It provides:
 
 * :class:`~repro.store.store.ProvenanceStore` -- an append-only, segmented
-  on-disk format (format 5) whose segment payloads go through a pluggable
-  codec (:mod:`repro.store.codecs`; columnar binary by default, JSON for
-  back-compat), with per-run page/thread/sync secondary indexes flushed as
+  on-disk format (format 6) whose segment payloads go through a pluggable
+  codec (:mod:`repro.store.codecs`; zlib-compressed columnar binary by
+  default, uncompressed binary and JSON for back-compat), with per-run
+  page/thread/sync secondary indexes flushed as
   append-only delta files and every flush committed as one O(epoch)
   record appended to the segment log (:mod:`repro.store.log`; the
   manifest is a periodic checkpoint replayed over on open), plus
@@ -73,6 +74,7 @@ from repro.store.format import (
     STORE_FORMAT_VERSION_V2,
     STORE_FORMAT_VERSION_V3,
     STORE_FORMAT_VERSION_V4,
+    STORE_FORMAT_VERSION_V5,
     RunInfo,
     SegmentInfo,
     StoreManifest,
@@ -96,6 +98,7 @@ __all__ = [
     "STORE_FORMAT_VERSION_V2",
     "STORE_FORMAT_VERSION_V3",
     "STORE_FORMAT_VERSION_V4",
+    "STORE_FORMAT_VERSION_V5",
     "PAGE_HASH_BUCKETS",
     "CacheStats",
     "ClusterManifest",

@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.store ingest <store> <cpg.json> [--segment-nodes N] \\
-        [--workload NAME] [--codec binary|json]
+        [--workload NAME] [--codec binary-z|binary|json] [--compress-level 1-9]
     python -m repro.store info <store> [--stats] [--json]
     python -m repro.store runs <store> [--json]
     python -m repro.store slice <store> (--node TID:IDX | --pages 1,2) \\
@@ -12,7 +12,8 @@ Usage::
         [--parallelism N] [--json]
     python -m repro.store taint <store> --pages 1,2 \\
         [--run R] [--through-thread-state] [--parallelism N] [--json]
-    python -m repro.store compact <store> [--run R] [--segment-nodes N] [--json]
+    python -m repro.store compact <store> [--run R] [--segment-nodes N] \\
+        [--codec binary-z|binary|json] [--compress-level 1-9] [--json]
     python -m repro.store gc <store> (--keep-last N | --runs 1,2) [--json]
     python -m repro.store serve <store> [--host H] [--port P] \\
         [--cache-bytes N] [--parallelism N] [--writable]
@@ -31,10 +32,14 @@ older spelling ``slice --pages``) answers the debugging case study's "why
 is this page in that state" as the lineage of the pages.  A store holds
 many runs: ``runs`` lists them, ``--run`` scopes a query to one (optional
 while the store holds exactly one run), ``compact`` merges a run's small
-segments, and ``gc`` drops superseded runs and reclaims their disk space.
-Every query prints how many segments it read out of how many the store
-holds, making the out-of-core behaviour visible; ``--parallelism`` fans
-multi-segment scans out over a thread pool.  ``serve`` keeps one warm
+segments (transcoding them to ``--codec``, by default the store's
+compressed columnar default), and ``gc`` drops superseded runs and
+reclaims their disk space.  ``--compress-level`` tunes the zlib level of
+the ``binary-z`` codec; ``info`` breaks the stored-vs-raw bytes down per
+codec.  Every query prints how many segments it read out of how many the
+store holds, making the out-of-core behaviour visible; ``--parallelism``
+fans multi-segment scans out over the store's shared decode pools.
+``serve`` keeps one warm
 decoded-segment cache + pinned indexes resident and answers the same
 queries over newline-delimited JSON on TCP
 (:mod:`repro.store.server`); with ``--writable`` it additionally accepts
@@ -93,6 +98,33 @@ def _add_parallelism(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _compress_level(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from exc
+    if not 1 <= value <= 9:
+        raise argparse.ArgumentTypeError(f"compress level must be 1-9, got {value}")
+    return value
+
+
+def _add_compress_level(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--compress-level",
+        type=_compress_level,
+        default=None,
+        help="zlib level for the binary-z codec (1-9; default: 6)",
+    )
+
+
+def _apply_compress_level(level: Optional[int]) -> None:
+    """Point the compressing codec at ``level`` for this process."""
+    if level is None:
+        return
+    codec = CODECS["binary-z"]
+    codec.compress_level = level
+
+
 def _parse_pages(text: str) -> List[int]:
     try:
         return [int(piece) for piece in text.split(",") if piece.strip() != ""]
@@ -146,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=f"segment payload codec (default: {DEFAULT_CODEC})",
     )
+    _add_compress_level(ingest)
 
     info = commands.add_parser("info", help="print the store summary")
     info.add_argument("store", help="store directory")
@@ -210,6 +243,13 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument(
         "--segment-nodes", type=int, default=None, help="sub-computations per rewritten segment"
     )
+    compact.add_argument(
+        "--codec",
+        choices=sorted(CODECS),
+        default=None,
+        help=f"transcode rewritten segments to this codec (default: {DEFAULT_CODEC})",
+    )
+    _add_compress_level(compact)
     compact.add_argument("--json", action="store_true", help="machine-readable output")
 
     gc = commands.add_parser("gc", help="drop superseded runs and reclaim disk space")
@@ -324,6 +364,7 @@ def _print_read_footer(engine: StoreQueryEngine) -> None:
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
+    _apply_compress_level(args.compress_level)
     store = ProvenanceStore.open_or_create(args.store)
     kwargs = {}
     if args.segment_nodes is not None:
@@ -390,6 +431,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
     )
     codecs = " ".join(f"{name}={count}" for name, count in sorted(summary["codecs"].items()))
     print(f"  segment codecs:   {codecs or 'none'}")
+    for name, per in sorted(summary["codec_bytes"].items()):
+        ratio = per["raw_bytes"] / per["stored_bytes"] if per["stored_bytes"] else 1.0
+        print(
+            f"    {name}: {per['segments']} segment(s), "
+            f"{per['stored_bytes']} stored / {per['raw_bytes']} raw ({ratio:.2f}x)"
+        )
     print(
         f"  index deltas:     {summary['index_delta_files']} pending file(s), "
         f"{summary['index_delta_bytes']} byte(s)"
@@ -510,10 +557,13 @@ def _cmd_taint(args: argparse.Namespace) -> int:
 
 
 def _cmd_compact(args: argparse.Namespace) -> int:
+    _apply_compress_level(args.compress_level)
     store = ProvenanceStore.open(args.store)
     kwargs = {}
     if args.segment_nodes is not None:
         kwargs["segment_nodes"] = args.segment_nodes
+    if args.codec is not None:
+        store.default_codec = args.codec  # compaction re-encodes with this
     stats = store.compact(run=args.run, **kwargs)
     if args.json:
         print(json.dumps(stats.to_dict(), sort_keys=True))

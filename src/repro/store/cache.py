@@ -14,6 +14,9 @@ filter/index blocks:
   file), the total never exceeds the budget, and hit/miss/eviction
   counters make the cache observable.  One cache can back any number of
   store handles -- the warm server shares one across snapshot reopens.
+  Cold misses are **single-flight** (:meth:`SegmentCache.begin_fill`): N
+  concurrent queries missing the same segment collapse to one decode, the
+  rest blocking on the owner's result instead of thundering the disk.
 * :class:`IndexPinner` -- keeps merged per-run index generations resident
   across store opens, keyed by the exact ``(base, deltas)`` generations
   the manifest names, so repeated queries (or a server re-opening its
@@ -41,6 +44,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.errors import StoreError
 from repro.store.indexes import StoreIndexes
 from repro.store.segment import SegmentPayload
 
@@ -88,6 +92,9 @@ class CacheStats:
             alone exceeds the byte budget.
         invalidations: Entries dropped by explicit invalidation
             (``compact``/``gc``/``clear_cache``), not by pressure.
+        coalesced: Lookups that joined another caller's in-flight decode
+            of the same segment instead of decoding it again
+            (single-flight; also counted in ``hits``).
     """
 
     hits: int = 0
@@ -96,6 +103,7 @@ class CacheStats:
     inserts: int = 0
     oversize: int = 0
     invalidations: int = 0
+    coalesced: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -112,11 +120,78 @@ class CacheStats:
             "inserts": self.inserts,
             "oversize": self.oversize,
             "invalidations": self.invalidations,
+            "coalesced": self.coalesced,
         }
 
 
 #: Cache key: (store namespace, manifest generation, segment id).
 _CacheKey = Tuple[str, int, int]
+
+
+class _InFlightFill:
+    """Shared state of one in-progress cold-segment decode."""
+
+    __slots__ = ("event", "payload", "error", "cancelled")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.payload: Optional[SegmentPayload] = None
+        self.error: Optional[BaseException] = None
+        #: Set by :meth:`SegmentCache.invalidate` while the fill is in
+        #: flight: the result is still delivered to waiters (segment ids
+        #: are never reused, so the bytes are not stale), but it is not
+        #: admitted into the cache the invalidation just cleared.
+        self.cancelled = False
+
+
+class FillHandle:
+    """One caller's ticket into a single-flight segment fill.
+
+    Returned by :meth:`SegmentCache.begin_fill`; ``status`` says which of
+    three roles the caller drew:
+
+    * ``"hit"`` -- the payload was cached; it is in :attr:`payload`.
+    * ``"owner"`` -- nobody is decoding this segment: the caller must
+      decode it and call :meth:`complete` (or :meth:`fail` on error --
+      **always** one of the two, or waiters block forever).
+    * ``"waiter"`` -- another thread is already decoding: call
+      :meth:`wait` for its result.
+    """
+
+    __slots__ = ("status", "payload", "_cache", "_key", "_fill")
+
+    def __init__(
+        self,
+        cache: "SegmentCache",
+        key: _CacheKey,
+        status: str,
+        payload: Optional[SegmentPayload] = None,
+        fill: Optional[_InFlightFill] = None,
+    ) -> None:
+        self._cache = cache
+        self._key = key
+        self.status = status
+        self.payload = payload
+        self._fill = fill
+
+    def complete(self, payload: SegmentPayload) -> None:
+        """Owner only: publish the decoded payload and wake every waiter."""
+        self._cache._finish_fill(self._key, self._fill, payload=payload)
+        self.payload = payload
+
+    def fail(self, error: BaseException) -> None:
+        """Owner only: propagate the decode error to every waiter."""
+        self._cache._finish_fill(self._key, self._fill, error=error)
+
+    def wait(self, timeout: Optional[float] = None) -> SegmentPayload:
+        """Waiter only: block for the owner's result (re-raising its error)."""
+        if not self._fill.event.wait(timeout):
+            raise StoreError(
+                f"timed out waiting for in-flight decode of segment {self._key[2]}"
+            )
+        if self._fill.error is not None:
+            raise self._fill.error
+        return self._fill.payload
 
 
 class SegmentCache:
@@ -143,6 +218,7 @@ class SegmentCache:
         self._max_entries = max_entries
         self._lock = threading.Lock()
         self._entries: "OrderedDict[_CacheKey, Tuple[SegmentPayload, int]]" = OrderedDict()
+        self._fills: Dict[_CacheKey, _InFlightFill] = {}
         self._total_bytes = 0
         self._peak_bytes = 0
         self.stats = CacheStats()
@@ -232,20 +308,70 @@ class SegmentCache:
         self, namespace: str, generation: int, segment_id: int, payload: SegmentPayload
     ) -> None:
         """Admit one decoded payload (evicting LRU entries to fit)."""
+        with self._lock:
+            self._admit_locked((namespace, generation, segment_id), payload)
+
+    def _admit_locked(self, key: _CacheKey, payload: SegmentPayload) -> None:
         cost = estimate_payload_cost(payload)
+        if cost > self._max_bytes:
+            self.stats.oversize += 1
+            return
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._total_bytes -= previous[1]
+        self._entries[key] = (payload, cost)
+        self._total_bytes += cost
+        self.stats.inserts += 1
+        self._evict_locked()
+        self._peak_bytes = max(self._peak_bytes, self._total_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Single-flight fills
+    # ------------------------------------------------------------------ #
+
+    def begin_fill(self, namespace: str, generation: int, segment_id: int) -> FillHandle:
+        """Claim (or join) the decode of one possibly-cold segment.
+
+        The single-flight miss protocol: a cached payload comes back as a
+        ``"hit"`` handle; the first caller to miss becomes the ``"owner"``
+        (counted as a miss) and must decode + :meth:`FillHandle.complete`;
+        every concurrent caller missing the same key becomes a
+        ``"waiter"`` (counted as a hit, plus ``stats.coalesced``) and
+        blocks in :meth:`FillHandle.wait` instead of decoding the same
+        bytes again.
+        """
         key = (namespace, generation, segment_id)
         with self._lock:
-            if cost > self._max_bytes:
-                self.stats.oversize += 1
-                return
-            previous = self._entries.pop(key, None)
-            if previous is not None:
-                self._total_bytes -= previous[1]
-            self._entries[key] = (payload, cost)
-            self._total_bytes += cost
-            self.stats.inserts += 1
-            self._evict_locked()
-            self._peak_bytes = max(self._peak_bytes, self._total_bytes)
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return FillHandle(self, key, "hit", payload=entry[0])
+            fill = self._fills.get(key)
+            if fill is not None:
+                self.stats.hits += 1
+                self.stats.coalesced += 1
+                return FillHandle(self, key, "waiter", fill=fill)
+            fill = _InFlightFill()
+            self._fills[key] = fill
+            self.stats.misses += 1
+            return FillHandle(self, key, "owner", fill=fill)
+
+    def _finish_fill(
+        self,
+        key: _CacheKey,
+        fill: _InFlightFill,
+        payload: Optional[SegmentPayload] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        with self._lock:
+            if self._fills.get(key) is fill:
+                del self._fills[key]
+            if payload is not None and not fill.cancelled:
+                self._admit_locked(key, payload)
+            fill.payload = payload
+            fill.error = error
+        fill.event.set()
 
     def _evict_locked(self) -> None:
         while self._entries and (
@@ -274,6 +400,13 @@ class SegmentCache:
                 self._total_bytes -= cost
                 dropped += 1
             self.stats.invalidations += dropped
+            # In-flight fills keep serving their waiters (segment ids are
+            # never reused, so the decoded bytes are not stale), but their
+            # results must not be admitted into the cache this
+            # invalidation just cleared.
+            for key, fill in self._fills.items():
+                if key[0] == namespace:
+                    fill.cancelled = True
         return dropped
 
     def cached_segments(self, namespace: str, generation: int) -> Dict[int, SegmentPayload]:

@@ -1,6 +1,6 @@
 """On-disk layout of the persistent provenance store.
 
-A store is a directory (format version 5)::
+A store is a directory (format version 6)::
 
     <store>/
         MANIFEST.json                   # periodic checkpoint: run table, segment table
@@ -41,15 +41,20 @@ recovery sound.
 Segment payloads are produced by a pluggable codec
 (:mod:`repro.store.codecs`): ``"json"`` is the lz-compressed v2 CPG
 serialization every store version up to 3 wrote; ``"binary"`` is the
-columnar struct-packed encoding new (v4) writes default to.  The manifest
-records each segment's codec, so mixed stores decode correctly.  Older
-layouts remain readable: a version-2 store (one implicit run, flat
-``index/*.json``) is mapped to a single run with id 1 on open, and a
-version-3 store (per-run ``index/run-<id>/*.json`` rewritten wholesale per
-flush) loads its JSON indexes as each run's starting point.  A version-4
-store opens unchanged (its manifest simply has no ``log_seq`` and no
-``segments.log`` exists).  Any older layout is upgraded to the version-5
-layout in place by its first flush, which always writes a checkpoint.
+columnar struct-packed encoding v4/v5 writes defaulted to; ``"binary-z"``
+(format 6) is the same columnar payload zlib-compressed inside the frame
+-- the new default, winning the disk back without giving up C-speed,
+GIL-releasing decode.  The manifest records each segment's codec, so
+mixed stores decode correctly.  Older layouts remain readable: a
+version-2 store (one implicit run, flat ``index/*.json``) is mapped to a
+single run with id 1 on open, and a version-3 store (per-run
+``index/run-<id>/*.json`` rewritten wholesale per flush) loads its JSON
+indexes as each run's starting point.  A version-4 store opens unchanged
+(its manifest simply has no ``log_seq`` and no ``segments.log`` exists),
+and a version-5 store differs from 6 only in its default codec, so it
+opens -- segment log replayed and all -- without rewriting a byte.  Any
+older layout is upgraded to the version-6 layout in place by its first
+flush, which always writes a checkpoint.
 """
 
 from __future__ import annotations
@@ -59,9 +64,14 @@ from typing import Dict, List, Optional
 
 from repro.errors import StoreError
 
-#: Version of the store directory layout (5 = append-only segment log;
-#: the manifest is a periodic checkpoint).
-STORE_FORMAT_VERSION = 5
+#: Version of the store directory layout (6 = compressed columnar
+#: ``binary-z`` default codec; layout otherwise identical to 5).
+STORE_FORMAT_VERSION = 6
+
+#: The PR-6 layout (append-only segment log; the manifest is a periodic
+#: checkpoint).  Identical to 6 on disk except for the default codec, so
+#: log replay applies to both.
+STORE_FORMAT_VERSION_V5 = 5
 
 #: The PR-3 layout (codecs + index deltas, whole-manifest rewrite per flush).
 STORE_FORMAT_VERSION_V4 = 4
@@ -77,6 +87,7 @@ SUPPORTED_STORE_VERSIONS = (
     STORE_FORMAT_VERSION_V2,
     STORE_FORMAT_VERSION_V3,
     STORE_FORMAT_VERSION_V4,
+    STORE_FORMAT_VERSION_V5,
     STORE_FORMAT_VERSION,
 )
 

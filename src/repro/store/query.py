@@ -40,8 +40,9 @@ Every segment read goes through the store's byte-budgeted decoded-segment
 cache (:mod:`repro.store.cache`), so repeated queries on a warm engine --
 the profile :class:`~repro.store.server.StoreServer` serves -- cost no
 decode at all, and the ``parallelism=`` knob fans multi-segment scans
-(taint prefetch, flood sweep, ``*_across_runs``) out over a thread pool
-with a sequential fallback at ``parallelism=1``.
+(taint prefetch, flood sweep, ``*_across_runs``) out over the store's
+shared decode pools -- threads for warm-ish chunks, processes for cold
+multi-segment sweeps -- with a sequential fallback at ``parallelism=1``.
 """
 
 from __future__ import annotations
@@ -215,16 +216,16 @@ class StoreQueryEngine:
                 yield segment_id, self._segment(segment_id)
             return
         width = self.parallelism * 2
-        # One pool for the whole scan: chunking bounds residency, not
-        # thread churn.
-        with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
-            for start in range(0, len(ids), width):
-                chunk = ids[start : start + width]
-                payloads = self.store.segment_many(
-                    chunk, parallelism=self.parallelism, scope=self.scope, executor=pool
-                )
-                for segment_id in chunk:
-                    yield segment_id, payloads[segment_id]
+        # The store's shared decode pools do the concurrency (chunking
+        # bounds residency, not thread churn); a cold chunk wide enough
+        # may decode on the process pool, off the GIL entirely.
+        for start in range(0, len(ids), width):
+            chunk = ids[start : start + width]
+            payloads = self.store.segment_many(
+                chunk, parallelism=self.parallelism, scope=self.scope
+            )
+            for segment_id in chunk:
+                yield segment_id, payloads[segment_id]
 
     def subcomputation(self, node_id: NodeId, run: Optional[int] = None) -> SubComputation:
         """Load the sub-computation stored at ``node_id`` of ``run``."""
@@ -370,7 +371,11 @@ class StoreQueryEngine:
         The per-run queries are independent (each touches only its run's
         indexes and segments), so an across-runs question parallelises at
         run granularity on top of whatever the shared segment cache
-        already holds.
+        already holds.  This pool is deliberately *not* the store's
+        shared decode pool: each per-run task ends up calling
+        ``segment_many``, which submits to the shared pool -- nesting
+        both levels on one pool could deadlock with every worker waiting
+        for a decode task that cannot be scheduled.
         """
         if self.parallelism > 1 and len(run_ids) > 1:
             with ThreadPoolExecutor(

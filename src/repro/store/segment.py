@@ -12,10 +12,14 @@ frame are produced by a pluggable :class:`~repro.store.codecs.SegmentCodec`
     +--------+------------+----------------------+------------------+
 
 The frame byte identifies the codec (``0x02`` = lz-compressed JSON, the
-v2/v3 encoding; ``0x03`` = columnar binary, the v4 default), so a mixed
-store decodes every segment correctly even before consulting the
-manifest's per-segment codec column.  ``raw length`` is the size of the
-uncompressed payload and feeds the manifest's compression accounting.
+v2/v3 encoding; ``0x03`` = columnar binary, the v4 default; ``0x04`` =
+zlib-compressed columnar binary, the v6 default), so a mixed store
+decodes every segment correctly even before consulting the manifest's
+per-segment codec column.  ``raw length`` is the size of the
+*uncompressed* payload and feeds the manifest's compression accounting;
+whether (and how) the body is compressed is the codec's business, via
+:meth:`~repro.store.codecs.SegmentCodec.compress_frame` /
+:meth:`~repro.store.codecs.SegmentCodec.decompress_frame`.
 """
 
 from __future__ import annotations
@@ -23,7 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.compression.lz import compress, decompress
 from repro.core.thunk import NodeId, SubComputation
 from repro.errors import StoreError
 
@@ -77,7 +80,7 @@ def encode_segment(
     """
     chosen: SegmentCodec = codec_by_name(codec if codec is not None else DEFAULT_CODEC)
     raw = chosen.encode_payload(list(nodes), list(edges))
-    body = compress(raw) if chosen.framed_lz else raw
+    body = chosen.compress_frame(raw)
     framed = (
         SEGMENT_MAGIC_PREFIX
         + bytes((chosen.frame_byte,))
@@ -104,14 +107,7 @@ def decode_segment(data: bytes) -> SegmentPayload:
         raise StoreError("not a provenance-store segment (bad magic)")
     chosen = codec_by_frame_byte(data[len(SEGMENT_MAGIC_PREFIX)])
     raw_length = int.from_bytes(data[len(SEGMENT_MAGIC_PREFIX) + 1 : _HEADER_SIZE], "little")
-    body = data[_HEADER_SIZE:]
-    if chosen.framed_lz:
-        try:
-            raw = decompress(body)
-        except ValueError as exc:
-            raise StoreError(f"corrupt segment payload: {exc}") from exc
-    else:
-        raw = body
+    raw = chosen.decompress_frame(data[_HEADER_SIZE:])
     if len(raw) != raw_length:
         raise StoreError(
             f"segment length mismatch: header says {raw_length} bytes, got {len(raw)}"

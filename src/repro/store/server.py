@@ -275,6 +275,8 @@ class StoreServer:
         Safe on a server whose serve loop never ran (an in-process-only
         server driven through :meth:`handle_request`): ``shutdown`` waits
         on an event only ``serve_forever`` sets, so it is skipped then.
+        Also shuts down the served store's shared decode pools; a later
+        in-process query still answers (sequentially).
         """
         if self._serving:
             self._tcp.shutdown()
@@ -282,6 +284,9 @@ class StoreServer:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        self.store.close()
+        if self._writer is not None:
+            self._writer.close()
 
     def refresh(self) -> dict:
         """Swap in a fresh snapshot of the store directory.
@@ -337,6 +342,12 @@ class StoreServer:
             self._store = fresh
             self._snapshot_token = token
             self._opened_at = time.time()
+        # Outside the refresh lock: shutting the superseded snapshot's
+        # decode pools waits for its in-flight decode tasks.  Queries
+        # that still hold the old handle keep working (sequentially);
+        # without this a follow-mode server would leak one pool per
+        # refresh that ran a parallel scan.
+        old.close()
         with self._counter_lock:
             self.refreshes += 1
         return {

@@ -10,10 +10,11 @@ store through :class:`repro.store.sink.StoreSink`; queries that only touch
 the index-selected subgraph are served by
 :class:`repro.store.query.StoreQueryEngine`.
 
-Store format 5 keeps the write path incremental end to end: segment
+Store format 6 keeps the write path incremental end to end: segment
 payloads go through a pluggable codec (:mod:`repro.store.codecs`; the
-columnar binary codec is the default, the JSON codec remains readable and
-writable), per-run indexes are loaded lazily and flushed as append-only
+zlib-compressed columnar ``binary-z`` codec is the default, the
+uncompressed binary and JSON codecs remain readable and writable),
+per-run indexes are loaded lazily and flushed as append-only
 **delta files** (O(epoch), not O(index)), and the flush commit itself is
 one framed record appended to ``segments.log`` (:mod:`repro.store.log`)
 -- the manifest is a periodic *checkpoint* replayed over on open, so a
@@ -21,9 +22,14 @@ flush no longer pays an O(#segments) manifest rewrite.  A cross-run page
 summary (``index/pages_runs.json``) lets ``*_across_runs`` queries skip
 runs without opening their indexes.  The read path is cached: decoded segments
 live in a byte-budgeted LRU (:mod:`repro.store.cache`) that can be shared
-across handles, merged index generations can be pinned resident, and
-:meth:`ProvenanceStore.segment_many` decodes cache misses on a thread
-pool for the query engine's parallel scans.
+across handles, cold misses are single-flight (concurrent queries
+missing the same segment collapse to one decode), merged index
+generations can be pinned resident, and
+:meth:`ProvenanceStore.segment_many` decodes cache misses concurrently --
+on one *shared, lazily created* thread pool per store (shut down by
+:meth:`ProvenanceStore.close`), escalating cold multi-segment sweeps to
+a shared process pool when the miss count and the machine justify paying
+the fork + pickle overhead (``decode_mode`` picks the strategy).
 
 Maintenance is run-scoped: :meth:`ProvenanceStore.compact` rewrites a
 run's segments **streaming, segment by segment** into fewer, denser ones
@@ -46,7 +52,7 @@ import os
 import re
 import threading
 from collections import defaultdict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -77,6 +83,7 @@ from repro.store.format import (
     STORE_FORMAT_VERSION,
     STORE_FORMAT_VERSION_V2,
     STORE_FORMAT_VERSION_V4,
+    STORE_FORMAT_VERSION_V5,
     RunInfo,
     SegmentInfo,
     StoreManifest,
@@ -96,6 +103,31 @@ _INDEX_DELTA_RE = re.compile(r"^delta-(\d{8})\.bin$")
 #: Scratch directory compaction spills per-batch edges into (inside the
 #: store, so a crash leaves it visible to the next maintenance sweep).
 _COMPACT_SPILL_DIR = "tmp-compact"
+
+#: Cold misses in one ``segment_many`` call below which ``decode_mode
+#: "auto"`` never escalates to the process pool: the fork + pickle
+#: round-trip only pays for itself on multi-segment sweeps.
+PROCESS_DECODE_THRESHOLD = 8
+
+
+def _decode_segment_group(paths: Sequence[str]) -> List[Tuple[int, SegmentPayload]]:
+    """Process-pool decode worker: read + decode one group of segment files.
+
+    Module-level so it pickles into the worker.  Returns ``(file bytes,
+    payload)`` per path; the parent handle does the cache admission and
+    read accounting, so the child needs no store state beyond the paths.
+    """
+    results: List[Tuple[int, SegmentPayload]] = []
+    for path in paths:
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError as exc:
+            # A StoreError crosses the process boundary as a store fault,
+            # not as pool breakage the parent would fall back from.
+            raise StoreError(f"segment file {os.path.basename(path)} is missing") from exc
+        results.append((len(data), decode_segment(data)))
+    return results
 
 
 def _utc_now_iso() -> str:
@@ -190,7 +222,16 @@ class ProvenanceStore:
 
     Attributes:
         default_codec: Codec name new segments are encoded with
-            (``"binary"`` unless changed; see :mod:`repro.store.codecs`).
+            (``"binary-z"`` unless changed; see :mod:`repro.store.codecs`).
+        decode_mode: How :meth:`segment_many` decodes a batch of cold
+            misses: ``"auto"`` (the default) uses the store's shared
+            thread pool and escalates to the shared process pool when the
+            miss count reaches :data:`PROCESS_DECODE_THRESHOLD` on a
+            multi-core machine; ``"thread"`` / ``"process"`` force one
+            strategy.  The process path sidesteps the GIL entirely (the
+            columnar decode is pure Python) at the price of one pickle
+            round-trip per decode group; a broken pool (fork or pickling
+            failure) permanently falls back to threads for the handle.
         index_full_rewrite: Benchmark/back-compat knob: when true, every
             flush folds the whole index instead of appending a delta --
             the v3 write-path cost profile.  Stores written this way stay
@@ -237,7 +278,7 @@ class ProvenanceStore:
         self._index_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._summary_lock = threading.Lock()
-        #: Format version of the manifest currently on disk; < 5 until the
+        #: Format version of the manifest currently on disk; < 6 until the
         #: first flush (or checkpoint) upgrades the layout in place.
         self._disk_version = manifest.version
         #: Log-append flushes between manifest checkpoints (v5); lower it
@@ -259,6 +300,16 @@ class ProvenanceStore:
         #: Whether MANIFEST.json exists on disk (False for a store being
         #: created; forces the first flush to checkpoint).
         self._manifest_on_disk = False
+        #: Decode strategy of :meth:`segment_many` ("auto"/"thread"/"process").
+        self.decode_mode = "auto"
+        #: Shared decode pools, created lazily on the first parallel read
+        #: and shut down by :meth:`close` (after which reads degrade to
+        #: the sequential path instead of erroring).
+        self._pool_lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._process_pool_broken = False
+        self._closed = False
         self._pages_runs: Optional[Dict[int, Set[int]]] = None
         self._pages_runs_covered: Set[int] = set()
         #: Runs the on-disk summary file covers (always complete runs).
@@ -290,9 +341,9 @@ class ProvenanceStore:
         segment_cache: Optional[SegmentCache] = None,
         index_pinner: Optional[IndexPinner] = None,
     ) -> "ProvenanceStore":
-        """Open an existing store directory (format version 2 through 5).
+        """Open an existing store directory (format version 2 through 6).
 
-        Opening reads the manifest checkpoint, then (format 5) replays the
+        Opening reads the manifest checkpoint, then (format 5+) replays the
         committed tail of ``segments.log`` on top of it -- each record
         appends the segments one flush sealed; a torn or invalid tail
         record stops the replay there, recovering exactly the flushes that
@@ -312,7 +363,10 @@ class ProvenanceStore:
         for attempt in range(attempts):
             store = cls(path, manifest, segment_cache=segment_cache, index_pinner=index_pinner)
             store._manifest_on_disk = True
-            if manifest.version < STORE_FORMAT_VERSION:
+            # Versions 5 and 6 share the segment-log layout, so both
+            # replay; comparing against the *current* version here would
+            # silently skip a v5 store's logged flushes.
+            if manifest.version < STORE_FORMAT_VERSION_V5:
                 return store
             if store._replay_segment_log() or attempt == attempts - 1:
                 # A persistent gap after retries still leaves a consistent
@@ -505,10 +559,12 @@ class ProvenanceStore:
         temp-file + atomic rename, so a crash mid-flush leaves the
         previous consistent generation in place.
 
-        Flushing always writes the version-5 layout; a store opened as
-        version 2, 3, or 4 is upgraded in place by its first flush (legacy
-        JSON indexes are folded into v4 base files; the v5 manifest
-        checkpoint and segment log appear alongside the v4 files).
+        Flushing always writes the version-6 layout; a store opened as
+        version 2 through 5 is upgraded in place by its first flush
+        (legacy JSON indexes are folded into v4 base files; the manifest
+        checkpoint and segment log appear alongside the v4 files; for a
+        v5 store the upgrade is just the version stamp -- the layouts are
+        identical).
         """
         if self._disk_version < STORE_FORMAT_VERSION_V4:
             # In-place upgrade: fold every run's legacy indexes into v4
@@ -973,20 +1029,33 @@ class ProvenanceStore:
     def segment(self, segment_id: int, scope: Optional[ReadScope] = None) -> SegmentPayload:
         """Load one segment through the byte-budgeted decoded-segment cache.
 
-        ``scope`` collects per-query read accounting (the server's
-        per-query stats); the store-wide :attr:`read_stats` is updated
-        either way.
+        Cold misses are single-flight: a concurrent reader already
+        decoding this segment is joined (blocking for its result) instead
+        of decoding the same bytes again.  ``scope`` collects per-query
+        read accounting (the server's per-query stats); the store-wide
+        :attr:`read_stats` is updated either way.
         """
-        cached = self.cache.get(self.cache_namespace, self.manifest_generation, segment_id)
-        if cached is not None:
+        handle = self.cache.begin_fill(
+            self.cache_namespace, self.manifest_generation, segment_id
+        )
+        if handle.status == "hit":
             if scope is not None:
                 scope.record_hit()
-            return cached
-        data = self._read_segment_file(segment_id)
-        payload = decode_segment(data)
+            return handle.payload
+        if handle.status == "waiter":
+            payload = handle.wait()
+            if scope is not None:
+                scope.record_hit()
+            return payload
+        try:
+            data = self._read_segment_file(segment_id)
+            payload = decode_segment(data)
+        except BaseException as exc:
+            handle.fail(exc)
+            raise
         if scope is not None:
             scope.record_miss(len(data))
-        self.cache.put(self.cache_namespace, self.manifest_generation, segment_id, payload)
+        handle.complete(payload)
         return payload
 
     def segment_many(
@@ -998,49 +1067,222 @@ class ProvenanceStore:
     ) -> Dict[int, SegmentPayload]:
         """Load many segments, decoding cache misses concurrently.
 
-        Cache lookups happen up front, then the misses are read + decoded
-        on a thread pool of ``parallelism`` workers (the pool overlaps
-        the file reads; the pure-Python decode itself holds the GIL, so
-        the win is I/O overlap -- see the ROADMAP's native-codec
-        follow-up) and admitted to the cache.  ``parallelism <= 1``, or a
-        single miss, degrades to the plain sequential path; pass
-        ``executor`` to reuse one pool across calls (the query engine's
-        chunked scans do).  Returns ``{segment_id: payload}`` -- **all**
-        requested payloads at once, so the caller's resident set is the
-        request size regardless of the cache budget; callers that scan
-        more than they can hold (the query engine) iterate bounded chunks
-        instead of passing the whole list here.
+        Single-flight claims happen up front: cached segments come back
+        immediately, misses another thread is already decoding are waited
+        for at the end, and the misses *this* call owns are decoded per
+        :attr:`decode_mode` -- stride-partitioned into ``parallelism``
+        groups, one task per group, on the store's shared thread pool
+        (created lazily, shut down by :meth:`close`) or, for cold
+        multi-segment sweeps on a multi-core machine, the shared process
+        pool, which sidesteps the GIL the pure-Python columnar decode
+        holds.  ``parallelism <= 1``, or a single miss, degrades to the
+        plain sequential path; pass ``executor`` to decode on an injected
+        pool instead of the store's own.  Returns ``{segment_id:
+        payload}`` -- **all** requested payloads at once, so the caller's
+        resident set is the request size regardless of the cache budget;
+        callers that scan more than they can hold (the query engine)
+        iterate bounded chunks instead of passing the whole list here.
         """
         wanted = list(dict.fromkeys(segment_ids))
         payloads: Dict[int, SegmentPayload] = {}
-        misses: List[int] = []
+        owned: List[Tuple[int, "FillHandle"]] = []
+        waiting: List[Tuple[int, "FillHandle"]] = []
+        hits = 0
         for segment_id in wanted:
-            cached = self.cache.get(self.cache_namespace, self.manifest_generation, segment_id)
-            if cached is not None:
-                payloads[segment_id] = cached
+            handle = self.cache.begin_fill(
+                self.cache_namespace, self.manifest_generation, segment_id
+            )
+            if handle.status == "hit":
+                payloads[segment_id] = handle.payload
+                hits += 1
+            elif handle.status == "waiter":
+                waiting.append((segment_id, handle))
             else:
-                misses.append(segment_id)
-        if scope is not None and len(payloads):
-            scope.record_hit(len(payloads))
+                owned.append((segment_id, handle))
+        if scope is not None and hits:
+            scope.record_hit(hits)
+        if owned:
+            misses = [segment_id for segment_id, _ in owned]
+            try:
+                decoded = self._decode_misses(misses, parallelism, executor)
+            except BaseException as exc:
+                for _, handle in owned:
+                    handle.fail(exc)
+                raise
+            for (segment_id, handle), (data_len, payload) in zip(owned, decoded):
+                if scope is not None:
+                    scope.record_miss(data_len)
+                handle.complete(payload)
+                payloads[segment_id] = payload
+        for segment_id, handle in waiting:
+            payloads[segment_id] = handle.wait()
+            if scope is not None:
+                scope.record_hit()
+        return payloads
+
+    def _decode_misses(
+        self,
+        misses: List[int],
+        parallelism: int,
+        executor: Optional[ThreadPoolExecutor],
+    ) -> List[Tuple[int, SegmentPayload]]:
+        """Read + decode ``misses``; returns ``(file bytes, payload)`` each.
+
+        The concurrency bound is exactly ``parallelism`` regardless of
+        pool size: misses are stride-partitioned into that many groups,
+        one task per group (which also amortizes the process pool's
+        pickle round-trip over the group).
+        """
 
         def load(segment_id: int) -> Tuple[int, SegmentPayload]:
             data = self._read_segment_file(segment_id)
-            payload = decode_segment(data)
-            if scope is not None:
-                scope.record_miss(len(data))
-            return len(data), payload
+            return len(data), decode_segment(data)
+
+        def load_group(group: List[int]) -> List[Tuple[int, SegmentPayload]]:
+            return [load(segment_id) for segment_id in group]
 
         if executor is not None and len(misses) > 1:
-            decoded = list(executor.map(load, misses))
-        elif parallelism > 1 and len(misses) > 1:
-            with ThreadPoolExecutor(max_workers=min(parallelism, len(misses))) as pool:
-                decoded = list(pool.map(load, misses))
-        else:
-            decoded = [load(segment_id) for segment_id in misses]
-        for segment_id, (_, payload) in zip(misses, decoded):
-            self.cache.put(self.cache_namespace, self.manifest_generation, segment_id, payload)
-            payloads[segment_id] = payload
-        return payloads
+            return list(executor.map(load, misses))
+        if parallelism <= 1 or len(misses) <= 1:
+            return load_group(misses)
+        workers = min(parallelism, len(misses))
+        groups = [misses[offset::workers] for offset in range(workers)]
+        results = (
+            self._decode_groups_on_processes(groups)
+            if self._use_process_decode(len(misses))
+            else None
+        )
+        if results is None:
+            pool = self._shared_executor()
+            if pool is None:  # closed handle: stay correct, go sequential
+                return load_group(misses)
+            futures = [pool.submit(load_group, group) for group in groups]
+            results = [future.result() for future in futures]
+        by_id = {
+            segment_id: item
+            for group, result in zip(groups, results)
+            for segment_id, item in zip(group, result)
+        }
+        return [by_id[segment_id] for segment_id in misses]
+
+    def _use_process_decode(self, miss_count: int) -> bool:
+        if self.decode_mode == "thread" or self._process_pool_broken:
+            return False
+        if self.decode_mode == "process":
+            return True
+        return miss_count >= PROCESS_DECODE_THRESHOLD and (os.cpu_count() or 1) >= 2
+
+    def _decode_groups_on_processes(
+        self, groups: List[List[int]]
+    ) -> Optional[List[List[Tuple[int, SegmentPayload]]]]:
+        """Decode groups on the shared process pool; ``None`` = fall back.
+
+        The children read the segment files themselves (only paths cross
+        the boundary going in), so the parent accounts the store-wide
+        read stats from the returned byte counts.  Pool breakage -- fork
+        failure, a killed worker, unpicklable payloads -- marks the pool
+        broken for the life of the handle and falls back to threads;
+        store faults (:class:`StoreError`) propagate.
+        """
+        pool = self._shared_process_pool()
+        if pool is None:
+            return None
+        paths = [
+            [
+                os.path.join(
+                    self.path, SEGMENTS_DIR, self.manifest.segment_info(segment_id).file_name
+                )
+                for segment_id in group
+            ]
+            for group in groups
+        ]
+        try:
+            futures = [pool.submit(_decode_segment_group, group_paths) for group_paths in paths]
+            results = [future.result() for future in futures]
+        except StoreError:
+            raise
+        except BrokenExecutor:
+            self._mark_process_pool_broken()
+            return None
+        except Exception:
+            # Submission/transport failures (pickling, a dying
+            # interpreter, OS limits) -- not store faults.
+            self._mark_process_pool_broken()
+            return None
+        with self._stats_lock:
+            for result in results:
+                for data_len, _ in result:
+                    self.read_stats.segments_read += 1
+                    self.read_stats.bytes_read += data_len
+        return results
+
+    def _mark_process_pool_broken(self) -> None:
+        with self._pool_lock:
+            self._process_pool_broken = True
+            pool, self._process_pool = self._process_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def _shared_executor(self) -> Optional[ThreadPoolExecutor]:
+        """The store's lazily created decode thread pool (None when closed).
+
+        Decode tasks never submit to (or wait on) this pool themselves,
+        so sizing it above any single call's ``parallelism`` cannot
+        deadlock -- it just lets concurrent queries overlap.
+        """
+        with self._pool_lock:
+            if self._closed:
+                return None
+            if self._executor is None:
+                workers = max(4, min(16, 2 * (os.cpu_count() or 1)))
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="store-decode"
+                )
+            return self._executor
+
+    def _shared_process_pool(self) -> Optional[ProcessPoolExecutor]:
+        with self._pool_lock:
+            if self._closed or self._process_pool_broken:
+                return None
+            if self._process_pool is None:
+                try:
+                    import multiprocessing
+
+                    try:
+                        context = multiprocessing.get_context("fork")
+                    except ValueError:  # platforms without fork
+                        context = multiprocessing.get_context()
+                    self._process_pool = ProcessPoolExecutor(
+                        max_workers=max(2, min(8, os.cpu_count() or 1)),
+                        mp_context=context,
+                    )
+                except (OSError, ValueError, NotImplementedError):
+                    self._process_pool_broken = True
+                    return None
+            return self._process_pool
+
+    def close(self) -> None:
+        """Shut down the store's shared decode pools (idempotent).
+
+        The handle stays usable for reads and writes afterwards -- a
+        parallel read on a closed handle just decodes sequentially
+        instead of resurrecting a pool.  Injected executors are the
+        caller's to shut down.
+        """
+        with self._pool_lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+            process_pool, self._process_pool = self._process_pool, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        if process_pool is not None:
+            process_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ProvenanceStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def _segment_uncached(self, segment_id: int) -> SegmentPayload:
         """Decode one segment without touching the cache.
@@ -1542,8 +1784,15 @@ class ProvenanceStore:
         raw = sum(segment.raw_bytes for segment in manifest.segments)
         stored = sum(segment.stored_bytes for segment in manifest.segments)
         codecs: Dict[str, int] = {}
+        codec_bytes: Dict[str, Dict[str, int]] = {}
         for segment in manifest.segments:
             codecs[segment.codec] = codecs.get(segment.codec, 0) + 1
+            per = codec_bytes.setdefault(
+                segment.codec, {"segments": 0, "raw_bytes": 0, "stored_bytes": 0}
+            )
+            per["segments"] += 1
+            per["raw_bytes"] += segment.raw_bytes
+            per["stored_bytes"] += segment.stored_bytes
         for run_id in self.run_ids():
             self.indexes_for(run_id)  # info is the diagnostic full view
         loaded = list(self.run_indexes.values())
@@ -1556,6 +1805,7 @@ class ProvenanceStore:
             "format_version": manifest.version,
             "segments": manifest.segment_count,
             "codecs": codecs,
+            "codec_bytes": codec_bytes,
             "nodes": manifest.node_count,
             "edges": manifest.edge_count,
             "threads": threads,

@@ -2,10 +2,12 @@
 
 Random segments -- arbitrary sub-computations (clocks, page sets, thunks,
 branch records, sync metadata) plus arbitrary edges of every kind -- must
-survive a round trip through **both** codecs with identical content: the
-binary codec is only allowed to change the bytes, never the graph.  A
-second property checks the equivalence end to end through a store: the
-same CPG ingested once per codec answers every query identically.
+survive a round trip through **every** registered codec with identical
+content: a codec is only allowed to change the bytes, never the graph.
+The compressed columnar codec (``binary-z``) additionally round-trips at
+every zlib level and rejects corrupt frame bodies.  A final property
+checks the equivalence end to end through a store: the same CPG ingested
+once per codec answers every query identically.
 """
 
 import os
@@ -165,6 +167,44 @@ def test_codecs_round_trip_identically(data):
     original = SegmentPayload.build(nodes, edges)
     assert canonical_nodes(reference) == canonical_nodes(original)
     assert canonical_edges(reference) == canonical_edges(original)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data(), level=st.integers(min_value=1, max_value=9))
+def test_compressed_codec_round_trips_at_every_level(data, level):
+    """binary-z is binary + zlib: same graph back at every compress level."""
+    from repro.store.codecs import ZlibBinarySegmentCodec
+    from repro.store.segment import SegmentPayload
+
+    nodes = data.draw(subcomputations())
+    edges = data.draw(edges_over(nodes))
+    codec = ZlibBinarySegmentCodec(compress_level=level)
+    raw = codec.encode_payload(list(nodes), list(edges))
+    assert codec.decompress_frame(codec.compress_frame(raw)) == raw
+    framed, raw_bytes = encode_segment(nodes, edges, codec="binary-z")
+    assert raw_bytes == len(raw)  # level never changes the raw payload
+    payload = decode_segment(framed)
+    original = SegmentPayload.build(nodes, edges)
+    assert canonical_nodes(payload) == canonical_nodes(original)
+    assert canonical_edges(payload) == canonical_edges(original)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data(), cut=st.integers(min_value=1, max_value=64))
+def test_compressed_codec_rejects_corrupt_bodies(data, cut):
+    """A truncated or garbled binary-z frame fails loudly, never silently."""
+    import pytest
+
+    from repro.errors import StoreError
+
+    nodes = data.draw(subcomputations())
+    framed, _ = encode_segment(nodes, [], codec="binary-z")
+    truncated = framed[: max(13, len(framed) - cut)]
+    with pytest.raises(StoreError):
+        decode_segment(truncated)
+    garbled = framed[:13] + bytes(reversed(framed[13:]))
+    with pytest.raises(StoreError):
+        decode_segment(garbled)
 
 
 @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])

@@ -21,6 +21,7 @@ from repro.core.thunk import SubComputation
 from repro.core.vector_clock import VectorClock
 from repro.errors import StoreError
 from repro.store import (
+    DEFAULT_CODEC,
     STORE_FORMAT_VERSION,
     ProvenanceStore,
     StoreIndexes,
@@ -186,7 +187,7 @@ class TestV3BackCompat:
         assert any(name.startswith("base-") for name in names)
         # The compacted segments were transcoded to the default codec.
         reopened = ProvenanceStore.open(store_dir)
-        assert all(info.codec == "binary" for info in reopened.manifest.segments)
+        assert all(info.codec == DEFAULT_CODEC for info in reopened.manifest.segments)
 
     def test_v3_store_with_torn_index_rebuilds_lazily(self, v3_store):
         cpg, store_dir = v3_store
@@ -207,7 +208,7 @@ class TestCodecs:
     def test_frame_byte_identifies_codec(self):
         cpg = build_example_cpg()
         nodes = [cpg.subcomputation(node_id) for node_id in cpg.topological_order()]
-        for codec in ("json", "binary"):
+        for codec in ("json", "binary", "binary-z"):
             framed, _ = encode_segment(nodes, [], codec=codec)
             assert segment_codec_name(framed) == codec
             assert set(decode_segment(framed).nodes) == {node.node_id for node in nodes}
@@ -564,11 +565,15 @@ class TestIntrospection:
         store_dir = str(tmp_path / "stream")
         store, sink = stream_run(store_dir, epochs=4)
         summary = store.info()
-        assert summary["codecs"] == {"binary": summary["segments"]}
+        assert summary["codecs"] == {DEFAULT_CODEC: summary["segments"]}
+        per_codec = summary["codec_bytes"][DEFAULT_CODEC]
+        assert per_codec["segments"] == summary["segments"]
+        assert per_codec["stored_bytes"] == summary["stored_bytes"]
+        assert per_codec["stored_bytes"] > 0 and per_codec["raw_bytes"] > 0
         assert summary["index_delta_files"] > 0
         assert summary["index_delta_bytes"] > 0
         run = summary["runs"][0]
-        assert run["codecs"] == {"binary": run["segments"]}
+        assert run["codecs"] == {DEFAULT_CODEC: run["segments"]}
         assert run["index_delta_files"] == len(
             store.manifest.run_info(sink.run_id).index_deltas
         )

@@ -1,0 +1,370 @@
+"""Store format 6: compressed columnar codec + parallel decode + single-flight.
+
+Covers the v6 read path on top of the existing store suites: the
+``binary-z`` default codec compresses on disk but answers identically,
+v5 (and v4) stores open unchanged -- including the segment-log replay a
+naive version gate would have skipped -- and transcode only on compact,
+cold misses are single-flight (a stampede of readers decodes each
+segment exactly once), the store's shared decode pools are created
+lazily and shut down by ``close()`` (after which reads degrade to
+sequential instead of failing), and the thread and process decode paths
+return identical payloads.
+"""
+
+import json
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.cpg import EdgeKind
+from repro.core.thunk import SubComputation
+from repro.core.vector_clock import VectorClock
+from repro.errors import StoreError
+from repro.store import (
+    DEFAULT_CODEC,
+    STORE_FORMAT_VERSION,
+    STORE_FORMAT_VERSION_V5,
+    ProvenanceStore,
+    SegmentCache,
+    StoreQueryEngine,
+    StoreSink,
+)
+from repro.store.format import MANIFEST_NAME
+
+
+def make_node(tid, index, reads=(), writes=()):
+    node = SubComputation(tid=tid, index=index, clock=VectorClock({tid: index + 1}))
+    node.read_set.update(reads)
+    node.write_set.update(writes)
+    return node
+
+
+def build_store(store_dir, epochs=6, nodes_per_epoch=4, finish=True):
+    """Stream a synthetic run, one flushed epoch at a time."""
+    store = ProvenanceStore.open_or_create(store_dir)
+    sink = StoreSink(
+        store, segment_nodes=nodes_per_epoch, flush_every_epochs=1, workload="synthetic"
+    )
+    for position in range(epochs * nodes_per_epoch):
+        node = make_node(1, position, reads={position % 7}, writes={100 + position})
+        edges = []
+        if position:
+            edges.append(((1, position - 1), (1, position), EdgeKind.CONTROL, {}))
+        sink.subcomputation_published(node, edges)
+    if finish:
+        sink.finish()
+    return store, sink
+
+
+def downgrade_manifest_version(store_dir, version):
+    manifest_path = os.path.join(store_dir, MANIFEST_NAME)
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    document["version"] = version
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True)
+
+
+# ---------------------------------------------------------------------- #
+# The compressed default codec
+# ---------------------------------------------------------------------- #
+
+
+class TestCompressedDefault:
+    def test_new_stores_write_compressed_segments(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        store, _ = build_store(store_dir)
+        summary = store.info()
+        assert summary["format_version"] == STORE_FORMAT_VERSION
+        assert set(summary["codecs"]) == {"binary-z"}
+        per = summary["codec_bytes"]["binary-z"]
+        assert per["segments"] == summary["segments"]
+        # The whole point: compressed on disk, by a real margin.
+        assert per["stored_bytes"] < per["raw_bytes"]
+
+    def test_compressed_store_answers_identically_to_uncompressed(self, tmp_path):
+        answers = {}
+        for codec in ("binary", "binary-z"):
+            store_dir = str(tmp_path / codec)
+            store = ProvenanceStore.open_or_create(store_dir)
+            run = store.new_run(workload=codec)
+            nodes = [make_node(1, i, reads={i % 5}, writes={50 + i}) for i in range(12)]
+            edges = [
+                ((1, i - 1), (1, i), EdgeKind.CONTROL, {}) for i in range(1, 12)
+            ]
+            store.append_segment(nodes, edges, run=run, codec=codec)
+            store.flush()
+            engine = StoreQueryEngine(ProvenanceStore.open(store_dir))
+            answers[codec] = engine.backward_slice((1, 11), run=1)
+        assert answers["binary"] == answers["binary-z"]
+
+
+# ---------------------------------------------------------------------- #
+# Back-compat: v5 and v4 stores under the v6 software
+# ---------------------------------------------------------------------- #
+
+
+class TestV5BackCompat:
+    def test_v5_store_opens_with_log_replay(self, tmp_path):
+        # The critical gate: an unfinished v5 store keeps committed epochs
+        # only in segments.log; opening it under v6 must still replay
+        # them (a naive `version < current` replay gate would not).
+        store_dir = str(tmp_path / "v5-store")
+        store, sink = build_store(store_dir, epochs=4, finish=False)
+        assert store.log_state()["uncheckpointed_records"] > 0
+        downgrade_manifest_version(store_dir, STORE_FORMAT_VERSION_V5)
+        reopened = ProvenanceStore.open(store_dir)
+        assert reopened.manifest.version == STORE_FORMAT_VERSION_V5
+        assert reopened.manifest.node_count == 16
+        assert StoreQueryEngine(reopened).backward_slice((1, 15), run=sink.run_id)
+
+    def test_v5_store_reads_never_rewrite_a_byte(self, tmp_path):
+        store_dir = str(tmp_path / "v5-store")
+        build_store(store_dir, epochs=3)
+        downgrade_manifest_version(store_dir, STORE_FORMAT_VERSION_V5)
+        before = {}
+        for root, _, names in os.walk(store_dir):
+            for name in names:
+                path = os.path.join(root, name)
+                before[path] = os.path.getsize(path)
+        store = ProvenanceStore.open(store_dir)
+        StoreQueryEngine(store).backward_slice((1, 11), run=1)
+        after = {}
+        for root, _, names in os.walk(store_dir):
+            for name in names:
+                path = os.path.join(root, name)
+                after[path] = os.path.getsize(path)
+        assert before == after
+
+    def test_compact_transcodes_old_codecs_to_compressed(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        store = ProvenanceStore.open_or_create(store_dir)
+        run = store.new_run(workload="old")
+        for start in (0, 4, 8):
+            store.append_segment(
+                [make_node(1, start + i) for i in range(4)], [], run=run, codec="binary"
+            )
+        store.flush()
+        assert set(info.codec for info in store.manifest.segments) == {"binary"}
+        stored_before = sum(info.stored_bytes for info in store.manifest.segments)
+        store.compact(segment_nodes=64)
+        reopened = ProvenanceStore.open(store_dir)
+        assert all(info.codec == DEFAULT_CODEC for info in reopened.manifest.segments)
+        stored_after = sum(info.stored_bytes for info in reopened.manifest.segments)
+        assert stored_after < stored_before
+        assert StoreQueryEngine(reopened).backward_slice((1, 11), run=1)
+
+
+# ---------------------------------------------------------------------- #
+# Single-flight cache fills
+# ---------------------------------------------------------------------- #
+
+
+class TestSingleFlight:
+    def test_cold_miss_stampede_decodes_each_segment_once(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store(store_dir, epochs=8)
+        store = ProvenanceStore.open(store_dir)
+        segment_ids = [info.segment_id for info in store.manifest.segments]
+        assert len(segment_ids) >= 8
+        threads = 16
+        barrier = threading.Barrier(threads)
+        results = [None] * threads
+        errors = []
+
+        def hammer(slot):
+            try:
+                barrier.wait()
+                loaded = {}
+                for segment_id in segment_ids:
+                    loaded[segment_id] = store.segment(segment_id)
+                results[slot] = loaded
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=hammer, args=(slot,)) for slot in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors
+        # Exactly one read+decode per segment across all 16 threads.
+        assert store.read_stats.segments_read == len(segment_ids)
+        assert store.cache.stats.misses == len(segment_ids)
+        assert store.cache.stats.coalesced > 0
+        reference = results[0]
+        for loaded in results[1:]:
+            assert set(loaded) == set(reference)
+            for segment_id in reference:
+                assert loaded[segment_id] is reference[segment_id]
+        store.close()
+
+    def test_segment_many_stampede_decodes_each_segment_once(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store(store_dir, epochs=8)
+        store = ProvenanceStore.open(store_dir)
+        segment_ids = [info.segment_id for info in store.manifest.segments]
+        threads = 12
+        barrier = threading.Barrier(threads)
+
+        def sweep(_):
+            barrier.wait()
+            return store.segment_many(segment_ids, parallelism=4)
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            sweeps = list(pool.map(sweep, range(threads)))
+        assert store.read_stats.segments_read == len(segment_ids)
+        for swept in sweeps:
+            assert set(swept) == set(segment_ids)
+        store.close()
+
+    def test_waiters_see_the_owners_error(self):
+        cache = SegmentCache(max_bytes=1 << 20)
+        owner = cache.begin_fill("ns", 1, 7)
+        assert owner.status == "owner"
+        waiter = cache.begin_fill("ns", 1, 7)
+        assert waiter.status == "waiter"
+        boom = StoreError("decode failed")
+        owner.fail(boom)
+        with pytest.raises(StoreError, match="decode failed"):
+            waiter.wait()
+        # The failed fill is gone: the next reader retries from scratch.
+        assert cache.begin_fill("ns", 1, 7).status == "owner"
+
+    def test_invalidation_racing_a_fill_skips_admission(self):
+        cache = SegmentCache(max_bytes=1 << 20)
+        owner = cache.begin_fill("ns", 1, 7)
+        waiter = cache.begin_fill("ns", 1, 7)
+        cache.invalidate("ns")  # compact/gc while the decode is in flight
+        payload = object()
+        owner.complete(payload)
+        # The waiter still gets the bytes it asked for (segment ids are
+        # never reused, so they are not stale) ...
+        assert waiter.wait(timeout=5) is payload
+        # ... but the dead generation was not admitted to the cache.
+        assert cache.get("ns", 1, 7) is None
+
+    def test_fill_wait_times_out_loudly(self):
+        cache = SegmentCache(max_bytes=1 << 20)
+        cache.begin_fill("ns", 1, 7)  # owner that never completes
+        waiter = cache.begin_fill("ns", 1, 7)
+        with pytest.raises(StoreError, match="timed out"):
+            waiter.wait(timeout=0.05)
+
+
+# ---------------------------------------------------------------------- #
+# Shared decode pools and close()
+# ---------------------------------------------------------------------- #
+
+
+class TestDecodePools:
+    def test_executor_is_lazy_and_shared(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store(store_dir, epochs=4)
+        store = ProvenanceStore.open(store_dir)
+        segment_ids = [info.segment_id for info in store.manifest.segments]
+        assert store._executor is None  # nothing parallel happened yet
+        store.segment_many(segment_ids, parallelism=4)
+        first = store._executor
+        assert first is not None
+        store.cache.invalidate(store.cache_namespace)
+        store.segment_many(segment_ids, parallelism=4)
+        assert store._executor is first  # reused, not a per-call pool
+        store.close()
+
+    def test_injected_executor_is_still_honored(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store(store_dir, epochs=4)
+        store = ProvenanceStore.open(store_dir)
+        segment_ids = [info.segment_id for info in store.manifest.segments]
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            payloads = store.segment_many(segment_ids, parallelism=4, executor=pool)
+        assert set(payloads) == set(segment_ids)
+        assert store._executor is None  # the store never built its own
+        store.close()
+
+    def test_close_shuts_pools_and_reads_degrade_to_sequential(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store(store_dir, epochs=4)
+        store = ProvenanceStore.open(store_dir)
+        segment_ids = [info.segment_id for info in store.manifest.segments]
+        store.segment_many(segment_ids, parallelism=4)
+        store.close()
+        assert store._executor is None
+        store.cache.invalidate(store.cache_namespace)
+        payloads = store.segment_many(segment_ids, parallelism=4)
+        assert set(payloads) == set(segment_ids)
+        assert store._executor is None  # closed stores never resurrect pools
+        store.close()  # idempotent
+
+    def test_context_manager_closes(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store(store_dir, epochs=4)
+        with ProvenanceStore.open(store_dir) as store:
+            segment_ids = [info.segment_id for info in store.manifest.segments]
+            store.segment_many(segment_ids, parallelism=4)
+            assert store._executor is not None
+        assert store._executor is None
+
+    def test_thread_and_process_decode_agree(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store(store_dir, epochs=8)
+        segment_ids = [
+            info.segment_id
+            for info in ProvenanceStore.open(store_dir).manifest.segments
+        ]
+
+        def canonical(payloads):
+            return {
+                segment_id: (
+                    sorted(payload.nodes),
+                    sorted(payload.edges, key=repr),
+                )
+                for segment_id, payload in payloads.items()
+            }
+
+        by_mode = {}
+        for mode in ("thread", "process"):
+            store = ProvenanceStore.open(store_dir)
+            store.decode_mode = mode
+            by_mode[mode] = canonical(store.segment_many(segment_ids, parallelism=4))
+            assert store.read_stats.segments_read == len(segment_ids)
+            store.close()
+        assert by_mode["thread"] == by_mode["process"]
+
+    def test_broken_process_pool_falls_back_to_threads(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store(store_dir, epochs=8)
+        store = ProvenanceStore.open(store_dir)
+        store.decode_mode = "process"
+        store._process_pool_broken = True  # as if a worker died earlier
+        segment_ids = [info.segment_id for info in store.manifest.segments]
+        payloads = store.segment_many(segment_ids, parallelism=4)
+        assert set(payloads) == set(segment_ids)
+        assert store._process_pool is None
+        store.close()
+
+    def test_missing_segment_file_is_a_store_error_in_every_mode(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        build_store(store_dir, epochs=4)
+        for mode in ("thread", "process"):
+            store = ProvenanceStore.open(store_dir)
+            store.decode_mode = mode
+            segment_ids = [info.segment_id for info in store.manifest.segments]
+            victim = store.manifest.segment_info(segment_ids[0]).file_name
+            victim_path = os.path.join(store_dir, "segments", victim)
+            blob = open(victim_path, "rb").read()
+            os.remove(victim_path)
+            try:
+                with pytest.raises(StoreError, match="missing"):
+                    store.segment_many(segment_ids, parallelism=4)
+                # The pool was not condemned for a store fault.
+                assert not store._process_pool_broken
+            finally:
+                with open(victim_path, "wb") as handle:
+                    handle.write(blob)
+                store.close()
