@@ -2,7 +2,7 @@
 
 The persistent store exists so post-run provenance queries (the paper's
 case studies) do not need the whole CPG in memory, and so ingest overhead
-stays bounded as runs grow.  Eight scenarios keep those claims honest:
+stays bounded as runs grow.  Nine scenarios keep those claims honest:
 
 * **queries** -- backward slices, page lineage, and taint propagation,
   comparing a full serialized-CPG reload against the
@@ -44,7 +44,13 @@ stays bounded as runs grow.  Eight scenarios keep those claims honest:
   bit over half the decoded working set): one server thrashes, the
   sharded configs keep their partition warm, and the aggregate QPS and
   p99 under concurrent clients show it (results asserted identical to
-  the single-store engine, merge order included).
+  the single-store engine, merge order included);
+* **scrub_throughput** -- the deep integrity pass
+  (:func:`repro.store.integrity.scrub`) over the whole store, reporting
+  verified MB/s, plus the same warm repeated query timed alone and again
+  with a scrub looping next to it: scrub reads files directly rather
+  than through the decoded-segment cache, so it must add zero cache
+  misses and leave warm query latency within 1.5x of baseline.
 
 Every scenario appends its numbers to
 ``benchmarks/results/BENCH_store.json`` so the perf trajectory is tracked
@@ -57,6 +63,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from typing import Callable, Dict, List, Tuple
 
@@ -71,6 +78,7 @@ from repro.store import (
     SegmentCache,
     StoreQueryEngine,
     StoreSink,
+    scrub,
 )
 from repro.store.segment import decode_segment, encode_segment
 
@@ -790,6 +798,76 @@ def bench_cluster_scatter_gather(
 
 
 # ---------------------------------------------------------------------- #
+# Scenario: scrub throughput next to warm readers
+# ---------------------------------------------------------------------- #
+
+
+def bench_scrub_throughput(
+    store_dir: str, cpg: ConcurrentProvenanceGraph, repeats: int = REPEATS
+) -> dict:
+    """Verified MB/s of a deep scrub, and what it costs a warm reader.
+
+    A scrub that evicted the working set (or raced readers) would make
+    "run it next to live traffic" a lie, so the interesting number is
+    not just the scan rate: the same warm repeated query is timed alone
+    and again with an unthrottled scrub looping concurrently, and the
+    decoded-segment cache's miss counter is read across the scrub.
+    Scrub streams the files directly, so the misses must not move and
+    the latency must stay within 1.5x.
+    """
+    origin, pages = pick_targets(cpg)
+    cache = SegmentCache()
+    pinner = IndexPinner()
+    store = ProvenanceStore.open(store_dir, segment_cache=cache, index_pinner=pinner)
+    try:
+        engine = StoreQueryEngine(store)
+
+        def query():
+            return (engine.backward_slice(origin), engine.lineage_of_pages(pages))
+
+        baseline = query()  # warms the cache
+        warm_seconds = best_of(query, repeats)
+
+        first = scrub(store)
+        assert first["ok"], f"scrub found damage in a freshly-built store: {first}"
+        misses_before = cache.stats.misses
+
+        stop = threading.Event()
+        passes = [1]
+
+        def scrub_loop():
+            while not stop.is_set():
+                report = scrub(store)
+                assert report["ok"]
+                passes[0] += 1
+
+        scrubber = threading.Thread(target=scrub_loop)
+        scrubber.start()
+        try:
+            during_seconds = best_of(query, repeats)
+        finally:
+            stop.set()
+            scrubber.join()
+        assert query() == baseline, "a concurrent scrub changed a query answer"
+        return {
+            "mb_per_s": first["mb_per_s"],
+            "bytes_verified": first["bytes_verified"],
+            "files_scanned": first["files_scanned"],
+            "segments_verified": first["segments"]["verified"],
+            "warm_ms": warm_seconds * 1e3,
+            "warm_during_scrub_ms": during_seconds * 1e3,
+            "latency_ratio": (
+                during_seconds / warm_seconds if warm_seconds else float("inf")
+            ),
+            "cache_misses_added_by_scrub": cache.stats.misses - misses_before,
+            "scrub_passes": passes[0],
+            "repeats": repeats,
+        }
+    finally:
+        store.close()
+
+
+# ---------------------------------------------------------------------- #
 # pytest entry points
 # ---------------------------------------------------------------------- #
 
@@ -1022,6 +1100,33 @@ def test_cluster_scatter_gather_scales_with_aggregate_cache(benchmark, tmp_path)
     assert results["configs"]["shards_2"]["qps"] > results["configs"]["single"]["qps"]
 
 
+def test_scrub_throughput_leaves_warm_readers_alone(benchmark, tmp_path):
+    """Acceptance: a concurrent scrub costs warm queries < 1.5x latency."""
+    from benchmarks.conftest import inspector_run
+
+    cpg = inspector_run(WORKLOAD, THREADS).cpg
+    store_dir, _ = prepare(str(tmp_path), cpg)
+    results = benchmark.pedantic(
+        lambda: bench_scrub_throughput(store_dir, cpg), rounds=1, iterations=1
+    )
+    results["smoke"] = False
+    path = update_bench_json("scrub_throughput", results)
+    print(
+        f"scrub: {results['mb_per_s']:.1f} MB/s over {results['files_scanned']} file(s) "
+        f"({results['bytes_verified']} bytes); warm query {results['warm_ms']:.2f} ms alone, "
+        f"{results['warm_during_scrub_ms']:.2f} ms beside {results['scrub_passes']} "
+        f"scrub pass(es) ({results['latency_ratio']:.2f}x) [written to {path}]"
+    )
+    assert results["cache_misses_added_by_scrub"] == 0, (
+        "scrub went through the decoded-segment cache and disturbed the working set"
+    )
+    # Small absolute slack so a sub-ms baseline cannot flake the ratio.
+    assert results["warm_during_scrub_ms"] <= 1.5 * results["warm_ms"] + 0.5, (
+        f"warm query latency rose {results['latency_ratio']:.2f}x during a scrub "
+        f"(acceptance bar: 1.5x)"
+    )
+
+
 def test_indexed_slice_touches_a_strict_segment_subset(benchmark, tmp_path):
     """Acceptance: a slice decodes fewer segments than the store holds."""
     from benchmarks.conftest import inspector_run
@@ -1118,7 +1223,12 @@ def main(argv=None) -> None:
             tmp, queries_per_thread=15 if args.smoke else 40
         )
         cluster["smoke"] = args.smoke
-        path = update_bench_json("cluster_scatter_gather", cluster)
+        update_bench_json("cluster_scatter_gather", cluster)
+        scrubbed = bench_scrub_throughput(
+            store_dir, cpg, repeats=2 if args.smoke else REPEATS
+        )
+        scrubbed["smoke"] = args.smoke
+        path = update_bench_json("scrub_throughput", scrubbed)
     print("\n".join(report_lines(rows)))
     print(
         f"codec decode: json {decode['json']['decode_ms']:.2f} ms, "
@@ -1173,6 +1283,13 @@ def main(argv=None) -> None:
         f"best sharded {cluster['speedup_best_vs_single']:.1f}x "
         f"over one server at equal per-server cache"
     )
+    print(
+        f"scrub: {scrubbed['mb_per_s']:.1f} MB/s; warm query "
+        f"{scrubbed['warm_ms']:.2f} ms alone, "
+        f"{scrubbed['warm_during_scrub_ms']:.2f} ms during a scrub "
+        f"({scrubbed['latency_ratio']:.2f}x, "
+        f"{scrubbed['cache_misses_added_by_scrub']} cache miss(es) added)"
+    )
     if args.smoke:
         # CI regression gates: absolute comparisons with wide margins
         # (locally ~4x, ~4x, and >10x), so scheduler noise cannot flake
@@ -1207,6 +1324,13 @@ def main(argv=None) -> None:
         assert cluster["speedup_best_vs_single"] >= 2.0, (
             "sharded scatter-gather lost its aggregate-cache advantage "
             f"({cluster['speedup_best_vs_single']:.2f}x, acceptance bar 2x)"
+        )
+        assert scrubbed["cache_misses_added_by_scrub"] == 0, (
+            "scrub disturbed the warm decoded-segment cache"
+        )
+        assert scrubbed["warm_during_scrub_ms"] <= 1.5 * scrubbed["warm_ms"] + 0.5, (
+            f"warm query latency rose {scrubbed['latency_ratio']:.2f}x during a "
+            f"scrub (acceptance bar: 1.5x)"
         )
     print(f"[written to {path}]")
 

@@ -78,7 +78,49 @@ class ProvenanceError(InspectorError):
 
 class StoreError(ProvenanceError):
     """Errors raised by the persistent provenance store (corrupt segments,
-    missing manifests, or queries against nodes the store never ingested)."""
+    missing manifests, or queries against nodes the store never ingested).
+
+    Attributes:
+        code: Stable machine-readable error code a store server puts in its
+            error replies, so clients can branch on the *kind* of failure
+            without string matching.  ``"bad_request"`` covers the generic
+            case (unknown runs, malformed parameters); subclasses override.
+    """
+
+    code: str = "bad_request"
+
+
+class CorruptSegmentError(StoreError):
+    """A segment's bytes failed an integrity check (or were already
+    quarantined for failing one).
+
+    Raised by the store's read path when a segment frame's checksum does
+    not match, the file is missing or truncated, or the segment is marked
+    quarantined in the manifest.  Queries that can answer without the
+    segment catch this and degrade (reporting the segment through their
+    :class:`~repro.store.cache.ReadScope`); queries that *need* it let it
+    propagate.
+
+    Attributes:
+        segment_id: The damaged segment (``None`` when unknown).
+        quarantined: Whether the segment was already quarantined before
+            this access (vs. freshly detected corruption).
+    """
+
+    def __init__(self, message: str, segment_id=None, quarantined: bool = False) -> None:
+        super().__init__(message)
+        self.segment_id = segment_id
+        self.quarantined = quarantined
+
+    @property
+    def code(self) -> str:  # type: ignore[override]
+        return "quarantined" if self.quarantined else "corrupt_segment"
+
+
+class StoreReadOnlyError(StoreError):
+    """A write op reached a store server that was not started writable."""
+
+    code = "read_only"
 
 
 class StoreUnreachableError(StoreError):

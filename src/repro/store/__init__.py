@@ -50,7 +50,12 @@ The whole reproduction's module map lives in ``docs/architecture.md``;
 this package's own design notes are in ``docs/store.md``.
 """
 
-from repro.errors import StoreError, StoreUnreachableError
+from repro.errors import (
+    CorruptSegmentError,
+    StoreError,
+    StoreReadOnlyError,
+    StoreUnreachableError,
+)
 from repro.store.cache import (
     DEFAULT_CACHE_BYTES,
     CacheStats,
@@ -80,6 +85,7 @@ from repro.store.format import (
     StoreManifest,
 )
 from repro.store.indexes import StoreIndexes
+from repro.store.integrity import scrub, verify_store
 from repro.store.log import SegmentLog
 from repro.store.query import LineageDiff, StoreQueryEngine
 from repro.store.server import StoreClient, StoreServer
@@ -102,6 +108,7 @@ __all__ = [
     "PAGE_HASH_BUCKETS",
     "CacheStats",
     "ClusterManifest",
+    "CorruptSegmentError",
     "ClusterService",
     "Endpoint",
     "IndexPinner",
@@ -125,9 +132,12 @@ __all__ = [
     "StoreIndexes",
     "StoreManifest",
     "StoreQueryEngine",
+    "StoreReadOnlyError",
     "StoreReadStats",
     "StoreServer",
     "StoreSink",
     "StoreUnreachableError",
     "page_bucket",
+    "scrub",
+    "verify_store",
 ]

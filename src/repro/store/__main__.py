@@ -15,6 +15,9 @@ Usage::
     python -m repro.store compact <store> [--run R] [--segment-nodes N] \\
         [--codec binary-z|binary|json] [--compress-level 1-9] [--json]
     python -m repro.store gc <store> (--keep-last N | --runs 1,2) [--json]
+    python -m repro.store fsck <store> [--repair] [--json]
+    python -m repro.store scrub <store> [--throttle-mb N] \\
+        [--no-quarantine] [--json]
     python -m repro.store serve <store> [--host H] [--port P] \\
         [--cache-bytes N] [--parallelism N] [--writable]
     python -m repro.store watch <host:port> --pages 1,2 [--run R] \\
@@ -25,6 +28,7 @@ Usage::
     python -m repro.store cluster query <cluster.json> --pages 1,2 \\
         [--run R | --across-runs | --compare A B] [--taint] \\
         [--partial] [--parallelism N] [--json]
+    python -m repro.store cluster repair <cluster.json> [--shard ID] [--json]
 
 ``slice --node`` answers "what does this sub-computation depend on" (or,
 with ``--forward``, "what did it influence"); ``lineage --pages`` (and its
@@ -34,7 +38,11 @@ many runs: ``runs`` lists them, ``--run`` scopes a query to one (optional
 while the store holds exactly one run), ``compact`` merges a run's small
 segments (transcoding them to ``--codec``, by default the store's
 compressed columnar default), and ``gc`` drops superseded runs and
-reclaims their disk space.  ``--compress-level`` tunes the zlib level of
+reclaims their disk space.  ``fsck`` is the structural integrity check
+(manifest/log/files agreement plus orphan detection; ``--repair`` removes
+the orphans) and ``scrub`` re-reads and re-checksums every store file,
+quarantining damaged segments (:mod:`repro.store.integrity`); both print
+machine-readable reports with ``--json`` and exit non-zero on damage.  ``--compress-level`` tunes the zlib level of
 the ``binary-z`` codec; ``info`` breaks the stored-vs-raw bytes down per
 codec.  Every query prints how many segments it read out of how many the
 store holds, making the out-of-core behaviour visible; ``--parallelism``
@@ -53,7 +61,10 @@ replica) that has a local store path, ``cluster status`` probes shard
 liveness and run placement, and ``cluster query`` scatter-gathers
 lineage/taint/compare queries through a
 :class:`~repro.store.cluster.StoreCluster` router (``--partial`` opts
-into degraded reads that skip dead shards and report them).  ``info --stats`` reports the read-path cache
+into degraded reads that skip dead shards and report them).  ``cluster
+repair`` runs anti-entropy: each shard's local replicas are diffed
+against the primary's per-file checksum table and exactly the missing or
+damaged files are streamed over and installed atomically.  ``info --stats`` reports the read-path cache
 configuration, and plain ``info`` includes the v5 segment-log state (log
 records and bytes, last checkpoint sequence, uncheckpointed records).
 """
@@ -74,6 +85,7 @@ from repro.errors import InspectorError
 from repro.store.cache import DEFAULT_CACHE_BYTES
 from repro.store.cluster import ClusterService, StoreCluster
 from repro.store.codecs import CODECS, DEFAULT_CODEC
+from repro.store.integrity import scrub, verify_store
 from repro.store.query import StoreQueryEngine
 from repro.store.server import StoreClient, StoreServer
 from repro.store.store import DEFAULT_CACHE_SEGMENTS, ProvenanceStore
@@ -258,6 +270,34 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--runs", type=_parse_runs, default=None, help="drop exactly these run ids")
     gc.add_argument("--json", action="store_true", help="machine-readable output")
 
+    fsck = commands.add_parser(
+        "fsck", help="structural integrity check (manifest/log/files agreement, orphans)"
+    )
+    fsck.add_argument("store", help="store directory")
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="remove orphan files left behind by a crashed compact/gc",
+    )
+    fsck.add_argument("--json", action="store_true", help="machine-readable output")
+
+    scrub_cmd = commands.add_parser(
+        "scrub", help="re-read and re-checksum every store file; quarantine damage"
+    )
+    scrub_cmd.add_argument("store", help="store directory")
+    scrub_cmd.add_argument(
+        "--throttle-mb",
+        type=float,
+        default=None,
+        help="cap scrub read bandwidth at this many MB/s (default: unthrottled)",
+    )
+    scrub_cmd.add_argument(
+        "--no-quarantine",
+        action="store_true",
+        help="report damage without marking segments quarantined",
+    )
+    scrub_cmd.add_argument("--json", action="store_true", help="machine-readable output")
+
     serve = commands.add_parser(
         "serve", help="serve read-only queries from one warm cache (JSON lines over TCP)"
     )
@@ -355,6 +395,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parallelism(cquery)
     cquery.add_argument("--json", action="store_true", help="machine-readable output")
+
+    crepair = cluster_cmds.add_parser(
+        "repair",
+        help="anti-entropy: heal local replicas from their shard primaries",
+    )
+    crepair.add_argument("cluster", help="cluster.json manifest (or its directory)")
+    crepair.add_argument(
+        "--shard", default=None, help="repair one shard (default: every shard)"
+    )
+    crepair.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
 
@@ -594,6 +644,66 @@ def _cmd_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    report = verify_store(args.store, repair=args.repair)
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+        return 0 if report["ok"] else 1
+    checked = report["checked"]
+    print(
+        f"fsck {report['path']}: checked {checked['segments']} segment(s), "
+        f"{checked['index_files']} index file(s)"
+    )
+    log = report["segment_log"]
+    if log["torn_bytes"]:
+        print(f"  segment log: {log['records']} record(s), {log['torn_bytes']} torn byte(s)")
+    for warning in report["warnings"]:
+        print(f"  warning [{warning['kind']}] {warning['path']}: {warning['detail']}")
+    for rel in report["repaired"]:
+        print(f"  repaired: removed orphan {rel}")
+    for problem in report["problems"]:
+        print(f"  PROBLEM [{problem['kind']}] {problem['path']}: {problem['detail']}")
+    print("store is clean" if report["ok"] else f"{len(report['problems'])} problem(s) found")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    with ProvenanceStore.open(args.store) as store:
+        report = scrub(
+            store,
+            throttle_mb_per_s=args.throttle_mb,
+            quarantine=not args.no_quarantine,
+        )
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+        return 0 if report["ok"] else 1
+    segments = report["segments"]
+    index_files = report["index_files"]
+    print(
+        f"scrub {report['path']}: {report['files_scanned']} file(s), "
+        f"{report['bytes_verified']} byte(s) in {report['elapsed_s']}s "
+        f"({report['mb_per_s']} MB/s)"
+    )
+    print(
+        f"  segments:    {segments['verified']} verified, "
+        f"{segments['unverified']} unverified, {segments['damaged']} damaged"
+    )
+    print(
+        f"  index files: {index_files['verified']} verified, "
+        f"{index_files['unverified']} unverified, {index_files['damaged']} damaged"
+    )
+    for problem in report["damage"]:
+        print(f"  DAMAGE [{problem['kind']}] {problem['path']}: {problem['detail']}")
+    if report["quarantined"]:
+        marked = ", ".join(str(s) for s in report["quarantined"])
+        print(f"  quarantined segment(s): {marked}")
+    if report["unquarantined"]:
+        lifted = ", ".join(str(s) for s in report["unquarantined"])
+        print(f"  quarantine lifted (verified clean): {lifted}")
+    print("store is clean" if report["ok"] else f"{len(report['damage'])} damaged file(s)")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     server = StoreServer(
         args.store,
@@ -802,11 +912,38 @@ def _cmd_cluster_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_repair(args: argparse.Namespace) -> int:
+    cluster = StoreCluster(args.cluster)
+    report = cluster.repair(args.shard)
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+        return 0
+    for entry in report["shards"]:
+        print(f"shard {entry['shard']} (source {entry['source']}):")
+        for replica in entry["replicas"]:
+            if replica.get("skipped"):
+                print(f"  replica {replica['address']}: skipped ({replica['skipped']})")
+                continue
+            fetched = len(replica["fetched"])
+            print(
+                f"  replica {replica['path']}: {fetched} file(s) fetched "
+                f"({replica['bytes_fetched']} bytes), "
+                f"{replica['files_matched']} already matched"
+                + (", server refreshed" if replica["refreshed"] else "")
+            )
+    print(
+        f"repair complete: {report['files_fetched']} file(s), "
+        f"{report['bytes_fetched']} bytes fetched"
+    )
+    return 0
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     return {
         "serve": _cmd_cluster_serve,
         "status": _cmd_cluster_status,
         "query": _cmd_cluster_query,
+        "repair": _cmd_cluster_repair,
     }[args.cluster_command](args)
 
 
@@ -819,6 +956,8 @@ _COMMANDS = {
     "taint": _cmd_taint,
     "compact": _cmd_compact,
     "gc": _cmd_gc,
+    "fsck": _cmd_fsck,
+    "scrub": _cmd_scrub,
     "serve": _cmd_serve,
     "watch": _cmd_watch,
     "cluster": _cmd_cluster,

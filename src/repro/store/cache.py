@@ -42,7 +42,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import StoreError
 from repro.store.indexes import StoreIndexes
@@ -573,6 +573,12 @@ class ReadScope:
     #: Snapshot refreshes this query triggered (``follow`` mode readers
     #: picking up newly logged segments before answering).
     snapshot_refreshes: int = 0
+    #: Whether the answer was computed without some of its segments --
+    #: quarantined ones a query skipped rather than aborting, the
+    #: store-level analogue of the cluster's ``missing_shards``.
+    degraded: bool = False
+    #: The quarantined segment ids the query skipped.
+    quarantined_segments: Set[int] = field(default_factory=set)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_hit(self, count: int = 1) -> None:
@@ -588,6 +594,14 @@ class ReadScope:
     def record_refresh(self) -> None:
         with self._lock:
             self.snapshot_refreshes += 1
+
+    def record_quarantined(self, segment_ids: Iterable[int]) -> None:
+        """Mark the answer degraded: these segments were skipped as damaged."""
+        with self._lock:
+            added = {int(segment_id) for segment_id in segment_ids}
+            if added:
+                self.quarantined_segments |= added
+                self.degraded = True
 
     def absorb(self, stats: dict) -> None:
         """Fold another scope's counters into this one.
@@ -605,6 +619,10 @@ class ReadScope:
             self.cache_hits += int(stats.get("cache_hits", 0))
             self.cache_misses += int(stats.get("cache_misses", 0))
             self.snapshot_refreshes += int(stats.get("snapshot_refreshes", 0))
+            self.quarantined_segments |= {
+                int(segment_id) for segment_id in stats.get("quarantined_segments", ())
+            }
+            self.degraded = self.degraded or bool(stats.get("degraded", False))
 
     def to_dict(self) -> dict:
         return {
@@ -613,4 +631,6 @@ class ReadScope:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "snapshot_refreshes": self.snapshot_refreshes,
+            "degraded": self.degraded,
+            "quarantined_segments": sorted(self.quarantined_segments),
         }

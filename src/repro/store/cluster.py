@@ -41,6 +41,9 @@ socket, which is what the equivalence property uses to shard-test cheap.
 
 from __future__ import annotations
 
+import base64
+import binascii
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -52,6 +55,7 @@ from repro.core.thunk import NodeId
 from repro.errors import StoreError, StoreUnreachableError
 
 from repro.store.cache import DEFAULT_CACHE_BYTES, ReadScope
+from repro.store.format import MANIFEST_NAME, SEGMENT_LOG_NAME, file_size_crc
 from repro.store.query import LineageDiff, diff_lineage, normalize_pages, order_across_runs, untouched_taint
 from repro.store.server import StoreClient, StoreServer
 from repro.store.shard import ClusterManifest, Endpoint, ShardInfo
@@ -102,7 +106,11 @@ class InProcessShardClient:
             )
         response = self.server.handle_request({"op": op, **params})
         if not response.get("ok"):
-            raise StoreError(str(response.get("error", "unknown server error")))
+            error = StoreError(str(response.get("error", "unknown server error")))
+            # Same error-class surfacing as StoreClient: the ``code`` field
+            # is the stable machine-readable part of an error reply.
+            error.code = str(response.get("code", "bad_request"))
+            raise error
         return response
 
     def result(self, op: str, **params):
@@ -175,6 +183,9 @@ class StoreCluster:
         self._shard_requests: Dict[str, int] = {}
         self._shard_failovers: Dict[str, int] = {}
         self.queries_served = 0
+        self.repairs_run = 0
+        self._repair_files = 0
+        self._repair_bytes = 0
 
     # ------------------------------------------------------------------ #
     # Shard transport
@@ -604,6 +615,149 @@ class StoreCluster:
         on the next request, which re-reads endpoint order)."""
         self.manifest.promote(shard_id, address)
 
+    # ------------------------------------------------------------------ #
+    # Anti-entropy repair
+    # ------------------------------------------------------------------ #
+
+    def repair(self, shard_id: Optional[str] = None) -> dict:
+        """Heal a shard's local replicas from its primary, file by file.
+
+        The primary serves its per-file ``(size, crc)`` table
+        (``manifest_digest``); every replica endpoint that carries a local
+        store ``path`` is diffed against it and exactly the files that are
+        missing or checksum-differently are streamed over
+        (``fetch_file``, verified again on arrival, installed via
+        temp-file + atomic rename).  The primary's ``segments.log`` and
+        ``MANIFEST.json`` are copied last -- the manifest rename is the
+        commit point, and since the primary's manifest carries no
+        quarantine marks for healthy segments, a replica whose scrub had
+        quarantined a now-repaired segment converges back to clean.  A
+        replica that also serves an address gets a ``refresh`` so its
+        live server swaps the healed snapshot in immediately.
+
+        ``shard_id=None`` repairs every shard.  Replicas without a local
+        path (served elsewhere) are skipped and reported as such; extra
+        local files a replica has beyond the digest are left for its own
+        fsck/maintenance to sweep.  Returns the repair report; cumulative
+        counters land in :meth:`fanout_stats`.
+        """
+        if shard_id is None:
+            shards = list(self.manifest.shards)
+        else:
+            shards = [s for s in self.manifest.shards if s.shard_id == shard_id]
+            if not shards:
+                known = ", ".join(s.shard_id for s in self.manifest.shards) or "none"
+                raise StoreError(f"cluster has no shard {shard_id!r} (shards: {known})")
+        report = {"shards": [], "files_fetched": 0, "bytes_fetched": 0}
+        for shard in shards:
+            entry = self._repair_shard(shard)
+            report["shards"].append(entry)
+            report["files_fetched"] += entry["files_fetched"]
+            report["bytes_fetched"] += entry["bytes_fetched"]
+        with self._lock:
+            self.repairs_run += 1
+            self._repair_files += report["files_fetched"]
+            self._repair_bytes += report["bytes_fetched"]
+        return report
+
+    def _repair_shard(self, shard: ShardInfo) -> dict:
+        endpoints = shard.endpoints()
+        primary = endpoints[0] if endpoints else None
+        if primary is None or not primary.address:
+            raise StoreError(
+                f"shard {shard.shard_id!r} has no addressable primary to repair from"
+            )
+        source = self._client(primary.address)
+        digest = source.result("manifest_digest")
+        files = {
+            str(rel): [int(pair[0]), int(pair[1])]
+            for rel, pair in dict(digest["files"]).items()
+        }
+        entry = {
+            "shard": shard.shard_id,
+            "source": primary.address,
+            "replicas": [],
+            "files_fetched": 0,
+            "bytes_fetched": 0,
+        }
+        primary_root = os.path.realpath(primary.path) if primary.path else None
+        for endpoint in endpoints[1:]:
+            if not endpoint.path:
+                entry["replicas"].append(
+                    {"address": endpoint.address or None, "skipped": "no local path"}
+                )
+                continue
+            if primary_root and os.path.realpath(endpoint.path) == primary_root:
+                continue  # same directory as the source: nothing to heal
+            replica = self._repair_replica(source, endpoint, files)
+            entry["replicas"].append(replica)
+            entry["files_fetched"] += len(replica["fetched"])
+            entry["bytes_fetched"] += replica["bytes_fetched"]
+        return entry
+
+    def _repair_replica(self, source, endpoint: Endpoint, files: Dict[str, List[int]]) -> dict:
+        root = endpoint.path
+        fetched: List[str] = []
+        bytes_fetched = 0
+        matched = 0
+        for rel in sorted(files):
+            target = os.path.join(root, *rel.split("/"))
+            try:
+                local = file_size_crc(target)
+            except OSError:
+                local = None
+            if local == files[rel]:
+                matched += 1
+                continue
+            bytes_fetched += self._fetch_into(source, rel, root)
+            fetched.append(rel)
+        # Metadata last, manifest very last: data files are in place
+        # before the log that names them, and the manifest rename is the
+        # commit point (the same ordering the store's own flush uses).
+        for rel in (SEGMENT_LOG_NAME, MANIFEST_NAME):
+            bytes_fetched += self._fetch_into(source, rel, root)
+            fetched.append(rel)
+        refreshed = False
+        if endpoint.address:
+            try:
+                self._client(endpoint.address).request("refresh")
+                refreshed = True
+            except (StoreError, StoreUnreachableError):
+                refreshed = False  # not serving right now; heals on next open
+        return {
+            "path": root,
+            "address": endpoint.address or None,
+            "fetched": fetched,
+            "files_matched": matched,
+            "bytes_fetched": bytes_fetched,
+            "refreshed": refreshed,
+        }
+
+    def _fetch_into(self, source, rel: str, root: str) -> int:
+        """Fetch one file from the repair source and install it atomically."""
+        result = source.result("fetch_file", path=rel)
+        data = base64.b64decode(str(result["data"]), validate=True)
+        crc = binascii.crc32(data) & 0xFFFFFFFF
+        if len(data) != int(result["size"]) or crc != int(result["crc"]):
+            raise StoreError(
+                f"repair fetch of {rel!r} arrived damaged "
+                f"({len(data)} bytes crc {crc:#010x}, source said "
+                f"{result['size']} bytes crc {int(result['crc']):#010x})"
+            )
+        target = os.path.join(root, *rel.split("/"))
+        parent = os.path.dirname(target)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        # The scratch name ends in .tmp so a crashed repair leaves an
+        # orphan the store's own sweep (and fsck --repair) removes.
+        scratch = target + ".repair.tmp"
+        with open(scratch, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, target)
+        return len(data)
+
     def fanout_stats(self) -> dict:
         """Cumulative fan-out accounting across every query so far."""
         with self._lock:
@@ -611,6 +765,11 @@ class StoreCluster:
                 "queries_served": self.queries_served,
                 "shard_requests": dict(self._shard_requests),
                 "shard_failovers": dict(self._shard_failovers),
+                "repairs": {
+                    "runs": self.repairs_run,
+                    "files_fetched": self._repair_files,
+                    "bytes_fetched": self._repair_bytes,
+                },
                 "totals": self._totals.to_dict(),
             }
 

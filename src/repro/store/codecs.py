@@ -612,6 +612,12 @@ DEFAULT_CODEC = ZlibBinarySegmentCodec.name
 
 _BY_FRAME_BYTE = {codec.frame_byte: codec for codec in CODECS.values()}
 
+#: High bit of the frame byte: the frame carries a CRC32 of the codec body
+#: between the raw-length field and the body (verified on decode).  Frames
+#: without the flag -- everything written before the integrity layer --
+#: stay readable and are reported as ``unverified`` by fsck/scrub.
+CRC_FRAME_FLAG = 0x80
+
 
 def codec_by_name(name: str) -> SegmentCodec:
     """The codec registered as ``name``.
@@ -627,9 +633,14 @@ def codec_by_name(name: str) -> SegmentCodec:
 
 
 def codec_by_frame_byte(frame_byte: int) -> SegmentCodec:
-    """The codec whose segments carry ``frame_byte`` after the magic."""
+    """The codec whose segments carry ``frame_byte`` after the magic.
+
+    The :data:`CRC_FRAME_FLAG` bit is not part of the codec identity and
+    is masked off before the lookup.
+    """
+    base = frame_byte & ~CRC_FRAME_FLAG
     try:
-        return _BY_FRAME_BYTE[frame_byte]
+        return _BY_FRAME_BYTE[base]
     except KeyError as exc:
         known = ", ".join(f"0x{byte:02x}" for byte in sorted(_BY_FRAME_BYTE))
         raise StoreError(
@@ -639,6 +650,7 @@ def codec_by_frame_byte(frame_byte: int) -> SegmentCodec:
 
 __all__ = [
     "CODECS",
+    "CRC_FRAME_FLAG",
     "DEFAULT_CODEC",
     "BinarySegmentCodec",
     "EdgeTuple",

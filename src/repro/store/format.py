@@ -59,6 +59,7 @@ flush, which always writes a checkpoint.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -153,6 +154,26 @@ def index_delta_file_name(generation: int) -> str:
     return f"delta-{generation:08d}.bin"
 
 
+def file_size_crc(path: str) -> List[int]:
+    """``[size, CRC32]`` of the file at ``path``, streamed in 1 MiB chunks.
+
+    The pair is what the manifest records per store file and what fsck,
+    scrub, and replica repair compare against.  I/O errors propagate as
+    :class:`OSError` -- the caller decides whether an unreadable file is
+    damage (scrub) or a bad request (repair).
+    """
+    size = 0
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
+            size += len(chunk)
+            crc = zlib.crc32(chunk, crc)
+    return [size, crc & 0xFFFFFFFF]
+
+
 @dataclass
 class SegmentInfo:
     """Manifest entry describing one sealed segment.
@@ -168,6 +189,10 @@ class SegmentInfo:
         stored_bytes: Size of the segment file on disk (frame + body).
         codec: Name of the payload codec the segment was encoded with
             (pre-v4 manifest entries default to :data:`LEGACY_SEGMENT_CODEC`).
+        crc: CRC32 of the segment *file* (frame header included), recorded
+            at append/compact time so fsck, scrub, and replica repair can
+            diff files without decoding them.  ``None`` for segments
+            written before the integrity layer (reported ``unverified``).
     """
 
     segment_id: int
@@ -177,6 +202,7 @@ class SegmentInfo:
     raw_bytes: int
     stored_bytes: int
     codec: str = LEGACY_SEGMENT_CODEC
+    crc: Optional[int] = None
 
     @property
     def file_name(self) -> str:
@@ -184,7 +210,7 @@ class SegmentInfo:
         return segment_file_name(self.segment_id)
 
     def to_dict(self) -> dict:
-        return {
+        entry = {
             "id": self.segment_id,
             "run": self.run,
             "nodes": self.nodes,
@@ -193,12 +219,16 @@ class SegmentInfo:
             "stored_bytes": self.stored_bytes,
             "codec": self.codec,
         }
+        if self.crc is not None:
+            entry["crc"] = self.crc
+        return entry
 
     @classmethod
     def from_dict(cls, data: dict, default_run: int = LEGACY_RUN_ID) -> "SegmentInfo":
         missing = [key for key in ("id", "nodes", "edges") if key not in data]
         if missing:
             raise StoreError(f"segment entry is missing field(s) {missing}: {data!r}")
+        crc = data.get("crc")
         return cls(
             segment_id=int(data["id"]),
             run=int(data.get("run", default_run)),
@@ -207,6 +237,7 @@ class SegmentInfo:
             raw_bytes=int(data.get("raw_bytes", 0)),
             stored_bytes=int(data.get("stored_bytes", 0)),
             codec=str(data.get("codec", LEGACY_SEGMENT_CODEC)),
+            crc=int(crc) if crc is not None else None,
         )
 
 
@@ -240,6 +271,10 @@ class RunInfo:
             pending on top of the base, in flush order.
         next_index_gen: Next index generation to mint (monotonic, never
             reused -- the same recovery argument as segment ids).
+        index_checksums: ``(size, crc)`` per index file of the run, keyed
+            by file name (``base-<gen>.bin`` / ``delta-<gen>.bin``),
+            recorded when the file is written.  Files written before the
+            integrity layer have no entry and verify as ``unverified``.
         meta: Free-form run metadata (thread count, config, input size...).
     """
 
@@ -253,10 +288,23 @@ class RunInfo:
     index_base: int = 0
     index_deltas: List[int] = field(default_factory=list)
     next_index_gen: int = 1
+    index_checksums: Dict[str, List[int]] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
 
+    def record_index_checksum(self, file_name: str, size: int, crc: int) -> None:
+        """Remember ``(size, crc)`` of one just-written index file."""
+        self.index_checksums[file_name] = [int(size), int(crc)]
+
+    def prune_index_checksums(self) -> None:
+        """Drop checksum entries for files the run no longer references."""
+        live = {index_base_file_name(self.index_base)} if self.index_base else set()
+        live.update(index_delta_file_name(gen) for gen in self.index_deltas)
+        self.index_checksums = {
+            name: pair for name, pair in self.index_checksums.items() if name in live
+        }
+
     def to_dict(self) -> dict:
-        return {
+        entry = {
             "id": self.run_id,
             "workload": self.workload,
             "status": self.status,
@@ -269,6 +317,11 @@ class RunInfo:
             "next_index_gen": self.next_index_gen,
             "meta": dict(self.meta),
         }
+        if self.index_checksums:
+            entry["index_checksums"] = {
+                name: list(pair) for name, pair in self.index_checksums.items()
+            }
+        return entry
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunInfo":
@@ -285,6 +338,10 @@ class RunInfo:
             index_base=int(data.get("index_base", 0)),
             index_deltas=[int(gen) for gen in data.get("index_deltas", ())],
             next_index_gen=int(data.get("next_index_gen", 1)),
+            index_checksums={
+                str(name): [int(pair[0]), int(pair[1])]
+                for name, pair in dict(data.get("index_checksums", {})).items()
+            },
             meta=dict(data.get("meta", {})),
         )
 
@@ -317,6 +374,14 @@ class StoreManifest:
         log_seq: Sequence number of the last segment-log record folded
             into this checkpoint (format 5); records with a higher
             sequence number are replayed on open, lower ones skipped.
+        quarantined: Segments known to be damaged, id -> reason.  A
+            quarantined segment's entry stays in :attr:`segments` (its id
+            and accounting are still real); queries skip it and report a
+            degraded answer instead of decoding garbage.  Repairing the
+            file (anti-entropy from a replica) clears the mark.
+        pages_runs_checksum: ``[size, crc]`` of the cross-run page summary
+            (``index/pages_runs.json``) as of its last write; ``None``
+            until the integrity layer first writes it.
         meta: Free-form store metadata supplied at creation time.
     """
 
@@ -328,6 +393,8 @@ class StoreManifest:
     node_count: int = 0
     edge_count: int = 0
     log_seq: int = 0
+    quarantined: Dict[int, str] = field(default_factory=dict)
+    pages_runs_checksum: Optional[List[int]] = None
     meta: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -382,10 +449,29 @@ class StoreManifest:
         self.segments = [segment for segment in self.segments if segment.run != run_id]
         self.node_count -= run.nodes
         self.edge_count -= run.edges
+        for segment in dropped:
+            self.quarantined.pop(segment.segment_id, None)
         return dropped
 
+    # -------------------------------------------------------------- #
+    # Quarantine
+    # -------------------------------------------------------------- #
+
+    def quarantine(self, segment_id: int, reason: str) -> None:
+        """Mark a segment damaged (must be a known segment id)."""
+        self.segment_info(segment_id)  # raises for unknown ids
+        self.quarantined[int(segment_id)] = str(reason)
+
+    def clear_quarantine(self, segment_id: int) -> bool:
+        """Unmark a repaired segment; returns whether it was marked."""
+        return self.quarantined.pop(int(segment_id), None) is not None
+
+    def is_quarantined(self, segment_id: int) -> bool:
+        """Whether ``segment_id`` is currently quarantined."""
+        return int(segment_id) in self.quarantined
+
     def to_dict(self) -> dict:
-        return {
+        data = {
             "kind": STORE_KIND,
             "version": STORE_FORMAT_VERSION,
             "segments": [segment.to_dict() for segment in self.segments],
@@ -397,6 +483,13 @@ class StoreManifest:
             "log_seq": self.log_seq,
             "meta": dict(self.meta),
         }
+        if self.quarantined:
+            data["quarantined"] = {
+                str(segment_id): reason for segment_id, reason in self.quarantined.items()
+            }
+        if self.pages_runs_checksum is not None:
+            data["pages_runs_checksum"] = list(self.pages_runs_checksum)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "StoreManifest":
@@ -421,6 +514,15 @@ class StoreManifest:
             manifest.next_segment_id = int(data.get("next_segment_id", 1))
             manifest.next_run_id = int(data.get("next_run_id", 1))
             manifest.log_seq = int(data.get("log_seq", 0))
+            known = {segment.segment_id for segment in manifest.segments}
+            manifest.quarantined = {
+                int(segment_id): str(reason)
+                for segment_id, reason in dict(data.get("quarantined", {})).items()
+                if int(segment_id) in known
+            }
+            checksum = data.get("pages_runs_checksum")
+            if checksum is not None:
+                manifest.pages_runs_checksum = [int(checksum[0]), int(checksum[1])]
         ids = manifest.segment_ids()
         if sorted(set(ids)) != ids:
             raise StoreError(f"segment table is not strictly increasing: {ids}")

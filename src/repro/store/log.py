@@ -174,6 +174,23 @@ class SegmentLog:
         """Yield every valid record in append order (a fresh scan)."""
         return iter(self.scan())
 
+    def verify(self) -> dict:
+        """Re-scan the file and report its framing integrity (fsck's view).
+
+        Returns ``{"records", "valid_bytes", "torn_bytes"}``.
+        ``torn_bytes`` counts file bytes past the last valid record: a
+        tail torn by a crashed append (or trailing corruption).  Replay
+        already ignores those bytes and the next append truncates them,
+        so a torn tail is a warning, not damage.
+        """
+        records = len(self.scan())
+        valid = self._valid_bytes or 0
+        return {
+            "records": records,
+            "valid_bytes": valid,
+            "torn_bytes": max(0, self.size_bytes() - valid),
+        }
+
     # ------------------------------------------------------------------ #
     # Writing
     # ------------------------------------------------------------------ #

@@ -54,6 +54,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.core.cpg import EdgeKind
 from repro.core.queries import TaintResult, replay_taint
 from repro.core.thunk import NodeId, SubComputation
+from repro.errors import CorruptSegmentError
 
 from repro.store.cache import ReadScope
 from repro.store.segment import EdgeTuple
@@ -200,6 +201,33 @@ class StoreQueryEngine:
     def _segment(self, segment_id: int):
         return self.store.segment(segment_id, scope=self.scope)
 
+    def _note_quarantined(self, segment_ids: Iterable[int]) -> None:
+        if self.scope is not None:
+            self.scope.record_quarantined(segment_ids)
+
+    def _segment_or_none(self, segment_id: int):
+        """One segment's payload, or ``None`` when it is quarantined/corrupt.
+
+        Set-valued queries (slices, lineage, taint) degrade instead of
+        aborting: a damaged segment is skipped, the skip is recorded in
+        the engine's scope (``degraded`` / ``quarantined_segments``), and
+        the rest of the answer comes from the healthy segments -- the
+        single-store analogue of the cluster's partial fan-out with its
+        ``missing_shards``.  Point lookups (:meth:`subcomputation`) still
+        raise the typed :class:`~repro.errors.CorruptSegmentError`: there
+        is no partial answer to a question about one specific node.
+        """
+        if self.store.is_quarantined(segment_id):
+            self._note_quarantined((segment_id,))
+            return None
+        try:
+            return self._segment(segment_id)
+        except CorruptSegmentError as exc:
+            self._note_quarantined(
+                (segment_id if exc.segment_id is None else exc.segment_id,)
+            )
+            return None
+
     def _iter_payloads(self, segment_ids: Sequence[int]):
         """Yield ``(segment_id, payload)`` decoding bounded chunks at a time.
 
@@ -211,19 +239,37 @@ class StoreQueryEngine:
         every segment is decoded at most once per scan either way.
         """
         ids = list(dict.fromkeys(segment_ids))
-        if self.parallelism <= 1 or len(ids) <= 1:
-            for segment_id in ids:
-                yield segment_id, self._segment(segment_id)
+        live: List[int] = []
+        for segment_id in ids:
+            if self.store.is_quarantined(segment_id):
+                self._note_quarantined((segment_id,))
+            else:
+                live.append(segment_id)
+        if self.parallelism <= 1 or len(live) <= 1:
+            for segment_id in live:
+                payload = self._segment_or_none(segment_id)
+                if payload is not None:
+                    yield segment_id, payload
             return
         width = self.parallelism * 2
         # The store's shared decode pools do the concurrency (chunking
         # bounds residency, not thread churn); a cold chunk wide enough
         # may decode on the process pool, off the GIL entirely.
-        for start in range(0, len(ids), width):
-            chunk = ids[start : start + width]
-            payloads = self.store.segment_many(
-                chunk, parallelism=self.parallelism, scope=self.scope
-            )
+        for start in range(0, len(live), width):
+            chunk = live[start : start + width]
+            try:
+                payloads = self.store.segment_many(
+                    chunk, parallelism=self.parallelism, scope=self.scope
+                )
+            except CorruptSegmentError:
+                # A segment of this chunk went bad mid-scan (the store has
+                # quarantined it in memory); retry the chunk one segment
+                # at a time so only the damaged ones are skipped.
+                for segment_id in chunk:
+                    payload = self._segment_or_none(segment_id)
+                    if payload is not None:
+                        yield segment_id, payload
+                continue
             for segment_id in chunk:
                 yield segment_id, payloads[segment_id]
 
@@ -237,7 +283,9 @@ class StoreQueryEngine:
         segments = indexes.out_segments(node_id) if forward else indexes.in_segments(node_id)
         edges: List[EdgeTuple] = []
         for segment_id in segments:
-            payload = self._segment(segment_id)
+            payload = self._segment_or_none(segment_id)
+            if payload is None:
+                continue
             grouped = payload.edges_by_source if forward else payload.edges_by_target
             edges.extend(grouped.get(node_id, ()))
         return edges
@@ -478,7 +526,10 @@ class StoreQueryEngine:
         for segment_id, payload in self._iter_payloads(list(wanted)):
             for node_id in wanted[segment_id]:
                 records[node_id] = payload.nodes[node_id]
-        ordered = ((node_id, records[node_id]) for node_id in order)
+        # A quarantined segment drops its nodes from the replay (the scope
+        # reports the answer as degraded); every healthy node still plays
+        # in stored topological order.
+        ordered = ((node_id, records[node_id]) for node_id in order if node_id in records)
         return replay_taint(ordered, sources, through_thread_state=through_thread_state)
 
     def _taint_candidates(

@@ -20,10 +20,24 @@ per-segment codec column.  ``raw length`` is the size of the
 whether (and how) the body is compressed is the codec's business, via
 :meth:`~repro.store.codecs.SegmentCodec.compress_frame` /
 :meth:`~repro.store.codecs.SegmentCodec.decompress_frame`.
+
+Frames written since the integrity layer set the high bit of the frame
+byte (:data:`~repro.store.codecs.CRC_FRAME_FLAG`) and insert a CRC32 of
+the codec body between the raw-length field and the body::
+
+    +--------+-----------------+--------------+-------------+-----------+
+    | "ISEG" | frame byte|0x80 | raw len (8B) | CRC32 (4B)  | body      |
+    +--------+-----------------+--------------+-------------+-----------+
+
+:func:`decode_segment` verifies the checksum before touching the body, so
+a bit flip anywhere in the payload surfaces as a typed error instead of a
+garbled graph.  Older frames (no flag) stay readable and are reported as
+``unverified`` by :func:`verify_frame` -- the fsck/scrub vocabulary.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -31,6 +45,7 @@ from repro.core.thunk import NodeId, SubComputation
 from repro.errors import StoreError
 
 from repro.store.codecs import (
+    CRC_FRAME_FLAG,
     DEFAULT_CODEC,
     EdgeTuple,
     SegmentCodec,
@@ -40,6 +55,11 @@ from repro.store.codecs import (
 from repro.store.format import SEGMENT_MAGIC_PREFIX
 
 _HEADER_SIZE = len(SEGMENT_MAGIC_PREFIX) + 1 + 8
+_CRC_SIZE = 4
+
+#: Checksum states :func:`verify_frame` can report.
+FRAME_VERIFIED = "verified"
+FRAME_UNVERIFIED = "unverified"
 
 
 @dataclass
@@ -83,8 +103,9 @@ def encode_segment(
     body = chosen.compress_frame(raw)
     framed = (
         SEGMENT_MAGIC_PREFIX
-        + bytes((chosen.frame_byte,))
+        + bytes((chosen.frame_byte | CRC_FRAME_FLAG,))
         + len(raw).to_bytes(8, "little")
+        + (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
         + body
     )
     return framed, len(raw)
@@ -97,17 +118,64 @@ def segment_codec_name(data: bytes) -> str:
     return codec_by_frame_byte(data[len(SEGMENT_MAGIC_PREFIX)]).name
 
 
+def _split_frame(data: bytes):
+    """(codec, raw length, stored crc or None, codec body) of a frame."""
+    if len(data) < _HEADER_SIZE or not data.startswith(SEGMENT_MAGIC_PREFIX):
+        raise StoreError("not a provenance-store segment (bad magic)")
+    frame_byte = data[len(SEGMENT_MAGIC_PREFIX)]
+    chosen = codec_by_frame_byte(frame_byte)
+    raw_length = int.from_bytes(data[len(SEGMENT_MAGIC_PREFIX) + 1 : _HEADER_SIZE], "little")
+    if not frame_byte & CRC_FRAME_FLAG:
+        return chosen, raw_length, None, data[_HEADER_SIZE:]
+    if len(data) < _HEADER_SIZE + _CRC_SIZE:
+        raise StoreError("segment frame truncated inside its checksum field")
+    stored_crc = int.from_bytes(data[_HEADER_SIZE : _HEADER_SIZE + _CRC_SIZE], "little")
+    return chosen, raw_length, stored_crc, data[_HEADER_SIZE + _CRC_SIZE :]
+
+
+def verify_frame(data: bytes) -> str:
+    """Check the frame checksum of ``data`` without decoding the payload.
+
+    Returns:
+        :data:`FRAME_VERIFIED` when the frame carries a CRC32 and it
+        matches, :data:`FRAME_UNVERIFIED` for a pre-integrity frame that
+        carries none (still decodable, just unprotected).
+
+    Raises:
+        StoreError: Bad magic, unknown frame byte, or a checksum mismatch.
+    """
+    _, _, stored_crc, body = _split_frame(data)
+    if stored_crc is None:
+        return FRAME_UNVERIFIED
+    actual = zlib.crc32(body) & 0xFFFFFFFF
+    if actual != stored_crc:
+        raise StoreError(
+            f"segment frame checksum mismatch: stored 0x{stored_crc:08x}, "
+            f"computed 0x{actual:08x}"
+        )
+    return FRAME_VERIFIED
+
+
 def decode_segment(data: bytes) -> SegmentPayload:
     """Invert :func:`encode_segment` (any codec; dispatch on the frame byte).
 
+    Frames carrying a CRC32 (the :data:`~repro.store.codecs.CRC_FRAME_FLAG`
+    bit) are verified before the body is decompressed; legacy frames
+    decode unverified, exactly as they always did.
+
     Raises:
-        StoreError: If the framing, compression, or payload is corrupt.
+        StoreError: If the framing, checksum, compression, or payload is
+            corrupt.
     """
-    if len(data) < _HEADER_SIZE or not data.startswith(SEGMENT_MAGIC_PREFIX):
-        raise StoreError("not a provenance-store segment (bad magic)")
-    chosen = codec_by_frame_byte(data[len(SEGMENT_MAGIC_PREFIX)])
-    raw_length = int.from_bytes(data[len(SEGMENT_MAGIC_PREFIX) + 1 : _HEADER_SIZE], "little")
-    raw = chosen.decompress_frame(data[_HEADER_SIZE:])
+    chosen, raw_length, stored_crc, body = _split_frame(data)
+    if stored_crc is not None:
+        actual = zlib.crc32(body) & 0xFFFFFFFF
+        if actual != stored_crc:
+            raise StoreError(
+                f"segment frame checksum mismatch: stored 0x{stored_crc:08x}, "
+                f"computed 0x{actual:08x}"
+            )
+    raw = chosen.decompress_frame(body)
     if len(raw) != raw_length:
         raise StoreError(
             f"segment length mismatch: header says {raw_length} bytes, got {len(raw)}"

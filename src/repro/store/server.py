@@ -69,13 +69,35 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.core.cpg import EdgeKind
 from repro.core.serialization import node_key, parse_node_key
 from repro.core.thunk import SubComputation
-from repro.errors import InspectorError, StoreError, StoreUnreachableError
+from repro.errors import (
+    InspectorError,
+    StoreError,
+    StoreReadOnlyError,
+    StoreUnreachableError,
+)
 
 from repro.store.cache import DEFAULT_CACHE_BYTES, IndexPinner, ReadScope, SegmentCache
-from repro.store.format import MANIFEST_NAME, RUN_COMPLETE, SEGMENT_LOG_NAME
+from repro.store.format import (
+    INDEX_DIR,
+    MANIFEST_NAME,
+    PAGES_RUNS_FILE,
+    RUN_COMPLETE,
+    SEGMENT_LOG_NAME,
+    SEGMENTS_DIR,
+    file_size_crc,
+    index_base_file_name,
+    index_delta_file_name,
+    run_index_dir_name,
+)
 from repro.store.query import StoreQueryEngine
 from repro.store.segment import EdgeTuple, decode_segment, encode_segment
-from repro.store.store import ProvenanceStore
+from repro.store.store import (
+    _INDEX_BASE_RE,
+    _INDEX_DELTA_RE,
+    _RUN_DIR_RE,
+    _SEGMENT_FILE_RE,
+    ProvenanceStore,
+)
 
 #: Ops the server answers (the protocol surface).
 SERVER_OPS = (
@@ -94,6 +116,8 @@ SERVER_OPS = (
     "commit_run",
     "stats",
     "refresh",
+    "manifest_digest",
+    "fetch_file",
     "shutdown",
 )
 
@@ -137,7 +161,11 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             try:
                 request = json.loads(text)
             except ValueError:
-                response = {"ok": False, "error": "malformed request (not JSON)"}
+                response = {
+                    "ok": False,
+                    "error": "malformed request (not JSON)",
+                    "code": "bad_request",
+                }
             else:
                 if isinstance(request, dict) and request.get("op") == "watch" and request.get("stream"):
                     # The one streaming op: one request line, many response
@@ -426,10 +454,18 @@ class StoreServer:
     def handle_request(self, request: dict) -> dict:
         """Answer one protocol request (also the in-process test surface)."""
         if not isinstance(request, dict) or "op" not in request:
-            return {"ok": False, "error": "request must be an object with an 'op'"}
+            return {
+                "ok": False,
+                "error": "request must be an object with an 'op'",
+                "code": "bad_request",
+            }
         op = request.get("op")
         if op not in SERVER_OPS:
-            return {"ok": False, "error": f"unknown op {op!r} (known: {', '.join(SERVER_OPS)})"}
+            return {
+                "ok": False,
+                "error": f"unknown op {op!r} (known: {', '.join(SERVER_OPS)})",
+                "code": "bad_request",
+            }
         scope = ReadScope()
         start = time.perf_counter()
         try:
@@ -440,10 +476,21 @@ class StoreServer:
             store = self._store  # one snapshot per request
             result, extra = self._dispatch(op, request, store, scope)
         except InspectorError as exc:
-            # StoreError, ProvenanceError (malformed node keys), ...
-            return {"ok": False, "error": str(exc)}
+            # StoreError, ProvenanceError (malformed node keys), ...  The
+            # ``code`` field is the stable, machine-readable error class
+            # ("corrupt_segment", "quarantined", "read_only",
+            # "bad_request"); the message is for humans and may change.
+            return {
+                "ok": False,
+                "error": str(exc),
+                "code": str(getattr(exc, "code", "bad_request")),
+            }
         except (KeyError, TypeError, ValueError) as exc:
-            return {"ok": False, "error": f"bad request parameters: {exc}"}
+            return {
+                "ok": False,
+                "error": f"bad request parameters: {exc}",
+                "code": "bad_request",
+            }
         elapsed_ms = (time.perf_counter() - start) * 1e3
         with self._counter_lock:
             self.queries_served += 1
@@ -471,6 +518,10 @@ class StoreServer:
             return self.server_stats(), {}
         if op == "refresh":
             return self.refresh(), {}
+        if op == "manifest_digest":
+            return self._manifest_digest(store), {}
+        if op == "fetch_file":
+            return self._fetch_file(store, str(request["path"])), {}
         if op == "shutdown":
             # The transport layer closes the listener *after* writing the
             # acknowledgement (see _RequestHandler.handle).
@@ -550,6 +601,123 @@ class StoreServer:
         raise StoreError(f"unhandled op {op!r}")  # unreachable: SERVER_OPS gates
 
     # ------------------------------------------------------------------ #
+    # Anti-entropy repair (any server is a repair source)
+    # ------------------------------------------------------------------ #
+
+    def _manifest_digest(self, store: ProvenanceStore) -> dict:
+        """Per-file ``(size, crc)`` table of the served snapshot.
+
+        This is the comparison unit of replica anti-entropy: a repairer
+        diffs its local table against the primary's and fetches exactly
+        the files whose checksum differs or that it lacks.  Paths are
+        store-relative with ``/`` separators (wire form).  Checksums come
+        from the manifest's own integrity columns where recorded (free)
+        and are computed from disk for files written before the checksum
+        layer.  Quarantined segments are *omitted*: a damaged copy is not
+        a repair source.
+        """
+        manifest = store.manifest
+        files: Dict[str, List[int]] = {}
+        for info in manifest.segments:
+            if manifest.is_quarantined(info.segment_id):
+                continue
+            rel = f"{SEGMENTS_DIR}/{info.file_name}"
+            if info.crc is not None and info.stored_bytes:
+                files[rel] = [int(info.stored_bytes), int(info.crc)]
+            else:
+                files[rel] = self._stat_crc(rel)
+        for run in manifest.runs:
+            run_dir = f"{INDEX_DIR}/{run_index_dir_name(run.run_id)}"
+            names: List[str] = []
+            if run.index_base:
+                names.append(index_base_file_name(run.index_base))
+            names.extend(index_delta_file_name(gen) for gen in run.index_deltas)
+            for name in names:
+                rel = f"{run_dir}/{name}"
+                pair = run.index_checksums.get(name)
+                files[rel] = (
+                    [int(pair[0]), int(pair[1])] if pair else self._stat_crc(rel)
+                )
+        pages_rel = f"{INDEX_DIR}/{PAGES_RUNS_FILE}"
+        if manifest.pages_runs_checksum is not None:
+            files[pages_rel] = [int(v) for v in manifest.pages_runs_checksum]
+        elif os.path.exists(os.path.join(self.store_path, INDEX_DIR, PAGES_RUNS_FILE)):
+            files[pages_rel] = self._stat_crc(pages_rel)
+        token = 0
+        for rel in sorted(files):
+            size, crc = files[rel]
+            token = binascii.crc32(f"{rel}:{size}:{crc}\n".encode("utf-8"), token)
+        return {
+            "store": self.store_path,
+            "digest": token & 0xFFFFFFFF,
+            "files": files,
+            "quarantined": {
+                str(segment_id): reason
+                for segment_id, reason in manifest.quarantined.items()
+            },
+            "runs": len(manifest.runs),
+            "segments": manifest.segment_count,
+        }
+
+    def _stat_crc(self, rel: str) -> List[int]:
+        """``(size, crc)`` of one store file read from disk (legacy files)."""
+        target = os.path.join(self.store_path, *rel.split("/"))
+        try:
+            return file_size_crc(target)
+        except OSError as exc:
+            raise StoreError(f"cannot checksum store file {rel!r}: {exc}") from exc
+
+    @staticmethod
+    def _validate_repair_path(rel: str) -> Tuple[str, ...]:
+        """The store-relative paths ``fetch_file`` may serve, nothing else.
+
+        Structural allow-list -- the manifest, the segment log, segment
+        files, per-run index base/delta files, and the cross-run page
+        summary -- so a client can never name a path outside the store
+        directory (no separators beyond the two known levels, no ``..``).
+        """
+        parts = tuple(rel.split("/"))
+        if rel in (MANIFEST_NAME, SEGMENT_LOG_NAME):
+            return parts
+        if (
+            len(parts) == 2
+            and parts[0] == SEGMENTS_DIR
+            and _SEGMENT_FILE_RE.match(parts[1])
+        ):
+            return parts
+        if len(parts) == 2 and parts[0] == INDEX_DIR and parts[1] == PAGES_RUNS_FILE:
+            return parts
+        if (
+            len(parts) == 3
+            and parts[0] == INDEX_DIR
+            and _RUN_DIR_RE.match(parts[1])
+            and (_INDEX_BASE_RE.match(parts[2]) or _INDEX_DELTA_RE.match(parts[2]))
+        ):
+            return parts
+        raise StoreError(f"fetch_file path {rel!r} does not name a store file")
+
+    def _fetch_file(self, store: ProvenanceStore, rel: str) -> dict:
+        """Serve one store file's bytes (base64) for a repairing replica.
+
+        The repairer verifies the returned ``crc`` before installing the
+        file, so a fetch racing a concurrent write on this server is
+        detected (mismatch) rather than silently installed half-new.
+        """
+        parts = self._validate_repair_path(rel)
+        target = os.path.join(self.store_path, *parts)
+        try:
+            with open(target, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            raise StoreError(f"cannot read store file {rel!r}: {exc}") from exc
+        return {
+            "path": rel,
+            "size": len(data),
+            "crc": binascii.crc32(data) & 0xFFFFFFFF,
+            "data": base64.b64encode(data).decode("ascii"),
+        }
+
+    # ------------------------------------------------------------------ #
     # Remote ingest (writable servers)
     # ------------------------------------------------------------------ #
 
@@ -562,7 +730,7 @@ class StoreServer:
         concurrent reader.
         """
         if self._writer is None:
-            raise StoreError(
+            raise StoreReadOnlyError(
                 "this store server is read-only (start it with serve --writable "
                 "to accept remote ingest)"
             )
@@ -702,6 +870,8 @@ class StoreServer:
             "epochs_ingested": self.epochs_ingested,
             "runs": len(store.run_ids()),
             "segments": store.manifest.segment_count,
+            "quarantined_segments": sorted(store.manifest.quarantined),
+            "degraded": bool(store.manifest.quarantined),
             "parallelism": self.parallelism,
             "segment_cache": self.cache.to_dict(),
             "index_pinner": self.pinner.to_dict(),
@@ -841,7 +1011,12 @@ class StoreClient:
                 except ValueError as exc:
                     raise StoreError(f"malformed server response: {exc}") from exc
                 if not response.get("ok"):
-                    raise StoreError(str(response.get("error", "unknown server error")))
+                    error = StoreError(str(response.get("error", "unknown server error")))
+                    # Surface the server's stable error class to callers
+                    # (``corrupt_segment``, ``quarantined``, ``read_only``,
+                    # ``bad_request``) without guessing from the message.
+                    error.code = str(response.get("code", "bad_request"))
+                    raise error
                 return response
         raise StoreUnreachableError(
             f"store server at {self.host}:{self.port} unreachable after "
@@ -936,6 +1111,23 @@ class StoreClient:
 
     def refresh(self) -> dict:
         return self.result("refresh")
+
+    def manifest_digest(self) -> dict:
+        """The server's per-file ``(size, crc)`` table (repair source view)."""
+        return self.result("manifest_digest")
+
+    def fetch_file(self, path: str) -> bytes:
+        """Fetch one store file's bytes, verifying the transfer checksum."""
+        result = self.result("fetch_file", path=path)
+        data = base64.b64decode(str(result["data"]), validate=True)
+        crc = binascii.crc32(data) & 0xFFFFFFFF
+        if len(data) != int(result["size"]) or crc != int(result["crc"]):
+            raise StoreError(
+                f"fetch_file {path!r} arrived damaged "
+                f"({len(data)} bytes crc {crc:#010x}, server said "
+                f"{result['size']} bytes crc {int(result['crc']):#010x})"
+            )
+        return data
 
     def shutdown(self) -> dict:
         return self.result("shutdown")

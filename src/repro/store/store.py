@@ -51,6 +51,7 @@ import json
 import os
 import re
 import threading
+import zlib
 from collections import defaultdict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -67,7 +68,7 @@ from repro.core.serialization import (
     FORMAT_VERSION_V2,
 )
 from repro.core.thunk import SubComputation
-from repro.errors import StoreError
+from repro.errors import CorruptSegmentError, StoreError
 
 from repro.store.cache import IndexPinner, ReadScope, SegmentCache
 from repro.store.codecs import DEFAULT_CODEC, codec_by_name
@@ -87,6 +88,8 @@ from repro.store.format import (
     RunInfo,
     SegmentInfo,
     StoreManifest,
+    file_size_crc,
+    index_base_file_name,
     index_delta_file_name,
     run_index_dir_name,
     segment_file_name,
@@ -446,7 +449,20 @@ class ProvenanceStore:
             next_run_id = int(record["next_run_id"])
             node_count = int(record["node_count"])
             edge_count = int(record["edge_count"])
-        except (StoreError, KeyError, TypeError, ValueError, AttributeError):
+            pages_runs_checksum = record.get("pages_runs_checksum")
+            if pages_runs_checksum is not None:
+                pages_runs_checksum = [
+                    int(pages_runs_checksum[0]), int(pages_runs_checksum[1])
+                ]
+            quarantined = (
+                {
+                    int(segment_id): str(reason)
+                    for segment_id, reason in dict(record["quarantined"]).items()
+                }
+                if "quarantined" in record
+                else None
+            )
+        except (StoreError, KeyError, TypeError, ValueError, AttributeError, IndexError):
             return False
         last = self.manifest.segments[-1].segment_id if self.manifest.segments else 0
         for info in segments:
@@ -466,6 +482,17 @@ class ProvenanceStore:
         self.manifest.next_run_id = max(next_run_id, self.manifest.next_run_id)
         self.manifest.node_count = node_count
         self.manifest.edge_count = edge_count
+        if pages_runs_checksum is not None:
+            self.manifest.pages_runs_checksum = pages_runs_checksum
+        if quarantined is not None:
+            # Pre-integrity records carry no key at all (keep the
+            # checkpoint's marks); new records carry the full table.
+            known = {info.segment_id for info in self.manifest.segments}
+            self.manifest.quarantined = {
+                segment_id: reason
+                for segment_id, reason in quarantined.items()
+                if segment_id in known
+            }
         return True
 
     def _run_index_dir(self, run_id: int) -> str:
@@ -585,6 +612,11 @@ class ProvenanceStore:
                 indexes.save_base(run_dir, generation)
                 run_info.index_base = generation
                 run_info.index_deltas = []
+                base_name = index_base_file_name(generation)
+                run_info.record_index_checksum(
+                    base_name, *file_size_crc(os.path.join(run_dir, base_name))
+                )
+                run_info.prune_index_checksums()
                 indexes.needs_base = False
                 indexes.clear_pending()
             elif indexes.has_pending:
@@ -592,6 +624,10 @@ class ProvenanceStore:
                 run_info.next_index_gen += 1
                 indexes.save_delta(run_dir, generation)
                 run_info.index_deltas.append(generation)
+                delta_name = index_delta_file_name(generation)
+                run_info.record_index_checksum(
+                    delta_name, *file_size_crc(os.path.join(run_dir, delta_name))
+                )
                 indexes.clear_pending()
         self._cover_loaded_runs_in_pages_summary()
         self._write_pages_runs_if_dirty()
@@ -625,6 +661,13 @@ class ProvenanceStore:
             "next_run_id": self.manifest.next_run_id,
             "node_count": self.manifest.node_count,
             "edge_count": self.manifest.edge_count,
+            # Integrity state rides every commit record, so a replayed
+            # store agrees with the files on disk without a checkpoint.
+            "pages_runs_checksum": self.manifest.pages_runs_checksum,
+            "quarantined": {
+                str(segment_id): reason
+                for segment_id, reason in self.manifest.quarantined.items()
+            },
         }
         self._log.append(record)
         self._log_next_seq += 1
@@ -747,6 +790,7 @@ class ProvenanceStore:
         with open(scratch, "w", encoding="utf-8") as handle:
             json.dump(document, handle, sort_keys=True)
         os.replace(scratch, path)
+        self.manifest.pages_runs_checksum = file_size_crc(path)
         self._pages_runs_disk = want
         self._pages_runs_force = False
 
@@ -898,6 +942,7 @@ class ProvenanceStore:
                 raw_bytes=raw_bytes,
                 stored_bytes=len(framed),
                 codec=codec_name,
+                crc=zlib.crc32(framed) & 0xFFFFFFFF,
             )
         )
         self.manifest.node_count += len(nodes)
@@ -1014,6 +1059,65 @@ class ProvenanceStore:
         """This handle's cached payloads by segment id (back-compat view)."""
         return self.cache.cached_segments(self.cache_namespace, self.manifest_generation)
 
+    # ------------------------------------------------------------------ #
+    # Quarantine
+    # ------------------------------------------------------------------ #
+
+    def is_quarantined(self, segment_id: int) -> bool:
+        """Whether queries currently skip ``segment_id`` as damaged."""
+        return self.manifest.is_quarantined(segment_id)
+
+    def quarantined_segments(self) -> Dict[int, str]:
+        """Quarantined segment ids -> reason (a snapshot copy)."""
+        return dict(self.manifest.quarantined)
+
+    def quarantine_segment(
+        self, segment_id: int, reason: str, durable: bool = False
+    ) -> None:
+        """Mark a segment damaged so queries skip it instead of decoding it.
+
+        The mark is in-memory (every reader of *this* handle sees it
+        immediately); pass ``durable=True`` -- scrub does -- to commit it
+        through a manifest checkpoint so every future open sees it too.
+        """
+        self.manifest.quarantine(segment_id, reason)
+        if durable:
+            self.flush(checkpoint=True)
+
+    def clear_quarantine(self, segment_id: int, durable: bool = False) -> bool:
+        """Unmark a repaired segment; returns whether it was marked."""
+        cleared = self.manifest.clear_quarantine(segment_id)
+        if cleared and durable:
+            self.flush(checkpoint=True)
+        return cleared
+
+    def _quarantined_error(self, segment_id: int) -> CorruptSegmentError:
+        reason = self.manifest.quarantined.get(int(segment_id), "unknown reason")
+        return CorruptSegmentError(
+            f"segment {segment_id} is quarantined: {reason}",
+            segment_id=segment_id,
+            quarantined=True,
+        )
+
+    def _segment_fault(self, segment_id: int, exc: StoreError) -> StoreError:
+        """Convert a read/decode fault into quarantine plus a typed error.
+
+        The in-memory mark makes every later read through this handle
+        skip the segment (degrading the answer) instead of re-hitting the
+        fault; persisting the mark is scrub's (or the next checkpoint's)
+        job.  Unknown segment ids pass through untyped -- that is a bad
+        request, not corruption.
+        """
+        if isinstance(exc, CorruptSegmentError):
+            return exc
+        try:
+            self.manifest.quarantine(segment_id, str(exc))
+        except StoreError:
+            return exc
+        return CorruptSegmentError(
+            f"segment {segment_id} is corrupt: {exc}", segment_id=segment_id
+        )
+
     def _read_segment_file(self, segment_id: int) -> bytes:
         info = self.manifest.segment_info(segment_id)
         path = os.path.join(self.path, SEGMENTS_DIR, info.file_name)
@@ -1034,7 +1138,14 @@ class ProvenanceStore:
         of decoding the same bytes again.  ``scope`` collects per-query
         read accounting (the server's per-query stats); the store-wide
         :attr:`read_stats` is updated either way.
+
+        Raises:
+            CorruptSegmentError: The segment is quarantined, or its bytes
+                failed an integrity check just now (which quarantines it
+                in memory for the rest of this handle's life).
         """
+        if self.manifest.is_quarantined(segment_id):
+            raise self._quarantined_error(segment_id)
         handle = self.cache.begin_fill(
             self.cache_namespace, self.manifest_generation, segment_id
         )
@@ -1050,6 +1161,10 @@ class ProvenanceStore:
         try:
             data = self._read_segment_file(segment_id)
             payload = decode_segment(data)
+        except StoreError as exc:
+            fault = self._segment_fault(segment_id, exc)
+            handle.fail(fault)
+            raise fault from exc
         except BaseException as exc:
             handle.fail(exc)
             raise
@@ -1084,6 +1199,9 @@ class ProvenanceStore:
         iterate bounded chunks instead of passing the whole list here.
         """
         wanted = list(dict.fromkeys(segment_ids))
+        for segment_id in wanted:
+            if self.manifest.is_quarantined(segment_id):
+                raise self._quarantined_error(segment_id)
         payloads: Dict[int, SegmentPayload] = {}
         owned: List[Tuple[int, "FillHandle"]] = []
         waiting: List[Tuple[int, "FillHandle"]] = []
@@ -1135,8 +1253,11 @@ class ProvenanceStore:
         """
 
         def load(segment_id: int) -> Tuple[int, SegmentPayload]:
-            data = self._read_segment_file(segment_id)
-            return len(data), decode_segment(data)
+            try:
+                data = self._read_segment_file(segment_id)
+                return len(data), decode_segment(data)
+            except StoreError as exc:
+                raise self._segment_fault(segment_id, exc) from exc
 
         def load_group(group: List[int]) -> List[Tuple[int, SegmentPayload]]:
             return [load(segment_id) for segment_id in group]
@@ -1147,11 +1268,15 @@ class ProvenanceStore:
             return load_group(misses)
         workers = min(parallelism, len(misses))
         groups = [misses[offset::workers] for offset in range(workers)]
-        results = (
-            self._decode_groups_on_processes(groups)
-            if self._use_process_decode(len(misses))
-            else None
-        )
+        results = None
+        if self._use_process_decode(len(misses)):
+            try:
+                results = self._decode_groups_on_processes(groups)
+            except StoreError:
+                # A fault somewhere inside a group: re-read sequentially
+                # so the damaged segment is attributed (and quarantined)
+                # precisely instead of failing the sweep anonymously.
+                return load_group(misses)
         if results is None:
             pool = self._shared_executor()
             if pool is None:  # closed handle: stay correct, go sequential
@@ -1291,10 +1416,15 @@ class ProvenanceStore:
         once (twice across its two passes) and must not evict the cache's
         working set -- nor keep a whole run resident through it.
         """
+        if self.manifest.is_quarantined(segment_id):
+            raise self._quarantined_error(segment_id)
         cached = self.cache.peek(self.cache_namespace, self.manifest_generation, segment_id)
         if cached is not None:
             return cached
-        return decode_segment(self._read_segment_file(segment_id))
+        try:
+            return decode_segment(self._read_segment_file(segment_id))
+        except StoreError as exc:
+            raise self._segment_fault(segment_id, exc) from exc
 
     def clear_cache(self) -> None:
         """Drop this store's decoded segments (reads hit the disk again)."""
@@ -1501,6 +1631,9 @@ class ProvenanceStore:
                         raw_bytes=raw_bytes,
                         stored_bytes=len(framed),
                         codec=self.default_codec,
+                        # Transcoding backfills the checksum column: after
+                        # one compact() every segment of the run is covered.
+                        crc=zlib.crc32(framed) & 0xFFFFFFFF,
                     )
                 )
                 emitted.add(position)
@@ -1753,6 +1886,10 @@ class ProvenanceStore:
             "nodes": run.nodes,
             "edges": run.edges,
             "segments": len(infos),
+            "quarantined_segments": sorted(
+                info.segment_id for info in infos
+                if self.manifest.is_quarantined(info.segment_id)
+            ),
             "stored_bytes": sum(info.stored_bytes for info in infos),
             "codecs": codecs,
             "index_base_gen": run.index_base,
@@ -1804,6 +1941,7 @@ class ProvenanceStore:
             "path": self.path,
             "format_version": manifest.version,
             "segments": manifest.segment_count,
+            "quarantined_segments": sorted(manifest.quarantined),
             "codecs": codecs,
             "codec_bytes": codec_bytes,
             "nodes": manifest.node_count,

@@ -30,11 +30,16 @@ record what actually happened so tests can assert the fault really fired.
 :func:`crashable_server` complements the proxy with process-level chaos:
 a store server that can be killed and brought back *on the same port*,
 for replica-failover and crash-recovery tests.
+
+The disk-fault helpers (:func:`flip_bytes`, :func:`truncate_file`,
+:func:`delete_file`) are the storage-side counterpart: surgical damage to
+store files for the integrity tests (bit rot, torn writes, lost files).
 """
 
 from __future__ import annotations
 
 import contextlib
+import os
 import socket
 import struct
 import threading
@@ -45,6 +50,52 @@ from repro.store.server import StoreServer
 
 #: Modes ChaosProxy knows how to misbehave in.
 MODES = ("pass", "drop", "reset", "delay", "half_close")
+
+
+# ---------------------------------------------------------------------- #
+# Disk faults (storage-side chaos for the integrity tests)
+# ---------------------------------------------------------------------- #
+
+
+def flip_bytes(path: str, offset: int, count: int = 1) -> bytes:
+    """Bit-rot ``count`` bytes of ``path`` at ``offset`` (XOR 0xFF) in place.
+
+    A negative ``offset`` counts from the end of the file, like a slice
+    index.  Returns the original bytes so a test can undo the damage.
+    Raises if the range falls outside the file -- silent no-op damage
+    would make a "corruption detected" assertion vacuous.
+    """
+    size = os.path.getsize(path)
+    start = offset if offset >= 0 else size + offset
+    if start < 0 or start + count > size:
+        raise ValueError(
+            f"flip_bytes range [{start}, {start + count}) outside {path!r} "
+            f"({size} bytes)"
+        )
+    with open(path, "r+b") as handle:
+        handle.seek(start)
+        original = handle.read(count)
+        handle.seek(start)
+        handle.write(bytes(b ^ 0xFF for b in original))
+    return original
+
+
+def truncate_file(path: str, keep_bytes: Optional[int] = None, drop_bytes: int = 1) -> int:
+    """Tear the tail off ``path``: keep ``keep_bytes``, or drop ``drop_bytes``.
+
+    The torn-write shape (a crash mid-append).  Returns the new size.
+    """
+    size = os.path.getsize(path)
+    keep = keep_bytes if keep_bytes is not None else size - drop_bytes
+    if keep < 0 or keep > size:
+        raise ValueError(f"cannot keep {keep} of {size} bytes of {path!r}")
+    os.truncate(path, keep)
+    return keep
+
+
+def delete_file(path: str) -> None:
+    """Lose ``path`` entirely (the disk ate it).  Missing files raise."""
+    os.unlink(path)
 
 
 class ChaosProxy:
