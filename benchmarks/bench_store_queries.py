@@ -50,7 +50,16 @@ stays bounded as runs grow.  Nine scenarios keep those claims honest:
   verified MB/s, plus the same warm repeated query timed alone and again
   with a scrub looping next to it: scrub reads files directly rather
   than through the decoded-segment cache, so it must add zero cache
-  misses and leave warm query latency within 1.5x of baseline.
+  misses and leave warm query latency within 1.5x of baseline;
+* **fleet_ingest_maintenance** -- a concurrent run-fleet
+  (:func:`repro.store.fleet.run_fleet`) streamed into a writable server
+  with and without an in-process maintenance autopilot
+  (:mod:`repro.store.autopilot`) firing compact/gc/scrub under it,
+  reporting ingest runs/s both ways plus a warm reader's p99 on a
+  protected run -- quiescent, during the fleet (informational), and
+  during a post-fleet window where only the autopilot churns: the gate
+  holds the maintenance-only p99 within 1.5x with zero reader errors
+  and byte-identical answers.
 
 Every scenario appends its numbers to
 ``benchmarks/results/BENCH_store.json`` so the perf trajectory is tracked
@@ -867,6 +876,153 @@ def bench_scrub_throughput(
         store.close()
 
 
+def _p99(latencies: List[float]) -> float:
+    ordered = sorted(latencies)
+    return ordered[int(0.99 * (len(ordered) - 1))]
+
+
+def bench_fleet_ingest_maintenance(
+    base_dir: str, runs: int = 8, concurrency: int = 2, query_count: int = 60
+) -> dict:
+    """Fleet ingest throughput with the autopilot on vs off, and what the
+    churn costs a warm reader.
+
+    Two writable servers each take the same concurrent run-fleet; one
+    also runs an in-process maintenance autopilot (aggressive thresholds,
+    so compact/gc/scrub all fire).  The maintaining server additionally
+    serves a warm repeated lineage query of a protected run, timed in
+    three regimes: quiescent (before the fleet), during the fleet (both
+    writers hammering -- informational, ingest contention dominates),
+    and during a post-fleet churn window where ONLY the autopilot is
+    working through its compact/gc backlog and scrub schedule.  That
+    last window isolates what maintenance alone costs a warm reader; the
+    acceptance bar is its p99 within 1.5x of quiescent, with every
+    answer identical and zero reader errors.
+    """
+    from repro.inspector.api import run_with_provenance
+    from repro.store import AutopilotPolicy, FleetSpec, run_fleet
+    from repro.store.server import StoreClient, StoreServer
+
+    spec = FleetSpec(
+        workloads=("histogram",),
+        runs=runs,
+        concurrency=concurrency,
+        size="small",
+        threads=(2,),
+        seeds=(42,),
+    )
+
+    def one_phase(tag: str, maintenance) -> dict:
+        path = os.path.join(base_dir, f"fleet-{tag}")
+        seeded = run_with_provenance(
+            "histogram", num_threads=2, size="small", seed=1, store_path=path
+        )
+        probe_run = seeded.store_run_id
+        with ProvenanceStore.open(path) as handle:
+            pages = sorted(handle.indexes_for(probe_run).pages_touched())[:2]
+        server = StoreServer(
+            path, writable=True, maintenance=maintenance, maintenance_interval_s=0.1
+        )
+        try:
+            host, port = server.start()
+            url = f"{host}:{port}"
+            client = StoreClient.from_url(url)
+
+            def timed_query() -> Tuple[float, tuple]:
+                start = time.perf_counter()
+                nodes = client.lineage(pages, run=probe_run)
+                return time.perf_counter() - start, tuple(sorted(nodes))
+
+            if maintenance is not None:
+                time.sleep(0.3)  # let the first cycle settle the seed run
+            _, baseline = timed_query()
+            quiescent = [timed_query()[0] for _ in range(query_count)]
+
+            mismatches = [0]
+            errors: List[str] = []
+            during: List[float] = []
+            stop = threading.Event()
+
+            def reader_loop() -> None:
+                reader = StoreClient.from_url(url)
+                while not stop.is_set():
+                    start = time.perf_counter()
+                    try:
+                        nodes = reader.lineage(pages, run=probe_run)
+                    except Exception as exc:  # noqa: BLE001 - the metric
+                        errors.append(f"{type(exc).__name__}: {exc}")
+                        continue
+                    during.append(time.perf_counter() - start)
+                    if tuple(sorted(nodes)) != baseline:
+                        mismatches[0] += 1
+
+            def executed_decisions() -> list:
+                if server.autopilot is None:
+                    return []
+                return [d.to_dict() for d in server.autopilot.decisions if d.executed]
+
+            reader = threading.Thread(target=reader_loop)
+            reader.start()
+            started = time.monotonic()
+            try:
+                fleet = run_fleet(spec, store_url=url)
+                elapsed = time.monotonic() - started
+                fleet_samples = len(during)
+                actions_before_window = len(executed_decisions())
+                if maintenance is not None:
+                    # The churn window: the fleet is done, but the
+                    # autopilot is still digesting its compact/gc backlog
+                    # and scrubbing on schedule.  The reader keeps
+                    # hammering, so the samples collected from here on
+                    # measure what maintenance ALONE costs a warm query.
+                    time.sleep(1.2)
+            finally:
+                stop.set()
+                reader.join()
+            assert fleet.errors == [], [run.to_dict() for run in fleet.errors]
+            executed = executed_decisions()
+        finally:
+            server.close()
+        during_fleet = during[:fleet_samples]
+        during_maint = during[fleet_samples:]
+        return {
+            "runs": len(fleet.run_ids),
+            "runs_per_s": len(fleet.run_ids) / elapsed if elapsed else 0.0,
+            "warm_p99_quiescent_ms": _p99(quiescent) * 1e3,
+            "warm_p99_fleet_ms": _p99(during_fleet) * 1e3 if during_fleet else 0.0,
+            "warm_p99_during_ms": _p99(during_maint) * 1e3 if during_maint else 0.0,
+            "warm_queries_during": len(during_maint),
+            "reader_errors": errors,
+            "reader_mismatches": mismatches[0],
+            "maintenance_actions": len(executed),
+            "maintenance_actions_in_window": len(executed) - actions_before_window,
+            "maintenance_failures": [d for d in executed if d.get("error")],
+        }
+
+    policy = AutopilotPolicy(
+        compact_min_delta_files=1,
+        gc_keep_last=max(3, runs // 2),
+        scrub_interval_s=0.5,
+        protect_runs=(1,),  # the probe run warm readers are timed on
+    )
+    plain = one_phase("off", None)
+    maintained = one_phase("on", policy)
+    quiescent_ms = maintained["warm_p99_quiescent_ms"]
+    during_ms = maintained["warm_p99_during_ms"]
+    return {
+        "runs": runs,
+        "concurrency": concurrency,
+        "autopilot_off": plain,
+        "autopilot_on": maintained,
+        "ingest_slowdown": (
+            plain["runs_per_s"] / maintained["runs_per_s"]
+            if maintained["runs_per_s"]
+            else float("inf")
+        ),
+        "p99_ratio": during_ms / quiescent_ms if quiescent_ms else float("inf"),
+    }
+
+
 # ---------------------------------------------------------------------- #
 # pytest entry points
 # ---------------------------------------------------------------------- #
@@ -1127,6 +1283,44 @@ def test_scrub_throughput_leaves_warm_readers_alone(benchmark, tmp_path):
     )
 
 
+def test_fleet_ingest_maintenance_leaves_warm_p99_alone(benchmark, tmp_path):
+    """Acceptance: autopilot churn costs warm readers <= 1.5x p99."""
+    results = benchmark.pedantic(
+        lambda: bench_fleet_ingest_maintenance(
+            str(tmp_path), runs=4, concurrency=2, query_count=30
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    results["smoke"] = False
+    path = update_bench_json("fleet_ingest_maintenance", results)
+    on, off = results["autopilot_on"], results["autopilot_off"]
+    print(
+        f"fleet ingest: {off['runs_per_s']:.2f} runs/s alone, "
+        f"{on['runs_per_s']:.2f} runs/s with autopilot "
+        f"({results['ingest_slowdown']:.2f}x); warm p99 "
+        f"{on['warm_p99_quiescent_ms']:.2f} ms quiescent -> "
+        f"{on['warm_p99_during_ms']:.2f} ms during maintenance "
+        f"({results['p99_ratio']:.2f}x over {on['maintenance_actions']} action(s)) "
+        f"[written to {path}]"
+    )
+    assert on["maintenance_actions"] > 0, "the autopilot never fired; nothing was measured"
+    assert on["maintenance_actions_in_window"] > 0, (
+        "no maintenance executed inside the measured churn window"
+    )
+    assert on["warm_queries_during"] > 0
+    assert on["maintenance_failures"] == []
+    assert on["reader_errors"] == [], on["reader_errors"][:3]
+    assert on["reader_mismatches"] == 0, "maintenance changed a warm answer"
+    # Small absolute slack so a sub-ms baseline cannot flake the ratio.
+    assert (
+        on["warm_p99_during_ms"] <= 1.5 * on["warm_p99_quiescent_ms"] + 1.0
+    ), (
+        f"warm p99 rose {results['p99_ratio']:.2f}x during autopilot maintenance "
+        f"(acceptance bar: 1.5x)"
+    )
+
+
 def test_indexed_slice_touches_a_strict_segment_subset(benchmark, tmp_path):
     """Acceptance: a slice decodes fewer segments than the store holds."""
     from benchmarks.conftest import inspector_run
@@ -1229,6 +1423,14 @@ def main(argv=None) -> None:
         )
         scrubbed["smoke"] = args.smoke
         path = update_bench_json("scrub_throughput", scrubbed)
+        fleet = bench_fleet_ingest_maintenance(
+            tmp,
+            runs=3 if args.smoke else 8,
+            concurrency=2,
+            query_count=20 if args.smoke else 60,
+        )
+        fleet["smoke"] = args.smoke
+        update_bench_json("fleet_ingest_maintenance", fleet)
     print("\n".join(report_lines(rows)))
     print(
         f"codec decode: json {decode['json']['decode_ms']:.2f} ms, "
@@ -1290,6 +1492,15 @@ def main(argv=None) -> None:
         f"({scrubbed['latency_ratio']:.2f}x, "
         f"{scrubbed['cache_misses_added_by_scrub']} cache miss(es) added)"
     )
+    fleet_on = fleet["autopilot_on"]
+    print(
+        f"fleet ingest: {fleet['autopilot_off']['runs_per_s']:.2f} runs/s alone, "
+        f"{fleet_on['runs_per_s']:.2f} runs/s with autopilot "
+        f"({fleet['ingest_slowdown']:.2f}x); warm p99 "
+        f"{fleet_on['warm_p99_quiescent_ms']:.2f} -> "
+        f"{fleet_on['warm_p99_during_ms']:.2f} ms during maintenance "
+        f"({fleet['p99_ratio']:.2f}x, {fleet_on['maintenance_actions']} action(s))"
+    )
     if args.smoke:
         # CI regression gates: absolute comparisons with wide margins
         # (locally ~4x, ~4x, and >10x), so scheduler noise cannot flake
@@ -1331,6 +1542,23 @@ def main(argv=None) -> None:
         assert scrubbed["warm_during_scrub_ms"] <= 1.5 * scrubbed["warm_ms"] + 0.5, (
             f"warm query latency rose {scrubbed['latency_ratio']:.2f}x during a "
             f"scrub (acceptance bar: 1.5x)"
+        )
+        assert fleet_on["maintenance_actions"] > 0, (
+            "the autopilot never fired during the fleet; nothing was measured"
+        )
+        assert fleet_on["maintenance_actions_in_window"] > 0, (
+            "no maintenance executed inside the measured churn window"
+        )
+        assert fleet_on["reader_errors"] == [], fleet_on["reader_errors"][:3]
+        assert fleet_on["reader_mismatches"] == 0, (
+            "autopilot maintenance changed a warm reader's answer"
+        )
+        assert (
+            fleet_on["warm_p99_during_ms"]
+            <= 1.5 * fleet_on["warm_p99_quiescent_ms"] + 1.0
+        ), (
+            f"warm p99 rose {fleet['p99_ratio']:.2f}x during autopilot "
+            f"maintenance (acceptance bar: 1.5x)"
         )
     print(f"[written to {path}]")
 

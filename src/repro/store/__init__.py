@@ -42,8 +42,16 @@ between these two runs".  It provides:
   answering every engine query identically to the unsharded engine,
   with per-shard fan-out telemetry and a configurable degraded-read
   policy when a shard is down;
+* :mod:`repro.store.gate` / :mod:`repro.store.autopilot` /
+  :mod:`repro.store.fleet` -- the continuous-provenance operations
+  layer: blessed :class:`~repro.store.gate.ProvenanceBaseline`
+  snapshots gating later runs on provenance drift, a declarative
+  maintenance daemon scheduling compact/gc/scrub from policy, and a
+  run-fleet generator with population-level
+  :func:`~repro.store.fleet.drift_report` comparisons;
 * ``python -m repro.store`` -- the ``ingest`` / ``info`` / ``runs`` /
-  ``slice`` / ``lineage`` / ``taint`` / ``compact`` / ``gc`` / ``serve``
+  ``slice`` / ``lineage`` / ``taint`` / ``compact`` / ``gc`` /
+  ``bless`` / ``check`` / ``autopilot`` / ``serve``
   / ``watch`` / ``cluster serve|query|status`` command-line surface.
 
 The whole reproduction's module map lives in ``docs/architecture.md``;
@@ -56,6 +64,7 @@ from repro.errors import (
     StoreReadOnlyError,
     StoreUnreachableError,
 )
+from repro.store.autopilot import Autopilot, AutopilotDaemon, AutopilotPolicy, Decision
 from repro.store.cache import (
     DEFAULT_CACHE_BYTES,
     CacheStats,
@@ -84,6 +93,14 @@ from repro.store.format import (
     SegmentInfo,
     StoreManifest,
 )
+from repro.store.fleet import FleetResult, FleetSpec, drift_report, run_fleet
+from repro.store.gate import (
+    GateReport,
+    ProvenanceBaseline,
+    bless_baseline,
+    check_against_baseline,
+    list_baselines,
+)
 from repro.store.indexes import StoreIndexes
 from repro.store.integrity import scrub, verify_store
 from repro.store.log import SegmentLog
@@ -106,11 +123,18 @@ __all__ = [
     "STORE_FORMAT_VERSION_V4",
     "STORE_FORMAT_VERSION_V5",
     "PAGE_HASH_BUCKETS",
+    "Autopilot",
+    "AutopilotDaemon",
+    "AutopilotPolicy",
     "CacheStats",
     "ClusterManifest",
     "CorruptSegmentError",
     "ClusterService",
+    "Decision",
     "Endpoint",
+    "FleetResult",
+    "FleetSpec",
+    "GateReport",
     "IndexPinner",
     "InProcessShardClient",
     "LineageDiff",
@@ -120,6 +144,7 @@ __all__ = [
     "SegmentCodec",
     "SegmentLog",
     "MaintenanceStats",
+    "ProvenanceBaseline",
     "ProvenanceStore",
     "RemoteStoreSink",
     "RunInfo",
@@ -137,7 +162,12 @@ __all__ = [
     "StoreServer",
     "StoreSink",
     "StoreUnreachableError",
+    "bless_baseline",
+    "check_against_baseline",
+    "drift_report",
+    "list_baselines",
     "page_bucket",
+    "run_fleet",
     "scrub",
     "verify_store",
 ]

@@ -15,11 +15,19 @@ Usage::
     python -m repro.store compact <store> [--run R] [--segment-nodes N] \\
         [--codec binary-z|binary|json] [--compress-level 1-9] [--json]
     python -m repro.store gc <store> (--keep-last N | --runs 1,2) [--json]
+    python -m repro.store bless <store> [--run R] [--pages 1,2]... \\
+        [--name NAME] [--no-racy] [--json]
+    python -m repro.store check <store> --baseline <run-or-name> \\
+        [--run R] [--no-racy] [--json]
+    python -m repro.store autopilot <store> [--once] [--dry-run] \\
+        [--interval S] [--keep-last N] [--max-store-bytes N] \\
+        [--scrub-interval S] [--protect-runs 1,2] [--log FILE] [--json]
     python -m repro.store fsck <store> [--repair] [--json]
     python -m repro.store scrub <store> [--throttle-mb N] \\
         [--no-quarantine] [--json]
     python -m repro.store serve <store> [--host H] [--port P] \\
-        [--cache-bytes N] [--parallelism N] [--writable]
+        [--cache-bytes N] [--parallelism N] [--writable] \\
+        [--maintenance [policy.json]] [--maintenance-interval S]
     python -m repro.store watch <host:port> --pages 1,2 [--run R] \\
         [--interval S] [--timeout S] [--json]
     python -m repro.store cluster serve <cluster.json> [--cache-bytes N] \\
@@ -42,7 +50,15 @@ reclaims their disk space.  ``fsck`` is the structural integrity check
 (manifest/log/files agreement plus orphan detection; ``--repair`` removes
 the orphans) and ``scrub`` re-reads and re-checksums every store file,
 quarantining damaged segments (:mod:`repro.store.integrity`); both print
-machine-readable reports with ``--json`` and exit non-zero on damage.  ``--compress-level`` tunes the zlib level of
+machine-readable reports with ``--json`` and exit non-zero on damage.
+``bless`` snapshots a run's lineage/taint/racy-pair fingerprints as a
+named baseline under ``index/baselines/`` and ``check`` gates a later
+run against it, exiting non-zero with a page-level diff on provenance
+drift (:mod:`repro.store.gate`) -- the CI shape.  ``autopilot`` runs the
+declarative maintenance daemon (:mod:`repro.store.autopilot`): it plans
+and executes ``compact``/``gc``/``scrub`` from size, age, fragmentation,
+and quarantine thresholds, ``--once``/``--dry-run`` for auditing; the
+same policy rides along inside a server via ``serve --maintenance``.  ``--compress-level`` tunes the zlib level of
 the ``binary-z`` codec; ``info`` breaks the stored-vs-raw bytes down per
 codec.  Every query prints how many segments it read out of how many the
 store holds, making the out-of-core behaviour visible; ``--parallelism``
@@ -82,9 +98,11 @@ from repro.core.cpg import EdgeKind
 from repro.core.serialization import node_key, parse_node_key
 from repro.errors import InspectorError
 
+from repro.store.autopilot import Autopilot, AutopilotDaemon, AutopilotPolicy
 from repro.store.cache import DEFAULT_CACHE_BYTES
 from repro.store.cluster import ClusterService, StoreCluster
 from repro.store.codecs import CODECS, DEFAULT_CODEC
+from repro.store.gate import bless_baseline, check_against_baseline
 from repro.store.integrity import scrub, verify_store
 from repro.store.query import StoreQueryEngine
 from repro.store.server import StoreClient, StoreServer
@@ -270,6 +288,89 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--runs", type=_parse_runs, default=None, help="drop exactly these run ids")
     gc.add_argument("--json", action="store_true", help="machine-readable output")
 
+    bless = commands.add_parser(
+        "bless", help="snapshot a run's provenance fingerprints as a named baseline"
+    )
+    bless.add_argument("store", help="store directory")
+    bless.add_argument(
+        "--run", type=int, default=None, help="run to bless (optional for single-run stores)"
+    )
+    bless.add_argument(
+        "--pages",
+        type=_parse_pages,
+        action="append",
+        default=None,
+        metavar="1,2",
+        help="fingerprint this page set (repeatable; default: every touched page)",
+    )
+    bless.add_argument("--name", default=None, help="baseline name (default: run-<id>)")
+    bless.add_argument(
+        "--no-racy", action="store_true", help="skip recording the run's racy pairs"
+    )
+    bless.add_argument("--json", action="store_true", help="machine-readable output")
+
+    check = commands.add_parser(
+        "check", help="gate a run against a blessed baseline (exits non-zero on drift)"
+    )
+    check.add_argument("store", help="store directory")
+    check.add_argument(
+        "--baseline",
+        required=True,
+        help="baseline name, or a blessed run id (persisted or computed on the fly)",
+    )
+    check.add_argument(
+        "--run", type=int, default=None, help="candidate run (default: the most recent)"
+    )
+    check.add_argument(
+        "--no-racy", action="store_true", help="skip the racy-pair comparison"
+    )
+    check.add_argument("--json", action="store_true", help="machine-readable output")
+
+    autopilot = commands.add_parser(
+        "autopilot", help="policy-driven maintenance daemon (compact/gc/scrub)"
+    )
+    autopilot.add_argument("store", help="store directory")
+    autopilot.add_argument(
+        "--once", action="store_true", help="run one maintenance cycle and exit"
+    )
+    autopilot.add_argument(
+        "--dry-run", action="store_true", help="plan and report, execute nothing"
+    )
+    autopilot.add_argument(
+        "--interval", type=float, default=5.0, help="seconds between cycles (default: 5)"
+    )
+    autopilot.add_argument(
+        "--keep-last", type=int, default=None, help="gc down to the N most recent live runs"
+    )
+    autopilot.add_argument(
+        "--max-store-bytes",
+        type=int,
+        default=None,
+        help="gc oldest runs while segments exceed this byte budget",
+    )
+    autopilot.add_argument(
+        "--scrub-interval",
+        type=float,
+        default=None,
+        help="scrub at least this often in seconds (quarantine always triggers one)",
+    )
+    autopilot.add_argument(
+        "--compact-min-delta-files",
+        type=int,
+        default=None,
+        help="compact a run once this many index delta files pend",
+    )
+    autopilot.add_argument(
+        "--protect-runs",
+        type=_parse_runs,
+        default=None,
+        help="never gc these run ids (baseline-blessed runs are protected by default)",
+    )
+    autopilot.add_argument(
+        "--log", default=None, help="append structured decisions to this JSONL file"
+    )
+    autopilot.add_argument("--json", action="store_true", help="machine-readable output")
+
     fsck = commands.add_parser(
         "fsck", help="structural integrity check (manifest/log/files agreement, orphans)"
     )
@@ -314,6 +415,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--writable",
         action="store_true",
         help="accept remote ingest ops (begin_run/append_epoch/commit_run)",
+    )
+    serve.add_argument(
+        "--maintenance",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="POLICY_JSON",
+        help="run a maintenance autopilot in-process "
+        "(optionally configured from a policy JSON file; default policy otherwise)",
+    )
+    serve.add_argument(
+        "--maintenance-interval",
+        type=float,
+        default=5.0,
+        help="seconds between autopilot cycles (default: 5)",
     )
     _add_parallelism(serve)
 
@@ -644,6 +760,109 @@ def _cmd_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bless(args: argparse.Namespace) -> int:
+    with ProvenanceStore.open(args.store) as store:
+        baseline = bless_baseline(
+            store,
+            run=args.run,
+            pages=args.pages,
+            name=args.name,
+            include_racy=not args.no_racy,
+        )
+        path = baseline.save(store)
+    if args.json:
+        print(json.dumps(baseline.to_dict(), sort_keys=True, indent=2))
+        return 0
+    racy = (
+        f", {baseline.racy_pair_count} racy pair(s)"
+        if baseline.racy_pairs is not None
+        else ""
+    )
+    print(
+        f"blessed run {baseline.run_id} as baseline {baseline.name!r}: "
+        f"{len(baseline.page_sets)} page set(s){racy} -> {path}"
+    )
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    with ProvenanceStore.open(args.store) as store:
+        report = check_against_baseline(
+            store,
+            args.baseline,
+            run=args.run,
+            include_racy=False if args.no_racy else None,
+        )
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        for line in report.explain():
+            print(line)
+    return 0 if report.ok else 1
+
+
+def _print_decision(decision) -> None:
+    if decision.dry_run:
+        status = "planned"
+    elif decision.error is not None:
+        status = "FAILED"
+    else:
+        status = "done"
+    line = f"  [{status}] {decision.action}"
+    if decision.run is not None:
+        line += f" run {decision.run}"
+    line += f": {decision.reason}"
+    if decision.error:
+        line += f" ({decision.error})"
+    print(line)
+
+
+def _cmd_autopilot(args: argparse.Namespace) -> int:
+    policy_kwargs = {"dry_run": args.dry_run}
+    if args.keep_last is not None:
+        policy_kwargs["gc_keep_last"] = args.keep_last
+    if args.max_store_bytes is not None:
+        policy_kwargs["gc_max_store_bytes"] = args.max_store_bytes
+    if args.scrub_interval is not None:
+        policy_kwargs["scrub_interval_s"] = args.scrub_interval
+    if args.compact_min_delta_files is not None:
+        policy_kwargs["compact_min_delta_files"] = args.compact_min_delta_files
+    if args.protect_runs is not None:
+        policy_kwargs["protect_runs"] = tuple(args.protect_runs)
+    policy = AutopilotPolicy(**policy_kwargs)
+    with ProvenanceStore.open(args.store) as store:
+        pilot = Autopilot(store, policy, log_path=args.log)
+        if args.once:
+            decisions = pilot.run_once()
+            if args.json:
+                print(
+                    json.dumps(
+                        [decision.to_dict() for decision in decisions],
+                        sort_keys=True,
+                        indent=2,
+                    )
+                )
+            else:
+                if not decisions:
+                    print(f"autopilot on {args.store}: nothing to do")
+                else:
+                    print(f"autopilot on {args.store}: {len(decisions)} decision(s)")
+                    for decision in decisions:
+                        _print_decision(decision)
+            return 1 if any(d.error for d in decisions) else 0
+        mode = "dry-run" if args.dry_run else "active"
+        print(
+            f"autopilot on {args.store} ({mode}; every {args.interval}s); Ctrl-C to stop"
+        )
+        with AutopilotDaemon(pilot, interval_s=args.interval):
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                print("stopped")
+    return 0
+
+
 def _cmd_fsck(args: argparse.Namespace) -> int:
     report = verify_store(args.store, repair=args.repair)
     if args.json:
@@ -705,6 +924,13 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    maintenance = None
+    if args.maintenance is not None:
+        if args.maintenance:
+            with open(args.maintenance, "r", encoding="utf-8") as handle:
+                maintenance = AutopilotPolicy.from_dict(json.load(handle))
+        else:
+            maintenance = AutopilotPolicy()
     server = StoreServer(
         args.store,
         host=args.host,
@@ -712,13 +938,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_bytes=args.cache_bytes,
         parallelism=args.parallelism,
         writable=args.writable,
+        maintenance=maintenance,
+        maintenance_interval_s=args.maintenance_interval,
     )
     host, port = server.address
     mode = "read-write" if args.writable else "read-only"
+    upkeep = (
+        f", autopilot every {args.maintenance_interval}s" if maintenance is not None else ""
+    )
     print(
         f"serving {args.store} on {host}:{port} ({mode}; "
-        f"cache budget {args.cache_bytes} bytes, parallelism {args.parallelism}); "
-        f"Ctrl-C to stop"
+        f"cache budget {args.cache_bytes} bytes, parallelism {args.parallelism}"
+        f"{upkeep}); Ctrl-C to stop"
     )
     try:
         server.serve_forever()
@@ -956,6 +1187,9 @@ _COMMANDS = {
     "taint": _cmd_taint,
     "compact": _cmd_compact,
     "gc": _cmd_gc,
+    "bless": _cmd_bless,
+    "check": _cmd_check,
+    "autopilot": _cmd_autopilot,
     "fsck": _cmd_fsck,
     "scrub": _cmd_scrub,
     "serve": _cmd_serve,

@@ -1,0 +1,437 @@
+"""Policy-driven store maintenance: the autopilot daemon.
+
+A store that ingests a fleet of runs accumulates operational debt --
+fragmented segments and pending index deltas from streamed epochs,
+superseded runs eating disk, quarantined segments waiting for a scrub to
+re-verify them.  The autopilot turns the manual ``compact``/``gc``/
+``scrub`` maintenance surface into a declarative loop:
+
+* :class:`AutopilotPolicy` states the thresholds (fragmentation, pending
+  index deltas, run-count and byte budgets, scrub cadence, quarantine
+  response) plus the safety rails (protected runs, dry-run mode);
+* :class:`Autopilot` inspects the store (:meth:`Autopilot.plan` is pure
+  -- it only reads manifest state) and executes the resulting
+  :class:`Decision` list under a caller-supplied lock, recording every
+  action in a structured decision log;
+* :class:`AutopilotDaemon` runs that cycle on an interval until stopped.
+
+Warm readers are part of the contract, not an afterthought: actions only
+ever touch runs whose status is complete, runs a persisted baseline
+blesses (see :mod:`repro.store.gate`) or the policy protects are never
+garbage-collected, and maintenance work performed inside a
+:class:`~repro.store.server.StoreServer` (the ``serve --maintenance``
+flag) serializes with remote ingest through the server's write lock and
+refreshes the served snapshot after every mutation, so follow-mode
+readers move forward instead of faulting on rewritten files.
+
+``python -m repro.store autopilot`` drives the same loop from the
+command line; ``--dry-run`` prints what would happen without mutating
+anything.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import StoreError
+
+from repro.store.format import DEFAULT_SEGMENT_NODES, RUN_COMPLETE
+from repro.store.integrity import scrub
+from repro.store.store import ProvenanceStore
+
+#: Actions the autopilot knows how to take, in the order one cycle
+#: considers them (compact first -- it shrinks what gc and scrub scan).
+ACTIONS = ("compact", "gc", "scrub")
+
+
+@dataclass
+class AutopilotPolicy:
+    """Declarative maintenance thresholds (``None`` disables a trigger).
+
+    Attributes:
+        compact_min_delta_files: Compact a run once this many index delta
+            files are pending (streamed flushes append one per epoch).
+        compact_fragmentation: Compact a run whose segment count exceeds
+            this multiple of its ideal count (``ceil(nodes /
+            segment_nodes)``) -- the fragmentation streamed epochs and
+            edge-only tail segments leave behind.
+        segment_nodes: The ideal-segment yardstick (and the size compact
+            rewrites to).
+        gc_keep_last: Drop completed runs beyond the most recent N.
+            Quarantined-only and protected runs never consume keep slots
+            and are never dropped.
+        gc_max_store_bytes: Drop oldest completed runs until the stored
+            segment bytes fit the budget.
+        scrub_interval_s: Deep-scrub cadence; ``None`` scrubs only in
+            response to quarantine.
+        scrub_on_quarantine: Scrub whenever quarantined segments exist
+            (a clean re-verify lifts the mark after an in-place repair).
+        protect_runs: Run ids gc must never touch.
+        protect_baselines: Also protect every run a persisted baseline
+            blesses (:func:`repro.store.gate.baseline_runs`).
+        dry_run: Plan and log decisions without executing anything.
+    """
+
+    compact_min_delta_files: Optional[int] = 8
+    compact_fragmentation: Optional[float] = 2.0
+    segment_nodes: int = DEFAULT_SEGMENT_NODES
+    gc_keep_last: Optional[int] = None
+    gc_max_store_bytes: Optional[int] = None
+    scrub_interval_s: Optional[float] = None
+    scrub_on_quarantine: bool = True
+    protect_runs: Tuple[int, ...] = ()
+    protect_baselines: bool = True
+    dry_run: bool = False
+
+    def __post_init__(self) -> None:
+        if self.compact_min_delta_files is not None and self.compact_min_delta_files < 1:
+            raise StoreError("compact_min_delta_files must be >= 1 (or None)")
+        if self.compact_fragmentation is not None and self.compact_fragmentation < 1.0:
+            raise StoreError("compact_fragmentation must be >= 1.0 (or None)")
+        if self.segment_nodes < 1:
+            raise StoreError("segment_nodes must be >= 1")
+        if self.gc_keep_last is not None and self.gc_keep_last < 0:
+            raise StoreError("gc_keep_last must be >= 0 (or None)")
+        if self.gc_max_store_bytes is not None and self.gc_max_store_bytes < 0:
+            raise StoreError("gc_max_store_bytes must be >= 0 (or None)")
+        if self.scrub_interval_s is not None and self.scrub_interval_s <= 0:
+            raise StoreError("scrub_interval_s must be positive (or None)")
+        self.protect_runs = tuple(int(run) for run in self.protect_runs)
+
+    def to_dict(self) -> dict:
+        return {
+            "compact_min_delta_files": self.compact_min_delta_files,
+            "compact_fragmentation": self.compact_fragmentation,
+            "segment_nodes": self.segment_nodes,
+            "gc_keep_last": self.gc_keep_last,
+            "gc_max_store_bytes": self.gc_max_store_bytes,
+            "scrub_interval_s": self.scrub_interval_s,
+            "scrub_on_quarantine": self.scrub_on_quarantine,
+            "protect_runs": list(self.protect_runs),
+            "protect_baselines": self.protect_baselines,
+            "dry_run": self.dry_run,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AutopilotPolicy":
+        known = {
+            "compact_min_delta_files",
+            "compact_fragmentation",
+            "segment_nodes",
+            "gc_keep_last",
+            "gc_max_store_bytes",
+            "scrub_interval_s",
+            "scrub_on_quarantine",
+            "protect_runs",
+            "protect_baselines",
+            "dry_run",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise StoreError(
+                f"unknown autopilot policy key(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**data)
+
+
+@dataclass
+class Decision:
+    """One planned (and possibly executed) maintenance action."""
+
+    action: str
+    reason: str
+    params: dict = field(default_factory=dict)
+    run: Optional[int] = None
+    dry_run: bool = False
+    executed: bool = False
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    at: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "reason": self.reason,
+            "params": self.params,
+            "run": self.run,
+            "dry_run": self.dry_run,
+            "executed": self.executed,
+            "result": self.result,
+            "error": self.error,
+            "at": self.at,
+        }
+
+
+class Autopilot:
+    """Plans and executes maintenance for one store handle.
+
+    Args:
+        store: A writable store handle the autopilot owns maintenance of
+            (callers keep ownership: the autopilot never closes it).
+        policy: The thresholds; defaults to :class:`AutopilotPolicy`'s
+            conservative defaults (compact-only).
+        lock: Mutex every executed action is taken under.  A server
+            passes its write lock here so maintenance serializes with
+            remote ingest; standalone use gets a private lock.
+        after_action: Called with each executed :class:`Decision` (the
+            server hook: refresh the served snapshot).
+        log_path: Optional JSONL file every decision is appended to --
+            the durable half of the decision log.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        store: ProvenanceStore,
+        policy: Optional[AutopilotPolicy] = None,
+        lock: Optional[threading.Lock] = None,
+        after_action: Optional[Callable[[Decision], None]] = None,
+        log_path: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.store = store
+        self.policy = policy if policy is not None else AutopilotPolicy()
+        self._lock = lock if lock is not None else threading.Lock()
+        self._after_action = after_action
+        self._log_path = log_path
+        self._clock = clock
+        self._log: List[Decision] = []
+        self._log_lock = threading.Lock()
+        self._last_scrub: Optional[float] = None
+        self.cycles = 0
+
+    # ------------------------------------------------------------------ #
+    # Planning (pure: reads manifest state, mutates nothing)
+    # ------------------------------------------------------------------ #
+
+    def _protected_runs(self) -> set:
+        protected = set(self.policy.protect_runs)
+        if self.policy.protect_baselines:
+            from repro.store.gate import baseline_runs  # cycle: gate imports store
+
+            protected |= baseline_runs(self.store)
+        return protected
+
+    def _run_fragmented(self, run_id: int) -> Optional[str]:
+        """A reason string when the run needs compaction, else ``None``."""
+        policy = self.policy
+        run_info = self.store.manifest.run_info(run_id)
+        if (
+            policy.compact_min_delta_files is not None
+            and len(run_info.index_deltas) >= policy.compact_min_delta_files
+        ):
+            return (
+                f"{len(run_info.index_deltas)} pending index delta file(s) "
+                f">= {policy.compact_min_delta_files}"
+            )
+        if policy.compact_fragmentation is not None:
+            segments = len(self.store.manifest.segments_of_run(run_id))
+            ideal = max(1, -(-run_info.nodes // policy.segment_nodes))
+            if segments > ideal and segments >= policy.compact_fragmentation * ideal:
+                return (
+                    f"{segments} segment(s) vs {ideal} ideal "
+                    f"(>= {policy.compact_fragmentation}x fragmented)"
+                )
+        return None
+
+    def _gc_victims(self, protected: set) -> Tuple[List[int], List[str]]:
+        """Completed, unprotected runs the byte/count budgets condemn."""
+        policy = self.policy
+        manifest = self.store.manifest
+        eligible = []
+        for run_id in self.store.run_ids():
+            if run_id in protected:
+                continue
+            if manifest.run_info(run_id).status != RUN_COMPLETE:
+                continue
+            infos = manifest.segments_of_run(run_id)
+            if infos and all(manifest.is_quarantined(info.segment_id) for info in infos):
+                continue  # damage awaiting repair, not superseded data
+            eligible.append(run_id)
+        victims: List[int] = []
+        reasons: List[str] = []
+        if policy.gc_keep_last is not None and len(eligible) > policy.gc_keep_last:
+            over = eligible[: len(eligible) - policy.gc_keep_last]
+            victims.extend(over)
+            reasons.append(
+                f"{len(eligible)} eligible run(s) > keep_last={policy.gc_keep_last}"
+            )
+        if policy.gc_max_store_bytes is not None:
+            stored = {
+                info.run: 0 for info in manifest.segments
+            }  # bytes per run, oldest-first drop order below
+            for info in manifest.segments:
+                stored[info.run] += info.stored_bytes
+            total = sum(stored.values())
+            if total > policy.gc_max_store_bytes:
+                projected = total - sum(stored.get(run, 0) for run in victims)
+                for run_id in eligible:
+                    if projected <= policy.gc_max_store_bytes:
+                        break
+                    if run_id in victims:
+                        continue
+                    victims.append(run_id)
+                    projected -= stored.get(run_id, 0)
+                reasons.append(
+                    f"{total} stored byte(s) > budget {policy.gc_max_store_bytes}"
+                )
+        return sorted(set(victims)), reasons
+
+    def plan(self) -> List[Decision]:
+        """Decide what this cycle would do.  Reads state; mutates nothing."""
+        policy = self.policy
+        manifest = self.store.manifest
+        protected = self._protected_runs()
+        decisions: List[Decision] = []
+        for run_id in self.store.run_ids():
+            run_info = manifest.run_info(run_id)
+            if run_info.status != RUN_COMPLETE:
+                continue  # never rewrite under an active ingest
+            infos = manifest.segments_of_run(run_id)
+            if any(manifest.is_quarantined(info.segment_id) for info in infos):
+                continue  # damaged runs are scrub's business, not compact's
+            reason = self._run_fragmented(run_id)
+            if reason is not None:
+                decisions.append(
+                    Decision(
+                        action="compact",
+                        run=run_id,
+                        reason=f"run {run_id}: {reason}",
+                        params={"run": run_id, "segment_nodes": policy.segment_nodes},
+                    )
+                )
+        victims, reasons = self._gc_victims(protected)
+        if victims:
+            decisions.append(
+                Decision(
+                    action="gc",
+                    reason="; ".join(reasons),
+                    params={"runs": victims},
+                )
+            )
+        quarantined = sorted(manifest.quarantined)
+        now = self._clock()
+        scrub_reason = None
+        if policy.scrub_on_quarantine and quarantined:
+            scrub_reason = f"{len(quarantined)} quarantined segment(s): {quarantined}"
+        elif policy.scrub_interval_s is not None and (
+            self._last_scrub is None or now - self._last_scrub >= policy.scrub_interval_s
+        ):
+            scrub_reason = (
+                "scrub interval elapsed"
+                if self._last_scrub is not None
+                else "no scrub performed yet"
+            )
+        if scrub_reason is not None:
+            decisions.append(Decision(action="scrub", reason=scrub_reason, params={}))
+        return decisions
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, decision: Decision) -> None:
+        with self._lock:
+            if decision.action == "compact":
+                stats = self.store.compact(
+                    run=decision.params["run"],
+                    segment_nodes=decision.params["segment_nodes"],
+                )
+                decision.result = stats.to_dict()
+            elif decision.action == "gc":
+                stats = self.store.gc(runs=decision.params["runs"])
+                decision.result = stats.to_dict()
+            elif decision.action == "scrub":
+                report = scrub(self.store)
+                self._last_scrub = self._clock()
+                decision.result = {
+                    "ok": report["ok"],
+                    "files_scanned": report["files_scanned"],
+                    "bytes_verified": report["bytes_verified"],
+                    "quarantined": report["quarantined"],
+                    "unquarantined": report["unquarantined"],
+                }
+            else:  # pragma: no cover - plan() only emits known actions
+                raise StoreError(f"unknown autopilot action {decision.action!r}")
+        decision.executed = True
+
+    def _record(self, decision: Decision) -> None:
+        decision.at = time.strftime("%Y-%m-%dT%H:%M:%S")
+        with self._log_lock:
+            self._log.append(decision)
+        if self._log_path is not None:
+            line = json.dumps(decision.to_dict(), sort_keys=True)
+            with self._log_lock:
+                with open(self._log_path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+
+    def run_once(self) -> List[Decision]:
+        """One maintenance cycle: plan, execute (unless dry-run), log."""
+        decisions = self.plan()
+        for decision in decisions:
+            decision.dry_run = self.policy.dry_run
+            if not self.policy.dry_run:
+                try:
+                    self._execute(decision)
+                except (StoreError, OSError) as exc:
+                    # A failed action must not kill the daemon: the store
+                    # is crash-consistent, the next cycle retries.
+                    decision.error = str(exc)
+            self._record(decision)
+            if decision.executed and self._after_action is not None:
+                self._after_action(decision)
+        self.cycles += 1
+        return decisions
+
+    @property
+    def decisions(self) -> List[Decision]:
+        """Snapshot of the in-memory decision log, oldest first."""
+        with self._log_lock:
+            return list(self._log)
+
+    def decisions_dict(self) -> List[dict]:
+        return [decision.to_dict() for decision in self.decisions]
+
+
+class AutopilotDaemon:
+    """Runs :meth:`Autopilot.run_once` every ``interval_s`` until stopped."""
+
+    def __init__(self, autopilot: Autopilot, interval_s: float = 5.0) -> None:
+        if interval_s <= 0:
+            raise StoreError(f"interval_s must be positive, got {interval_s}")
+        self.autopilot = autopilot
+        self.interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "AutopilotDaemon":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="store-autopilot", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.autopilot.run_once()
+            # Event-based pacing: stop() wakes the loop immediately
+            # instead of letting it sleep out the rest of the interval.
+            self._stop.wait(self.interval_s)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def __enter__(self) -> "AutopilotDaemon":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

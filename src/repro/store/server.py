@@ -70,6 +70,7 @@ from repro.core.cpg import EdgeKind
 from repro.core.serialization import node_key, parse_node_key
 from repro.core.thunk import SubComputation
 from repro.errors import (
+    CorruptSegmentError,
     InspectorError,
     StoreError,
     StoreReadOnlyError,
@@ -214,6 +215,14 @@ class StoreServer:
             ``append_epoch`` / ``commit_run``) through a single writer
             handle.  Off by default: a query server should not be a write
             path by accident.
+        maintenance: Run the store autopilot inside the server: an
+            :class:`~repro.store.autopilot.AutopilotPolicy` (or its dict
+            form).  Maintenance actions serialize with remote ingest
+            through the write lock and refresh the served snapshot after
+            every executed action, so follow-mode readers advance instead
+            of faulting on rewritten files.  The decision log is exposed
+            as :attr:`autopilot`.
+        maintenance_interval_s: Seconds between autopilot cycles.
     """
 
     def __init__(
@@ -224,6 +233,8 @@ class StoreServer:
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         parallelism: int = 1,
         writable: bool = False,
+        maintenance: Optional[object] = None,
+        maintenance_interval_s: float = 5.0,
     ) -> None:
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
@@ -264,6 +275,35 @@ class StoreServer:
         #: Active remote ingests by run id (single writer per run: the
         #: run id is minted by begin_run and retired by commit_run).
         self._ingests: Dict[int, dict] = {}
+        #: The in-server autopilot (``maintenance=``), or ``None``.
+        self.autopilot = None
+        self._autopilot_daemon = None
+        self._maintenance_store: Optional[ProvenanceStore] = None
+        if maintenance is not None:
+            from repro.store.autopilot import Autopilot, AutopilotDaemon, AutopilotPolicy
+
+            policy = (
+                maintenance
+                if isinstance(maintenance, AutopilotPolicy)
+                else AutopilotPolicy.from_dict(dict(maintenance))
+            )
+            # Maintenance needs a mutable handle; reuse the writer so
+            # ingest and maintenance share one manifest view, else open a
+            # dedicated one (sharing the warm cache either way).
+            if self._writer is None:
+                self._maintenance_store = ProvenanceStore.open(
+                    store_path, segment_cache=self.cache
+                )
+            handle = self._writer if self._writer is not None else self._maintenance_store
+            self.autopilot = Autopilot(
+                handle,
+                policy,
+                lock=self._write_lock,
+                after_action=lambda _decision: self.refresh(),
+            )
+            self._autopilot_daemon = AutopilotDaemon(
+                self.autopilot, interval_s=maintenance_interval_s
+            )
         self._tcp = _TCPServer((host, port), _RequestHandler)
         self._tcp.store_server = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
@@ -286,6 +326,8 @@ class StoreServer:
     def start(self) -> Tuple[str, int]:
         """Serve in a daemon thread; returns the bound address."""
         self._serving = True
+        if self._autopilot_daemon is not None:
+            self._autopilot_daemon.start()
         self._thread = threading.Thread(
             target=self._tcp.serve_forever, name="store-server", daemon=True
         )
@@ -295,6 +337,8 @@ class StoreServer:
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`close` (the CLI path)."""
         self._serving = True
+        if self._autopilot_daemon is not None:
+            self._autopilot_daemon.start()
         self._tcp.serve_forever()
 
     def close(self) -> None:
@@ -306,6 +350,10 @@ class StoreServer:
         Also shuts down the served store's shared decode pools; a later
         in-process query still answers (sequentially).
         """
+        if self._autopilot_daemon is not None:
+            # Before the sockets: a mid-action autopilot cycle may call
+            # refresh(), which must still find a live server.
+            self._autopilot_daemon.stop()
         if self._serving:
             self._tcp.shutdown()
         self._tcp.server_close()
@@ -315,6 +363,8 @@ class StoreServer:
         self.store.close()
         if self._writer is not None:
             self._writer.close()
+        if self._maintenance_store is not None:
+            self._maintenance_store.close()
 
     def refresh(self) -> dict:
         """Swap in a fresh snapshot of the store directory.
@@ -474,7 +524,20 @@ class StoreServer:
                 # the snapshot this request will be answered from.
                 self._maybe_follow_refresh(scope)
             store = self._store  # one snapshot per request
-            result, extra = self._dispatch(op, request, store, scope)
+            try:
+                result, extra = self._dispatch(op, request, store, scope)
+            except (CorruptSegmentError, OSError):
+                if op in INGEST_OPS or op in ("shutdown", "refresh"):
+                    raise  # never replay a mutation
+                # A maintenance action (compact/gc) may have rewritten or
+                # dropped segment files out from under this request's
+                # snapshot: the store is fine, the snapshot is stale.  One
+                # refresh + retry answers from the post-maintenance view;
+                # genuine damage fails the retry identically and reports
+                # as usual.
+                if store is self._store:
+                    self.refresh()
+                result, extra = self._dispatch(op, request, self._store, scope)
         except InspectorError as exc:
             # StoreError, ProvenanceError (malformed node keys), ...  The
             # ``code`` field is the stable, machine-readable error class
@@ -491,6 +554,11 @@ class StoreServer:
                 "error": f"bad request parameters: {exc}",
                 "code": "bad_request",
             }
+        except OSError as exc:
+            # Surfaced only when the stale-snapshot retry (or an ingest
+            # op) still cannot read the disk: report it instead of tearing
+            # the connection down mid-protocol.
+            return {"ok": False, "error": f"store I/O failed: {exc}", "code": "io_error"}
         elapsed_ms = (time.perf_counter() - start) * 1e3
         with self._counter_lock:
             self.queries_served += 1
@@ -875,6 +943,15 @@ class StoreServer:
             "parallelism": self.parallelism,
             "segment_cache": self.cache.to_dict(),
             "index_pinner": self.pinner.to_dict(),
+            "maintenance": (
+                None
+                if self.autopilot is None
+                else {
+                    "cycles": self.autopilot.cycles,
+                    "decisions": len(self.autopilot.decisions),
+                    "policy": self.autopilot.policy.to_dict(),
+                }
+            ),
         }
 
 

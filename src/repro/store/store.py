@@ -1683,14 +1683,30 @@ class ProvenanceStore:
         except OSError:
             pass
 
+    def _run_fully_quarantined(self, run_id: int) -> bool:
+        """True when every segment of ``run_id`` is quarantined.
+
+        Such a run is damage awaiting repair (scrub/anti-entropy), so
+        retention accounting treats it as neither live nor superseded.
+        """
+        infos = self.manifest.segments_of_run(run_id)
+        return bool(infos) and all(
+            self.manifest.is_quarantined(info.segment_id) for info in infos
+        )
+
     def gc(
         self, keep_last: Optional[int] = None, runs: Optional[Sequence[int]] = None
     ) -> MaintenanceStats:
         """Drop superseded runs and reclaim their segments on disk.
 
         Exactly one selector must be given: ``keep_last=N`` keeps the N
-        most recently minted runs and drops the rest; ``runs=[...]`` drops
-        exactly the listed run ids.
+        most recently minted **live** runs and drops the older live ones;
+        ``runs=[...]`` drops exactly the listed run ids.
+
+        A run whose every segment is quarantined is damage awaiting
+        repair, not superseded data: it neither consumes a keep slot nor
+        gets dropped by ``keep_last`` (an explicit ``runs=[...]`` still
+        removes it once the operator gives up on repair).
 
         Crash-consistent like :meth:`compact`: the shrunk manifest is
         committed first, then the dropped runs' segment files and index
@@ -1702,8 +1718,12 @@ class ProvenanceStore:
         if keep_last is not None:
             if keep_last < 0:
                 raise StoreError(f"keep_last must be non-negative, got {keep_last}")
-            ordered = self.run_ids()
-            drop = ordered[: max(0, len(ordered) - keep_last)]
+            live = [
+                run_id
+                for run_id in self.run_ids()
+                if not self._run_fully_quarantined(run_id)
+            ]
+            drop = live[: max(0, len(live) - keep_last)]
         else:
             drop = list(dict.fromkeys(runs or ()))  # dedupe, keep order
             for run_id in drop:

@@ -5,6 +5,10 @@ imports), so shared fixtures live in ``tests/helpers`` and this conftest
 puts the tests directory itself on ``sys.path`` -- every test file can
 ``from helpers.faults import ChaosProxy`` regardless of which directory
 pytest was pointed at.
+
+Also registers the ``slow`` marker: long soaks (the fleet soak, chaos
+runs with real delays) carry ``@pytest.mark.slow`` and the default CI
+lane deselects them with ``-m "not slow"``; a scheduled lane runs them.
 """
 
 import os
@@ -13,3 +17,10 @@ import sys
 _TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
 if _TESTS_DIR not in sys.path:
     sys.path.insert(0, _TESTS_DIR)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running soak tests, deselected from the default CI lane",
+    )

@@ -134,6 +134,7 @@ class ChaosProxy:
         self._listener.bind(("127.0.0.1", 0))
         self._listener.listen(16)
         self._closed = False
+        self._close_event = threading.Event()
         self._thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._thread.start()
 
@@ -179,7 +180,10 @@ class ChaosProxy:
                 conn.close()
                 return
             if mode == "delay":
-                time.sleep(self.delay)
+                # Deadline wait, not a fixed sleep: closing the proxy
+                # releases held connections immediately instead of
+                # leaving a teardown stuck behind the full delay.
+                self._close_event.wait(self.delay)
             if self.target is None:
                 # Nothing to forward to: behave like a dead service.
                 conn.close()
@@ -242,6 +246,7 @@ class ChaosProxy:
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            self._close_event.set()
             self._listener.close()
             self._thread.join(timeout=5)
 

@@ -1,0 +1,107 @@
+"""Fleet-test scaffolding: tiny specs, populated stores, warm readers.
+
+The integration tests around the operations layer (gating, autopilot,
+fleets) all need the same two ingredients: a store populated by a small
+deterministic fleet, and a pack of warm readers hammering a query while
+maintenance churns underneath.  Building them here keeps the tests about
+their assertions, not their setup.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.serialization import node_key
+from repro.store.fleet import FleetResult, FleetSpec, run_fleet
+from repro.store.server import StoreClient
+
+
+def tiny_fleet_spec(runs: int = 3, concurrency: int = 1, **overrides) -> FleetSpec:
+    """A fleet small enough for a unit-test budget, deterministic by default."""
+    spec = dict(
+        workloads=("histogram",),
+        runs=runs,
+        concurrency=concurrency,
+        size="small",
+        threads=(2,),
+        seeds=(42,),
+        fleet_seed=99,
+    )
+    spec.update(overrides)
+    return FleetSpec(**spec)
+
+
+def populate_fleet_store(store_path: str, runs: int = 3, **overrides) -> FleetResult:
+    """Ingest a tiny fleet into ``store_path``; every member must succeed."""
+    result = run_fleet(tiny_fleet_spec(runs=runs, **overrides), store_path=store_path)
+    failed = [run for run in result.runs if run.error is not None]
+    assert not failed, f"fleet members failed: {[run.to_dict() for run in failed]}"
+    return result
+
+
+class WarmReaders:
+    """N reader threads repeating one lineage query against a server.
+
+    Every answer's node-key signature and every raised error is recorded;
+    a soak asserts ``errors == []`` and ``len(answers) == 1`` -- the
+    readers never saw a torn or shifting answer while maintenance ran.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        pages: Sequence[int],
+        run: Optional[int],
+        readers: int = 4,
+        interval_s: float = 0.01,
+    ) -> None:
+        self.url = url
+        self.pages = list(pages)
+        self.run = run
+        self.readers = readers
+        self.interval_s = interval_s
+        self.errors: List[str] = []
+        self.answers: set = set()
+        self.queries = 0
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+
+    def _loop(self) -> None:
+        # One client per thread: nothing shared, nothing to contend on.
+        client = StoreClient.from_url(self.url)
+        while not self._stop.is_set():
+            try:
+                nodes = client.lineage(self.pages, run=self.run)
+                signature: Tuple[str, ...] = tuple(sorted(node_key(n) for n in nodes))
+                with self._lock:
+                    self.queries += 1
+                    self.answers.add(signature)
+            except Exception as exc:  # noqa: BLE001 - the soak's assertion
+                with self._lock:
+                    self.errors.append(f"{type(exc).__name__}: {exc}")
+            self._stop.wait(self.interval_s)
+
+    def start(self) -> "WarmReaders":
+        if not self._threads:
+            self._stop.clear()
+            self._threads = [
+                threading.Thread(target=self._loop, name=f"warm-reader-{i}", daemon=True)
+                for i in range(self.readers)
+            ]
+            for thread in self._threads:
+                thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=30)
+        self._threads = []
+
+    def __enter__(self) -> "WarmReaders":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

@@ -1,0 +1,181 @@
+"""The store autopilot: policy-driven maintenance that readers never feel.
+
+The unit-shaped tests pin each policy trigger (dry-run, fragmentation
+compaction, retention gc, quarantine-driven scrub, the decision log);
+the soak at the end is the headline: an autopilot embedded in a writable
+server churns compact/gc/scrub while four warm readers hammer a blessed
+run and a remote writer ingests new ones -- the readers' answers never
+change and no query errors.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.store import (
+    Autopilot,
+    AutopilotPolicy,
+    ProvenanceStore,
+    StoreClient,
+    StoreError,
+    StoreServer,
+    bless_baseline,
+)
+from repro.store.integrity import scrub
+
+from helpers.fleet import WarmReaders, populate_fleet_store, tiny_fleet_spec
+from tests.unit.test_store import build_example_cpg
+
+
+def fragmented_store(path):
+    """A store whose one run is shredded into one-node segments."""
+    store = ProvenanceStore.create(path)
+    store.ingest(build_example_cpg(), segment_nodes=1, workload="shredded")
+    return store
+
+
+class TestPolicy:
+    def test_policy_roundtrips_and_rejects_unknown_keys(self):
+        policy = AutopilotPolicy(gc_keep_last=3, scrub_interval_s=60.0, dry_run=True)
+        assert AutopilotPolicy.from_dict(policy.to_dict()) == policy
+        with pytest.raises(StoreError):
+            AutopilotPolicy.from_dict({"keep_forever": True})
+        with pytest.raises(StoreError):
+            AutopilotPolicy(gc_keep_last=-1)
+        with pytest.raises(StoreError):
+            AutopilotPolicy(scrub_interval_s=0)
+
+    def test_dry_run_plans_everything_and_executes_nothing(self, tmp_path):
+        with fragmented_store(str(tmp_path / "store")) as store:
+            segments_before = store.manifest.segment_count
+            pilot = Autopilot(store, AutopilotPolicy(dry_run=True))
+            decisions = pilot.run_once()
+            assert decisions, "a shredded run must at least plan a compact"
+            assert all(d.dry_run and not d.executed for d in decisions)
+            assert store.manifest.segment_count == segments_before
+
+
+class TestActions:
+    def test_compacts_fragmented_run_and_answers_stay_equal(self, tmp_path):
+        with fragmented_store(str(tmp_path / "store")) as store:
+            from repro.store import StoreQueryEngine
+
+            before = StoreQueryEngine(store).lineage_of_pages((3,), run=1)
+            segments_before = store.manifest.segment_count
+            pilot = Autopilot(store, AutopilotPolicy())
+            decisions = pilot.run_once()
+            compacts = [d for d in decisions if d.action == "compact"]
+            assert compacts and all(d.executed and d.error is None for d in compacts)
+            assert store.manifest.segment_count < segments_before
+            after = StoreQueryEngine(store).lineage_of_pages((3,), run=1)
+            assert after == before
+
+    def test_gc_drops_old_runs_but_keeps_protected_and_blessed(self, tmp_path):
+        path = str(tmp_path / "store")
+        populate_fleet_store(path, runs=4)
+        with ProvenanceStore.open(path) as store:
+            # Run 1 is blessed (a baseline references it), run 2 is
+            # explicitly protected; keep_last=1 would otherwise drop both.
+            bless_baseline(store, run=1, name="golden").save(store)
+            pilot = Autopilot(
+                store,
+                AutopilotPolicy(
+                    gc_keep_last=1, compact_min_delta_files=10_000, protect_runs=(2,)
+                ),
+            )
+            decisions = pilot.run_once()
+            gcs = [d for d in decisions if d.action == "gc"]
+            assert len(gcs) == 1 and gcs[0].executed and gcs[0].error is None
+            assert gcs[0].result["runs_dropped"] == [3]
+            assert store.run_ids() == [1, 2, 4]
+
+    def test_quarantine_triggers_scrub_that_lifts_false_alarms(self, tmp_path):
+        path = str(tmp_path / "store")
+        populate_fleet_store(path, runs=1)
+        with ProvenanceStore.open(path) as store:
+            # A clean segment wrongly quarantined: the scrub the autopilot
+            # schedules on quarantine presence verifies it and lifts it.
+            segment_id = store.manifest.segments[0].segment_id
+            store.quarantine_segment(segment_id, "suspected rot", durable=True)
+            pilot = Autopilot(
+                store, AutopilotPolicy(compact_min_delta_files=10_000, gc_keep_last=None)
+            )
+            decisions = pilot.run_once()
+            scrubs = [d for d in decisions if d.action == "scrub"]
+            assert len(scrubs) == 1 and scrubs[0].executed and scrubs[0].error is None
+            assert segment_id in scrubs[0].result["unquarantined"]
+            assert not store.manifest.quarantined
+
+    def test_decision_log_is_structured_jsonl(self, tmp_path):
+        path = str(tmp_path / "store")
+        log_path = str(tmp_path / "decisions.jsonl")
+        with fragmented_store(path) as store:
+            pilot = Autopilot(store, AutopilotPolicy(dry_run=True), log_path=log_path)
+            pilot.run_once()
+            pilot.run_once()
+            assert pilot.cycles == 2
+        with open(log_path, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert lines
+        for entry in lines:
+            assert entry["action"] in ("compact", "gc", "scrub")
+            assert entry["reason"]
+            assert entry["at"]
+            assert entry["dry_run"] is True
+        assert [d["action"] for d in lines] == [
+            d.to_dict()["action"] for d in pilot.decisions
+        ]
+
+
+class TestServerSoak:
+    def test_maintenance_never_disturbs_warm_readers(self, tmp_path):
+        """4 warm readers + 1 remote writer + churning autopilot, no tears.
+
+        The blessed run's lineage answers must stay byte-identical across
+        compaction, gc of unprotected runs, and scrub cycles, with zero
+        reader errors.
+        """
+        path = str(tmp_path / "store")
+        populate_fleet_store(path, runs=2)
+        with ProvenanceStore.open(path) as store:
+            bless_baseline(store, run=1, name="golden").save(store)
+            pages = sorted(store.indexes_for(1).pages_touched())[:2]
+        policy = AutopilotPolicy(
+            gc_keep_last=2, compact_min_delta_files=1, scrub_interval_s=0.2
+        )
+        server = StoreServer(
+            path, writable=True, maintenance=policy, maintenance_interval_s=0.1
+        )
+        try:
+            host, port = server.start()
+            url = f"{host}:{port}"
+            with WarmReaders(url, pages, run=1, readers=4) as readers:
+                # The remote writer: a small fleet streaming new runs in
+                # while maintenance churns underneath the readers.
+                from repro.store import run_fleet
+
+                result = run_fleet(tiny_fleet_spec(runs=3), store_url=url)
+                assert result.errors == []
+                assert len(result.run_ids) == 3
+                deadline = time.time() + 3.0
+                while time.time() < deadline and server.autopilot.cycles < 5:
+                    time.sleep(0.05)
+            assert readers.errors == [], readers.errors[:3]
+            assert readers.queries > 0
+            assert len(readers.answers) == 1, "a reader saw a shifting answer"
+            executed = [d for d in server.autopilot.decisions if d.executed]
+            assert executed, "the soak never actually exercised maintenance"
+            assert {d.action for d in executed} & {"compact", "gc", "scrub"}
+            failed = [d for d in executed if d.error is not None]
+            assert failed == [], [d.to_dict() for d in failed]
+            stats = server.server_stats()
+            assert stats["maintenance"]["cycles"] >= 5
+        finally:
+            server.close()
+        # The blessed run survived every gc; newly ingested ones rotated.
+        with ProvenanceStore.open(path) as store:
+            assert 1 in store.run_ids()
+            report = scrub(store, quarantine=False)
+            assert report["ok"], report["damage"]

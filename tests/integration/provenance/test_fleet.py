@@ -1,0 +1,172 @@
+"""The run-fleet generator and its population-level drift report.
+
+A fleet replays randomized-but-deterministic workload variants into one
+store -- sequentially, concurrently through the transparent loopback
+bridge, or remotely against a writable server -- and ``drift_report``
+compares two run populations page by page.  The marked-slow soak at the
+end is the scheduled-lane workhorse: a concurrent fleet against a
+maintaining server, then a clean population self-comparison.
+"""
+
+import time
+
+import pytest
+
+from repro.store import (
+    AutopilotPolicy,
+    FleetSpec,
+    ProvenanceStore,
+    StoreError,
+    StoreServer,
+    drift_report,
+    run_fleet,
+    verify_store,
+)
+
+from helpers.fleet import tiny_fleet_spec
+
+
+class TestFleetPlan:
+    def test_plan_is_deterministic_per_seed(self):
+        spec = tiny_fleet_spec(runs=6, workloads=("histogram", "word_count"))
+        assert spec.plan() == spec.plan()
+        reseeded = tiny_fleet_spec(
+            runs=6, workloads=("histogram", "word_count"), fleet_seed=7
+        )
+        assert [v.workload for v in spec.plan()] != [
+            v.workload for v in reseeded.plan()
+        ] or [v.seed for v in spec.plan()] != [v.seed for v in reseeded.plan()] or (
+            spec.plan() != reseeded.plan()
+        )
+
+    def test_spec_validates(self):
+        with pytest.raises(StoreError):
+            FleetSpec(runs=0)
+        with pytest.raises(StoreError):
+            FleetSpec(concurrency=0)
+        with pytest.raises(StoreError):
+            FleetSpec(workloads=())
+        with pytest.raises(StoreError):
+            run_fleet(tiny_fleet_spec())  # no sink at all
+
+
+class TestFleetIngest:
+    def test_sequential_local_fleet_ingests_every_variant(self, tmp_path):
+        path = str(tmp_path / "store")
+        result = run_fleet(tiny_fleet_spec(runs=3, concurrency=1), store_path=path)
+        assert result.errors == []
+        assert result.run_ids == [1, 2, 3]
+        assert result.runs_per_s > 0
+        with ProvenanceStore.open(path) as store:
+            assert store.run_ids() == [1, 2, 3]
+            # Each run carries its fleet provenance in the manifest.
+            for fleet_run in result.runs:
+                meta = store.manifest.run_info(fleet_run.run_id).meta
+                assert meta["fleet_variant"] == fleet_run.variant
+                assert meta["fleet_threads"] == fleet_run.threads
+
+    def test_concurrent_local_fleet_bridges_through_a_loopback_server(self, tmp_path):
+        path = str(tmp_path / "store")
+        result = run_fleet(tiny_fleet_spec(runs=4, concurrency=3), store_path=path)
+        assert result.errors == []
+        assert sorted(result.run_ids) == [1, 2, 3, 4]
+        # Concurrent ingest left a structurally sound store behind.
+        report = verify_store(path)
+        assert report["ok"], report["problems"]
+
+    def test_remote_fleet_streams_into_a_writable_server(self, tmp_path):
+        path = str(tmp_path / "store")
+        ProvenanceStore.create(path).close()
+        server = StoreServer(path, writable=True)
+        try:
+            host, port = server.start()
+            result = run_fleet(
+                tiny_fleet_spec(runs=3, concurrency=2), store_url=f"{host}:{port}"
+            )
+            assert result.errors == []
+            assert sorted(result.run_ids) == [1, 2, 3]
+        finally:
+            server.close()
+        with ProvenanceStore.open(path) as store:
+            assert store.run_ids() == [1, 2, 3]
+
+    def test_bad_variant_is_recorded_not_raised(self, tmp_path):
+        path = str(tmp_path / "store")
+        spec = tiny_fleet_spec(runs=3, workloads=("histogram", "no-such-workload"))
+        result = run_fleet(spec, store_path=path)
+        assert result.errors, "the unknown workload must surface as per-run errors"
+        failed = {run.workload for run in result.errors}
+        assert failed == {"no-such-workload"}
+        succeeded = [run for run in result.runs if run.error is None]
+        assert all(run.run_id is not None for run in succeeded)
+
+
+class TestDriftReport:
+    def test_identical_populations_report_clean(self, tmp_path):
+        path = str(tmp_path / "store")
+        result = run_fleet(tiny_fleet_spec(runs=4, concurrency=1), store_path=path)
+        with ProvenanceStore.open(path) as store:
+            report = drift_report(store, result.run_ids[:2], result.run_ids[2:])
+            assert report["ok"]
+            assert report["diverged_pages"] == []
+            assert report["pages_checked"] > 0
+
+    def test_divergent_population_is_flagged_page_by_page(self, tmp_path):
+        path = str(tmp_path / "store")
+        clean = run_fleet(tiny_fleet_spec(runs=2, concurrency=1), store_path=path)
+        skewed = run_fleet(
+            tiny_fleet_spec(runs=2, concurrency=1, threads=(4,)), store_path=path
+        )
+        with ProvenanceStore.open(path) as store:
+            report = drift_report(store, clean.run_ids, skewed.run_ids)
+            assert not report["ok"]
+            assert report["diverged_pages"]
+            entry = report["diverged"][0]
+            assert entry["only_a"] or entry["only_b"]
+            # max_pages bounds the work and says so.
+            capped = drift_report(
+                store, clean.run_ids, skewed.run_ids, max_pages=1
+            )
+            assert capped["pages_checked"] == 1
+            assert capped["pages_truncated"] is True
+
+
+@pytest.mark.slow
+class TestFleetSoak:
+    def test_concurrent_fleet_against_a_maintaining_server(self, tmp_path):
+        """The scheduled-lane soak: volume + concurrency + maintenance."""
+        path = str(tmp_path / "store")
+        ProvenanceStore.create(path).close()
+        policy = AutopilotPolicy(
+            gc_keep_last=6, compact_min_delta_files=1, scrub_interval_s=0.5
+        )
+        server = StoreServer(
+            path, writable=True, maintenance=policy, maintenance_interval_s=0.1
+        )
+        try:
+            host, port = server.start()
+            result = run_fleet(
+                tiny_fleet_spec(runs=10, concurrency=4), store_url=f"{host}:{port}"
+            )
+            assert result.errors == []
+            assert len(result.run_ids) == 10
+            # Let the autopilot catch up with the last commits before
+            # reading the retention outcome.
+            deadline = time.time() + 5.0
+            while time.time() < deadline and len(server.store.run_ids()) > 6:
+                time.sleep(0.1)
+            failed = [
+                d for d in server.autopilot.decisions if d.executed and d.error
+            ]
+            assert failed == [], [d.to_dict() for d in failed]
+        finally:
+            server.close()
+        with ProvenanceStore.open(path) as store:
+            survivors = store.run_ids()
+            assert len(survivors) == 6  # gc_keep_last held
+            # The surviving population is provenance-uniform: every run
+            # is the same variant family, so a self-comparison is clean.
+            half = len(survivors) // 2
+            report = drift_report(store, survivors[:half], survivors[half:])
+            assert report["ok"], report["diverged_pages"]
+        assert verify_store(path)["ok"]

@@ -285,6 +285,32 @@ class TestGarbageCollection:
         with pytest.raises(StoreError, match="no run 99"):
             store.gc(runs=[99])
 
+    def test_gc_keep_last_ignores_fully_quarantined_runs(self, tmp_path):
+        # A run whose every segment is quarantined is damage awaiting
+        # repair: it must neither consume a keep slot (shadow-dropping a
+        # live run) nor be dropped by keep_last itself.
+        store = ProvenanceStore.create(str(tmp_path))
+        cpg = build_example_cpg()
+        store.ingest(cpg, workload="r1")
+        store.ingest(cpg, workload="r2")
+        store.ingest(cpg, workload="r3")
+        for info in store.manifest.segments_of_run(3):
+            store.quarantine_segment(info.segment_id, "rot suspected", durable=True)
+        # Two live runs, keep_last=2: nothing to drop -- run 3 does not
+        # count against the budget.
+        stats = store.gc(keep_last=2)
+        assert stats.runs_dropped == []
+        assert store.run_ids() == [1, 2, 3]
+        # A new live run overflows the budget: the oldest *live* run goes,
+        # the quarantined one stays for repair.
+        store.ingest(cpg, workload="r4")
+        stats = store.gc(keep_last=2)
+        assert stats.runs_dropped == [1]
+        assert store.run_ids() == [2, 3, 4]
+        # An explicit selector still removes it once the operator gives up.
+        assert store.gc(runs=[3]).runs_dropped == [3]
+        assert ProvenanceStore.open(str(tmp_path)).run_ids() == [2, 4]
+
     def test_gc_everything_leaves_usable_empty_store(self, tmp_path):
         store = ProvenanceStore.create(str(tmp_path))
         store.ingest(build_example_cpg())

@@ -14,6 +14,7 @@ return identical payloads.
 import json
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -167,6 +168,16 @@ class TestSingleFlight:
         store_dir = str(tmp_path / "store")
         build_store(store_dir, epochs=8)
         store = ProvenanceStore.open(store_dir)
+        # Slow every (single-flight) file read a little: scheduling alone
+        # cannot be trusted to overlap the threads' fills, and with no
+        # overlap the coalescing assertion below is vacuous.
+        real_read = store._read_segment_file
+
+        def slow_read(segment_id):
+            time.sleep(0.002)
+            return real_read(segment_id)
+
+        store._read_segment_file = slow_read
         segment_ids = [info.segment_id for info in store.manifest.segments]
         assert len(segment_ids) >= 8
         threads = 16
